@@ -1,0 +1,45 @@
+"""Ablation A1: region-overlap HB vs precise vector clocks vs lockset.
+
+Quantifies the Section 2 discussion that motivated the paper's design:
+
+* the happens-before detector reports no false positives (the lockset
+  baseline does — e.g. on lock-free but HB-ordered handoffs),
+* the conservative sequencer total order costs some coverage relative to
+  a precise vector-clock analysis.
+"""
+
+from repro.analysis.experiments import run_ablation_detectors
+from repro.race.lockset import lockset_warnings
+from repro.race.vector_clock import VectorClockDetector
+
+from conftest import write_artifact
+
+
+def test_detector_comparison(suite_analysis, results_dir, benchmark):
+    comparison = benchmark.pedantic(
+        lambda: run_ablation_detectors(suite_analysis), rounds=1, iterations=1
+    )
+    # Lockset warns on at least one address the HB analyses prove ordered.
+    assert comparison.lockset_false_positive_addresses >= 1
+    # Both HB analyses find a substantial set of unique races.
+    assert comparison.region_hb_unique >= 40
+    assert comparison.vector_clock_unique >= 40
+    write_artifact(results_dir, "ablation_detectors.txt", comparison.render())
+
+
+def test_benchmark_vector_clock_detector(suite_analysis, benchmark):
+    analysis = suite_analysis.executions[0]
+
+    def detect():
+        detector = VectorClockDetector(analysis.ordered)
+        detector.detect()
+        return detector
+
+    detector = benchmark(detect)
+    assert detector is not None
+
+
+def test_benchmark_lockset_detector(suite_analysis, benchmark):
+    analysis = suite_analysis.executions[0]
+    warnings = benchmark(lambda: lockset_warnings(analysis.ordered))
+    assert isinstance(warnings, list)

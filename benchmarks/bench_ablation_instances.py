@@ -1,0 +1,29 @@
+"""Ablation A3: classification confidence vs instances analysed.
+
+Section 4.3: "the greater the number of instances studied, the greater is
+the confidence."  We re-aggregate every real-harmful race from only its
+first N instances and measure recall — quantifying how many sightings a
+harmful race needs before the analysis flags it.
+"""
+
+from repro.analysis.experiments import run_ablation_instances
+
+from conftest import write_artifact
+
+
+def test_instance_budget_sweep(suite_analysis, results_dir, benchmark):
+    sweep = benchmark(run_ablation_instances, suite_analysis)
+    recalls = [point.recall for point in sweep.points]
+    # Recall is monotone in the instance budget and reaches 100%.
+    assert recalls == sorted(recalls)
+    assert recalls[-1] == 1.0
+    # Discovery grows with executions analysed and eventually covers all
+    # harmful races — but NOT from the first execution (the paper's
+    # coverage argument for analysing many test scenarios).
+    observed = [point.harmful_races_observed for point in sweep.coverage]
+    assert observed == sorted(observed)
+    assert observed[0] < observed[-1]
+    assert sweep.coverage[-1].harmful_races_flagged == (
+        sweep.coverage[-1].harmful_races_total
+    )
+    write_artifact(results_dir, "ablation_instances.txt", sweep.render())

@@ -1,0 +1,45 @@
+"""Benchmark + reproduction of Figure 3: instances per benign race.
+
+The paper's Figure 3 shows, for each of the 32 Potentially-Benign races,
+how many dynamic instances were analysed (from ~50 down to a single one —
+"the greater the number of instances ... the greater the confidence").
+"""
+
+from repro.analysis import build_figure3
+from repro.race.outcomes import Classification
+
+from conftest import write_artifact
+
+
+def test_figure3_series(suite_analysis, results_dir, benchmark):
+    figure = benchmark(build_figure3, suite_analysis)
+    assert figure.points
+
+    # All plotted races are potentially benign, hence zero flagged instances.
+    assert all(point.flagged_instances == 0 for point in figure.points)
+
+    # Instance counts vary widely, including single-sighting races (paper:
+    # "from about 50 instances to just one instance").
+    assert figure.min_instances <= 3
+    assert figure.max_instances >= 10
+
+    write_artifact(
+        results_dir,
+        "figure3.txt",
+        "\n".join(
+            [
+                "FIGURE 3 (paper: 32 races, ~1..50 instances each)",
+                figure.render(),
+            ]
+        ),
+    )
+
+
+def test_figure3_matches_classification(suite_analysis):
+    figure = build_figure3(suite_analysis)
+    benign_count = sum(
+        1
+        for result in suite_analysis.results.values()
+        if result.classification is Classification.POTENTIALLY_BENIGN
+    )
+    assert len(figure.points) == benign_count

@@ -1,0 +1,86 @@
+"""Benchmark + reproduction of the Section 5.1 measurements.
+
+The paper reports, for an IE browsing session: recording ~6x over native,
+replay ~10x, happens-before analysis ~45x, classification ~280x, and logs
+of ~0.8 bit/instruction raw (~0.3 zipped).  Absolute multipliers are
+hardware- and implementation-bound; what must reproduce is:
+
+* the cost ordering — native < recording < detect < classify — with
+  classification clearly the most expensive stage, and
+* the log-size methodology landing in the paper's bits-per-instruction
+  regime for a realistic (compute-dominated) instruction mix.
+"""
+
+from repro.analysis import measure_overheads
+from repro.analysis.overheads import measure_log_scaling
+from repro.record import compression_stats, record_run
+from repro.vm import Machine, RandomScheduler
+from repro.workloads import overhead_workload
+
+from conftest import write_artifact
+
+
+def test_benchmark_native_execution(benchmark):
+    workload = overhead_workload()
+    program = workload.program()
+
+    def native():
+        return Machine(
+            program, scheduler=RandomScheduler(seed=44, switch_probability=0.3), seed=44
+        ).run()
+
+    result = benchmark(native)
+    assert result.global_steps > 10_000
+
+
+def test_benchmark_recording(benchmark):
+    workload = overhead_workload()
+    program = workload.program()
+
+    def record():
+        return record_run(
+            program,
+            scheduler=RandomScheduler(seed=44, switch_probability=0.3),
+            seed=44,
+        )
+
+    _, log = benchmark(record)
+    assert log.total_instructions > 10_000
+
+
+def test_overhead_report(results_dir, benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_overheads(overhead_workload(), repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    # Cost ordering (the paper's qualitative claim).  detect vs replay can
+    # tie within noise at these magnitudes; the load-bearing facts are
+    # that recording costs more than native and classification dominates.
+    assert report.record_overhead > 1.0
+    assert report.classify_overhead > report.record_overhead
+    assert report.classify_overhead >= report.detect_overhead
+    assert report.classify_overhead > report.replay_overhead
+
+    # Log sizes in the paper's regime for a compute-dominated mix.
+    assert 0.1 <= report.log_stats.raw_bits_per_instruction <= 3.0
+    assert (
+        report.log_stats.compressed_bits_per_instruction
+        < report.log_stats.raw_bits_per_instruction
+    )
+
+    write_artifact(results_dir, "sec51_overheads.txt", report.render())
+
+
+def test_log_size_scales_linearly(results_dir, benchmark):
+    """The paper's 0.8 bit/instruction is a *rate*: the recorder's cost
+    per instruction stays flat as executions grow (their corpus covered
+    33 billion instructions at a constant rate)."""
+    scaling = benchmark.pedantic(measure_log_scaling, rounds=1, iterations=1)
+    # Longest run covers 8x the shortest.
+    assert scaling.points[-1].instructions > scaling.points[0].instructions * 6
+    # The per-instruction cost band stays tight (within 50%).
+    assert scaling.max_rate <= scaling.min_rate * 1.5
+    # And in the paper's regime.
+    assert 0.2 <= scaling.min_rate <= 2.0
+    write_artifact(results_dir, "sec51_log_scaling.txt", scaling.render())

@@ -1,0 +1,65 @@
+"""Benchmark + reproduction of Table 1 (the paper's headline result).
+
+Benchmarks the full per-execution pipeline (record → replay → detect →
+classify) and regenerates Table 1 from the session suite, asserting the
+paper's shape:
+
+* every No-State-Change race is Real-Benign (nothing harmful filtered),
+* all Real-Harmful races land in the Potentially-Harmful column,
+* a large share of Real-Benign races is auto-filtered,
+* misclassified Real-Benign races appear under both State-Change and
+  Replay-Failure (approximate computation + replayer limitations).
+"""
+
+from repro.analysis import analyze_execution, build_table1
+from repro.race.outcomes import InstanceOutcome
+from repro.workloads import paper_suite
+
+from conftest import write_artifact
+
+
+def test_benchmark_single_execution_pipeline(benchmark):
+    """Time the full analysis of one representative execution."""
+    execution = paper_suite()[8]  # redundant_pid: mid-sized, no faults
+
+    def pipeline():
+        return analyze_execution(execution)
+
+    analysis = benchmark(pipeline)
+    assert analysis.instance_count > 0
+
+
+def test_table1_shape(suite_analysis, results_dir, benchmark):
+    table = benchmark(build_table1, suite_analysis)
+    rows = table.rows
+
+    # The paper's safety property: nothing harmful is filtered out.
+    assert table.harmful_filtered_out == 0
+    nsc = rows[InstanceOutcome.NO_STATE_CHANGE]
+    assert nsc.benign_real_benign > 0 and nsc.benign_real_harmful == 0
+
+    # Real-harmful races appear in both flagged rows, like the paper's 2+5.
+    assert rows[InstanceOutcome.STATE_CHANGE].harmful_real_harmful > 0
+    assert rows[InstanceOutcome.REPLAY_FAILURE].harmful_real_harmful > 0
+
+    # Misclassified benign races in both flagged rows, like the paper's 15+14.
+    assert rows[InstanceOutcome.STATE_CHANGE].harmful_real_benign > 0
+    assert rows[InstanceOutcome.REPLAY_FAILURE].harmful_real_benign > 0
+
+    # A healthy share of real-benign races is filtered (paper: >50%).
+    assert table.benign_filter_rate >= 0.40
+    # Of the flagged races only a minority is really harmful (paper: ~20%).
+    assert table.harmful_precision <= 0.60
+
+    rendered = "\n".join(
+        [
+            "TABLE 1 — Data Race Classification (paper: 32/0 | 15/2 | 14/5 of 68)",
+            table.render(),
+            "",
+            "benign filter rate: %.0f%% (paper: 'over half')"
+            % (100 * table.benign_filter_rate),
+            "harmful precision: %.0f%% (paper: ~20%%)"
+            % (100 * table.harmful_precision),
+        ]
+    )
+    write_artifact(results_dir, "table1.txt", rendered)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compare the three detector families the paper discusses (Section 2).
+
+* **Region-overlap happens-before** (the paper's choice): zero false
+  positives by construction, but the total sequencer order is
+  conservative — unrelated synchronization can hide true races.
+* **Precise vector-clock happens-before**: ordering edges only along the
+  same synchronization object; finds races the conservative analysis
+  misses.
+* **Eraser-style lockset**: a heuristic — it warns about every shared,
+  written, lock-free location, including perfectly ordered ones (false
+  positives).
+
+Run:  python examples/detector_comparison.py
+"""
+
+from repro import (
+    OrderedReplay,
+    RandomScheduler,
+    assemble,
+    find_races,
+    lockset_warnings,
+    record_run,
+    vector_clock_races,
+)
+from repro.vm import ExplicitScheduler
+
+CASES = {
+    "racy read-modify-write (a true bug)": (
+        ".data\nx: .word 0\n.thread a b\n    load r1, [x]\n"
+        "    addi r1, r1, 1\n    store r1, [x]\n    halt\n",
+        None,
+    ),
+    "mutex-protected counter (correct)": (
+        ".data\nx: .word 0\nm: .word 0\n.thread a b\n    lock [m]\n"
+        "    load r1, [x]\n    addi r1, r1, 1\n    store r1, [x]\n"
+        "    unlock [m]\n    halt\n",
+        None,
+    ),
+    "atomic-flag handoff (correct, but lock-free)": (
+        ".data\nd: .word 0\nf: .word 0\n"
+        ".thread w\n    li r1, 9\n    store r1, [d]\n    li r2, 1\n"
+        "    atom_xchg r3, [f], r2\n    halt\n"
+        ".thread r\n    li r2, 0\nspin:\n    atom_add r1, [f], r2\n"
+        "    beqz r1, spin\n    load r3, [d]\n    li r4, 0\n"
+        "    store r4, [d]\n    halt\n",
+        ExplicitScheduler([0] * 12 + [1] * 24),
+    ),
+    "racy x, serialized by unrelated locks (hidden from regions)": (
+        ".data\nx: .word 0\nm1: .word 0\nm2: .word 0\n"
+        ".thread a\n    load r1, [x]\n    addi r1, r1, 1\n    store r1, [x]\n"
+        "    lock [m1]\n    unlock [m1]\n    halt\n"
+        ".thread b\n    lock [m2]\n    unlock [m2]\n    load r1, [x]\n"
+        "    addi r1, r1, 1\n    store r1, [x]\n    halt\n",
+        ExplicitScheduler([0] * 10 + [1] * 12),
+    ),
+}
+
+
+def main() -> None:
+    header = "%-55s %10s %10s %10s" % ("case", "region-HB", "vector-HB", "lockset")
+    print(header)
+    print("-" * len(header))
+    for name, (source, scheduler) in CASES.items():
+        program = assemble(source, name="cmp")
+        _, log = record_run(
+            program,
+            scheduler=scheduler or RandomScheduler(seed=3, switch_probability=0.4),
+            seed=3,
+        )
+        ordered = OrderedReplay(log, program)
+        region = len({i.static_key for i in find_races(ordered)})
+        vector = len({r.static_key for r in vector_clock_races(ordered)})
+        lockset = len(lockset_warnings(ordered))
+        print("%-55s %10d %10d %10d" % (name, region, vector, lockset))
+
+    print(
+        "\nReading the table:\n"
+        "  row 2: all three agree a locked counter is clean;\n"
+        "  row 3: lockset raises a FALSE POSITIVE on the happens-before-\n"
+        "         ordered handoff (no lock is ever held) — the reason the\n"
+        "         paper chose a happens-before detector;\n"
+        "  row 4: the conservative sequencer total order serializes the\n"
+        "         two threads through UNRELATED locks and hides the race,\n"
+        "         which the precise vector-clock analysis still reports —\n"
+        "         the coverage trade-off of Section 2.2.2."
+    )
+
+
+if __name__ == "__main__":
+    main()

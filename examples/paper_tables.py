@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation (Section 5).
+
+Runs the full workload suite (our analog of the 18 recorded Vista/IE
+executions), then prints Table 1, Table 2, Figures 3-5, and the detector
+and instance-budget ablations.  The Section 5.1 overhead measurements run
+last (they are timing-sensitive).
+
+Run:  python examples/paper_tables.py            # everything
+      python examples/paper_tables.py table1     # just one artifact
+"""
+
+import sys
+
+from repro.analysis import (
+    run_ablation_detectors,
+    run_ablation_instances,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_sec51,
+    run_suite,
+    run_table1,
+    run_table2,
+)
+
+
+def main() -> None:
+    wanted = set(sys.argv[1:]) or {
+        "table1",
+        "table2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "ablations",
+        "sec51",
+    }
+    print("analysing the paper suite ...")
+    suite = run_suite()
+    print(
+        "  %d executions, %d race instances, %d unique races\n"
+        % (len(suite.executions), suite.total_instances, suite.unique_race_count)
+    )
+
+    if "table1" in wanted:
+        table1 = run_table1(suite)
+        print("TABLE 1 — Data Race Classification")
+        print(table1.render())
+        print(
+            "  -> %.0f%% of real-benign races auto-filtered; %d harmful races"
+            " filtered out (paper: over half; zero)\n"
+            % (100 * table1.benign_filter_rate, table1.harmful_filtered_out)
+        )
+
+    if "table2" in wanted:
+        print("TABLE 2 — Benign Data Races by Reason")
+        print(run_table2(suite).render())
+        print()
+
+    if "figure3" in wanted:
+        print(run_figure3(suite).render())
+        print()
+    if "figure4" in wanted:
+        print(run_figure4(suite).render())
+        print()
+    if "figure5" in wanted:
+        print(run_figure5(suite).render())
+        print()
+
+    if "ablations" in wanted:
+        print(run_ablation_detectors(suite).render())
+        print()
+        print(run_ablation_instances(suite).render())
+        print()
+
+    if "sec51" in wanted:
+        print(run_sec51().render())
+
+
+if __name__ == "__main__":
+    main()

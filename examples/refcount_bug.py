@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The paper's Figure 2 bug, end to end: racy ref-count decrement + free.
+
+Two threads run the sanitised production code from the paper::
+
+    foo->refCnt--;
+    if (foo->refCnt == 0)
+        free(foo);
+
+with no synchronization.  We record an execution in which nothing bad
+happens (Figure 2a), then show how the replay analysis — by replaying the
+two orders of each racing pair — exposes the alternative schedule
+(Figure 2b) in which the bug fires, without ever needing to catch the bad
+interleaving live.
+
+Run:  python examples/refcount_bug.py
+"""
+
+from repro import (
+    ClassifierConfig,
+    InstanceOutcome,
+    OrderedReplay,
+    RaceClassifier,
+    RandomScheduler,
+    aggregate_instances,
+    find_races,
+    record_run,
+)
+from repro.workloads import refcount_free
+
+
+def main() -> None:
+    workload = refcount_free(0)
+    program = workload.program()
+    print("Figure 2 workload: two droppers run the racy refcount code.\n")
+    print("\n".join(workload.source.strip().splitlines()[12:]))
+
+    # A benign-looking recording (Figure 2a): the run completes cleanly.
+    result, log = record_run(
+        program, scheduler=RandomScheduler(seed=1, switch_probability=0.3), seed=1
+    )
+    print("\nrecorded run (seed 1):")
+    for name, outcome in result.threads.items():
+        status = outcome.fault or outcome.status
+        print("  %-14s %s" % (name, status))
+
+    ordered = OrderedReplay(log, program)
+    instances = find_races(ordered)
+    print("\n%d race instance(s) between the refcount operations" % len(instances))
+
+    classifier = RaceClassifier(
+        ordered,
+        config=ClassifierConfig(store_replay_outcomes=True),
+        execution_id="refcount#s1",
+    )
+    classified = classifier.classify_all(instances)
+
+    for entry in classified:
+        print("\nrace:", entry.instance)
+        print("  original order: %s first" % entry.original_first)
+        if entry.outcome is InstanceOutcome.REPLAY_FAILURE:
+            print(
+                "  alternative-order replay FAILED: %s (%s)"
+                % (entry.failure_kind, entry.failure_detail)
+            )
+            print("  -> the reordering leaves the recorded envelope: potential bug")
+        elif entry.outcome is InstanceOutcome.STATE_CHANGE:
+            print("  the two orders produce DIFFERENT live-out state:")
+            original = entry.original_replay
+            alternative = entry.alternative_replay
+            for thread_name in original.registers:
+                if original.registers[thread_name] != alternative.registers.get(
+                    thread_name
+                ):
+                    print(
+                        "    %s registers differ (e.g. the refcount the branch sees)"
+                        % thread_name
+                    )
+            if original.end_pcs != alternative.end_pcs:
+                print(
+                    "    control flow diverged: end pcs %s vs %s"
+                    % (original.end_pcs, alternative.end_pcs)
+                )
+                print(
+                    "    (one path reaches sys_free — the double-free of Figure 2b)"
+                )
+        else:
+            print("  both orders agree -> this instance looks benign")
+
+    results = aggregate_instances(classified)
+    print("\nverdict per unique race:")
+    for result_ in results.values():
+        print(" ", result_.describe(program))
+
+    # The paper's follow-through: a different test scenario (seed 23)
+    # actually crashes with a double free, confirming the classification.
+    crash, _ = record_run(
+        program, scheduler=RandomScheduler(seed=23, switch_probability=0.3), seed=23
+    )
+    print("\nconfirmation — the same program recorded under seed 23:")
+    for name, outcome in crash.threads.items():
+        print("  %-14s %s" % (name, outcome.fault or outcome.status))
+
+
+if __name__ == "__main__":
+    main()

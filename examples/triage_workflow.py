@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The paper's development-environment usage model, end to end.
+
+Night 1: record the product's test scenarios, analyse them offline,
+and hand the developer a triage list with the potentially harmful races
+first.  The developer inspects the approximate-statistics race, declares
+it intended, and marks it benign — the verdict is persisted.
+
+Night 2: a new round of recordings.  Previously triaged races are
+suppressed; only the remaining potentially harmful races (the real bug)
+demand attention.
+
+Run:  python examples/triage_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    SuppressionDB,
+    aggregate_instances,
+    build_report,
+    categorize,
+    render_triage_list,
+)
+from repro.analysis import analyze_execution
+from repro.race.outcomes import Classification
+from repro.workloads import Execution, stats_counter, lost_update
+from repro.workloads.composite import combine_workloads
+
+
+def analyse_night(service, night, seed, database):
+    """One nightly analysis round: record, classify, report."""
+    analysis = analyze_execution(Execution("%s#s%d" % (night, seed), service, seed))
+    results = aggregate_instances(analysis.classified)
+    program = service.program()
+    reports = [
+        build_report(
+            result,
+            program,
+            analysis.log,
+            suggested_reason=(
+                str(categorize(result, program)) if categorize(result, program) else None
+            ),
+            suppressed=database.is_suppressed(program.name, key),
+        )
+        for key, result in results.items()
+    ]
+    print(render_triage_list(reports))
+    return results
+
+
+def main() -> None:
+    service = combine_workloads(
+        "nightly_service",
+        "a service with an intended statistics race and a real lost-update bug",
+        stats_counter(0, iters=5),
+        lost_update(0, iters=5),
+    )
+    program = service.program()
+    stats_address = program.data_address("stats_st0")
+    database_path = Path(tempfile.mkdtemp()) / "triage.json"
+    database = SuppressionDB()
+
+    print("=" * 72)
+    print("NIGHT 1 — first analysis of the service")
+    print("=" * 72)
+    results = analyse_night(service, "night1", seed=10, database=database)
+
+    # The developer triages: the stats races are intended (approximate
+    # computation), so they are marked benign and persisted.
+    marked = 0
+    for key, result in results.items():
+        if result.classification is not Classification.POTENTIALLY_HARMFUL:
+            continue
+        addresses = {entry.instance.address for entry in result.instances}
+        if stats_address in addresses:
+            database.mark_benign(
+                program.name,
+                key,
+                reason="approximate statistics — intended by the developers",
+                triaged_by="alice",
+            )
+            marked += 1
+    database.save(database_path)
+    print("\ndeveloper marked %d race(s) benign; saved to %s\n" % (marked, database_path))
+
+    print("=" * 72)
+    print("NIGHT 2 — new recordings, previous triage applied")
+    print("=" * 72)
+    database2 = SuppressionDB.load(database_path)
+    analyse_night(service, "night2", seed=37, database=database2)
+
+    print("\nThe remaining potentially-harmful races all touch the balance —")
+    print("the genuine lost-update bug that must be fixed.")
+
+
+if __name__ == "__main__":
+    main()

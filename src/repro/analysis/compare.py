@@ -1,0 +1,129 @@
+"""Classification-drift comparison between two analysis rounds.
+
+The paper's tool lives in a development loop: code changes, nightly
+recordings re-run, and what matters is the *delta* — did a race disappear
+(fixed), appear (regression), or change verdict (new evidence)?  This
+module diffs two exported results documents (see
+:mod:`repro.race.exporter`) into a typed drift report, suitable for CI
+gates ("fail the build if a new potentially-harmful race appears").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One race whose status changed between two rounds."""
+
+    race: str
+    kind: str  # "appeared" | "disappeared" | "reclassified" | "outcome-shift"
+    before: str
+    after: str
+
+    def render(self) -> str:
+        return "%-14s %-44s %s -> %s" % (self.kind, self.race, self.before, self.after)
+
+
+@dataclass
+class DriftReport:
+    """All classification drift between a baseline and a new round."""
+
+    program: str
+    appeared: List[Drift] = field(default_factory=list)
+    disappeared: List[Drift] = field(default_factory=list)
+    reclassified: List[Drift] = field(default_factory=list)
+    stable: int = 0
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.appeared or self.disappeared or self.reclassified)
+
+    @property
+    def new_harmful(self) -> List[Drift]:
+        """Newly appeared or newly harmful races — what a CI gate blocks on."""
+        return [
+            drift
+            for drift in self.appeared + self.reclassified
+            if drift.after == "potentially-harmful"
+        ]
+
+    def render(self) -> str:
+        lines = [
+            "Classification drift for %s: %d appeared, %d disappeared, "
+            "%d reclassified, %d stable"
+            % (
+                self.program,
+                len(self.appeared),
+                len(self.disappeared),
+                len(self.reclassified),
+                self.stable,
+            )
+        ]
+        for group in (self.appeared, self.disappeared, self.reclassified):
+            for drift in group:
+                lines.append("  " + drift.render())
+        if self.new_harmful:
+            lines.append(
+                "  !! %d new potentially-harmful race(s) — gate this change"
+                % len(self.new_harmful)
+            )
+        return "\n".join(lines)
+
+
+def _races_by_key(document: Dict) -> Dict[str, Dict]:
+    return {race["race"]: race for race in document["races"]}
+
+
+def compare_documents(baseline: Dict, current: Dict) -> DriftReport:
+    """Diff two :func:`repro.race.exporter.results_to_json` documents."""
+    report = DriftReport(program=current.get("program", "?"))
+    old = _races_by_key(baseline)
+    new = _races_by_key(current)
+
+    for race, entry in new.items():
+        if race not in old:
+            report.appeared.append(
+                Drift(
+                    race=race,
+                    kind="appeared",
+                    before="(absent)",
+                    after=entry["classification"],
+                )
+            )
+        elif entry["classification"] != old[race]["classification"]:
+            report.reclassified.append(
+                Drift(
+                    race=race,
+                    kind="reclassified",
+                    before=old[race]["classification"],
+                    after=entry["classification"],
+                )
+            )
+        else:
+            report.stable += 1
+
+    for race, entry in old.items():
+        if race not in new:
+            report.disappeared.append(
+                Drift(
+                    race=race,
+                    kind="disappeared",
+                    before=entry["classification"],
+                    after="(absent)",
+                )
+            )
+    return report
+
+
+def compare_files(
+    baseline_path: Union[str, Path], current_path: Union[str, Path]
+) -> DriftReport:
+    """Diff two exported results files."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = json.loads(Path(current_path).read_text())
+    return compare_documents(baseline, current)

@@ -1,0 +1,133 @@
+"""Assemble the paper's Figures 3, 4, and 5 data series.
+
+Each figure plots, per unique data race, the number of dynamic instances
+the analysis examined (and for Figures 4/5 also how many of those
+instances *flagged* — caused a state change or replay failure):
+
+* Figure 3 — races classified Potentially-Benign (every instance
+  No-State-Change); all of them were Real-Benign.
+* Figure 4 — races classified Potentially-Harmful that were Real-Harmful;
+  the paper observes only ~1 in 10 instances flags, so seeing a race many
+  times matters.
+* Figure 5 — races classified Potentially-Harmful that were actually
+  Real-Benign (the misclassifications, dominated by approximate
+  computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..race.outcomes import Classification
+from ..workloads.base import GroundTruth
+from .pipeline import SuiteAnalysis
+
+
+@dataclass
+class FigurePoint:
+    """One bar of a figure: a unique race and its instance statistics."""
+
+    race: str
+    total_instances: int
+    flagged_instances: int
+
+    @property
+    def flagged_fraction(self) -> float:
+        if not self.total_instances:
+            return 0.0
+        return self.flagged_instances / self.total_instances
+
+
+@dataclass
+class FigureSeries:
+    """A whole figure: points sorted by descending instance count."""
+
+    title: str
+    points: List[FigurePoint]
+
+    @property
+    def max_instances(self) -> int:
+        return max((point.total_instances for point in self.points), default=0)
+
+    @property
+    def min_instances(self) -> int:
+        return min((point.total_instances for point in self.points), default=0)
+
+    @property
+    def mean_flagged_fraction(self) -> float:
+        flagged = [point.flagged_fraction for point in self.points if point.total_instances]
+        if not flagged:
+            return 0.0
+        return sum(flagged) / len(flagged)
+
+    def render(self, width: int = 40) -> str:
+        lines = [self.title, "-" * len(self.title)]
+        top = self.max_instances or 1
+        for point in self.points:
+            bar = "#" * max(1, int(width * point.total_instances / top))
+            flagged = (
+                "  (%d flagged)" % point.flagged_instances
+                if point.flagged_instances
+                else ""
+            )
+            lines.append(
+                "%-44s %6d %s%s" % (point.race, point.total_instances, bar, flagged)
+            )
+        if not self.points:
+            lines.append("(no races in this category)")
+        return "\n".join(lines)
+
+
+def _points(suite: SuiteAnalysis, keys) -> List[FigurePoint]:
+    points = [
+        FigurePoint(
+            race="%s|%s" % key,
+            total_instances=suite.results[key].instance_count,
+            flagged_instances=suite.results[key].flagged_instance_count,
+        )
+        for key in keys
+    ]
+    points.sort(key=lambda point: (-point.total_instances, point.race))
+    return points
+
+
+def build_figure3(suite: SuiteAnalysis) -> FigureSeries:
+    """Instances per Potentially-Benign race (all Real-Benign)."""
+    keys = [
+        key
+        for key, result in suite.results.items()
+        if result.classification is Classification.POTENTIALLY_BENIGN
+    ]
+    return FigureSeries(
+        title="Figure 3: instances of races classified Potentially-Benign",
+        points=_points(suite, keys),
+    )
+
+
+def build_figure4(suite: SuiteAnalysis) -> FigureSeries:
+    """Instances per Real-Harmful race, with how many flagged."""
+    keys = [
+        key
+        for key, result in suite.results.items()
+        if result.classification is Classification.POTENTIALLY_HARMFUL
+        and suite.truths[key] is GroundTruth.HARMFUL
+    ]
+    return FigureSeries(
+        title="Figure 4: instances of Potentially-Harmful races that were Real-Harmful",
+        points=_points(suite, keys),
+    )
+
+
+def build_figure5(suite: SuiteAnalysis) -> FigureSeries:
+    """Instances per misclassified (Potentially-Harmful, Real-Benign) race."""
+    keys = [
+        key
+        for key, result in suite.results.items()
+        if result.classification is Classification.POTENTIALLY_HARMFUL
+        and suite.truths[key] is GroundTruth.BENIGN
+    ]
+    return FigureSeries(
+        title="Figure 5: instances of Potentially-Harmful races that were Real-Benign",
+        points=_points(suite, keys),
+    )

@@ -1,0 +1,240 @@
+"""Section 5.1 measurements: log sizes and pipeline-stage overheads.
+
+The paper reports, for an Internet Explorer browsing session:
+
+* recording overhead ~6x over native, replay ~10x,
+* off-line happens-before analysis ~45x,
+* replay-based classification ~280x,
+* log size ~0.8 bit/instruction raw, ~0.3 after zip.
+
+Absolute numbers are hardware-bound; what reproduces is the *ordering*
+(native < record < replay < detect < classify) and the log-size
+methodology.  All stages here run on the same mixed-service workload and
+are timed against the same native baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..race.classifier import RaceClassifier
+from ..race.happens_before import HappensBeforeDetector
+from ..record.compression import CompressionStats, compression_stats
+from ..record.recorder import record_run
+from ..replay.ordered_replay import OrderedReplay
+from ..vm.machine import Machine
+from ..vm.scheduler import RandomScheduler
+from ..workloads.base import Workload
+
+
+@dataclass
+class OverheadReport:
+    """Timings (seconds) and ratios for every pipeline stage."""
+
+    workload: str
+    instructions: int
+    native_seconds: float
+    record_seconds: float
+    replay_seconds: float
+    detect_seconds: float
+    classify_seconds: float
+    race_instances: int
+    log_stats: CompressionStats
+
+    def _ratio(self, seconds: float) -> float:
+        if self.native_seconds <= 0:
+            return 0.0
+        return seconds / self.native_seconds
+
+    @property
+    def record_overhead(self) -> float:
+        return self._ratio(self.record_seconds)
+
+    @property
+    def replay_overhead(self) -> float:
+        return self._ratio(self.replay_seconds)
+
+    @property
+    def detect_overhead(self) -> float:
+        """Replay + happens-before analysis, relative to native (paper: 45x)."""
+        return self._ratio(self.replay_seconds + self.detect_seconds)
+
+    @property
+    def classify_overhead(self) -> float:
+        """Full replay-analysis classification, relative to native (paper: 280x)."""
+        return self._ratio(
+            self.replay_seconds + self.detect_seconds + self.classify_seconds
+        )
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Section 5.1 analog measurements (%s, %d instructions):"
+                % (self.workload, self.instructions),
+                "  native execution        %8.4fs   1.0x" % self.native_seconds,
+                "  recording (iDNA analog) %8.4fs  %5.1fx  (paper: ~6x)"
+                % (self.record_seconds, self.record_overhead),
+                "  replay                  %8.4fs  %5.1fx  (paper: ~10x)"
+                % (self.replay_seconds, self.replay_overhead),
+                "  happens-before analysis %8.4fs  %5.1fx  (paper: ~45x)"
+                % (self.replay_seconds + self.detect_seconds, self.detect_overhead),
+                "  replay classification   %8.4fs  %5.1fx  (paper: ~280x)"
+                % (
+                    self.replay_seconds + self.detect_seconds + self.classify_seconds,
+                    self.classify_overhead,
+                ),
+                "  race instances analysed %8d" % self.race_instances,
+                "  log size: %.3f bits/instr raw, %.3f compressed (paper: 0.8 / 0.3)"
+                % (
+                    self.log_stats.raw_bits_per_instruction,
+                    self.log_stats.compressed_bits_per_instruction,
+                ),
+            ]
+        )
+
+
+@dataclass
+class LogScalingPoint:
+    """One execution length in the log-size scaling sweep."""
+
+    iterations: int
+    instructions: int
+    raw_bits_per_instruction: float
+    compressed_bits_per_instruction: float
+
+
+@dataclass
+class LogScalingReport:
+    """Log size vs execution length (the paper's 0.8 bit/instr is a *rate*).
+
+    The paper's corpus spanned 33 billion instructions at a roughly
+    constant per-instruction cost; this sweep verifies the recorder's
+    cost per instruction stays flat (or falls) as executions grow, i.e.
+    log size scales linearly with work done.
+    """
+
+    points: List["LogScalingPoint"]
+
+    @property
+    def max_rate(self) -> float:
+        return max(point.raw_bits_per_instruction for point in self.points)
+
+    @property
+    def min_rate(self) -> float:
+        return min(point.raw_bits_per_instruction for point in self.points)
+
+    def render(self) -> str:
+        lines = ["Log size scaling (bits/instruction vs execution length):"]
+        for point in self.points:
+            lines.append(
+                "  iters=%4d  %8d instr   raw %.3f   zipped %.3f"
+                % (
+                    point.iterations,
+                    point.instructions,
+                    point.raw_bits_per_instruction,
+                    point.compressed_bits_per_instruction,
+                )
+            )
+        return "\n".join(lines)
+
+
+def measure_log_scaling(
+    iterations=(10, 20, 40, 80), seed: int = 44, compute: int = 30
+) -> LogScalingReport:
+    """Record growing executions and report the per-instruction log cost."""
+    from ..workloads.generator import mixed_service
+
+    points: List[LogScalingPoint] = []
+    for iters in iterations:
+        workload = mixed_service(7, iters=iters, moniters=iters // 2, compute=compute)
+        _, log = record_run(
+            workload.program(),
+            scheduler=RandomScheduler(seed=seed, switch_probability=0.3),
+            seed=seed,
+        )
+        stats = compression_stats(log)
+        points.append(
+            LogScalingPoint(
+                iterations=iters,
+                instructions=log.total_instructions,
+                raw_bits_per_instruction=stats.raw_bits_per_instruction,
+                compressed_bits_per_instruction=stats.compressed_bits_per_instruction,
+            )
+        )
+    return LogScalingReport(points=points)
+
+
+def _time(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def measure_overheads(
+    workload: Workload,
+    seed: int = 44,
+    switch_probability: float = 0.3,
+    repeats: int = 3,
+    max_pairs_per_location: Optional[int] = 256,
+) -> OverheadReport:
+    """Time every pipeline stage on one workload.
+
+    ``repeats`` re-runs each stage and keeps the *minimum* time, the usual
+    way to suppress scheduler noise in micro-measurements.
+    """
+    program = workload.program()
+
+    def native() -> None:
+        Machine(
+            program,
+            scheduler=RandomScheduler(seed=seed, switch_probability=switch_probability),
+            seed=seed,
+        ).run()
+
+    native_seconds = min(_time(native)[1] for _ in range(repeats))
+
+    def record():
+        return record_run(
+            program,
+            scheduler=RandomScheduler(seed=seed, switch_probability=switch_probability),
+            seed=seed,
+        )
+
+    record_seconds = None
+    log = None
+    for _ in range(repeats):
+        (_, log), elapsed = _time(record)
+        record_seconds = elapsed if record_seconds is None else min(record_seconds, elapsed)
+
+    replay_seconds = None
+    ordered = None
+    for _ in range(repeats):
+        ordered, elapsed = _time(lambda: OrderedReplay(log, program))
+        replay_seconds = elapsed if replay_seconds is None else min(replay_seconds, elapsed)
+
+    detect_seconds = None
+    instances = None
+    for _ in range(repeats):
+        instances, elapsed = _time(
+            lambda: HappensBeforeDetector(
+                ordered, max_pairs_per_location=max_pairs_per_location
+            ).detect()
+        )
+        detect_seconds = elapsed if detect_seconds is None else min(detect_seconds, elapsed)
+
+    classifier = RaceClassifier(ordered)
+    classified, classify_seconds = _time(lambda: classifier.classify_all(instances))
+
+    return OverheadReport(
+        workload=workload.name,
+        instructions=log.total_instructions,
+        native_seconds=native_seconds,
+        record_seconds=record_seconds,
+        replay_seconds=replay_seconds,
+        detect_seconds=detect_seconds,
+        classify_seconds=classify_seconds,
+        race_instances=len(instances),
+        log_stats=compression_stats(log),
+    )

@@ -1,0 +1,160 @@
+"""End-to-end analysis pipeline: record → replay → detect → classify.
+
+One :func:`analyze_execution` call is the paper's full per-execution flow;
+:func:`analyze_suite` runs a whole corpus and merges per-static-race
+results across executions, attaching ground truth from the workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.program import Program
+from ..race.aggregate import StaticRaceResult, aggregate_instances
+from ..race.classifier import ClassifierConfig, RaceClassifier
+from ..race.happens_before import HappensBeforeDetector
+from ..race.heuristics import BenignCategory
+from ..race.model import RaceInstance, StaticRaceKey
+from ..race.outcomes import ClassifiedInstance
+from ..record.log import ReplayLog
+from ..record.recorder import record_run
+from ..replay.ordered_replay import OrderedReplay
+from ..vm.machine import MachineResult
+from ..vm.scheduler import RandomScheduler
+from ..workloads.base import GroundTruth, RaceExpectation, Workload
+from ..workloads.suite import Execution
+
+
+@dataclass
+class ExecutionAnalysis:
+    """Everything produced by analysing one recorded execution."""
+
+    execution_id: str
+    workload: Workload
+    machine_result: MachineResult
+    log: ReplayLog
+    ordered: OrderedReplay
+    instances: List[RaceInstance]
+    classified: List[ClassifiedInstance]
+
+    @property
+    def program(self) -> Program:
+        return self.ordered.program
+
+    @property
+    def instance_count(self) -> int:
+        return len(self.instances)
+
+
+@dataclass
+class SuiteAnalysis:
+    """Merged analysis of a whole corpus of executions."""
+
+    executions: List[ExecutionAnalysis]
+    results: Dict[StaticRaceKey, StaticRaceResult]
+    #: Ground truth per unique race (None when no expectation covers it).
+    truths: Dict[StaticRaceKey, Optional[GroundTruth]]
+    #: Ground-truth benign category per unique race.
+    categories: Dict[StaticRaceKey, Optional[BenignCategory]]
+    #: The workload each unique race was observed in.
+    workloads: Dict[StaticRaceKey, Workload]
+
+    @property
+    def total_instances(self) -> int:
+        return sum(analysis.instance_count for analysis in self.executions)
+
+    @property
+    def unique_race_count(self) -> int:
+        return len(self.results)
+
+    def program_for(self, key: StaticRaceKey) -> Program:
+        return self.workloads[key].program()
+
+
+def analyze_execution(
+    execution: Execution,
+    classifier_config: Optional[ClassifierConfig] = None,
+    max_pairs_per_location: Optional[int] = 256,
+    max_steps: int = 200_000,
+    capture_global_order: bool = True,
+) -> ExecutionAnalysis:
+    """Record and fully analyse one execution of a workload."""
+    workload = execution.workload
+    program = workload.program()
+    scheduler = RandomScheduler(
+        seed=execution.seed, switch_probability=execution.switch_probability
+    )
+    machine_result, log = record_run(
+        program,
+        scheduler=scheduler,
+        seed=execution.seed,
+        max_steps=max_steps,
+        capture_global_order=capture_global_order,
+    )
+    ordered = OrderedReplay(log, program)
+    detector = HappensBeforeDetector(
+        ordered, max_pairs_per_location=max_pairs_per_location
+    )
+    instances = detector.detect()
+    classifier = RaceClassifier(
+        ordered, config=classifier_config, execution_id=execution.execution_id
+    )
+    classified = classifier.classify_all(instances)
+    return ExecutionAnalysis(
+        execution_id=execution.execution_id,
+        workload=workload,
+        machine_result=machine_result,
+        log=log,
+        ordered=ordered,
+        instances=instances,
+        classified=classified,
+    )
+
+
+def _ground_truth_for(
+    result: StaticRaceResult, workload: Workload
+) -> Tuple[Optional[GroundTruth], Optional[BenignCategory]]:
+    expectation: Optional[RaceExpectation] = None
+    for entry in result.instances:
+        expectation = workload.expectation_for_address(entry.instance.address)
+        if expectation is not None:
+            break
+    if expectation is None:
+        return None, None
+    return expectation.truth, expectation.category
+
+
+def analyze_suite(
+    executions: Sequence[Execution],
+    classifier_config: Optional[ClassifierConfig] = None,
+    max_pairs_per_location: Optional[int] = 256,
+) -> SuiteAnalysis:
+    """Analyse a corpus and merge per-static-race results across executions."""
+    analyses: List[ExecutionAnalysis] = []
+    merged: Dict[StaticRaceKey, StaticRaceResult] = {}
+    race_workloads: Dict[StaticRaceKey, Workload] = {}
+    for execution in executions:
+        analysis = analyze_execution(
+            execution,
+            classifier_config=classifier_config,
+            max_pairs_per_location=max_pairs_per_location,
+        )
+        analyses.append(analysis)
+        aggregate_instances(analysis.classified, into=merged)
+        for entry in analysis.classified:
+            race_workloads.setdefault(entry.instance.static_key, analysis.workload)
+
+    truths: Dict[StaticRaceKey, Optional[GroundTruth]] = {}
+    categories: Dict[StaticRaceKey, Optional[BenignCategory]] = {}
+    for key, result in merged.items():
+        truth, category = _ground_truth_for(result, race_workloads[key])
+        truths[key] = truth
+        categories[key] = category
+    return SuiteAnalysis(
+        executions=analyses,
+        results=merged,
+        truths=truths,
+        categories=categories,
+        workloads=race_workloads,
+    )

@@ -1,0 +1,128 @@
+"""Corpus statistics: the §5.1-style bookkeeping around the headline tables.
+
+The paper frames its corpus with aggregate numbers — 18 executions,
+16,642 race instances collapsing to 68 unique races, 33 billion
+instructions — before presenting the classification.  This module computes
+the same framing for any suite analysis: per-execution breakdowns,
+instance-to-unique collapse ratios, and the outcome distribution over
+*instances* (not just unique races), all renderable for the CLI's
+``suite`` command and the results document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..race.outcomes import InstanceOutcome
+from .pipeline import ExecutionAnalysis, SuiteAnalysis
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate numbers for one recorded execution."""
+
+    execution_id: str
+    threads: int
+    instructions: int
+    sequencers: int
+    regions: int
+    race_instances: int
+    unique_races: int
+    faulted_threads: int
+
+    def render(self) -> str:
+        return (
+            "%-34s %2d thr %7d instr %5d seq %5d reg %6d inst %3d uniq%s"
+            % (
+                self.execution_id,
+                self.threads,
+                self.instructions,
+                self.sequencers,
+                self.regions,
+                self.race_instances,
+                self.unique_races,
+                "  [FAULTED]" if self.faulted_threads else "",
+            )
+        )
+
+
+@dataclass
+class CorpusStats:
+    """The whole corpus' framing numbers."""
+
+    executions: List[ExecutionStats]
+    total_instances: int
+    unique_races: int
+    instance_outcomes: Dict[InstanceOutcome, int] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(entry.instructions for entry in self.executions)
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Instances per unique race (paper: 16,642 / 68 ≈ 245)."""
+        if not self.unique_races:
+            return 0.0
+        return self.total_instances / self.unique_races
+
+    def render(self) -> str:
+        lines = [
+            "Corpus: %d executions, %d instructions, %d race instances, "
+            "%d unique races (%.1f instances/race; paper: 18 executions, "
+            "16,642 instances, 68 unique, ~245/race)"
+            % (
+                len(self.executions),
+                self.total_instructions,
+                self.total_instances,
+                self.unique_races,
+                self.collapse_ratio,
+            ),
+            "",
+            "Instance outcomes:",
+        ]
+        for outcome in InstanceOutcome:
+            count = self.instance_outcomes.get(outcome, 0)
+            share = 100.0 * count / self.total_instances if self.total_instances else 0
+            lines.append("  %-18s %6d  (%.0f%%)" % (outcome.value, count, share))
+        lines.append("")
+        lines.append("Per-execution breakdown:")
+        for entry in self.executions:
+            lines.append("  " + entry.render())
+        return "\n".join(lines)
+
+
+def execution_statistics(analysis: ExecutionAnalysis) -> ExecutionStats:
+    """Framing numbers for one analysed execution."""
+    regions = [
+        region
+        for thread_regions in analysis.ordered.regions.values()
+        for region in thread_regions
+    ]
+    return ExecutionStats(
+        execution_id=analysis.execution_id,
+        threads=len(analysis.log.threads),
+        instructions=analysis.log.total_instructions,
+        sequencers=sum(
+            len(thread.sequencers) for thread in analysis.log.threads.values()
+        ),
+        regions=len(regions),
+        race_instances=analysis.instance_count,
+        unique_races=len({entry.static_key for entry in analysis.instances}),
+        faulted_threads=len(analysis.machine_result.faulted_threads),
+    )
+
+
+def corpus_statistics(suite: SuiteAnalysis) -> CorpusStats:
+    """Framing numbers for a whole suite analysis."""
+    outcomes: Dict[InstanceOutcome, int] = {}
+    for result in suite.results.values():
+        for outcome in InstanceOutcome:
+            outcomes[outcome] = outcomes.get(outcome, 0) + result.outcome_count(outcome)
+    return CorpusStats(
+        executions=[execution_statistics(analysis) for analysis in suite.executions],
+        total_instances=suite.total_instances,
+        unique_races=suite.unique_race_count,
+        instance_outcomes=outcomes,
+    )

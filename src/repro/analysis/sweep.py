@@ -1,0 +1,133 @@
+"""Seed-coverage sweeps: the dynamic-analysis coverage trade-off.
+
+Section 2.1 of the paper concedes the core limitation of any dynamic
+approach: "the coverage will be lower than the static techniques" — a race
+is only found if some recorded execution exercises it.  The mitigation is
+recording *more scenarios*.  This module quantifies that curve for our
+corpus: how many unique races (and how many of the harmful ones) have been
+discovered after recording a workload under its first N seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..race.happens_before import HappensBeforeDetector
+from ..race.model import StaticRaceKey
+from ..record.recorder import record_run
+from ..replay.ordered_replay import OrderedReplay
+from ..vm.scheduler import RandomScheduler
+from ..workloads.base import GroundTruth, Workload
+
+
+@dataclass
+class SeedCoveragePoint:
+    """Discovery state after recording one more seed."""
+
+    seed: int
+    seeds_used: int
+    new_races: int
+    unique_races: int
+    harmful_races: int
+
+    def __str__(self) -> str:
+        return "seed %4d (#%d): +%d new, %d unique (%d harmful)" % (
+            self.seed,
+            self.seeds_used,
+            self.new_races,
+            self.unique_races,
+            self.harmful_races,
+        )
+
+
+@dataclass
+class SeedSweep:
+    """The full coverage curve for one workload."""
+
+    workload_name: str
+    points: List[SeedCoveragePoint]
+    races_by_seed_count: Dict[int, Set[StaticRaceKey]] = field(default_factory=dict)
+
+    @property
+    def total_unique(self) -> int:
+        return self.points[-1].unique_races if self.points else 0
+
+    @property
+    def seeds_to_saturation(self) -> int:
+        """How many seeds until the final unique count was first reached."""
+        final = self.total_unique
+        for point in self.points:
+            if point.unique_races == final:
+                return point.seeds_used
+        return len(self.points)
+
+    def render(self) -> str:
+        lines = [
+            "Race coverage vs recorded seeds for %s:" % self.workload_name,
+        ]
+        for point in self.points:
+            bar = "#" * point.unique_races
+            lines.append("  %s %s" % (point, bar))
+        lines.append(
+            "  -> %d unique race(s); saturated after %d seed(s)"
+            % (self.total_unique, self.seeds_to_saturation)
+        )
+        return "\n".join(lines)
+
+
+def seed_coverage(
+    workload: Workload,
+    seeds: Sequence[int],
+    switch_probability: float = 0.3,
+    max_pairs_per_location: Optional[int] = 256,
+) -> SeedSweep:
+    """Record ``workload`` under each seed and accumulate discovered races.
+
+    Detection only (no classification) — the question is *coverage*, and
+    detection is what coverage gates.
+    """
+    discovered: Set[StaticRaceKey] = set()
+    points: List[SeedCoveragePoint] = []
+    sweep = SeedSweep(workload_name=workload.name, points=points)
+    for position, seed in enumerate(seeds, start=1):
+        program = workload.program()
+        _, log = record_run(
+            program,
+            scheduler=RandomScheduler(seed=seed, switch_probability=switch_probability),
+            seed=seed,
+        )
+        ordered = OrderedReplay(log, program)
+        detector = HappensBeforeDetector(
+            ordered, max_pairs_per_location=max_pairs_per_location
+        )
+        keys = {instance.static_key for instance in detector.detect()}
+        new_keys = keys - discovered
+        discovered |= keys
+        harmful = sum(
+            1
+            for key in discovered
+            if _is_harmful(workload, key, ordered)
+        )
+        points.append(
+            SeedCoveragePoint(
+                seed=seed,
+                seeds_used=position,
+                new_races=len(new_keys),
+                unique_races=len(discovered),
+                harmful_races=harmful,
+            )
+        )
+        sweep.races_by_seed_count[position] = set(discovered)
+    return sweep
+
+
+def _is_harmful(workload: Workload, key: StaticRaceKey, ordered) -> bool:
+    """Ground-truth harmfulness of a race key (best effort by address)."""
+    for name, replay in ordered.thread_replays.items():
+        for access in replay.accesses:
+            if access.static_id in key:
+                truth = workload.ground_truth_for_address(access.address)
+                if truth is not None:
+                    return truth is GroundTruth.HARMFUL
+    return False

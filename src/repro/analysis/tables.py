@@ -1,0 +1,243 @@
+"""Assemble the paper's Table 1 and Table 2 from a suite analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..race.heuristics import BenignCategory, categorize
+from ..race.outcomes import Classification, InstanceOutcome
+from ..workloads.base import GroundTruth
+from .pipeline import SuiteAnalysis
+
+_GROUP_LABELS = {
+    InstanceOutcome.NO_STATE_CHANGE: "No State Change",
+    InstanceOutcome.STATE_CHANGE: "State Change",
+    InstanceOutcome.REPLAY_FAILURE: "Replay Failure",
+}
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1: a replay-analysis outcome group."""
+
+    group: InstanceOutcome
+    benign_real_benign: int = 0
+    benign_real_harmful: int = 0
+    harmful_real_benign: int = 0
+    harmful_real_harmful: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.benign_real_benign
+            + self.benign_real_harmful
+            + self.harmful_real_benign
+            + self.harmful_real_harmful
+        )
+
+
+@dataclass
+class Table1:
+    """The paper's Table 1: automatic classification vs manual triage."""
+
+    rows: Dict[InstanceOutcome, Table1Row]
+    unlabeled: int = 0
+
+    @property
+    def total_races(self) -> int:
+        return sum(row.total for row in self.rows.values()) + self.unlabeled
+
+    @property
+    def potentially_benign(self) -> int:
+        row = self.rows[InstanceOutcome.NO_STATE_CHANGE]
+        return row.total
+
+    @property
+    def potentially_harmful(self) -> int:
+        return (
+            self.rows[InstanceOutcome.STATE_CHANGE].total
+            + self.rows[InstanceOutcome.REPLAY_FAILURE].total
+        )
+
+    @property
+    def harmful_filtered_out(self) -> int:
+        """Real-harmful races wrongly filtered as potentially benign.
+
+        The paper's headline safety property is that this is zero."""
+        row = self.rows[InstanceOutcome.NO_STATE_CHANGE]
+        return row.benign_real_harmful
+
+    @property
+    def benign_filter_rate(self) -> float:
+        """Fraction of real-benign races auto-filtered (paper: 'over half')."""
+        benign_total = sum(
+            row.benign_real_benign + row.harmful_real_benign
+            for row in self.rows.values()
+        )
+        if not benign_total:
+            return 0.0
+        return self.rows[InstanceOutcome.NO_STATE_CHANGE].benign_real_benign / benign_total
+
+    @property
+    def harmful_precision(self) -> float:
+        """Fraction of potentially-harmful races that are really harmful
+        (the paper reports 20% of the 53%)."""
+        flagged = self.potentially_harmful
+        if not flagged:
+            return 0.0
+        real = sum(
+            row.harmful_real_harmful
+            for group, row in self.rows.items()
+            if group is not InstanceOutcome.NO_STATE_CHANGE
+        )
+        return real / flagged
+
+    def render(self) -> str:
+        header = (
+            "%-18s | %-28s | %-28s | %s"
+            % ("", "Potentially Benign", "Potentially Harmful", "Total")
+        )
+        subheader = "%-18s | %-13s %-14s | %-13s %-14s |" % (
+            "",
+            "Real Benign",
+            "Real Harmful",
+            "Real Benign",
+            "Real Harmful",
+        )
+        lines = [header, subheader, "-" * len(subheader)]
+        totals = [0, 0, 0, 0, 0]
+        for group in (
+            InstanceOutcome.NO_STATE_CHANGE,
+            InstanceOutcome.STATE_CHANGE,
+            InstanceOutcome.REPLAY_FAILURE,
+        ):
+            row = self.rows[group]
+            cells = [
+                row.benign_real_benign,
+                row.benign_real_harmful,
+                row.harmful_real_benign,
+                row.harmful_real_harmful,
+            ]
+
+            def show(value: int, active: bool) -> str:
+                return str(value) if active else "-"
+
+            benign_side = group is InstanceOutcome.NO_STATE_CHANGE
+            lines.append(
+                "%-18s | %-13s %-14s | %-13s %-14s | %d"
+                % (
+                    _GROUP_LABELS[group],
+                    show(cells[0], benign_side),
+                    show(cells[1], benign_side),
+                    show(cells[2], not benign_side),
+                    show(cells[3], not benign_side),
+                    row.total,
+                )
+            )
+            for position, value in enumerate(cells):
+                totals[position] += value
+            totals[4] += row.total
+        lines.append("-" * len(subheader))
+        lines.append(
+            "%-18s | %-13d %-14d | %-13d %-14d | %d"
+            % ("Total", totals[0], totals[1], totals[2], totals[3], totals[4])
+        )
+        if self.unlabeled:
+            lines.append("(unlabeled races: %d)" % self.unlabeled)
+        return "\n".join(lines)
+
+
+def build_table1(suite: SuiteAnalysis) -> Table1:
+    """Compute Table 1 from a suite analysis."""
+    rows = {
+        group: Table1Row(group=group)
+        for group in (
+            InstanceOutcome.NO_STATE_CHANGE,
+            InstanceOutcome.STATE_CHANGE,
+            InstanceOutcome.REPLAY_FAILURE,
+        )
+    }
+    unlabeled = 0
+    for key, result in suite.results.items():
+        truth = suite.truths[key]
+        if truth is None:
+            unlabeled += 1
+            continue
+        row = rows[result.group]
+        benign_side = result.classification is Classification.POTENTIALLY_BENIGN
+        if benign_side and truth is GroundTruth.BENIGN:
+            row.benign_real_benign += 1
+        elif benign_side:
+            row.benign_real_harmful += 1
+        elif truth is GroundTruth.BENIGN:
+            row.harmful_real_benign += 1
+        else:
+            row.harmful_real_harmful += 1
+    return Table1(rows=rows, unlabeled=unlabeled)
+
+
+@dataclass
+class Table2:
+    """The paper's Table 2: benign races by reason category.
+
+    ``ground_truth`` counts use the workloads' declared categories (the
+    paper's manual column); ``heuristic`` counts use the automatic
+    categorizer of :mod:`repro.race.heuristics` — an extension the paper
+    did not have.
+    """
+
+    ground_truth: Dict[BenignCategory, int] = field(default_factory=dict)
+    heuristic: Dict[BenignCategory, int] = field(default_factory=dict)
+    heuristic_agreement: float = 0.0
+
+    def render(self) -> str:
+        lines = [
+            "%-36s | %-8s | %s" % ("Benign reason", "# Races", "heuristic #"),
+            "-" * 62,
+        ]
+        for category in BenignCategory:
+            lines.append(
+                "%-36s | %-8d | %d"
+                % (
+                    category.value,
+                    self.ground_truth.get(category, 0),
+                    self.heuristic.get(category, 0),
+                )
+            )
+        lines.append("-" * 62)
+        lines.append(
+            "%-36s | %-8d | %d  (agreement %.0f%%)"
+            % (
+                "Total",
+                sum(self.ground_truth.values()),
+                sum(self.heuristic.values()),
+                100.0 * self.heuristic_agreement,
+            )
+        )
+        return "\n".join(lines)
+
+
+def build_table2(suite: SuiteAnalysis) -> Table2:
+    """Compute Table 2 (benign-reason categories) from a suite analysis."""
+    ground_truth: Dict[BenignCategory, int] = {}
+    heuristic: Dict[BenignCategory, int] = {}
+    agreements = 0
+    benign_count = 0
+    for key, result in suite.results.items():
+        if suite.truths[key] is not GroundTruth.BENIGN:
+            continue
+        benign_count += 1
+        declared = suite.categories[key]
+        if declared is not None:
+            ground_truth[declared] = ground_truth.get(declared, 0) + 1
+        suggested = categorize(result, suite.program_for(key))
+        if suggested is not None:
+            heuristic[suggested] = heuristic.get(suggested, 0) + 1
+        if declared is not None and suggested is declared:
+            agreements += 1
+    return Table2(
+        ground_truth=ground_truth,
+        heuristic=heuristic,
+        heuristic_agreement=(agreements / benign_count) if benign_count else 0.0,
+    )

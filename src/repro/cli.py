@@ -1,0 +1,420 @@
+"""Command-line interface: the tool a developer would actually run.
+
+Mirrors the paper's usage model as subcommands::
+
+    python -m repro record  prog.asm -o run.replay.json --seed 7
+    python -m repro replay  run.replay.json
+    python -m repro detect  run.replay.json
+    python -m repro classify run.replay.json --suppressions triage.json
+    python -m repro mark-benign run.replay.json --race 'blk:3|blk:5' ...
+    python -m repro suite                       # the paper-suite tables
+    python -m repro experiment table1           # one experiment by id
+
+``record`` runs an assembly program under a seeded scheduler and writes a
+self-contained replay log.  ``classify`` is the full offline analysis:
+happens-before detection plus the replay-both-orders classification, with
+a prioritized triage report on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.experiments import (
+    EXPERIMENTS,
+    run_ablation_continue,
+    run_ablation_detectors,
+    run_ablation_instances,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_sec51,
+    run_suite,
+    run_table1,
+    run_table2,
+)
+from .isa.assembler import assemble
+from .race.classifier import ClassifierConfig, RaceClassifier
+from .race.happens_before import find_races
+from .race.suppression import SuppressionDB
+from .record.compression import compression_stats
+from .record.metrics import log_metrics
+from .record.recorder import record_run
+from .record.serialization import load_log, save_log
+from .replay.ordered_replay import OrderedReplay
+from .vm.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replay-based data race classification (PLDI 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="run a program under recording")
+    record.add_argument("program", type=Path, help="assembly source file")
+    record.add_argument("-o", "--output", type=Path, help="replay log destination")
+    record.add_argument("--seed", type=int, default=0, help="scheduler/RNG seed")
+    record.add_argument(
+        "--scheduler",
+        choices=("random", "round-robin"),
+        default="random",
+        help="scheduling policy for the recorded run",
+    )
+    record.add_argument(
+        "--switch-probability",
+        type=float,
+        default=0.3,
+        help="preemption probability for the random scheduler",
+    )
+
+    replay = sub.add_parser("replay", help="replay a log and verify it")
+    replay.add_argument("log", type=Path, help="replay log file")
+
+    detect = sub.add_parser("detect", help="happens-before race detection")
+    detect.add_argument("log", type=Path, help="replay log file")
+
+    classify = sub.add_parser(
+        "classify", help="detect + classify races, print the triage report"
+    )
+    classify.add_argument("log", type=Path, help="replay log file")
+    classify.add_argument(
+        "--suppressions", type=Path, help="suppression database (JSON)"
+    )
+    classify.add_argument(
+        "--database",
+        type=Path,
+        help="persistent race database to accumulate into (JSON)",
+    )
+    classify.add_argument(
+        "--continue-through-control-flow",
+        action="store_true",
+        help="enable the paper's §4.2.1 replay-continuation extension",
+    )
+    classify.add_argument(
+        "--json",
+        type=Path,
+        dest="json_output",
+        help="also write machine-readable results to this file",
+    )
+
+    validate = sub.add_parser("validate", help="check a replay log's invariants")
+    validate.add_argument("log", type=Path, help="replay log file")
+    validate.add_argument(
+        "--strict", action="store_true", help="exit non-zero on any issue"
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="time-travel: show a thread's state around a step"
+    )
+    inspect.add_argument("log", type=Path, help="replay log file")
+    inspect.add_argument("--thread", required=True, help="thread name")
+    inspect.add_argument("--step", type=int, default=0, help="first step to show")
+    inspect.add_argument("--count", type=int, default=10, help="steps to show")
+
+    mark = sub.add_parser(
+        "mark-benign", help="record a developer's benign verdict for a race"
+    )
+    mark.add_argument("log", type=Path, help="replay log file (for the program name)")
+    mark.add_argument(
+        "--race", required=True, help="static race key, e.g. 'blk:3|blk:5'"
+    )
+    mark.add_argument("--reason", default="", help="why the race is benign")
+    mark.add_argument("--by", default="", help="who triaged it")
+    mark.add_argument(
+        "--suppressions",
+        type=Path,
+        required=True,
+        help="suppression database to update (JSON, created if missing)",
+    )
+
+    sub.add_parser("suite", help="analyse the paper suite and print Table 1/2")
+
+    report = sub.add_parser(
+        "report", help="write the full reproduction results document"
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("RESULTS.md"),
+        help="markdown destination (default RESULTS.md)",
+    )
+    report.add_argument(
+        "--skip-overheads",
+        action="store_true",
+        help="omit the timing-sensitive Section 5.1 measurements",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="diff two exported result files (CI drift gate)"
+    )
+    compare.add_argument("baseline", type=Path, help="baseline results JSON")
+    compare.add_argument("current", type=Path, help="current results JSON")
+    compare.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when new potentially-harmful races appear",
+    )
+
+    experiment = sub.add_parser("experiment", help="run one experiment by id")
+    experiment.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENTS), help="experiment to run"
+    )
+
+    return parser
+
+
+def _make_scheduler(args):
+    if args.scheduler == "round-robin":
+        return RoundRobinScheduler()
+    return RandomScheduler(seed=args.seed, switch_probability=args.switch_probability)
+
+
+def _cmd_record(args, out) -> int:
+    source = args.program.read_text()
+    program = assemble(source, name=args.program.stem)
+    result, log = record_run(
+        program, scheduler=_make_scheduler(args), seed=args.seed
+    )
+    destination = args.output or args.program.with_suffix(".replay.json")
+    save_log(log, destination)
+    stats = compression_stats(log)
+    print(result.summary(), file=out)
+    print(
+        "recorded %d instructions (%.2f bits/instr raw, %.2f compressed) -> %s"
+        % (
+            log.total_instructions,
+            stats.raw_bits_per_instruction,
+            stats.compressed_bits_per_instruction,
+            destination,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_replay(args, out) -> int:
+    log = load_log(args.log)
+    ordered = OrderedReplay(log)
+    metrics = log_metrics(log)
+    print("replayed %s: %s" % (log.program_name, metrics.describe()), file=out)
+    for name, replay in ordered.thread_replays.items():
+        print("  thread %-16s %d steps replayed" % (name, replay.steps), file=out)
+    output = ordered.output()
+    if output:
+        print("  output: %r" % output, file=out)
+    return 0
+
+
+def _cmd_detect(args, out) -> int:
+    log = load_log(args.log)
+    ordered = OrderedReplay(log)
+    instances = find_races(ordered)
+    unique = {instance.static_key for instance in instances}
+    print(
+        "%d race instance(s), %d unique static race(s)"
+        % (len(instances), len(unique)),
+        file=out,
+    )
+    for key in sorted(unique, key=lambda key: (str(key[0]), str(key[1]))):
+        print(
+            "  %s  <->  %s"
+            % (
+                ordered.program.describe_instruction(key[0]),
+                ordered.program.describe_instruction(key[1]),
+            ),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_classify(args, out) -> int:
+    from .race.database import RaceDatabase
+    from .race.triage import TriageSession
+
+    log = load_log(args.log)
+    ordered = OrderedReplay(log)
+    instances = find_races(ordered)
+    config = ClassifierConfig(
+        allow_unrecorded_control_flow=args.continue_through_control_flow
+    )
+    classifier = RaceClassifier(ordered, config=config, execution_id=str(args.log))
+    classified = classifier.classify_all(instances)
+
+    suppressions = (
+        SuppressionDB.load(args.suppressions)
+        if args.suppressions and args.suppressions.exists()
+        else SuppressionDB()
+    )
+    database = (
+        RaceDatabase.load(args.database)
+        if args.database and args.database.exists()
+        else RaceDatabase()
+    )
+    session = TriageSession(suppressions=suppressions, database=database)
+    outcome = session.process(ordered.program, log, classified)
+    print(outcome.render(), file=out)
+    if args.database:
+        database.save(args.database)
+        print("race database updated: %s" % args.database, file=out)
+    if args.json_output:
+        from .race.exporter import export_results
+
+        export_results(
+            args.json_output,
+            outcome.results,
+            ordered.program,
+            log=log,
+            suppressions=suppressions,
+        )
+        print("machine-readable results: %s" % args.json_output, file=out)
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    from .record.validation import validate_log
+
+    log = load_log(args.log)
+    issues = validate_log(log)
+    if not issues:
+        print("%s: OK (%d threads, %d instructions)"
+              % (args.log, len(log.threads), log.total_instructions), file=out)
+        return 0
+    for issue in issues:
+        print("  - %s" % issue, file=out)
+    print("%s: %d issue(s)" % (args.log, len(issues)), file=out)
+    return 1 if args.strict else 0
+
+
+def _cmd_inspect(args, out) -> int:
+    from .replay.inspector import TimeTravelInspector
+
+    log = load_log(args.log)
+    ordered = OrderedReplay(log)
+    if args.thread not in ordered.thread_replays:
+        print(
+            "no thread %r (have: %s)"
+            % (args.thread, ", ".join(sorted(ordered.thread_replays))),
+            file=out,
+        )
+        return 1
+    inspector = TimeTravelInspector(ordered)
+    for view in inspector.walk(args.thread, start=args.step, count=args.count):
+        print(view.describe(), file=out)
+    return 0
+
+
+def _parse_race_key(text: str):
+    from .isa.program import StaticInstructionId
+
+    first_text, second_text = text.split("|")
+
+    def parse(one: str) -> StaticInstructionId:
+        block, _, index = one.rpartition(":")
+        return StaticInstructionId(block=block, index=int(index))
+
+    return (parse(first_text), parse(second_text))
+
+
+def _cmd_mark_benign(args, out) -> int:
+    log = load_log(args.log)
+    database = (
+        SuppressionDB.load(args.suppressions)
+        if args.suppressions.exists()
+        else SuppressionDB()
+    )
+    key = _parse_race_key(args.race)
+    database.mark_benign(log.program_name, key, reason=args.reason, triaged_by=args.by)
+    database.save(args.suppressions)
+    print(
+        "marked %s benign for program %s (%d suppression(s) total)"
+        % (args.race, log.program_name, len(database)),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    from .analysis.report_writer import write_report
+
+    write_report(args.output, include_overheads=not args.skip_overheads)
+    print("wrote %s" % args.output, file=out)
+    return 0
+
+
+def _cmd_suite(args, out) -> int:
+    from .analysis.statistics import corpus_statistics
+
+    suite = run_suite()
+    print(corpus_statistics(suite).render(), file=out)
+    print("", file=out)
+    print(run_table1(suite).render(), file=out)
+    print("", file=out)
+    print(run_table2(suite).render(), file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from .analysis.compare import compare_files
+
+    report = compare_files(args.baseline, args.current)
+    print(report.render(), file=out)
+    if args.gate and report.new_harmful:
+        return 1
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    experiment_id = args.experiment_id
+    if experiment_id == "table1":
+        print(run_table1().render(), file=out)
+    elif experiment_id == "table2":
+        print(run_table2().render(), file=out)
+    elif experiment_id == "figure3":
+        print(run_figure3().render(), file=out)
+    elif experiment_id == "figure4":
+        print(run_figure4().render(), file=out)
+    elif experiment_id == "figure5":
+        print(run_figure5().render(), file=out)
+    elif experiment_id == "sec51":
+        print(run_sec51().render(), file=out)
+    elif experiment_id == "ablation_detectors":
+        print(run_ablation_detectors().render(), file=out)
+    elif experiment_id == "ablation_continue":
+        print(run_ablation_continue().render(), file=out)
+    elif experiment_id == "ablation_instances":
+        print(run_ablation_instances().render(), file=out)
+    else:  # pragma: no cover - argparse choices gate this
+        raise ValueError(experiment_id)
+    return 0
+
+
+_COMMANDS = {
+    "record": _cmd_record,
+    "replay": _cmd_replay,
+    "detect": _cmd_detect,
+    "classify": _cmd_classify,
+    "validate": _cmd_validate,
+    "inspect": _cmd_inspect,
+    "mark-benign": _cmd_mark_benign,
+    "suite": _cmd_suite,
+    "report": _cmd_report,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Mini instruction-set architecture: the substrate the recorder traces.
+
+Public surface:
+
+* :func:`assemble` — text to :class:`Program`
+* :func:`disassemble` — :class:`Program` back to text
+* the operand/instruction/program data model
+"""
+
+from .assembler import Assembler, assemble
+from .disassembler import disassemble, disassemble_block, disassemble_instruction
+from .errors import (
+    AssemblyError,
+    DuplicateSymbolError,
+    IsaError,
+    OperandError,
+    ProgramValidationError,
+    UndefinedSymbolError,
+    UnknownOpcodeError,
+)
+from .instructions import OPCODES, Instruction, OpSpec
+from .operands import (
+    Imm,
+    Mem,
+    NUM_REGISTERS,
+    Operand,
+    Reg,
+    WORD_MASK,
+    to_signed,
+    to_unsigned,
+)
+from .program import (
+    DATA_BASE,
+    HEAP_BASE,
+    CodeBlock,
+    DataItem,
+    Program,
+    StaticInstructionId,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "disassemble_block",
+    "disassemble_instruction",
+    "AssemblyError",
+    "DuplicateSymbolError",
+    "IsaError",
+    "OperandError",
+    "ProgramValidationError",
+    "UndefinedSymbolError",
+    "UnknownOpcodeError",
+    "OPCODES",
+    "Instruction",
+    "OpSpec",
+    "Imm",
+    "Mem",
+    "NUM_REGISTERS",
+    "Operand",
+    "Reg",
+    "WORD_MASK",
+    "to_signed",
+    "to_unsigned",
+    "DATA_BASE",
+    "HEAP_BASE",
+    "CodeBlock",
+    "DataItem",
+    "Program",
+    "StaticInstructionId",
+]

@@ -1,0 +1,410 @@
+"""Two-pass assembler for the mini-ISA.
+
+Source grammar (line oriented; ``;`` and ``#`` start comments)::
+
+    .equ RETRIES, 3              ; named constant
+    .data                        ; data segment
+    counter:  .word 0            ; one initialised word
+    table:    .word 1, 2, 3      ; several words
+    buf:      .space 8           ; eight zero words
+    .thread main                 ; code block run by thread "main"
+    .thread worker1 worker2      ; one block shared by two threads
+        li   r1, RETRIES
+    loop:
+        subi r1, r1, 1
+        bnez r1, loop
+        .intent approximate      ; developer-intent tag on next instruction
+        store r2, [counter]
+        halt
+
+Operand forms:
+
+* registers ``r0`` .. ``r15``
+* immediates: decimal, ``0x`` hex, negative; ``.equ`` names; a bare data
+  symbol used as an immediate yields its *address* (take-address-of)
+* memory: ``[r2]``, ``[r2+8]``, ``[r2-8]``, ``[counter]``, ``[counter+4]``,
+  ``[0x1000]``
+* labels: branch targets, resolved within the enclosing block
+
+Data symbols are resolved file-wide (forward references allowed); code
+labels resolve within their block.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import (
+    AssemblyError,
+    DuplicateSymbolError,
+    OperandError,
+    UndefinedSymbolError,
+    UnknownOpcodeError,
+)
+from .instructions import OPCODES, Instruction, L
+from .operands import Imm, Mem, NUM_REGISTERS, Operand, Reg
+from .program import DATA_BASE, CodeBlock, DataItem, Program, StaticInstructionId
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):(.*)$")
+_REGISTER_RE = re.compile(r"^r(\d+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_RE = re.compile(r"^\[([^\]]+)\]$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas that are not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [part for part in parts if part]
+
+
+@dataclass
+class _PendingInstruction:
+    opcode: str
+    operand_texts: List[str]
+    line: int
+    text: str
+    intent: Optional[str] = None
+
+
+@dataclass
+class _PendingBlock:
+    name: str
+    thread_names: List[str]
+    instructions: List[_PendingInstruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+
+class Assembler:
+    """Assembles source text into a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self) -> None:
+        self._constants: Dict[str, int] = {}
+        self._data: Dict[str, DataItem] = {}
+        self._next_data_address = DATA_BASE
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` into a named :class:`Program`.
+
+        Raises :class:`AssemblyError` subclasses with line numbers on any
+        syntactic or semantic problem.
+        """
+        lines = source.splitlines()
+        self._collect_data_and_constants(lines)
+        blocks = self._collect_blocks(lines)
+        if not blocks:
+            raise AssemblyError("no .thread blocks defined")
+
+        program_blocks: Dict[str, CodeBlock] = {}
+        threads: Dict[str, str] = {}
+        intents: Dict[StaticInstructionId, str] = {}
+        for pending in blocks:
+            instructions = tuple(
+                self._resolve(entry, pending) for entry in pending.instructions
+            )
+            block = CodeBlock(pending.name, instructions, dict(pending.labels))
+            program_blocks[pending.name] = block
+            for thread_name in pending.thread_names:
+                if thread_name in threads:
+                    raise DuplicateSymbolError(
+                        "thread %r defined twice" % thread_name
+                    )
+                threads[thread_name] = pending.name
+            for index, entry in enumerate(pending.instructions):
+                if entry.intent is not None:
+                    intents[StaticInstructionId(pending.name, index)] = entry.intent
+
+        return Program(
+            name=name,
+            blocks=program_blocks,
+            threads=threads,
+            data=dict(self._data),
+            intents=intents,
+            source=source,
+        )
+
+    # ------------------------------------------------------------------
+    # Pass 1: data segment and constants (file-wide, forward-referencable).
+    # ------------------------------------------------------------------
+
+    def _collect_data_and_constants(self, lines: List[str]) -> None:
+        in_data = False
+        for line_number, raw in enumerate(lines, start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            if line.startswith(".equ"):
+                self._parse_equ(line, line_number)
+                continue
+            if line.startswith(".data"):
+                in_data = True
+                continue
+            if line.startswith(".thread"):
+                in_data = False
+                continue
+            if in_data:
+                self._parse_data_line(line, line_number)
+
+    def _parse_equ(self, line: str, line_number: int) -> None:
+        body = line[len(".equ"):].strip()
+        parts = _split_operands(body)
+        if len(parts) != 2:
+            raise AssemblyError(".equ expects NAME, VALUE", line_number)
+        name, value_text = parts
+        if not _IDENT_RE.match(name):
+            raise AssemblyError(".equ name %r is not an identifier" % name, line_number)
+        if name in self._constants:
+            raise DuplicateSymbolError(".equ %r defined twice" % name, line_number)
+        self._constants[name] = self._parse_integer(value_text, line_number)
+
+    def _parse_data_line(self, line: str, line_number: int) -> None:
+        match = _LABEL_RE.match(line)
+        if not match:
+            raise AssemblyError("data line must be 'name: .word ...' or 'name: .space N'", line_number)
+        name, rest = match.group(1), match.group(2).strip()
+        if name in self._data:
+            raise DuplicateSymbolError("data symbol %r defined twice" % name, line_number)
+        if rest.startswith(".word"):
+            value_texts = _split_operands(rest[len(".word"):].strip())
+            if not value_texts:
+                raise AssemblyError(".word needs at least one value", line_number)
+            values = tuple(self._parse_integer(text, line_number) for text in value_texts)
+        elif rest.startswith(".space"):
+            count = self._parse_integer(rest[len(".space"):].strip(), line_number)
+            if count <= 0:
+                raise AssemblyError(".space size must be positive", line_number)
+            values = (0,) * count
+        else:
+            raise AssemblyError("unknown data directive in %r" % rest, line_number)
+        item = DataItem(name=name, address=self._next_data_address, values=values)
+        self._data[name] = item
+        self._next_data_address += item.size
+
+    # ------------------------------------------------------------------
+    # Pass 2: code blocks.
+    # ------------------------------------------------------------------
+
+    def _collect_blocks(self, lines: List[str]) -> List[_PendingBlock]:
+        blocks: List[_PendingBlock] = []
+        block_names: Dict[str, int] = {}
+        current: Optional[_PendingBlock] = None
+        pending_intent: Optional[str] = None
+        in_data = False
+        for line_number, raw in enumerate(lines, start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            if line.startswith(".equ"):
+                continue
+            if line.startswith(".data"):
+                in_data = True
+                current = None
+                continue
+            if line.startswith(".thread"):
+                in_data = False
+                thread_names = line[len(".thread"):].split()
+                if not thread_names:
+                    raise AssemblyError(".thread needs at least one thread name", line_number)
+                for thread_name in thread_names:
+                    if not _IDENT_RE.match(thread_name):
+                        raise AssemblyError(
+                            "thread name %r is not an identifier" % thread_name,
+                            line_number,
+                        )
+                block_name = thread_names[0]
+                if block_name in block_names:
+                    raise DuplicateSymbolError(
+                        "code block %r defined twice" % block_name, line_number
+                    )
+                block_names[block_name] = line_number
+                current = _PendingBlock(name=block_name, thread_names=thread_names)
+                blocks.append(current)
+                pending_intent = None
+                continue
+            if in_data:
+                continue
+            if current is None:
+                raise AssemblyError(
+                    "instruction outside of a .thread block: %r" % line, line_number
+                )
+            if line.startswith(".intent"):
+                tag = line[len(".intent"):].strip().strip('"')
+                if not tag:
+                    raise AssemblyError(".intent needs a tag", line_number)
+                pending_intent = tag
+                continue
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match or _MEM_RE.match(line):
+                    break
+                label, line = match.group(1), match.group(2).strip()
+                if label in current.labels:
+                    raise DuplicateSymbolError(
+                        "label %r defined twice in block %r" % (label, current.name),
+                        line_number,
+                    )
+                current.labels[label] = len(current.instructions)
+                if not line:
+                    break
+            if not line:
+                continue
+            entry = self._parse_instruction_line(line, line_number)
+            entry.intent = pending_intent
+            pending_intent = None
+            current.instructions.append(entry)
+        for block in blocks:
+            if not block.instructions:
+                raise AssemblyError(
+                    "block %r contains no instructions" % block.name,
+                    block_names[block.name],
+                )
+            for label, index in block.labels.items():
+                if index >= len(block.instructions):
+                    raise AssemblyError(
+                        "label %r points past the end of block %r" % (label, block.name)
+                    )
+        return blocks
+
+    def _parse_instruction_line(self, line: str, line_number: int) -> _PendingInstruction:
+        parts = line.split(None, 1)
+        opcode = parts[0].lower()
+        if opcode not in OPCODES:
+            raise UnknownOpcodeError("unknown opcode %r" % opcode, line_number)
+        operand_texts = _split_operands(parts[1]) if len(parts) > 1 else []
+        return _PendingInstruction(opcode, operand_texts, line_number, line)
+
+    # ------------------------------------------------------------------
+    # Operand resolution.
+    # ------------------------------------------------------------------
+
+    def _resolve(self, entry: _PendingInstruction, block: _PendingBlock) -> Instruction:
+        spec = OPCODES[entry.opcode]
+        if len(entry.operand_texts) != len(spec.signature):
+            raise OperandError(
+                "%s expects %d operand(s), got %d"
+                % (spec.name, len(spec.signature), len(entry.operand_texts)),
+                entry.line,
+            )
+        operands: List[Operand] = []
+        for atom, text in zip(spec.signature, entry.operand_texts):
+            operands.append(self._resolve_operand(atom, text, entry.line, block))
+        return Instruction(
+            opcode=entry.opcode,
+            operands=tuple(operands),
+            source_line=entry.line,
+            source_text=entry.text,
+        )
+
+    def _resolve_operand(
+        self, atom: str, text: str, line_number: int, block: _PendingBlock
+    ) -> Operand:
+        if atom == "reg":
+            return self._parse_register(text, line_number)
+        if atom == "imm":
+            return Imm(self._parse_immediate(text, line_number))
+        if atom == "mem":
+            return self._parse_mem(text, line_number)
+        if atom == L:
+            if text not in block.labels:
+                raise UndefinedSymbolError(
+                    "undefined label %r in block %r" % (text, block.name), line_number
+                )
+            return Imm(block.labels[text])
+        raise AssemblyError("internal: unknown signature atom %r" % atom, line_number)
+
+    def _parse_register(self, text: str, line_number: int) -> Reg:
+        match = _REGISTER_RE.match(text)
+        if not match:
+            raise OperandError("expected a register, got %r" % text, line_number)
+        index = int(match.group(1))
+        if index >= NUM_REGISTERS:
+            raise OperandError(
+                "register r%d out of range (max r%d)" % (index, NUM_REGISTERS - 1),
+                line_number,
+            )
+        return Reg(index)
+
+    def _parse_immediate(self, text: str, line_number: int) -> int:
+        if _IDENT_RE.match(text):
+            if text in self._constants:
+                return self._constants[text]
+            if text in self._data:
+                return self._data[text].address
+            raise UndefinedSymbolError("undefined symbol %r" % text, line_number)
+        return self._parse_integer(text, line_number)
+
+    def _parse_integer(self, text: str, line_number: int) -> int:
+        text = text.strip()
+        if _IDENT_RE.match(text) and text in self._constants:
+            return self._constants[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblyError("invalid integer %r" % text, line_number)
+
+    def _parse_mem(self, text: str, line_number: int) -> Mem:
+        match = _MEM_RE.match(text)
+        if not match:
+            raise OperandError("expected a memory operand [..], got %r" % text, line_number)
+        body = match.group(1).strip()
+        base_text, offset_text, sign = body, "", 1
+        for position, char in enumerate(body):
+            if char in "+-" and position > 0:
+                base_text = body[:position].strip()
+                offset_text = body[position + 1 :].strip()
+                sign = 1 if char == "+" else -1
+                break
+        offset = sign * self._parse_integer(offset_text, line_number) if offset_text else 0
+        register = _REGISTER_RE.match(base_text)
+        if register:
+            index = int(register.group(1))
+            if index >= NUM_REGISTERS:
+                raise OperandError(
+                    "register r%d out of range in memory operand" % index, line_number
+                )
+            return Mem(base=index, offset=offset)
+        if _IDENT_RE.match(base_text):
+            if base_text in self._data:
+                return Mem(
+                    base=None,
+                    offset=self._data[base_text].address + offset,
+                    # Keep the symbol tag only for exact references; an
+                    # offset form would render misleadingly otherwise.
+                    symbol=base_text if offset == 0 else None,
+                )
+            if base_text in self._constants:
+                return Mem(base=None, offset=self._constants[base_text] + offset)
+            raise UndefinedSymbolError(
+                "undefined symbol %r in memory operand" % base_text, line_number
+            )
+        absolute = self._parse_integer(base_text, line_number)
+        return Mem(base=None, offset=absolute + offset)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Convenience wrapper: assemble ``source`` into a :class:`Program`."""
+    return Assembler().assemble(source, name=name)

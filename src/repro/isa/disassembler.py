@@ -1,0 +1,70 @@
+"""Disassembler: render a :class:`~repro.isa.program.Program` back to text.
+
+Used by race reports ("show me the two racing instructions in context") and
+as a round-trip aid in tests.  The output re-assembles to an equivalent
+program (same instruction stream, labels regenerated as ``L<index>``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .instructions import Instruction, L
+from .operands import Imm
+from .program import CodeBlock, Program
+
+
+def _branch_targets(block: CodeBlock) -> Dict[int, str]:
+    """Collect branch-target indices and assign stable generated labels."""
+    targets: Set[int] = set()
+    for instruction in block.instructions:
+        spec = instruction.spec
+        for atom, operand in zip(spec.signature, instruction.operands):
+            if atom == L and isinstance(operand, Imm):
+                targets.add(operand.value)
+    return {index: "L%d" % index for index in sorted(targets)}
+
+
+def disassemble_instruction(instruction: Instruction, labels: Dict[int, str]) -> str:
+    """Render one instruction, mapping branch-target immediates to labels."""
+    spec = instruction.spec
+    parts: List[str] = []
+    for atom, operand in zip(spec.signature, instruction.operands):
+        if atom == L and isinstance(operand, Imm) and operand.value in labels:
+            parts.append(labels[operand.value])
+        else:
+            parts.append(str(operand))
+    if not parts:
+        return instruction.opcode
+    return "%s %s" % (instruction.opcode, ", ".join(parts))
+
+
+def disassemble_block(block: CodeBlock, thread_names: List[str]) -> str:
+    """Render one code block with its ``.thread`` header."""
+    labels = _branch_targets(block)
+    lines = [".thread %s" % " ".join(thread_names)]
+    for index, instruction in enumerate(block.instructions):
+        if index in labels:
+            lines.append("%s:" % labels[index])
+        lines.append("    %s" % disassemble_instruction(instruction, labels))
+    return "\n".join(lines)
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program (data segment plus every code block)."""
+    lines: List[str] = []
+    if program.data:
+        lines.append(".data")
+        for item in sorted(program.data.values(), key=lambda entry: entry.address):
+            values = ", ".join(str(value) for value in item.values)
+            if set(item.values) == {0} and item.size > 1:
+                lines.append("%s: .space %d" % (item.name, item.size))
+            else:
+                lines.append("%s: .word %s" % (item.name, values))
+    threads_by_block: Dict[str, List[str]] = {}
+    for thread_name, block_name in program.threads.items():
+        threads_by_block.setdefault(block_name, []).append(thread_name)
+    for block_name, block in program.blocks.items():
+        lines.append("")
+        lines.append(disassemble_block(block, threads_by_block.get(block_name, [block_name])))
+    return "\n".join(lines) + "\n"

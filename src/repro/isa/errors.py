@@ -1,0 +1,41 @@
+"""Error types raised by the ISA layer (assembly and program validation)."""
+
+from __future__ import annotations
+
+
+class IsaError(Exception):
+    """Base class for all ISA-layer errors."""
+
+
+class AssemblyError(IsaError):
+    """Raised when assembly source text cannot be assembled.
+
+    Carries the 1-based source line number when known so tooling can point
+    the user at the offending line.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class UnknownOpcodeError(AssemblyError):
+    """Raised for a mnemonic that is not in the opcode table."""
+
+
+class OperandError(AssemblyError):
+    """Raised when an instruction's operands do not match its signature."""
+
+
+class DuplicateSymbolError(AssemblyError):
+    """Raised when a label, data symbol, or thread name is defined twice."""
+
+
+class UndefinedSymbolError(AssemblyError):
+    """Raised when an instruction references a label or symbol never defined."""
+
+
+class ProgramValidationError(IsaError):
+    """Raised when a structurally invalid Program is constructed."""

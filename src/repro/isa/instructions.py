@@ -1,0 +1,187 @@
+"""Opcode table and instruction model for the mini-ISA.
+
+The instruction set is deliberately x86-flavoured in the ways the paper
+cares about:
+
+* plain loads and stores (the recorder's unit of logging),
+* *lock-prefixed* synchronization instructions (``lock``, ``unlock``,
+  ``atom_add``, ``atom_xchg``, ``cas``, ``fence``) — these emit a
+  **sequencer** when recorded, exactly like iDNA instruments lock-prefixed
+  x86 instructions,
+* system calls (``sys_*``) — these also emit a sequencer and have their
+  results logged, covering the paper's "system interactions" class of
+  nondeterminism.
+
+Each opcode carries a :class:`OpSpec` describing its operand signature and
+classification flags.  The VM, recorder, and race analyses all key off these
+flags rather than off opcode names, so extending the ISA means adding one
+table row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .operands import Imm, Mem, Operand, Reg
+
+# Operand signature atoms.
+R = "reg"
+I = "imm"  # noqa: E741 - conventional single-letter signature atom
+M = "mem"
+L = "label"  # assembles to an Imm holding the target instruction index
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    Attributes:
+        name: mnemonic.
+        signature: tuple of operand kind atoms (``reg``/``imm``/``mem``/``label``).
+        is_load: reads data memory through a :class:`Mem` operand.
+        is_store: writes data memory through a :class:`Mem` operand.
+        is_sync: lock-prefixed synchronization instruction (logs a sequencer).
+        is_syscall: system call (logs a sequencer and a result record).
+        is_branch: may transfer control.
+        is_halt: terminates the executing thread.
+        reads_memory_value: for sync RMW ops that both read and write memory.
+    """
+
+    name: str
+    signature: Tuple[str, ...]
+    is_load: bool = False
+    is_store: bool = False
+    is_sync: bool = False
+    is_syscall: bool = False
+    is_branch: bool = False
+    is_halt: bool = False
+
+    @property
+    def is_sequencer_point(self) -> bool:
+        """True when executing this opcode logs a sequencer (sync or syscall)."""
+        return self.is_sync or self.is_syscall
+
+    @property
+    def touches_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+
+def _spec(name: str, *signature: str, **flags: bool) -> OpSpec:
+    return OpSpec(name, tuple(signature), **flags)
+
+
+#: The full opcode table, keyed by mnemonic.
+OPCODES: Dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # Data movement.
+        _spec("li", R, I),
+        _spec("mov", R, R),
+        # Three-register arithmetic / logic.
+        _spec("add", R, R, R),
+        _spec("sub", R, R, R),
+        _spec("mul", R, R, R),
+        _spec("divu", R, R, R),
+        _spec("remu", R, R, R),
+        _spec("and", R, R, R),
+        _spec("or", R, R, R),
+        _spec("xor", R, R, R),
+        _spec("shl", R, R, R),
+        _spec("shr", R, R, R),
+        _spec("slt", R, R, R),
+        _spec("sltu", R, R, R),
+        # Register-immediate arithmetic / logic.
+        _spec("addi", R, R, I),
+        _spec("subi", R, R, I),
+        _spec("muli", R, R, I),
+        _spec("andi", R, R, I),
+        _spec("ori", R, R, I),
+        _spec("xori", R, R, I),
+        _spec("shli", R, R, I),
+        _spec("shri", R, R, I),
+        _spec("slti", R, R, I),
+        # Plain memory access (the recorder's unit of logging).
+        _spec("load", R, M, is_load=True),
+        _spec("store", R, M, is_store=True),
+        # Control flow.
+        _spec("jmp", L, is_branch=True),
+        _spec("beq", R, R, L, is_branch=True),
+        _spec("bne", R, R, L, is_branch=True),
+        _spec("blt", R, R, L, is_branch=True),
+        _spec("bge", R, R, L, is_branch=True),
+        _spec("beqz", R, L, is_branch=True),
+        _spec("bnez", R, L, is_branch=True),
+        # Lock-prefixed synchronization (sequencer points).
+        _spec("lock", M, is_sync=True, is_load=True, is_store=True),
+        _spec("unlock", M, is_sync=True, is_load=True, is_store=True),
+        _spec("atom_add", R, M, R, is_sync=True, is_load=True, is_store=True),
+        _spec("atom_xchg", R, M, R, is_sync=True, is_load=True, is_store=True),
+        _spec("cas", R, M, R, R, is_sync=True, is_load=True, is_store=True),
+        _spec("fence", is_sync=True),
+        # System calls (sequencer points with logged results).
+        _spec("sys_getpid", R, is_syscall=True),
+        _spec("sys_time", R, is_syscall=True),
+        _spec("sys_rand", R, I, is_syscall=True),
+        _spec("sys_alloc", R, R, is_syscall=True),
+        _spec("sys_free", R, is_syscall=True),
+        _spec("sys_print", R, is_syscall=True),
+        _spec("sys_yield", is_syscall=True),
+        # Miscellaneous.
+        _spec("nop"),
+        _spec("halt", is_halt=True),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    ``source_line`` and ``source_text`` tie instructions back to assembly
+    source for race reports ("the two static instructions involved").
+    """
+
+    opcode: str
+    operands: Tuple[Operand, ...] = ()
+    source_line: int = 0
+    source_text: str = ""
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.opcode]
+
+    def mem_operand(self) -> Optional[Mem]:
+        """Return this instruction's memory operand, if it has one."""
+        for operand in self.operands:
+            if isinstance(operand, Mem):
+                return operand
+        return None
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.opcode
+        return "%s %s" % (self.opcode, ", ".join(str(op) for op in self.operands))
+
+
+def validate_operands(spec: OpSpec, operands: Tuple[Operand, ...]) -> Optional[str]:
+    """Check operands against ``spec``; return an error message or ``None``.
+
+    Branch targets (``label`` atoms) must already be resolved to ``Imm``.
+    """
+    if len(operands) != len(spec.signature):
+        return "%s expects %d operand(s), got %d" % (
+            spec.name,
+            len(spec.signature),
+            len(operands),
+        )
+    kinds = {R: Reg, I: Imm, M: Mem, L: Imm}
+    for position, (atom, operand) in enumerate(zip(spec.signature, operands)):
+        if not isinstance(operand, kinds[atom]):
+            return "%s operand %d must be a %s, got %s" % (
+                spec.name,
+                position + 1,
+                atom,
+                type(operand).__name__,
+            )
+    return None

@@ -1,0 +1,89 @@
+"""Operand model for the mini-ISA.
+
+Three operand kinds exist after assembly:
+
+* :class:`Reg` — a general-purpose register ``r0`` .. ``r15``.
+* :class:`Imm` — a 64-bit immediate (branch targets assemble to the target
+  instruction index as an immediate).
+* :class:`Mem` — a memory operand ``[base + offset]`` where ``base`` is an
+  optional register index and ``offset`` a word offset.  Absolute addresses
+  (including resolved data symbols) assemble to ``Mem(base=None, offset=addr)``.
+
+Memory in this machine is *word addressed*: one address names one 64-bit
+word, and memory-operand offsets count words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: Number of general-purpose registers in the machine.
+NUM_REGISTERS = 16
+
+#: Modulus for 64-bit wrap-around arithmetic.
+WORD_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand, ``r0`` through ``r15``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGISTERS:
+            raise ValueError("register index out of range: %d" % self.index)
+
+    def __str__(self) -> str:
+        return "r%d" % self.index
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand; stored as a Python int, wrapped to 64 bits on use."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + offset]``.
+
+    ``base`` is a register index or ``None`` for absolute addressing;
+    ``symbol`` preserves the source-level data symbol (if any) purely for
+    disassembly and reports.
+    """
+
+    base: Optional[int]
+    offset: int
+    symbol: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.symbol is not None:
+            return "[%s]" % self.symbol
+        if self.base is None:
+            return "[%d]" % self.offset
+        if self.offset:
+            sign = "+" if self.offset >= 0 else "-"
+            return "[r%d%s%d]" % (self.base, sign, abs(self.offset))
+        return "[r%d]" % self.base
+
+
+Operand = Union[Reg, Imm, Mem]
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned word as a signed two's-complement value."""
+    value &= WORD_MASK
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap an arbitrary Python int to its 64-bit unsigned representation."""
+    return value & WORD_MASK

@@ -1,0 +1,83 @@
+"""The paper's contribution: happens-before detection over sequencing
+regions, replay-both-orders classification, aggregation, reporting,
+benign-reason categorization, triage persistence, and baselines."""
+
+from .aggregate import StaticRaceResult, aggregate_instances, merge_results
+from .classifier import ClassifierConfig, RaceClassifier
+from .database import RaceDatabase, RaceRecord
+from .exporter import export_results, result_to_json, results_to_json
+from .happens_before import HappensBeforeDetector, find_races
+from .heuristics import BenignCategory, categorize, categorize_all
+from .linearize import LinearEvent, linearize
+from .lockset import LocksetDetector, LocksetWarning, LocationState, lockset_warnings
+from .model import (
+    RaceAccess,
+    RaceInstance,
+    StaticRaceKey,
+    describe_static_race,
+    static_race_key,
+)
+from .outcomes import Classification, ClassifiedInstance, InstanceOutcome
+from .ranking import PriorityScore, priority_score, rank_results, render_ranking
+from .report import (
+    RaceReport,
+    ReplayScenario,
+    build_report,
+    render_triage_list,
+)
+from .suppression import SuppressionDB, SuppressionEntry
+from .triage import TriageOutcome, TriageSession
+from .vector_clock import (
+    VCRace,
+    VectorClock,
+    VectorClockDetector,
+    vector_clock_races,
+)
+
+__all__ = [
+    "StaticRaceResult",
+    "aggregate_instances",
+    "merge_results",
+    "ClassifierConfig",
+    "RaceClassifier",
+    "RaceDatabase",
+    "RaceRecord",
+    "export_results",
+    "result_to_json",
+    "results_to_json",
+    "HappensBeforeDetector",
+    "find_races",
+    "BenignCategory",
+    "categorize",
+    "categorize_all",
+    "LinearEvent",
+    "linearize",
+    "LocksetDetector",
+    "LocksetWarning",
+    "LocationState",
+    "lockset_warnings",
+    "RaceAccess",
+    "RaceInstance",
+    "StaticRaceKey",
+    "describe_static_race",
+    "static_race_key",
+    "Classification",
+    "ClassifiedInstance",
+    "InstanceOutcome",
+    "PriorityScore",
+    "priority_score",
+    "rank_results",
+    "render_ranking",
+    "RaceReport",
+    "ReplayScenario",
+    "build_report",
+    "render_triage_list",
+    "SuppressionDB",
+    "SuppressionEntry",
+    "TriageOutcome",
+    "TriageSession",
+    "VCRace",
+    "VectorClock",
+    "VectorClockDetector",
+    "vector_clock_races",
+]

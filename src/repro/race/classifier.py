@@ -1,0 +1,239 @@
+"""Replay-both-orders classification of race instances (Section 4).
+
+For every race instance the classifier:
+
+1. locates the two sequencing regions containing the racing operations;
+2. takes the live-in snapshot (memory image + freed heap ranges) from the
+   region-ordered replay, plus both threads' live-in registers;
+3. replays both regions in a :class:`VirtualProcessor` twice — once per
+   order of the racing pair;
+4. compares live-outs: identical → ``NO_STATE_CHANGE``; different →
+   ``STATE_CHANGE``; a replay that leaves the recorded envelope →
+   ``REPLAY_FAILURE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import Program
+from ..record.log import ReplayLog
+from ..replay.errors import ReplayFailure, ReplayFailureKind
+from ..replay.ordered_replay import OrderedReplay
+from ..replay.regions import SequencingRegion
+from ..replay.virtual_processor import (
+    VPConfig,
+    VPOutcome,
+    VPThreadSpec,
+    VirtualProcessor,
+    same_state,
+)
+from .model import RaceAccess, RaceInstance
+from .outcomes import ClassifiedInstance, InstanceOutcome
+
+
+@dataclass
+class ClassifierConfig:
+    """Knobs for the replay-both-orders classifier.
+
+    ``allow_unrecorded_control_flow`` enables the paper's stated future-work
+    extension (§4.2.1: "we are looking at trying to log enough information
+    to allow replay to continue"); with it on, alternative-order replays
+    continue through control flow the recording never saw instead of
+    failing — the A2 ablation measures what this buys.
+    """
+
+    step_limit: int = 20_000
+    allow_unrecorded_control_flow: bool = False
+    allow_unknown_addresses: bool = False
+    store_replay_outcomes: bool = False
+
+    def vp_config(self) -> VPConfig:
+        return VPConfig(
+            step_limit=self.step_limit,
+            allow_unrecorded_control_flow=self.allow_unrecorded_control_flow,
+            allow_unknown_addresses=self.allow_unknown_addresses,
+        )
+
+
+class RaceClassifier:
+    """Classifies race instances found in one replayed execution."""
+
+    def __init__(
+        self,
+        ordered: OrderedReplay,
+        config: Optional[ClassifierConfig] = None,
+        execution_id: str = "",
+    ):
+        self.ordered = ordered
+        self.program: Program = ordered.program
+        self.log: ReplayLog = ordered.log
+        self.config = config or ClassifierConfig()
+        self.execution_id = execution_id
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def classify_instance(self, instance: RaceInstance) -> ClassifiedInstance:
+        """Run the both-orders replay analysis on one race instance."""
+        instance = self._canonicalize(instance)
+        live_in, freed = self.ordered.pair_snapshot(
+            instance.region_a, instance.region_b
+        )
+        spec_a = self._thread_spec(instance.access_a, instance.region_a)
+        spec_b = self._thread_spec(instance.access_b, instance.region_b)
+        processor = VirtualProcessor(
+            self.program, live_in, freed, spec_a, spec_b, self.config.vp_config()
+        )
+        original_first = self._original_first(instance)
+        alternative_first = (
+            instance.access_b.thread_name
+            if original_first == instance.access_a.thread_name
+            else instance.access_a.thread_name
+        )
+        pre_value = live_in.get(instance.address, 0)
+
+        try:
+            # The original-order replay follows the log throughout — it is
+            # the recording, reproduced exactly.  The alternative replay
+            # follows the log up to the racing pair, flips the pair, and
+            # runs live from there.
+            original = processor.run(first=original_first, follow_log=True)
+            alternative = processor.run(first=alternative_first)
+            identical = same_state(original, alternative, live_in)
+        except ReplayFailure as failure:
+            return ClassifiedInstance(
+                instance=instance,
+                outcome=InstanceOutcome.REPLAY_FAILURE,
+                original_first=original_first,
+                pre_value=pre_value,
+                failure_kind=failure.kind,
+                failure_detail=failure.detail,
+                execution_id=self.execution_id,
+            )
+        return ClassifiedInstance(
+            instance=instance,
+            outcome=(
+                InstanceOutcome.NO_STATE_CHANGE
+                if identical
+                else InstanceOutcome.STATE_CHANGE
+            ),
+            original_first=original_first,
+            pre_value=pre_value,
+            original_replay=original if self.config.store_replay_outcomes else None,
+            alternative_replay=(
+                alternative if self.config.store_replay_outcomes else None
+            ),
+            execution_id=self.execution_id,
+        )
+
+    def classify_all(self, instances: List[RaceInstance]) -> List[ClassifiedInstance]:
+        """Classify every instance (the paper's full §5 analysis pass)."""
+        return [self.classify_instance(instance) for instance in instances]
+
+    def replay_pair(
+        self, instance: RaceInstance
+    ) -> Tuple[VPOutcome, VPOutcome]:
+        """Run and *return* both replays (for reports/debugging).
+
+        Unlike :meth:`classify_instance`, replay failures propagate to the
+        caller as :class:`ReplayFailure`.
+        """
+        instance = self._canonicalize(instance)
+        live_in, freed = self.ordered.pair_snapshot(
+            instance.region_a, instance.region_b
+        )
+        spec_a = self._thread_spec(instance.access_a, instance.region_a)
+        spec_b = self._thread_spec(instance.access_b, instance.region_b)
+        processor = VirtualProcessor(
+            self.program, live_in, freed, spec_a, spec_b, self.config.vp_config()
+        )
+        original_first = self._original_first(instance)
+        alternative_first = (
+            instance.access_b.thread_name
+            if original_first == instance.access_a.thread_name
+            else instance.access_a.thread_name
+        )
+        return (
+            processor.run(first=original_first, follow_log=True),
+            processor.run(first=alternative_first),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _canonicalize(self, instance: RaceInstance) -> RaceInstance:
+        """Normalise side order so the verdict cannot depend on it.
+
+        The virtual processor's canonical schedule (prefix A, prefix B,
+        pair, suffix A, suffix B) is tied to the side labelling; pinning
+        side A to the earlier-opening region makes classification a pure
+        function of the unordered racing pair.
+        """
+        if (instance.region_b.start_ts, instance.region_b.tid) < (
+            instance.region_a.start_ts,
+            instance.region_a.tid,
+        ):
+            return RaceInstance(
+                access_a=instance.access_b,
+                access_b=instance.access_a,
+                region_a=instance.region_b,
+                region_b=instance.region_a,
+            )
+        return instance
+
+    def _earlier_region(self, instance: RaceInstance) -> SequencingRegion:
+        if (instance.region_a.start_ts, instance.region_a.tid) <= (
+            instance.region_b.start_ts,
+            instance.region_b.tid,
+        ):
+            return instance.region_a
+        return instance.region_b
+
+    def _thread_spec(
+        self, access: RaceAccess, region: SequencingRegion
+    ) -> VPThreadSpec:
+        thread_log = self.log.threads[access.thread_name]
+        block = self.program.blocks[thread_log.block]
+        replay = self.ordered.thread_replays[access.thread_name]
+        recorded_loads: Dict[int, Tuple[int, int]] = {}
+        for recorded in replay.accesses_in_steps(region.start_step, region.end_step):
+            if not recorded.is_write and not recorded.is_sync:
+                recorded_loads[recorded.thread_step - region.start_step] = (
+                    recorded.address,
+                    recorded.value,
+                )
+        return VPThreadSpec(
+            thread_name=access.thread_name,
+            block=block,
+            start_pc=self.ordered.region_start_pc(region),
+            registers=self.ordered.live_in_registers(region),
+            racing_step_offset=access.thread_step - region.start_step,
+            racing_static_id=access.static_id,
+            pc_footprint=set(thread_log.pc_footprint),
+            recorded_loads=recorded_loads,
+        )
+
+    def _original_first(self, instance: RaceInstance) -> str:
+        """Which racing operation came first in the recorded execution.
+
+        Exact when the log carries the (debug-only) global order; otherwise
+        falls back to the earlier-opening-region heuristic, which is the
+        best a pure iDNA-style log can do.
+        """
+        position_a = self.log.global_position(
+            instance.access_a.tid, instance.access_a.thread_step
+        )
+        position_b = self.log.global_position(
+            instance.access_b.tid, instance.access_b.thread_step
+        )
+        if position_a is not None and position_b is not None:
+            return (
+                instance.access_a.thread_name
+                if position_a < position_b
+                else instance.access_b.thread_name
+            )
+        return self._earlier_region(instance).thread_name

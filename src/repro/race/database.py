@@ -1,0 +1,202 @@
+"""Persistent race database: accumulate analysis results across sessions.
+
+The paper's development-environment model is continuous: every night new
+test scenarios are recorded and analysed, and verdicts accumulate — "if we
+classify a harmful data race as benign ... later on, when analyzing a
+different test case, the analysis may find an instance of the data race
+that exposes it as potentially harmful.  The data race will then be
+re-classified and reported to the developer."
+
+:class:`RaceDatabase` stores, per (program, unique race), the running
+outcome counts, the executions that sighted it, and the *classification
+history* — so a re-classification (benign → harmful) is an explicit,
+reportable event rather than a silent flip.  Only aggregate counts are
+persisted, never instance bodies, keeping the database small.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..isa.program import StaticInstructionId
+from .aggregate import StaticRaceResult
+from .model import StaticRaceKey
+from .outcomes import Classification, InstanceOutcome
+
+FORMAT_VERSION = 1
+
+
+def _key_to_text(key: StaticRaceKey) -> str:
+    return "%s|%s" % (key[0], key[1])
+
+
+def _key_from_text(text: str) -> StaticRaceKey:
+    first_text, second_text = text.split("|")
+
+    def parse(one: str) -> StaticInstructionId:
+        block, _, index = one.rpartition(":")
+        return StaticInstructionId(block=block, index=int(index))
+
+    return (parse(first_text), parse(second_text))
+
+
+@dataclass
+class RaceRecord:
+    """Accumulated knowledge about one unique race of one program."""
+
+    program_name: str
+    key_text: str
+    no_state_change: int = 0
+    state_change: int = 0
+    replay_failure: int = 0
+    executions: List[str] = field(default_factory=list)
+    #: classification after each update, e.g. ["potentially-benign",
+    #: "potentially-harmful"] — a length > 1 with differing entries is a
+    #: re-classification event.
+    history: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> StaticRaceKey:
+        return _key_from_text(self.key_text)
+
+    @property
+    def instance_count(self) -> int:
+        return self.no_state_change + self.state_change + self.replay_failure
+
+    @property
+    def classification(self) -> Classification:
+        if self.state_change or self.replay_failure:
+            return Classification.POTENTIALLY_HARMFUL
+        return Classification.POTENTIALLY_BENIGN
+
+    @property
+    def was_reclassified(self) -> bool:
+        return len(set(self.history)) > 1
+
+    def describe(self) -> str:
+        text = "%s %s: %s (%d instances over %d execution(s))" % (
+            self.program_name,
+            self.key_text,
+            self.classification,
+            self.instance_count,
+            len(self.executions),
+        )
+        if self.was_reclassified:
+            text += "  [RE-CLASSIFIED: %s]" % " -> ".join(self.history)
+        return text
+
+
+class RaceDatabase:
+    """Accumulates per-race verdicts across analysis sessions."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[str, str], RaceRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Updates.
+    # ------------------------------------------------------------------
+
+    def update(
+        self, program_name: str, results: Iterable[StaticRaceResult]
+    ) -> List[RaceRecord]:
+        """Fold one analysis session's results in.
+
+        Returns the records whose classification *changed* in this update
+        (the re-classification events the paper says must be reported).
+        """
+        reclassified: List[RaceRecord] = []
+        for result in results:
+            key_text = _key_to_text(result.key)
+            record = self._records.get((program_name, key_text))
+            if record is None:
+                record = RaceRecord(program_name=program_name, key_text=key_text)
+                self._records[(program_name, key_text)] = record
+            before = record.classification if record.history else None
+            record.no_state_change += result.outcome_count(
+                InstanceOutcome.NO_STATE_CHANGE
+            )
+            record.state_change += result.outcome_count(InstanceOutcome.STATE_CHANGE)
+            record.replay_failure += result.outcome_count(
+                InstanceOutcome.REPLAY_FAILURE
+            )
+            for execution_id in sorted(result.executions):
+                if execution_id not in record.executions:
+                    record.executions.append(execution_id)
+            record.history.append(str(record.classification))
+            if before is not None and record.classification is not before:
+                reclassified.append(record)
+        return reclassified
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def record_for(
+        self, program_name: str, key: StaticRaceKey
+    ) -> Optional[RaceRecord]:
+        return self._records.get((program_name, _key_to_text(key)))
+
+    def records(self, program_name: Optional[str] = None) -> List[RaceRecord]:
+        return [
+            record
+            for record in self._records.values()
+            if program_name is None or record.program_name == program_name
+        ]
+
+    def harmful_records(self, program_name: Optional[str] = None) -> List[RaceRecord]:
+        return [
+            record
+            for record in self.records(program_name)
+            if record.classification is Classification.POTENTIALLY_HARMFUL
+        ]
+
+    def reclassified_records(self) -> List[RaceRecord]:
+        return [record for record in self._records.values() if record.was_reclassified]
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "records": [
+                {
+                    "program": record.program_name,
+                    "key": record.key_text,
+                    "no_state_change": record.no_state_change,
+                    "state_change": record.state_change,
+                    "replay_failure": record.replay_failure,
+                    "executions": record.executions,
+                    "history": record.history,
+                }
+                for record in self._records.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RaceDatabase":
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError("unsupported race-database version: %r" % version)
+        database = cls()
+        for item in payload["records"]:
+            record = RaceRecord(
+                program_name=item["program"],
+                key_text=item["key"],
+                no_state_change=item["no_state_change"],
+                state_change=item["state_change"],
+                replay_failure=item["replay_failure"],
+                executions=list(item["executions"]),
+                history=list(item["history"]),
+            )
+            database._records[(record.program_name, record.key_text)] = record
+        return database

@@ -1,0 +1,122 @@
+"""Machine-readable export of classification results.
+
+Race reports ultimately feed other tooling — bug trackers, dashboards,
+the paper's triage queues.  This module serialises a full analysis round
+(per-race verdicts, outcome counts, scenarios, suggested reasons,
+suppression state) to a stable JSON schema, and the CLI exposes it via
+``classify --json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..isa.program import Program
+from ..record.log import ReplayLog
+from .aggregate import StaticRaceResult
+from .heuristics import categorize
+from .model import StaticRaceKey
+from .outcomes import InstanceOutcome
+from .suppression import SuppressionDB
+
+EXPORT_VERSION = 1
+
+
+def _key_text(key: StaticRaceKey) -> str:
+    return "%s|%s" % (key[0], key[1])
+
+
+def result_to_json(
+    result: StaticRaceResult,
+    program: Program,
+    suppressed: bool = False,
+    max_scenarios: int = 2,
+) -> Dict:
+    """One unique race's verdict as a JSON-compatible dict."""
+    reason = categorize(result, program)
+    flagged = [
+        entry
+        for entry in result.instances
+        if entry.outcome is not InstanceOutcome.NO_STATE_CHANGE
+    ]
+    exemplars = (flagged or result.instances)[:max_scenarios]
+    return {
+        "race": _key_text(result.key),
+        "instructions": [
+            program.describe_instruction(result.key[0]),
+            program.describe_instruction(result.key[1]),
+        ],
+        "classification": str(result.classification),
+        "group": str(result.group),
+        "suppressed": suppressed,
+        "suggested_reason": str(reason) if reason else None,
+        "instances": {
+            "total": result.instance_count,
+            "no_state_change": result.outcome_count(InstanceOutcome.NO_STATE_CHANGE),
+            "state_change": result.outcome_count(InstanceOutcome.STATE_CHANGE),
+            "replay_failure": result.outcome_count(InstanceOutcome.REPLAY_FAILURE),
+        },
+        "executions": sorted(result.executions),
+        "scenarios": [
+            {
+                "execution": entry.execution_id,
+                "access_a": str(entry.instance.access_a),
+                "access_b": str(entry.instance.access_b),
+                "address": entry.instance.address,
+                "original_first": entry.original_first,
+                "outcome": str(entry.outcome),
+                "failure": str(entry.failure_kind) if entry.failure_kind else None,
+                "failure_detail": entry.failure_detail or None,
+            }
+            for entry in exemplars
+        ],
+    }
+
+
+def results_to_json(
+    results: Dict[StaticRaceKey, StaticRaceResult],
+    program: Program,
+    log: Optional[ReplayLog] = None,
+    suppressions: Optional[SuppressionDB] = None,
+) -> Dict:
+    """A whole analysis round as a JSON-compatible document."""
+    suppressions = suppressions or SuppressionDB()
+    races: List[Dict] = [
+        result_to_json(
+            result,
+            program,
+            suppressed=suppressions.is_suppressed(program.name, key),
+        )
+        for key, result in sorted(results.items(), key=lambda item: _key_text(item[0]))
+    ]
+    harmful = [race for race in races if race["classification"] == "potentially-harmful"]
+    return {
+        "export_version": EXPORT_VERSION,
+        "program": program.name,
+        "recording": {
+            "seed": log.seed if log else None,
+            "scheduler": log.scheduler if log else None,
+            "instructions": log.total_instructions if log else None,
+        },
+        "summary": {
+            "unique_races": len(races),
+            "potentially_harmful": len(harmful),
+            "potentially_benign": len(races) - len(harmful),
+            "actionable": sum(1 for race in harmful if not race["suppressed"]),
+        },
+        "races": races,
+    }
+
+
+def export_results(
+    path: Union[str, Path],
+    results: Dict[StaticRaceKey, StaticRaceResult],
+    program: Program,
+    log: Optional[ReplayLog] = None,
+    suppressions: Optional[SuppressionDB] = None,
+) -> None:
+    """Write :func:`results_to_json` output to ``path``."""
+    document = results_to_json(results, program, log=log, suppressions=suppressions)
+    Path(path).write_text(json.dumps(document, indent=2))

@@ -1,0 +1,106 @@
+"""Linearized event stream for the baseline detectors.
+
+The lockset and vector-clock baselines consume a single totally ordered
+event stream.  True instruction-level global order is not recoverable from
+iDNA-style logs, so we use the region-ordered replay's linearization:
+sequencer-point events in global timestamp order, each followed by its
+region's plain accesses in thread order.  Per-thread order is exact and
+cross-thread synchronization order is exact — the only approximation is
+among mutually racing plain accesses, which is precisely the order both
+baseline algorithms are insensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa.program import StaticInstructionId
+from ..replay.ordered_replay import OrderedReplay
+
+
+@dataclass(frozen=True)
+class LinearEvent:
+    """One event in the linearized stream."""
+
+    thread_name: str
+    tid: int
+    thread_step: int
+    kind: str  # "access" | "lock" | "unlock" | "atomic" | syscall name | "fence"
+    static_id: Optional[StaticInstructionId]
+    address: Optional[int] = None
+    value: int = 0
+    is_write: bool = False
+
+    @property
+    def is_plain_access(self) -> bool:
+        return self.kind == "access"
+
+    @property
+    def is_sync(self) -> bool:
+        return self.kind in ("lock", "unlock", "atomic", "fence")
+
+
+_ATOMIC_KINDS = {"atom_add", "atom_xchg", "cas"}
+
+
+def linearize(ordered: OrderedReplay) -> List[LinearEvent]:
+    """Build the linearized event stream from a replayed execution."""
+    events: List[LinearEvent] = []
+    for sequencer, thread_name, following in ordered.sequencers_with_regions():
+        thread_log = ordered.log.threads[thread_name]
+        replay = ordered.thread_replays[thread_name]
+        if sequencer.kind in ("lock", "unlock") or sequencer.kind in _ATOMIC_KINDS:
+            boundary = [
+                access
+                for access in replay.accesses
+                if access.thread_step == sequencer.thread_step
+            ]
+            address = boundary[0].address if boundary else None
+            events.append(
+                LinearEvent(
+                    thread_name=thread_name,
+                    tid=thread_log.tid,
+                    thread_step=sequencer.thread_step,
+                    kind=(
+                        "atomic" if sequencer.kind in _ATOMIC_KINDS else sequencer.kind
+                    ),
+                    static_id=sequencer.static_id,
+                    address=address,
+                )
+            )
+        elif sequencer.kind == "fence":
+            events.append(
+                LinearEvent(
+                    thread_name=thread_name,
+                    tid=thread_log.tid,
+                    thread_step=sequencer.thread_step,
+                    kind="fence",
+                    static_id=sequencer.static_id,
+                )
+            )
+        elif sequencer.kind.startswith("sys_"):
+            events.append(
+                LinearEvent(
+                    thread_name=thread_name,
+                    tid=thread_log.tid,
+                    thread_step=sequencer.thread_step,
+                    kind=sequencer.kind,
+                    static_id=sequencer.static_id,
+                )
+            )
+        if following is not None and not following.is_empty:
+            for access in ordered.region_accesses(following):
+                events.append(
+                    LinearEvent(
+                        thread_name=thread_name,
+                        tid=thread_log.tid,
+                        thread_step=access.thread_step,
+                        kind="access",
+                        static_id=access.static_id,
+                        address=access.address,
+                        value=access.value,
+                        is_write=access.is_write,
+                    )
+                )
+    return events

@@ -1,0 +1,136 @@
+"""Eraser-style lockset detection — the heuristic baseline (Section 2.2.2).
+
+Implements the classic Eraser state machine (Savage et al. 1997) per
+shared location:
+
+    Virgin -> Exclusive(first thread) -> Shared / Shared-Modified
+
+with candidate-lockset refinement: once a second thread touches the
+location, its candidate set is intersected with the accessor's held locks
+on every access, and a warning fires when the set empties in the
+Shared-Modified state.
+
+The point of carrying this baseline is the paper's §2/§3 contrast: the
+lockset algorithm reports **false positives** (e.g. user-constructed
+synchronization, which no lock guards but which is perfectly ordered),
+while the happens-before detector cannot.  The A1 ablation benchmark
+measures exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..isa.program import StaticInstructionId
+from ..replay.ordered_replay import OrderedReplay
+from .linearize import LinearEvent, linearize
+
+
+class LocationState(Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class LocksetWarning:
+    """One Eraser warning: a location's candidate lockset became empty."""
+
+    address: int
+    state: LocationState
+    access_static_id: Optional[StaticInstructionId]
+    prior_static_ids: FrozenSet[StaticInstructionId]
+    thread_name: str
+
+    def __str__(self) -> str:
+        return "lockset warning at %#x (%s) by %s at %s" % (
+            self.address,
+            self.state.value,
+            self.thread_name,
+            self.access_static_id,
+        )
+
+
+@dataclass
+class _LocationInfo:
+    state: LocationState = LocationState.VIRGIN
+    first_tid: Optional[int] = None
+    candidate_locks: Optional[Set[int]] = None
+    accessors: Set[StaticInstructionId] = field(default_factory=set)
+    warned: bool = False
+
+
+class LocksetDetector:
+    """Runs the Eraser algorithm over a linearized replayed execution."""
+
+    def __init__(self, ordered: OrderedReplay):
+        self.ordered = ordered
+        self.warnings: List[LocksetWarning] = []
+
+    def detect(self) -> List[LocksetWarning]:
+        """One warning per distinct shared location, Eraser-style."""
+        held: Dict[int, Set[int]] = {}
+        locations: Dict[int, _LocationInfo] = {}
+        for event in linearize(self.ordered):
+            held_locks = held.setdefault(event.tid, set())
+            if event.kind == "lock" and event.address is not None:
+                held_locks.add(event.address)
+            elif event.kind == "unlock" and event.address is not None:
+                held_locks.discard(event.address)
+            elif event.is_plain_access and event.address is not None:
+                self._access(event, held_locks, locations)
+            # Atomic RMWs are lock-prefixed instructions; Eraser-family
+            # tools treat them as synchronization, not data accesses.
+        return list(self.warnings)
+
+    def _access(
+        self,
+        event: LinearEvent,
+        held_locks: Set[int],
+        locations: Dict[int, _LocationInfo],
+    ) -> None:
+        info = locations.setdefault(event.address, _LocationInfo())
+        if event.static_id is not None:
+            info.accessors.add(event.static_id)
+
+        if info.state is LocationState.VIRGIN:
+            info.state = LocationState.EXCLUSIVE
+            info.first_tid = event.tid
+            return
+        if info.state is LocationState.EXCLUSIVE:
+            if event.tid == info.first_tid:
+                return
+            info.candidate_locks = set(held_locks)
+            info.state = (
+                LocationState.SHARED_MODIFIED if event.is_write else LocationState.SHARED
+            )
+        else:
+            assert info.candidate_locks is not None
+            info.candidate_locks &= held_locks
+            if event.is_write:
+                info.state = LocationState.SHARED_MODIFIED
+
+        if (
+            info.state is LocationState.SHARED_MODIFIED
+            and info.candidate_locks is not None
+            and not info.candidate_locks
+            and not info.warned
+        ):
+            info.warned = True
+            self.warnings.append(
+                LocksetWarning(
+                    address=event.address,
+                    state=info.state,
+                    access_static_id=event.static_id,
+                    prior_static_ids=frozenset(info.accessors),
+                    thread_name=event.thread_name,
+                )
+            )
+
+
+def lockset_warnings(ordered: OrderedReplay) -> List[LocksetWarning]:
+    """Convenience wrapper around :class:`LocksetDetector`."""
+    return LocksetDetector(ordered).detect()

@@ -1,0 +1,131 @@
+"""Triage priority ranking for potentially harmful races.
+
+The paper's goal is *prioritization*: "this classification is needed to
+focus the triaging effort".  Within the potentially-harmful bucket, not
+all races deserve equal attention — a race whose every instance changes
+state across several executions is stronger evidence than a single
+replay-failure sighting.  This module scores that evidence so triage
+queues (reports, CLI, dashboards) can order work by expected payoff.
+
+The score is a heuristic composed of interpretable components, each
+returned alongside the total so a developer can see *why* a race ranks
+where it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..replay.errors import ReplayFailureKind
+from .aggregate import StaticRaceResult
+from .model import StaticRaceKey
+from .outcomes import Classification, InstanceOutcome
+
+#: Replay-failure kinds ordered by how strongly they suggest a real bug:
+#: a memory fault during reordering is a crash waiting to happen; a step
+#: limit is usually a replay artifact around hand-rolled synchronization.
+_FAILURE_WEIGHT: Dict[ReplayFailureKind, float] = {
+    ReplayFailureKind.MEMORY_FAULT: 1.0,
+    ReplayFailureKind.UNKNOWN_ADDRESS: 0.8,
+    ReplayFailureKind.UNRECORDED_CONTROL_FLOW: 0.6,
+    ReplayFailureKind.DIVERGENCE: 0.4,
+    ReplayFailureKind.STEP_LIMIT: 0.3,
+}
+
+
+@dataclass(frozen=True)
+class PriorityScore:
+    """A race's triage priority, decomposed into its evidence components."""
+
+    total: float
+    state_change_strength: float
+    failure_strength: float
+    breadth: float
+    volume: float
+
+    def explain(self) -> str:
+        return (
+            "score %.2f = state-change %.2f + failures %.2f + breadth %.2f "
+            "+ volume %.2f"
+            % (
+                self.total,
+                self.state_change_strength,
+                self.failure_strength,
+                self.breadth,
+                self.volume,
+            )
+        )
+
+
+def priority_score(result: StaticRaceResult) -> PriorityScore:
+    """Score one race's evidence of harm (higher = triage sooner).
+
+    Components:
+
+    * **state-change strength** — fraction of instances whose reordered
+      replay produced different state (weight 3);
+    * **failure strength** — strongest replay-failure kind observed,
+      crash-like failures weighing most (weight 2);
+    * **breadth** — how many distinct executions sighted the race (log-ish
+      saturation at 4, weight 1);
+    * **volume** — how many instances were analysed (saturating, weight 1):
+      many consistent sightings beat a single one.
+    """
+    total_instances = result.instance_count or 1
+    state_change_fraction = (
+        result.outcome_count(InstanceOutcome.STATE_CHANGE) / total_instances
+    )
+    strongest_failure = 0.0
+    for entry in result.instances:
+        if entry.failure_kind is not None:
+            strongest_failure = max(
+                strongest_failure, _FAILURE_WEIGHT.get(entry.failure_kind, 0.5)
+            )
+    executions = len(result.executions) or 1
+    breadth = min(executions, 4) / 4.0
+    volume = min(total_instances, 32) / 32.0
+
+    state_component = 3.0 * state_change_fraction
+    failure_component = 2.0 * strongest_failure
+    return PriorityScore(
+        total=state_component + failure_component + breadth + volume,
+        state_change_strength=state_component,
+        failure_strength=failure_component,
+        breadth=breadth,
+        volume=volume,
+    )
+
+
+def rank_results(
+    results: Dict[StaticRaceKey, StaticRaceResult],
+    harmful_only: bool = True,
+) -> List[Tuple[StaticRaceKey, StaticRaceResult, PriorityScore]]:
+    """Order races by descending triage priority (stable on the key)."""
+    candidates = [
+        (key, result)
+        for key, result in results.items()
+        if not harmful_only
+        or result.classification is Classification.POTENTIALLY_HARMFUL
+    ]
+    scored = [
+        (key, result, priority_score(result)) for key, result in candidates
+    ]
+    scored.sort(key=lambda item: (-item[2].total, str(item[0][0]), str(item[0][1])))
+    return scored
+
+
+def render_ranking(
+    results: Dict[StaticRaceKey, StaticRaceResult], harmful_only: bool = True
+) -> str:
+    """A compact priority-ordered triage queue."""
+    lines = ["Triage priority (highest first):"]
+    for position, (key, result, score) in enumerate(
+        rank_results(results, harmful_only=harmful_only), start=1
+    ):
+        lines.append(
+            "  %2d. %-44s %s" % (position, "%s|%s" % key, score.explain())
+        )
+    if len(lines) == 1:
+        lines.append("  (nothing to triage)")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Triage persistence: remember races a developer marked benign.
+
+Section 1 of the paper: "once those races are manually identified as
+benign, they are marked as benign to prevent them from being classified as
+potentially harmful in the future analysis."  The database is keyed by
+(program name, static race key) so a suppression survives across
+executions and sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..isa.program import StaticInstructionId
+from .model import StaticRaceKey
+
+
+def _key_to_text(key: StaticRaceKey) -> str:
+    return "%s|%s" % (key[0], key[1])
+
+
+def _key_from_text(text: str) -> StaticRaceKey:
+    first_text, second_text = text.split("|")
+
+    def parse(one: str) -> StaticInstructionId:
+        block, _, index = one.rpartition(":")
+        return StaticInstructionId(block=block, index=int(index))
+
+    return (parse(first_text), parse(second_text))
+
+
+@dataclass
+class SuppressionEntry:
+    program_name: str
+    key_text: str
+    reason: str = ""
+    triaged_by: str = ""
+
+
+class SuppressionDB:
+    """A persistent set of races triaged benign by a human."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], SuppressionEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def mark_benign(
+        self,
+        program_name: str,
+        key: StaticRaceKey,
+        reason: str = "",
+        triaged_by: str = "",
+    ) -> None:
+        key_text = _key_to_text(key)
+        self._entries[(program_name, key_text)] = SuppressionEntry(
+            program_name=program_name,
+            key_text=key_text,
+            reason=reason,
+            triaged_by=triaged_by,
+        )
+
+    def unmark(self, program_name: str, key: StaticRaceKey) -> bool:
+        """Remove a suppression (a race re-triaged as harmful).  True if it existed."""
+        return self._entries.pop((program_name, _key_to_text(key)), None) is not None
+
+    def is_suppressed(self, program_name: str, key: StaticRaceKey) -> bool:
+        return (program_name, _key_to_text(key)) in self._entries
+
+    def reason_for(
+        self, program_name: str, key: StaticRaceKey
+    ) -> Optional[str]:
+        entry = self._entries.get((program_name, _key_to_text(key)))
+        return entry.reason if entry else None
+
+    def entries(self) -> List[SuppressionEntry]:
+        return list(self._entries.values())
+
+    def keys_for_program(self, program_name: str) -> List[StaticRaceKey]:
+        return [
+            _key_from_text(entry.key_text)
+            for entry in self._entries.values()
+            if entry.program_name == program_name
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = [
+            {
+                "program": entry.program_name,
+                "key": entry.key_text,
+                "reason": entry.reason,
+                "triaged_by": entry.triaged_by,
+            }
+            for entry in self._entries.values()
+        ]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SuppressionDB":
+        database = cls()
+        for item in json.loads(Path(path).read_text()):
+            database._entries[(item["program"], item["key"])] = SuppressionEntry(
+                program_name=item["program"],
+                key_text=item["key"],
+                reason=item.get("reason", ""),
+                triaged_by=item.get("triaged_by", ""),
+            )
+        return database

@@ -1,0 +1,164 @@
+"""Triage sessions: the orchestration layer the CLI and nightly jobs use.
+
+Glues together one analysis round's pieces exactly the way the paper's
+usage model describes: aggregate the classified instances, fold them into
+the persistent :class:`~repro.race.database.RaceDatabase` (surfacing
+re-classification events), apply the developer's
+:class:`~repro.race.suppression.SuppressionDB`, attach suggested benign
+reasons, and emit the prioritized triage report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.program import Program
+from ..record.log import ReplayLog
+from .aggregate import StaticRaceResult, aggregate_instances
+from .database import RaceDatabase, RaceRecord
+from .heuristics import categorize
+from .model import StaticRaceKey
+from .outcomes import Classification, ClassifiedInstance
+from .report import RaceReport, build_report, render_triage_list
+from .suppression import SuppressionDB
+
+
+@dataclass
+class TriageOutcome:
+    """Everything one triage round produced."""
+
+    program_name: str
+    results: Dict[StaticRaceKey, StaticRaceResult]
+    reports: List[RaceReport]
+    reclassified: List[RaceRecord]
+
+    @property
+    def actionable(self) -> List[RaceReport]:
+        """Potentially harmful, not yet suppressed — the developer's queue."""
+        return [
+            report
+            for report in self.reports
+            if report.classification is Classification.POTENTIALLY_HARMFUL
+            and not report.suppressed
+        ]
+
+    def priority_queue(self):
+        """The actionable races ranked by evidence strength (see
+        :mod:`repro.race.ranking`)."""
+        from .ranking import rank_results
+
+        suppressed_keys = {
+            report.key for report in self.reports if report.suppressed
+        }
+        candidates = {
+            key: result
+            for key, result in self.results.items()
+            if key not in suppressed_keys
+        }
+        return rank_results(candidates)
+
+    def render(self) -> str:
+        from .ranking import render_ranking
+
+        suppressed_keys = {
+            report.key for report in self.reports if report.suppressed
+        }
+        candidates = {
+            key: result
+            for key, result in self.results.items()
+            if key not in suppressed_keys
+        }
+        lines = [render_triage_list(self.reports)]
+        if any(
+            result.classification is Classification.POTENTIALLY_HARMFUL
+            for result in candidates.values()
+        ):
+            lines.append("")
+            lines.append(render_ranking(candidates))
+        if self.reclassified:
+            lines.append("")
+            lines.append("RE-CLASSIFIED since earlier sessions:")
+            for record in self.reclassified:
+                lines.append("  " + record.describe())
+        return "\n".join(lines)
+
+
+class TriageSession:
+    """A stateful triage context shared across analysis rounds."""
+
+    def __init__(
+        self,
+        suppressions: Optional[SuppressionDB] = None,
+        database: Optional[RaceDatabase] = None,
+    ):
+        self.suppressions = suppressions if suppressions is not None else SuppressionDB()
+        self.database = database if database is not None else RaceDatabase()
+
+    def process(
+        self,
+        program: Program,
+        log: ReplayLog,
+        classified: List[ClassifiedInstance],
+    ) -> TriageOutcome:
+        """Fold one analysed execution into the session and report."""
+        results = aggregate_instances(classified)
+        reclassified = self.database.update(program.name, results.values())
+        reports = []
+        for key, result in results.items():
+            reason = categorize(result, program)
+            reports.append(
+                build_report(
+                    result,
+                    program,
+                    log,
+                    suggested_reason=str(reason) if reason else None,
+                    suppressed=self.suppressions.is_suppressed(program.name, key),
+                )
+            )
+        return TriageOutcome(
+            program_name=program.name,
+            results=results,
+            reports=reports,
+            reclassified=reclassified,
+        )
+
+    def mark_benign(
+        self,
+        program_name: str,
+        key: StaticRaceKey,
+        reason: str = "",
+        triaged_by: str = "",
+    ) -> None:
+        """Record a developer's benign verdict (persisted via save())."""
+        self.suppressions.mark_benign(
+            program_name, key, reason=reason, triaged_by=triaged_by
+        )
+
+    def pending_harmful(self, program_name: str) -> List[RaceRecord]:
+        """Potentially harmful races of a program not yet triaged benign."""
+        return [
+            record
+            for record in self.database.harmful_records(program_name)
+            if not self.suppressions.is_suppressed(program_name, record.key)
+        ]
+
+    def save(self, suppressions_path, database_path) -> None:
+        self.suppressions.save(suppressions_path)
+        self.database.save(database_path)
+
+    @classmethod
+    def load(cls, suppressions_path, database_path) -> "TriageSession":
+        from pathlib import Path
+
+        suppressions = (
+            SuppressionDB.load(suppressions_path)
+            if Path(suppressions_path).exists()
+            else SuppressionDB()
+        )
+        database = (
+            RaceDatabase.load(database_path)
+            if Path(database_path).exists()
+            else RaceDatabase()
+        )
+        return cls(suppressions=suppressions, database=database)

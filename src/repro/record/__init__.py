@@ -1,0 +1,50 @@
+"""iDNA-analog recording: load-based checkpointing logs with sequencers."""
+
+from .compression import (
+    CompressionStats,
+    aggregate_stats,
+    compression_stats,
+    decode_varint,
+    encode_varint,
+    pack_log,
+    pack_thread_log,
+)
+from .log import (
+    LoadRecord,
+    ReplayLog,
+    SequencerRecord,
+    SyscallRecord,
+    ThreadEnd,
+    ThreadLog,
+)
+from .metrics import LogMetrics, log_metrics
+from .recorder import Recorder, record_run
+from .serialization import load_log, log_from_json, log_to_json, save_log
+from .validation import InvalidLogError, ValidationIssue, validate_log
+
+__all__ = [
+    "CompressionStats",
+    "aggregate_stats",
+    "compression_stats",
+    "decode_varint",
+    "encode_varint",
+    "pack_log",
+    "pack_thread_log",
+    "LoadRecord",
+    "ReplayLog",
+    "SequencerRecord",
+    "SyscallRecord",
+    "ThreadEnd",
+    "ThreadLog",
+    "LogMetrics",
+    "log_metrics",
+    "Recorder",
+    "record_run",
+    "load_log",
+    "log_from_json",
+    "log_to_json",
+    "save_log",
+    "InvalidLogError",
+    "ValidationIssue",
+    "validate_log",
+]

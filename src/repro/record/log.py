@@ -1,0 +1,146 @@
+"""Replay-log data model (the iDNA-analog log format).
+
+One :class:`ReplayLog` captures one execution.  Per thread it holds:
+
+* the initial architectural state (registers, entry pc — always the zero
+  state in this machine, recorded anyway so the format stands alone),
+* **load records** — the values of exactly those loads whose value could
+  not be predicted from the thread's own prior loads and stores (iDNA's
+  load-based checkpointing: the first access to a location is logged, and
+  later loads are logged only when the external world — another thread, a
+  syscall — changed the value underneath the thread),
+* **syscall records** — every syscall result (system-interaction
+  nondeterminism),
+* **sequencers** — globally timestamped markers at every synchronization
+  instruction and syscall, plus thread start/end,
+* the executed-pc footprint (used to detect "control flow the log never
+  saw" during alternative-order replay, the paper's §4.2.1 failure mode),
+* how the thread ended (halt or fault).
+
+The log embeds the program's assembly source, so a log file alone is
+sufficient to replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.program import Program, StaticInstructionId
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """Value of one unpredictable load, keyed by the thread step it retired at."""
+
+    thread_step: int
+    address: int
+    value: int
+
+
+@dataclass(frozen=True)
+class SyscallRecord:
+    """Result of one syscall."""
+
+    thread_step: int
+    name: str
+    result: int
+
+
+@dataclass(frozen=True)
+class SequencerRecord:
+    """One sequencer: a point in the global total order of synchronization.
+
+    ``thread_step`` is the step at which the sequencer-point instruction
+    retired; thread-start sequencers use step -1 and thread-end sequencers
+    use the final step count (one past the last retired instruction), so a
+    *sequencing region* is always the open interval between two consecutive
+    sequencer steps of one thread.
+    """
+
+    thread_step: int
+    timestamp: int
+    kind: str
+    static_id: Optional[StaticInstructionId] = None
+
+
+@dataclass
+class ThreadEnd:
+    """How a thread's recording ended."""
+
+    thread_step: int
+    reason: str
+    fault_kind: Optional[str] = None
+
+
+@dataclass
+class ThreadLog:
+    """Everything recorded about one thread."""
+
+    name: str
+    tid: int
+    block: str
+    initial_registers: Tuple[int, ...]
+    loads: Dict[int, LoadRecord] = field(default_factory=dict)
+    syscalls: Dict[int, SyscallRecord] = field(default_factory=dict)
+    sequencers: List[SequencerRecord] = field(default_factory=list)
+    pc_footprint: Set[int] = field(default_factory=set)
+    steps: int = 0
+    end: Optional[ThreadEnd] = None
+
+    def load_at(self, thread_step: int) -> Optional[LoadRecord]:
+        return self.loads.get(thread_step)
+
+    def syscall_at(self, thread_step: int) -> Optional[SyscallRecord]:
+        return self.syscalls.get(thread_step)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.loads) + len(self.syscalls) + len(self.sequencers)
+
+
+@dataclass
+class ReplayLog:
+    """A complete recorded execution: per-thread logs plus provenance.
+
+    ``global_order`` optionally lists ``(tid, thread_step)`` in the global
+    retirement order.  iDNA does not have this for plain memory operations;
+    it is recorded here (when ``capture_global_order`` is on) only as debug
+    information — analyses must work without it, and tests verify they do.
+    """
+
+    program_name: str
+    program_source: str
+    threads: Dict[str, ThreadLog]
+    seed: int = 0
+    scheduler: str = ""
+    global_order: Optional[List[Tuple[int, int]]] = None
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(thread.steps for thread in self.threads.values())
+
+    @property
+    def total_records(self) -> int:
+        return sum(thread.record_count for thread in self.threads.values())
+
+    def thread_by_tid(self, tid: int) -> ThreadLog:
+        for thread in self.threads.values():
+            if thread.tid == tid:
+                return thread
+        raise KeyError("no thread with tid %d" % tid)
+
+    def reassemble_program(self) -> Program:
+        """Rebuild the :class:`Program` embedded in this log."""
+        from ..isa.assembler import assemble
+
+        return assemble(self.program_source, name=self.program_name)
+
+    def global_position(self, tid: int, thread_step: int) -> Optional[int]:
+        """Index of ``(tid, thread_step)`` in the recorded global order."""
+        if self.global_order is None:
+            return None
+        try:
+            return self.global_order.index((tid, thread_step))
+        except ValueError:
+            return None

@@ -1,0 +1,61 @@
+"""Per-log record-count metrics (complements :mod:`.compression`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .log import ReplayLog
+
+
+@dataclass
+class LogMetrics:
+    """Breakdown of a replay log's contents."""
+
+    total_instructions: int
+    load_records: int
+    syscall_records: int
+    sequencer_records: int
+    threads: int
+    per_thread_instructions: Dict[str, int]
+
+    @property
+    def total_records(self) -> int:
+        return self.load_records + self.syscall_records + self.sequencer_records
+
+    @property
+    def load_log_fraction(self) -> float:
+        """Fraction of executed loads-or-not instructions that produced a
+        load record — the recorder's prediction-cache miss rate proxy."""
+        if not self.total_instructions:
+            return 0.0
+        return self.load_records / self.total_instructions
+
+    def describe(self) -> str:
+        return (
+            "%d instructions across %d threads: %d load records, "
+            "%d syscall records, %d sequencers"
+            % (
+                self.total_instructions,
+                self.threads,
+                self.load_records,
+                self.syscall_records,
+                self.sequencer_records,
+            )
+        )
+
+
+def log_metrics(log: ReplayLog) -> LogMetrics:
+    """Compute :class:`LogMetrics` for one replay log."""
+    return LogMetrics(
+        total_instructions=log.total_instructions,
+        load_records=sum(len(thread.loads) for thread in log.threads.values()),
+        syscall_records=sum(len(thread.syscalls) for thread in log.threads.values()),
+        sequencer_records=sum(
+            len(thread.sequencers) for thread in log.threads.values()
+        ),
+        threads=len(log.threads),
+        per_thread_instructions={
+            name: thread.steps for name, thread in log.threads.items()
+        },
+    )

@@ -1,0 +1,159 @@
+"""The iDNA-analog recorder: an observer implementing load-based checkpointing.
+
+Attach a :class:`Recorder` to a machine run and call :meth:`finish` for the
+:class:`ReplayLog`.  The policy is the paper's Section 3.1, transliterated:
+
+* maintain, per thread, a *prediction cache* — the memory image the thread
+  could reconstruct from its own past loads and stores;
+* on a load, log the value only when the cache mispredicts (first access,
+  or another thread / the system modified the location in between);
+* log every syscall result;
+* log a sequencer (global monotone timestamp) at every synchronization
+  instruction and syscall, plus thread start/end.
+
+The recorder never reads machine internals — it sees only observer events,
+so it records exactly the information a binary instrumentation engine could.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import Program, StaticInstructionId
+from ..vm.observers import Observer
+from .log import (
+    LoadRecord,
+    ReplayLog,
+    SequencerRecord,
+    SyscallRecord,
+    ThreadEnd,
+    ThreadLog,
+)
+
+
+class Recorder(Observer):
+    """Records one machine run into a :class:`ReplayLog`."""
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 0,
+        scheduler: str = "",
+        capture_global_order: bool = True,
+    ):
+        self.program = program
+        self.seed = seed
+        self.scheduler_description = scheduler
+        self._threads: Dict[int, ThreadLog] = {}
+        self._caches: Dict[int, Dict[int, int]] = {}
+        self._global_order: Optional[List[Tuple[int, int]]] = (
+            [] if capture_global_order else None
+        )
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Observer hooks.
+    # ------------------------------------------------------------------
+
+    def on_thread_start(self, tid: int, thread_name: str, block_name: str) -> None:
+        self._threads[tid] = ThreadLog(
+            name=thread_name,
+            tid=tid,
+            block=block_name,
+            initial_registers=(0,) * 16,
+        )
+        self._caches[tid] = {}
+
+    def on_sequencer(self, tid, thread_step, timestamp, kind, static_id) -> None:
+        self._threads[tid].sequencers.append(
+            SequencerRecord(
+                thread_step=thread_step,
+                timestamp=timestamp,
+                kind=kind,
+                static_id=static_id,
+            )
+        )
+
+    def on_load(self, tid, thread_step, static_id, address, value, is_sync) -> None:
+        cache = self._caches[tid]
+        if address not in cache or cache[address] != value:
+            self._threads[tid].loads[thread_step] = LoadRecord(
+                thread_step=thread_step, address=address, value=value
+            )
+        cache[address] = value
+
+    def on_store(
+        self, tid, thread_step, static_id, address, old_value, new_value, is_sync
+    ) -> None:
+        self._caches[tid][address] = new_value
+
+    def on_syscall(self, tid, thread_step, static_id, name, result) -> None:
+        self._threads[tid].syscalls[thread_step] = SyscallRecord(
+            thread_step=thread_step, name=name, result=result
+        )
+
+    def on_step(self, global_step, tid, thread_step, static_id) -> None:
+        log = self._threads[tid]
+        log.pc_footprint.add(static_id.index)
+        log.steps = thread_step + 1
+        if self._global_order is not None:
+            self._global_order.append((tid, thread_step))
+
+    def on_thread_end(self, tid, thread_step, reason, fault) -> None:
+        self._threads[tid].end = ThreadEnd(
+            thread_step=thread_step,
+            reason=reason,
+            fault_kind=str(fault) if fault is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Result.
+    # ------------------------------------------------------------------
+
+    def finish(self) -> ReplayLog:
+        """Assemble the final :class:`ReplayLog` (idempotent)."""
+        self._finished = True
+        return ReplayLog(
+            program_name=self.program.name,
+            program_source=self.program.source,
+            threads={log.name: log for log in self._threads.values()},
+            seed=self.seed,
+            scheduler=self.scheduler_description,
+            global_order=list(self._global_order)
+            if self._global_order is not None
+            else None,
+        )
+
+
+def record_run(
+    program: Program,
+    scheduler=None,
+    seed: int = 0,
+    max_steps: int = 200_000,
+    capture_global_order: bool = True,
+    extra_observers=(),
+):
+    """Run ``program`` under recording; returns ``(MachineResult, ReplayLog)``.
+
+    The convenience entry point used throughout the examples and the
+    analysis pipeline: one call replaces "deploy iDNA and run the test
+    scenario" from the paper's usage model.
+    """
+    from ..vm.machine import Machine
+
+    scheduler_description = type(scheduler).__name__ if scheduler else "RoundRobinScheduler"
+    recorder = Recorder(
+        program,
+        seed=seed,
+        scheduler=scheduler_description,
+        capture_global_order=capture_global_order,
+    )
+    machine = Machine(
+        program,
+        scheduler=scheduler,
+        seed=seed,
+        max_steps=max_steps,
+        observers=[recorder, *extra_observers],
+    )
+    result = machine.run()
+    return result, recorder.finish()

@@ -1,0 +1,149 @@
+"""JSON (de)serialization of replay logs.
+
+A serialized log is self-contained: it embeds the program source, so a log
+file plus this library is sufficient to replay, detect, and classify — the
+paper's model of shipping a replay log to the developer alongside the race
+report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..isa.program import StaticInstructionId
+from .log import (
+    LoadRecord,
+    ReplayLog,
+    SequencerRecord,
+    SyscallRecord,
+    ThreadEnd,
+    ThreadLog,
+)
+
+FORMAT_VERSION = 1
+
+
+def _static_id_to_json(static_id: Optional[StaticInstructionId]):
+    if static_id is None:
+        return None
+    return [static_id.block, static_id.index]
+
+
+def _static_id_from_json(data) -> Optional[StaticInstructionId]:
+    if data is None:
+        return None
+    return StaticInstructionId(block=data[0], index=data[1])
+
+
+def thread_log_to_json(log: ThreadLog) -> Dict[str, Any]:
+    return {
+        "name": log.name,
+        "tid": log.tid,
+        "block": log.block,
+        "initial_registers": list(log.initial_registers),
+        "loads": [
+            [record.thread_step, record.address, record.value]
+            for record in (log.loads[step] for step in sorted(log.loads))
+        ],
+        "syscalls": [
+            [record.thread_step, record.name, record.result]
+            for record in (log.syscalls[step] for step in sorted(log.syscalls))
+        ],
+        "sequencers": [
+            [
+                sequencer.thread_step,
+                sequencer.timestamp,
+                sequencer.kind,
+                _static_id_to_json(sequencer.static_id),
+            ]
+            for sequencer in log.sequencers
+        ],
+        "pc_footprint": sorted(log.pc_footprint),
+        "steps": log.steps,
+        "end": (
+            [log.end.thread_step, log.end.reason, log.end.fault_kind]
+            if log.end
+            else None
+        ),
+    }
+
+
+def thread_log_from_json(data: Dict[str, Any]) -> ThreadLog:
+    log = ThreadLog(
+        name=data["name"],
+        tid=data["tid"],
+        block=data["block"],
+        initial_registers=tuple(data["initial_registers"]),
+        steps=data["steps"],
+    )
+    for step, address, value in data["loads"]:
+        log.loads[step] = LoadRecord(thread_step=step, address=address, value=value)
+    for step, name, result in data["syscalls"]:
+        log.syscalls[step] = SyscallRecord(thread_step=step, name=name, result=result)
+    for step, timestamp, kind, static_id in data["sequencers"]:
+        log.sequencers.append(
+            SequencerRecord(
+                thread_step=step,
+                timestamp=timestamp,
+                kind=kind,
+                static_id=_static_id_from_json(static_id),
+            )
+        )
+    log.pc_footprint = set(data["pc_footprint"])
+    if data["end"] is not None:
+        step, reason, fault_kind = data["end"]
+        log.end = ThreadEnd(thread_step=step, reason=reason, fault_kind=fault_kind)
+    return log
+
+
+def log_to_json(log: ReplayLog) -> Dict[str, Any]:
+    """Convert a :class:`ReplayLog` to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "program_name": log.program_name,
+        "program_source": log.program_source,
+        "seed": log.seed,
+        "scheduler": log.scheduler,
+        "threads": {
+            name: thread_log_to_json(thread) for name, thread in log.threads.items()
+        },
+        "global_order": (
+            [[tid, step] for tid, step in log.global_order]
+            if log.global_order is not None
+            else None
+        ),
+    }
+
+
+def log_from_json(data: Dict[str, Any]) -> ReplayLog:
+    """Rebuild a :class:`ReplayLog` from :func:`log_to_json` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError("unsupported replay-log format version: %r" % version)
+    return ReplayLog(
+        program_name=data["program_name"],
+        program_source=data["program_source"],
+        threads={
+            name: thread_log_from_json(thread)
+            for name, thread in data["threads"].items()
+        },
+        seed=data["seed"],
+        scheduler=data["scheduler"],
+        global_order=(
+            [(tid, step) for tid, step in data["global_order"]]
+            if data["global_order"] is not None
+            else None
+        ),
+    )
+
+
+def save_log(log: ReplayLog, path: Union[str, Path]) -> None:
+    """Write a replay log to a JSON file."""
+    Path(path).write_text(json.dumps(log_to_json(log)))
+
+
+def load_log(path: Union[str, Path]) -> ReplayLog:
+    """Read a replay log from a JSON file."""
+    return log_from_json(json.loads(Path(path).read_text()))

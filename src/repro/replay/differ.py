@@ -1,0 +1,143 @@
+"""Structured diffing of two virtual-processor replays.
+
+The paper's report gives the developer "the ability to replay the program
+in two different ways ... and understand the effects of different memory
+orders".  The raw material is two :class:`VPOutcome` live-outs; this
+module turns them into a typed, renderable diff — which registers of
+which thread changed, which memory words, whether control flow diverged —
+that the race report and the CLI embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from .virtual_processor import VPOutcome
+
+
+class DiffKind(Enum):
+    REGISTER = "register"
+    MEMORY = "memory"
+    CONTROL_FLOW = "control-flow"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One divergence between the original and alternative replays."""
+
+    kind: DiffKind
+    thread: Optional[str]
+    location: str  # "r3", "[0x1000]", "end pc"
+    original: object
+    alternative: object
+
+    def render(self) -> str:
+        where = "%s %s" % (self.thread, self.location) if self.thread else self.location
+        return "%s: %s (original) vs %s (alternative)" % (
+            where,
+            self.original,
+            self.alternative,
+        )
+
+
+@dataclass
+class ReplayDiff:
+    """The full diff between the two replay orders of one race instance."""
+
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    @property
+    def has_control_flow_divergence(self) -> bool:
+        return any(entry.kind is DiffKind.CONTROL_FLOW for entry in self.entries)
+
+    def by_kind(self, kind: DiffKind) -> List[DiffEntry]:
+        return [entry for entry in self.entries if entry.kind is kind]
+
+    def render(self) -> List[str]:
+        return [entry.render() for entry in self.entries]
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return "live-outs identical"
+        counts: Dict[DiffKind, int] = {}
+        for entry in self.entries:
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return ", ".join(
+            "%d %s difference(s)" % (count, kind)
+            for kind, count in sorted(counts.items(), key=lambda item: str(item[0]))
+        )
+
+
+def diff_outcomes(
+    original: VPOutcome,
+    alternative: VPOutcome,
+    live_in: Optional[Dict[int, int]] = None,
+) -> ReplayDiff:
+    """Compute the structured diff between two replays' live-outs.
+
+    ``live_in`` supplies the fallback value for addresses only one replay
+    wrote (a write of the live-in value is not a difference — the
+    redundant-write rule the classifier also applies).
+    """
+    live_in = live_in or {}
+    diff = ReplayDiff()
+
+    for thread_name in original.registers:
+        alternative_registers = alternative.registers.get(thread_name)
+        if alternative_registers is None:
+            continue
+        for index, (before, after) in enumerate(
+            zip(original.registers[thread_name], alternative_registers)
+        ):
+            if before != after:
+                diff.entries.append(
+                    DiffEntry(
+                        kind=DiffKind.REGISTER,
+                        thread=thread_name,
+                        location="r%d" % index,
+                        original=before,
+                        alternative=after,
+                    )
+                )
+
+    touched = set(original.dirty_memory) | set(alternative.dirty_memory)
+    for address in sorted(touched):
+        value_original = original.dirty_memory.get(address, live_in.get(address, 0))
+        value_alternative = alternative.dirty_memory.get(
+            address, live_in.get(address, 0)
+        )
+        if value_original != value_alternative:
+            diff.entries.append(
+                DiffEntry(
+                    kind=DiffKind.MEMORY,
+                    thread=None,
+                    location="[%#x]" % address,
+                    original=value_original,
+                    alternative=value_alternative,
+                )
+            )
+
+    for thread_name in original.end_pcs:
+        pc_original = original.end_pcs[thread_name]
+        pc_alternative = alternative.end_pcs.get(thread_name)
+        if pc_alternative is not None and pc_original != pc_alternative:
+            diff.entries.append(
+                DiffEntry(
+                    kind=DiffKind.CONTROL_FLOW,
+                    thread=thread_name,
+                    location="end pc",
+                    original=pc_original,
+                    alternative=pc_alternative,
+                )
+            )
+
+    return diff

@@ -1,0 +1,48 @@
+"""Replay-layer errors.
+
+:class:`ReplayDivergence` signals a *broken* replay (log inconsistent with
+the program) — always a bug, never an expected analysis outcome.
+
+:class:`ReplayFailure` is the paper's §4.2.1 notion: the *alternative-order*
+replay ran off the recorded envelope (unlogged address, unrecorded control
+flow, a memory fault such as the Figure 2 double free, or a stuck spin).
+It is an expected, meaningful outcome — "a good indicator that the data
+race is likely to cause a change in the program's state".
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ReplayError(Exception):
+    """Base class for replay-layer errors."""
+
+
+class ReplayDivergence(ReplayError):
+    """The log and program disagree — the replay infrastructure failed."""
+
+
+class ReplayFailureKind(Enum):
+    """Why an alternative-order replay could not complete."""
+
+    UNKNOWN_ADDRESS = "unknown-address"
+    UNRECORDED_CONTROL_FLOW = "unrecorded-control-flow"
+    MEMORY_FAULT = "memory-fault"
+    STEP_LIMIT = "step-limit"
+    DIVERGENCE = "divergence"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ReplayFailure(ReplayError):
+    """An (expected) failure while replaying a reordered execution."""
+
+    def __init__(self, kind: ReplayFailureKind, detail: str = ""):
+        self.kind = kind
+        self.detail = detail
+        message = str(kind)
+        if detail:
+            message += ": " + detail
+        super().__init__(message)

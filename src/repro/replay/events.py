@@ -1,0 +1,74 @@
+"""Event model produced by replaying one thread from its log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import StaticInstructionId
+
+
+@dataclass(frozen=True)
+class ReplayedAccess:
+    """One memory access reconstructed during replay."""
+
+    thread_step: int
+    static_id: StaticInstructionId
+    address: int
+    value: int
+    is_write: bool
+    is_sync: bool
+
+
+@dataclass(frozen=True)
+class HeapEvent:
+    """An allocation or free reconstructed during replay.
+
+    ``size`` is recovered from the replayed register state (iDNA-style logs
+    record only syscall *results*; the replay re-derives the arguments).
+    """
+
+    thread_step: int
+    kind: str  # "alloc" | "free"
+    base: int
+    size: int
+
+
+@dataclass
+class ThreadReplay:
+    """The result of replaying one thread in isolation.
+
+    ``region_start_registers``/``region_start_pcs`` give the architectural
+    live-in at each sequencing-region start step — the state the virtual
+    processor is initialised with.
+    """
+
+    name: str
+    tid: int
+    steps: int
+    pcs: List[int] = field(default_factory=list)
+    static_ids: List[StaticInstructionId] = field(default_factory=list)
+    accesses: List[ReplayedAccess] = field(default_factory=list)
+    heap_events: List[HeapEvent] = field(default_factory=list)
+    region_start_registers: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    region_start_pcs: Dict[int, int] = field(default_factory=dict)
+    final_registers: Tuple[int, ...] = ()
+    output: List[Tuple[str, int]] = field(default_factory=list)
+
+    def accesses_in_steps(self, start_step: int, end_step: int) -> List[ReplayedAccess]:
+        """All accesses with ``start_step <= thread_step < end_step``."""
+        return [
+            access
+            for access in self.accesses
+            if start_step <= access.thread_step < end_step
+        ]
+
+    def access_at(
+        self, thread_step: int, address: Optional[int] = None
+    ) -> Optional[ReplayedAccess]:
+        for access in self.accesses:
+            if access.thread_step == thread_step and (
+                address is None or access.address == address
+            ):
+                return access
+        return None

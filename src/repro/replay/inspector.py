@@ -1,0 +1,247 @@
+"""Time-travel inspection of replayed executions.
+
+The paper leans on iDNA's "reverse execution (also called time travel
+debugging)" as the developer's follow-up tool: given the replay log a race
+report points at, the developer replays and examines *any* past state.
+This module is that capability for our logs: a :class:`TimeTravelInspector`
+answers state queries at arbitrary points of a recorded execution —
+
+* registers of a thread at any step,
+* the value a thread's load/store saw at any step,
+* a thread's program counter / source line at any step,
+* a best-effort global memory view at a global-order point,
+
+without re-recording anything.  Queries re-execute the per-thread replay
+up to the requested step (threads are small; the replays themselves are
+already materialised by :class:`OrderedReplay`), with snapshot reuse at
+sequencing-region boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.operands import Imm
+from ..isa.program import Program, StaticInstructionId
+from ..record.log import ReplayLog
+from ..vm import alu
+from ..vm.registers import RegisterFile
+from .errors import ReplayDivergence
+from .ordered_replay import OrderedReplay
+
+
+@dataclass(frozen=True)
+class StepView:
+    """Everything about one retired step of one thread."""
+
+    thread_name: str
+    thread_step: int
+    pc: int
+    static_id: StaticInstructionId
+    instruction_text: str
+    registers_before: Tuple[int, ...]
+    registers_after: Tuple[int, ...]
+    access: Optional[Tuple[str, int, int]] = None  # (kind, address, value)
+
+    def describe(self) -> str:
+        text = "%s step %d @ %s: %s" % (
+            self.thread_name,
+            self.thread_step,
+            self.static_id,
+            self.instruction_text,
+        )
+        if self.access is not None:
+            kind, address, value = self.access
+            text += "   [%s %#x = %d]" % (kind, address, value)
+        changed = [
+            "r%d: %d -> %d" % (index, before, after)
+            for index, (before, after) in enumerate(
+                zip(self.registers_before, self.registers_after)
+            )
+            if before != after
+        ]
+        if changed:
+            text += "   {%s}" % ", ".join(changed)
+        return text
+
+
+class TimeTravelInspector:
+    """Query any past state of a recorded execution."""
+
+    def __init__(self, ordered: OrderedReplay):
+        self.ordered = ordered
+        self.program: Program = ordered.program
+        self.log: ReplayLog = ordered.log
+        # registers-before-step cache, per thread, filled lazily.
+        self._register_cache: Dict[str, List[Tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Register time travel.
+    # ------------------------------------------------------------------
+
+    def _registers_timeline(self, thread_name: str) -> List[Tuple[int, ...]]:
+        """Registers *before* each step (index i = before step i),
+        plus one final entry for the end state."""
+        if thread_name in self._register_cache:
+            return self._register_cache[thread_name]
+        replay = self.ordered.thread_replays[thread_name]
+        thread_log = self.log.threads[thread_name]
+        block = self.program.blocks[thread_log.block]
+        registers = RegisterFile(thread_log.initial_registers)
+        timeline: List[Tuple[int, ...]] = []
+        loads_by_step = {
+            access.thread_step: access.value
+            for access in replay.accesses
+            if not access.is_write
+        }
+        for step, pc in enumerate(replay.pcs):
+            timeline.append(registers.snapshot())
+            instruction = block.instruction_at(pc)
+            self._apply_register_effects(
+                instruction, registers, loads_by_step.get(step), thread_log, step
+            )
+        timeline.append(registers.snapshot())
+        if timeline[-1] != replay.final_registers:
+            raise ReplayDivergence(
+                "inspector register reconstruction diverged for %s" % thread_name
+            )
+        self._register_cache[thread_name] = timeline
+        return timeline
+
+    def _apply_register_effects(
+        self,
+        instruction: Instruction,
+        registers: RegisterFile,
+        load_value: Optional[int],
+        thread_log,
+        step: int,
+    ) -> None:
+        opcode = instruction.opcode
+        operands = instruction.operands
+        if opcode == "li":
+            registers.write(operands[0].index, operands[1].value)
+        elif opcode == "mov":
+            registers.write(operands[0].index, registers.read(operands[1].index))
+        elif alu.is_binary_op(opcode):
+            rhs = (
+                operands[2].value
+                if isinstance(operands[2], Imm)
+                else registers.read(operands[2].index)
+            )
+            registers.write(
+                operands[0].index,
+                alu.binary_op(opcode, registers.read(operands[1].index), rhs),
+            )
+        elif opcode == "load":
+            registers.write(operands[0].index, load_value or 0)
+        elif opcode in ("atom_add", "atom_xchg", "cas"):
+            registers.write(operands[0].index, load_value or 0)
+        elif instruction.spec.is_syscall:
+            record = thread_log.syscall_at(step)
+            if record is not None and opcode in (
+                "sys_getpid",
+                "sys_time",
+                "sys_rand",
+                "sys_alloc",
+            ):
+                registers.write(operands[0].index, record.result)
+        # branches/stores/nop/halt/fence/lock/unlock: no register effects.
+
+    # ------------------------------------------------------------------
+    # Public queries.
+    # ------------------------------------------------------------------
+
+    def registers_at(self, thread_name: str, thread_step: int) -> Tuple[int, ...]:
+        """Register file of ``thread_name`` just *before* ``thread_step``."""
+        timeline = self._registers_timeline(thread_name)
+        if not 0 <= thread_step < len(timeline):
+            raise IndexError(
+                "step %d out of range for %s (0..%d)"
+                % (thread_step, thread_name, len(timeline) - 1)
+            )
+        return timeline[thread_step]
+
+    def register_at(self, thread_name: str, thread_step: int, register: int) -> int:
+        return self.registers_at(thread_name, thread_step)[register]
+
+    def pc_at(self, thread_name: str, thread_step: int) -> int:
+        replay = self.ordered.thread_replays[thread_name]
+        return replay.pcs[thread_step]
+
+    def step_view(self, thread_name: str, thread_step: int) -> StepView:
+        """A full picture of one retired step (the debugger's focus line)."""
+        replay = self.ordered.thread_replays[thread_name]
+        timeline = self._registers_timeline(thread_name)
+        pc = replay.pcs[thread_step]
+        static_id = replay.static_ids[thread_step]
+        instruction = self.program.instruction(static_id)
+        access = None
+        for entry in replay.accesses:
+            if entry.thread_step == thread_step:
+                access = (
+                    "store" if entry.is_write else "load",
+                    entry.address,
+                    entry.value,
+                )
+                break
+        return StepView(
+            thread_name=thread_name,
+            thread_step=thread_step,
+            pc=pc,
+            static_id=static_id,
+            instruction_text=instruction.source_text or str(instruction),
+            registers_before=timeline[thread_step],
+            registers_after=timeline[thread_step + 1],
+            access=access,
+        )
+
+    def history_of_address(self, address: int) -> List[Tuple[str, int, str, int]]:
+        """All recorded accesses to ``address``: (thread, step, kind, value),
+        in per-thread order, threads interleaved by region-replay order."""
+        history: List[Tuple[str, int, str, int]] = []
+        for name, replay in self.ordered.thread_replays.items():
+            for entry in replay.accesses:
+                if entry.address == address:
+                    history.append(
+                        (
+                            name,
+                            entry.thread_step,
+                            "store" if entry.is_write else "load",
+                            entry.value,
+                        )
+                    )
+        history.sort(key=lambda item: (item[1], item[0]))
+        return history
+
+    def last_write_before(
+        self, thread_name: str, thread_step: int, address: int
+    ) -> Optional[Tuple[str, int, int]]:
+        """Best-effort provenance: who last wrote ``address`` from this
+        thread's point of view at ``thread_step`` — its own latest store, or
+        the replayed load value's origin."""
+        replay = self.ordered.thread_replays[thread_name]
+        own_store = None
+        for entry in replay.accesses:
+            if (
+                entry.thread_step < thread_step
+                and entry.address == address
+                and entry.is_write
+            ):
+                own_store = (thread_name, entry.thread_step, entry.value)
+        if own_store is not None:
+            return own_store
+        for name, other in self.ordered.thread_replays.items():
+            if name == thread_name:
+                continue
+            for entry in other.accesses:
+                if entry.address == address and entry.is_write:
+                    return (name, entry.thread_step, entry.value)
+        return None
+
+    def walk(self, thread_name: str, start: int = 0, count: int = 10) -> List[StepView]:
+        """A window of consecutive step views — 'stepping' through history."""
+        replay = self.ordered.thread_replays[thread_name]
+        end = min(start + count, replay.steps)
+        return [self.step_view(thread_name, step) for step in range(start, end)]

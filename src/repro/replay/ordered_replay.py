@@ -1,0 +1,265 @@
+"""Region-ordered global replay: rebuild shared-memory state from the logs.
+
+iDNA replays one sequencing region at a time, choosing the not-yet-replayed
+region with the smallest opening sequencer (Section 3.3).  This module does
+the same walk to reconstruct, purely from the logs:
+
+* the global memory image *just before* any given region starts (the
+  virtual processor's live-in memory),
+* the heap's freed-range set at that point (so an alternative-order replay
+  can fault on use-after-free exactly like the paper's Figure 2 example),
+* the program output in replay order.
+
+The reconstruction is exact for correctly synchronized programs and a
+best-effort linearization where data races exist — which is precisely why
+racing operations need the both-orders classification rather than a single
+replayed order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import Program
+from ..record.log import ReplayLog, SequencerRecord
+from .errors import ReplayDivergence
+from .events import ReplayedAccess, ThreadReplay
+from .regions import SequencingRegion, regions_of_thread
+from .thread_replayer import ThreadReplayer
+
+#: Key identifying a region: (tid, region index within its thread).
+RegionKey = Tuple[int, int]
+
+
+def region_key(region: SequencingRegion) -> RegionKey:
+    return (region.tid, region.index)
+
+
+class OrderedReplay:
+    """Replays a whole log in sequencer order, snapshotting region live-ins."""
+
+    def __init__(self, log: ReplayLog, program: Optional[Program] = None):
+        self.log = log
+        self.program = program if program is not None else log.reassemble_program()
+        self.thread_replays: Dict[str, ThreadReplay] = {
+            name: ThreadReplayer(self.program, log, name).run() for name in log.threads
+        }
+        self.regions: Dict[str, List[SequencingRegion]] = {
+            name: regions_of_thread(thread_log)
+            for name, thread_log in log.threads.items()
+        }
+        self._snapshots: Dict[RegionKey, Tuple[Dict[int, int], Dict[int, int]]] = {}
+        self._pair_snapshots: Dict[
+            Tuple[RegionKey, RegionKey], Tuple[Dict[int, int], Dict[int, int]]
+        ] = {}
+        self._final_image: Dict[int, int] = {}
+        self._final_freed: Dict[int, int] = {}
+        self._walk()
+
+    # ------------------------------------------------------------------
+    # The region-ordered walk.
+    # ------------------------------------------------------------------
+
+    def sequencers_with_regions(
+        self,
+    ) -> List[Tuple[SequencerRecord, str, Optional[SequencingRegion]]]:
+        """Every sequencer in global timestamp order, paired with its thread
+        name and the region it opens (``None`` for thread-end sequencers).
+        The canonical linearization both the internal walk and the baseline
+        detectors iterate."""
+        entries: List[Tuple[SequencerRecord, str, Optional[SequencingRegion]]] = []
+        for name, thread_log in self.log.threads.items():
+            ordered = sorted(thread_log.sequencers, key=lambda s: s.timestamp)
+            thread_regions = self.regions[name]
+            for index, sequencer in enumerate(ordered):
+                following = thread_regions[index] if index < len(thread_regions) else None
+                entries.append((sequencer, name, following))
+        entries.sort(key=lambda entry: entry[0].timestamp)
+        return entries
+
+    def _walk(self) -> None:
+        image: Dict[int, int] = dict(self.program.initial_memory())
+        freed: Dict[int, int] = {}
+        live_allocations: Dict[int, int] = {}
+        for sequencer, thread_name, following in self.sequencers_with_regions():
+            replay = self.thread_replays[thread_name]
+            if sequencer.thread_step >= 0 and sequencer.kind not in (
+                "thread_start",
+                "thread_end",
+            ):
+                self._apply_boundary_effects(
+                    replay, sequencer.thread_step, image, freed, live_allocations
+                )
+            if following is not None and not following.is_empty:
+                self._snapshots[region_key(following)] = (dict(image), dict(freed))
+                for access in replay.accesses_in_steps(
+                    following.start_step, following.end_step
+                ):
+                    if access.is_write:
+                        image[access.address] = access.value
+        self._final_image = image
+        self._final_freed = freed
+
+    def _apply_boundary_effects(
+        self,
+        replay: ThreadReplay,
+        thread_step: int,
+        image: Dict[int, int],
+        freed: Dict[int, int],
+        live_allocations: Dict[int, int],
+    ) -> None:
+        """Apply a boundary sync/syscall instruction's memory+heap effects."""
+        for access in replay.accesses:
+            if access.thread_step == thread_step and access.is_write:
+                image[access.address] = access.value
+        for event in replay.heap_events:
+            if event.thread_step != thread_step:
+                continue
+            if event.kind == "alloc":
+                live_allocations[event.base] = event.size
+                for offset in range(event.size):
+                    image[event.base + offset] = 0
+            else:
+                size = live_allocations.pop(event.base, 0)
+                freed[event.base] = size
+
+    # ------------------------------------------------------------------
+    # Queries used by the race analyses.
+    # ------------------------------------------------------------------
+
+    def all_regions(self) -> List[SequencingRegion]:
+        """Every region of every thread, sorted by opening timestamp."""
+        collected: List[SequencingRegion] = []
+        for thread_regions in self.regions.values():
+            collected.extend(thread_regions)
+        collected.sort(key=lambda region: region.start_ts)
+        return collected
+
+    def region_for_step(
+        self, thread_name: str, thread_step: int
+    ) -> Optional[SequencingRegion]:
+        for region in self.regions[thread_name]:
+            if region.contains_step(thread_step):
+                return region
+        return None
+
+    def region_snapshot(
+        self, region: SequencingRegion
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """``(live-in memory image, freed ranges)`` just before ``region``.
+
+        Returned dicts are fresh copies — callers may mutate them.
+        """
+        key = region_key(region)
+        if key not in self._snapshots:
+            raise ReplayDivergence("no snapshot for region %s (empty region?)" % region)
+        image, freed = self._snapshots[key]
+        return dict(image), dict(freed)
+
+    def pair_snapshot(
+        self, region_a: SequencingRegion, region_b: SequencingRegion
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Live-in state for replaying two racing regions together.
+
+        The image reflects everything the replayed execution committed
+        before the *later* of the two regions opened — boundary sync and
+        heap effects plus every other region's stores — but **excludes**
+        the two racing regions' own stores, since the virtual processor
+        re-executes those.  (Stores of third-party regions that opened
+        before the cutoff are applied in full; their intra-region timing
+        is not recoverable from the logs, and the approximation is
+        identical for both replay orders.)
+
+        Returned dicts are fresh copies — callers may mutate them.
+        """
+        key = (region_key(region_a), region_key(region_b))
+        if key[0] > key[1]:
+            key = (key[1], key[0])
+        if key not in self._pair_snapshots:
+            self._pair_snapshots[key] = self._build_pair_snapshot(region_a, region_b)
+        image, freed = self._pair_snapshots[key]
+        return dict(image), dict(freed)
+
+    def _build_pair_snapshot(
+        self, region_a: SequencingRegion, region_b: SequencingRegion
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        cutoff = max(region_a.start_ts, region_b.start_ts)
+        excluded = {region_key(region_a), region_key(region_b)}
+        image: Dict[int, int] = dict(self.program.initial_memory())
+        freed: Dict[int, int] = {}
+        live_allocations: Dict[int, int] = {}
+        for sequencer, thread_name, following in self.sequencers_with_regions():
+            if sequencer.timestamp > cutoff:
+                break
+            replay = self.thread_replays[thread_name]
+            if sequencer.thread_step >= 0 and sequencer.kind not in (
+                "thread_start",
+                "thread_end",
+            ):
+                self._apply_boundary_effects(
+                    replay, sequencer.thread_step, image, freed, live_allocations
+                )
+            if (
+                following is not None
+                and not following.is_empty
+                and region_key(following) not in excluded
+                and following.start_ts < cutoff
+            ):
+                for access in replay.accesses_in_steps(
+                    following.start_step, following.end_step
+                ):
+                    if access.is_write:
+                        image[access.address] = access.value
+        return image, freed
+
+    def region_accesses(self, region: SequencingRegion) -> List[ReplayedAccess]:
+        """Plain (non-sync) memory accesses inside ``region``."""
+        replay = self.thread_replays[region.thread_name]
+        return [
+            access
+            for access in replay.accesses_in_steps(region.start_step, region.end_step)
+            if not access.is_sync
+        ]
+
+    def live_in_registers(self, region: SequencingRegion) -> Tuple[int, ...]:
+        replay = self.thread_replays[region.thread_name]
+        try:
+            return replay.region_start_registers[region.start_step]
+        except KeyError:
+            raise ReplayDivergence(
+                "no register snapshot at step %d of %s"
+                % (region.start_step, region.thread_name)
+            )
+
+    def region_start_pc(self, region: SequencingRegion) -> int:
+        replay = self.thread_replays[region.thread_name]
+        try:
+            return replay.region_start_pcs[region.start_step]
+        except KeyError:
+            raise ReplayDivergence(
+                "no pc snapshot at step %d of %s"
+                % (region.start_step, region.thread_name)
+            )
+
+    def final_memory(self) -> Dict[int, int]:
+        """The end-of-replay memory image (exact for race-free executions)."""
+        return dict(self._final_image)
+
+    def output(self) -> List[Tuple[str, int]]:
+        """Program output merged into global (sequencer) order."""
+        entries: List[Tuple[int, str, int]] = []
+        for name, thread_log in self.log.threads.items():
+            replay = self.thread_replays[name]
+            output_cursor = 0
+            step_to_ts = {
+                sequencer.thread_step: sequencer.timestamp
+                for sequencer in thread_log.sequencers
+                if sequencer.kind == "sys_print"
+            }
+            for step in sorted(step_to_ts):
+                if output_cursor < len(replay.output):
+                    _, value = replay.output[output_cursor]
+                    entries.append((step_to_ts[step], name, value))
+                    output_cursor += 1
+        entries.sort()
+        return [(name, value) for _, name, value in entries]

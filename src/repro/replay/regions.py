@@ -1,0 +1,102 @@
+"""Sequencing regions: the unit of the paper's happens-before analysis.
+
+A *sequencing region* is the run of instructions a thread executes between
+two consecutive sequencers in its log (Section 3.3).  Two regions in
+different threads *overlap* when neither's closing sequencer precedes the
+other's opening sequencer in the global timestamp order — i.e. no
+happens-before relation orders their memory operations (Section 3.4,
+Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..record.log import ReplayLog, SequencerRecord, ThreadLog
+
+
+@dataclass(frozen=True)
+class SequencingRegion:
+    """One sequencing region of one thread.
+
+    ``start_step``/``end_step`` delimit the thread steps *inside* the region
+    (half-open: ``start_step <= step < end_step``); the bounding sequencer
+    instructions themselves belong to no region.  ``start_ts``/``end_ts``
+    are the bounding sequencers' global timestamps.
+    """
+
+    thread_name: str
+    tid: int
+    index: int
+    start_step: int
+    end_step: int
+    start_ts: int
+    end_ts: int
+    start_kind: str
+    end_kind: str
+
+    @property
+    def step_count(self) -> int:
+        return max(0, self.end_step - self.start_step)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.step_count == 0
+
+    def contains_step(self, thread_step: int) -> bool:
+        return self.start_step <= thread_step < self.end_step
+
+    def __str__(self) -> str:
+        return "%s[S%d..S%d steps %d..%d)" % (
+            self.thread_name,
+            self.start_ts,
+            self.end_ts,
+            self.start_step,
+            self.end_step,
+        )
+
+
+def regions_of_thread(thread_log: ThreadLog) -> List[SequencingRegion]:
+    """Extract the sequencing regions of one thread from its sequencer list."""
+    sequencers: List[SequencerRecord] = sorted(
+        thread_log.sequencers, key=lambda sequencer: sequencer.timestamp
+    )
+    regions: List[SequencingRegion] = []
+    for index in range(len(sequencers) - 1):
+        opening = sequencers[index]
+        closing = sequencers[index + 1]
+        regions.append(
+            SequencingRegion(
+                thread_name=thread_log.name,
+                tid=thread_log.tid,
+                index=index,
+                start_step=opening.thread_step + 1,
+                end_step=closing.thread_step,
+                start_ts=opening.timestamp,
+                end_ts=closing.timestamp,
+                start_kind=opening.kind,
+                end_kind=closing.kind,
+            )
+        )
+    return regions
+
+
+def regions_of_log(log: ReplayLog) -> Dict[str, List[SequencingRegion]]:
+    """Regions for every thread of a replay log."""
+    return {
+        name: regions_of_thread(thread_log)
+        for name, thread_log in log.threads.items()
+    }
+
+
+def overlaps(region_a: SequencingRegion, region_b: SequencingRegion) -> bool:
+    """True when the two regions are concurrent (no happens-before order).
+
+    Region A happens before region B iff A's closing sequencer timestamp is
+    at most B's opening timestamp; overlap is the negation in both
+    directions, restricted to distinct threads.
+    """
+    if region_a.tid == region_b.tid:
+        return False
+    return region_a.start_ts < region_b.end_ts and region_b.start_ts < region_a.end_ts

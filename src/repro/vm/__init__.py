@@ -1,0 +1,62 @@
+"""Deterministic multi-threaded virtual machine (the "hardware" iDNA traces).
+
+Public surface: :class:`Machine` / :func:`run_program`, the scheduler
+policies, the observer protocol, and the fault model.
+"""
+
+from .errors import (
+    DeadlockError,
+    FaultKind,
+    MemoryFault,
+    ScheduleError,
+    StepLimitError,
+    VMError,
+)
+from .machine import Machine, MachineResult, ThreadOutcome, run_program
+from .memory import Memory
+from .observers import (
+    Observer,
+    TraceAccess,
+    TraceObserver,
+    TraceSequencer,
+    TraceStep,
+)
+from .registers import RegisterFile
+from .scheduler import (
+    ExplicitScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .sync import LockTable
+from .syscalls import Syscalls
+from .thread import StepOutcome, ThreadState, ThreadStatus
+
+__all__ = [
+    "DeadlockError",
+    "FaultKind",
+    "MemoryFault",
+    "ScheduleError",
+    "StepLimitError",
+    "VMError",
+    "Machine",
+    "MachineResult",
+    "ThreadOutcome",
+    "run_program",
+    "Memory",
+    "Observer",
+    "TraceAccess",
+    "TraceObserver",
+    "TraceSequencer",
+    "TraceStep",
+    "RegisterFile",
+    "ExplicitScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "LockTable",
+    "Syscalls",
+    "StepOutcome",
+    "ThreadState",
+    "ThreadStatus",
+]

@@ -1,0 +1,56 @@
+"""Error and fault types raised by the virtual machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class VMError(Exception):
+    """Base class for machine-level errors (configuration, misuse)."""
+
+
+class DeadlockError(VMError):
+    """Every live thread is blocked on a lock — the schedule deadlocked."""
+
+
+class ScheduleError(VMError):
+    """An explicit schedule asked to run a thread that cannot run."""
+
+
+class StepLimitError(VMError):
+    """The machine exceeded its configured ``max_steps`` budget."""
+
+
+class FaultKind(Enum):
+    """Why a thread faulted.
+
+    Faults terminate the *thread* (not the machine) — this is how a harmful
+    race manifests as a crash the classifier can observe, e.g. the paper's
+    Figure 2 ref-count bug freeing memory twice.
+    """
+
+    NULL_DEREF = "null-dereference"
+    BAD_ADDRESS = "bad-address"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    BAD_FREE = "bad-free"
+    LOCK_MISUSE = "lock-misuse"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class MemoryFault(Exception):
+    """A memory-safety fault raised during instruction execution."""
+
+    kind: FaultKind
+    address: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        message = "%s at address %#x" % (self.kind.value, self.address)
+        if self.detail:
+            message += " (%s)" % self.detail
+        return message

@@ -1,0 +1,175 @@
+"""Observer protocol: how the recorder (and test oracles) watch execution.
+
+The machine emits a small set of events; observers never mutate machine
+state.  The iDNA-analog recorder (:mod:`repro.record.recorder`) is one
+observer; :class:`TraceObserver` captures a complete global trace used by
+tests as ground truth and by the classifier to learn the *original* order
+of two racing operations (the machine knows it; pure log-based analysis
+falls back to region order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..isa.program import StaticInstructionId
+from .errors import FaultKind
+
+
+class Observer:
+    """Base observer; every hook is a no-op.  Subclass what you need."""
+
+    def on_thread_start(self, tid: int, thread_name: str, block_name: str) -> None:
+        """A thread came into existence (before its first instruction)."""
+
+    def on_sequencer(
+        self,
+        tid: int,
+        thread_step: int,
+        timestamp: int,
+        kind: str,
+        static_id: Optional[StaticInstructionId],
+    ) -> None:
+        """A sequencer was logged (sync instruction, syscall, start/end)."""
+
+    def on_load(
+        self,
+        tid: int,
+        thread_step: int,
+        static_id: StaticInstructionId,
+        address: int,
+        value: int,
+        is_sync: bool,
+    ) -> None:
+        """A memory word was read."""
+
+    def on_store(
+        self,
+        tid: int,
+        thread_step: int,
+        static_id: StaticInstructionId,
+        address: int,
+        old_value: int,
+        new_value: int,
+        is_sync: bool,
+    ) -> None:
+        """A memory word was written."""
+
+    def on_syscall(
+        self,
+        tid: int,
+        thread_step: int,
+        static_id: StaticInstructionId,
+        name: str,
+        result: int,
+    ) -> None:
+        """A syscall completed with ``result``."""
+
+    def on_step(
+        self,
+        global_step: int,
+        tid: int,
+        thread_step: int,
+        static_id: StaticInstructionId,
+    ) -> None:
+        """An instruction retired (after all its other events)."""
+
+    def on_thread_end(
+        self, tid: int, thread_step: int, reason: str, fault: Optional[FaultKind]
+    ) -> None:
+        """A thread halted ('halt') or faulted."""
+
+
+@dataclass
+class TraceStep:
+    """One retired instruction in the global trace."""
+
+    global_step: int
+    tid: int
+    thread_step: int
+    static_id: StaticInstructionId
+
+
+@dataclass
+class TraceAccess:
+    """One memory access in the global trace (oracle for race analyses)."""
+
+    global_step: int
+    tid: int
+    thread_step: int
+    static_id: StaticInstructionId
+    address: int
+    value: int
+    is_write: bool
+    is_sync: bool
+
+
+@dataclass
+class TraceSequencer:
+    timestamp: int
+    tid: int
+    thread_step: int
+    kind: str
+    static_id: Optional[StaticInstructionId]
+
+
+@dataclass
+class TraceObserver(Observer):
+    """Captures a complete global execution trace.
+
+    Tests use it as the ground truth against which the log-only analyses
+    are validated; the classifier uses it (when available) to know which
+    of the two racing operations came first originally.
+    """
+
+    steps: List[TraceStep] = field(default_factory=list)
+    accesses: List[TraceAccess] = field(default_factory=list)
+    sequencers: List[TraceSequencer] = field(default_factory=list)
+    _pending_global_step: int = 0
+
+    def on_sequencer(self, tid, thread_step, timestamp, kind, static_id) -> None:
+        self.sequencers.append(
+            TraceSequencer(timestamp, tid, thread_step, kind, static_id)
+        )
+
+    def on_load(self, tid, thread_step, static_id, address, value, is_sync) -> None:
+        self.accesses.append(
+            TraceAccess(
+                self._pending_global_step,
+                tid,
+                thread_step,
+                static_id,
+                address,
+                value,
+                is_write=False,
+                is_sync=is_sync,
+            )
+        )
+
+    def on_store(
+        self, tid, thread_step, static_id, address, old_value, new_value, is_sync
+    ) -> None:
+        self.accesses.append(
+            TraceAccess(
+                self._pending_global_step,
+                tid,
+                thread_step,
+                static_id,
+                address,
+                new_value,
+                is_write=True,
+                is_sync=is_sync,
+            )
+        )
+
+    def on_step(self, global_step, tid, thread_step, static_id) -> None:
+        self.steps.append(TraceStep(global_step, tid, thread_step, static_id))
+        self._pending_global_step = global_step + 1
+
+    def global_order_of(self, tid: int, thread_step: int) -> Optional[int]:
+        """Global step number at which thread ``tid`` retired ``thread_step``."""
+        for step in self.steps:
+            if step.tid == tid and step.thread_step == thread_step:
+                return step.global_step
+        return None

@@ -1,0 +1,51 @@
+"""Per-thread register file."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..isa.operands import NUM_REGISTERS, to_unsigned
+
+
+class RegisterFile:
+    """Sixteen 64-bit general-purpose registers, zero-initialised."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Tuple[int, ...] = ()):
+        if values:
+            if len(values) != NUM_REGISTERS:
+                raise ValueError(
+                    "expected %d register values, got %d" % (NUM_REGISTERS, len(values))
+                )
+            self._values: List[int] = [to_unsigned(value) for value in values]
+        else:
+            self._values = [0] * NUM_REGISTERS
+
+    def read(self, index: int) -> int:
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._values[index] = to_unsigned(value)
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Immutable copy of the whole file (live-in/live-out comparisons)."""
+        return tuple(self._values)
+
+    def restore(self, snapshot: Tuple[int, ...]) -> None:
+        if len(snapshot) != NUM_REGISTERS:
+            raise ValueError("bad register snapshot length %d" % len(snapshot))
+        self._values = [to_unsigned(value) for value in snapshot]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        nonzero = {
+            "r%d" % index: value
+            for index, value in enumerate(self._values)
+            if value
+        }
+        return "RegisterFile(%r)" % nonzero

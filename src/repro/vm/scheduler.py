@@ -1,0 +1,115 @@
+"""Schedulers: the machine's source of thread-interleaving nondeterminism.
+
+The paper's recorded executions come from real preemptive scheduling; here
+interleaving is produced by an explicit, *seedable* scheduler, so every
+execution is reproducible by construction and test suites can sweep seeds
+to generate the "18 different executions" style corpora of Section 5.
+
+All schedulers implement :meth:`Scheduler.pick`: given the runnable thread
+ids, the previously run thread, and the global step number, return the
+thread to run next.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .errors import ScheduleError
+
+
+class Scheduler:
+    """Abstract scheduling policy."""
+
+    def pick(self, runnable: List[int], last: Optional[int], step: int) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return to the initial state (schedulers may be reused across runs)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Run each thread for ``quantum`` steps, then rotate to the next."""
+
+    def __init__(self, quantum: int = 1):
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self._remaining = quantum
+
+    def pick(self, runnable: List[int], last: Optional[int], step: int) -> int:
+        if last in runnable and self._remaining > 0:
+            self._remaining -= 1
+            return last
+        self._remaining = self.quantum - 1
+        if last is None or last not in runnable:
+            return runnable[0]
+        candidates = sorted(runnable)
+        for tid in candidates:
+            if tid > last:
+                return tid
+        return candidates[0]
+
+    def reset(self) -> None:
+        self._remaining = self.quantum
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random preemption.
+
+    With probability ``1 - switch_probability`` the previous thread keeps
+    running (if still runnable); otherwise a uniformly random runnable
+    thread is chosen.  Different seeds yield different interleavings —
+    the corpus generator sweeps seeds to expose different race instances.
+    """
+
+    def __init__(self, seed: int = 0, switch_probability: float = 0.3):
+        if not 0.0 <= switch_probability <= 1.0:
+            raise ValueError("switch_probability must be within [0, 1]")
+        self.seed = seed
+        self.switch_probability = switch_probability
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: List[int], last: Optional[int], step: int) -> int:
+        if (
+            last in runnable
+            and self._rng.random() >= self.switch_probability
+        ):
+            return last
+        return self._rng.choice(sorted(runnable))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class ExplicitScheduler(Scheduler):
+    """Follow a caller-supplied thread-id sequence exactly.
+
+    Used by tests and by workload authors to *force* a specific interleaving
+    (for example, the benign order of the Figure 2 ref-count race).  When the
+    sequence is exhausted, falls back to round-robin.  If the demanded thread
+    is not runnable, ``strict`` mode raises :class:`ScheduleError`; otherwise
+    the demand is skipped.
+    """
+
+    def __init__(self, sequence: Sequence[int], strict: bool = False):
+        self.sequence = list(sequence)
+        self.strict = strict
+        self._cursor = 0
+        self._fallback = RoundRobinScheduler()
+
+    def pick(self, runnable: List[int], last: Optional[int], step: int) -> int:
+        while self._cursor < len(self.sequence):
+            desired = self.sequence[self._cursor]
+            self._cursor += 1
+            if desired in runnable:
+                return desired
+            if self.strict:
+                raise ScheduleError(
+                    "scheduled thread %d is not runnable at step %d" % (desired, step)
+                )
+        return self._fallback.pick(runnable, last, step)
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._fallback.reset()

@@ -1,0 +1,78 @@
+"""Simulated system calls.
+
+These model the paper's "system interactions" class of nondeterminism:
+results depend on machine-global state (the RNG, the global step clock, the
+shared heap allocator), so two threads racing to a syscall get
+schedule-dependent results.  The recorder therefore logs every syscall
+result, exactly as iDNA's load-based logging captures values written by the
+external system.
+
+Syscall table:
+
+========== ===================== ==========================================
+mnemonic    result                 side effect
+========== ===================== ==========================================
+sys_getpid  the process id (4321)  none (same value in every thread)
+sys_time    current global step    none (schedule-dependent!)
+sys_rand    uniform in [0, bound)  advances the machine RNG
+sys_alloc   heap base address      allocates words (schedule-dependent base)
+sys_free    0                      frees an allocation (may fault)
+sys_print   the printed value      appends (thread, value) to machine output
+sys_yield   0                      scheduler hint: move to another thread
+========== ===================== ==========================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .memory import Memory
+
+
+class Syscalls:
+    """Executes syscalls against machine-global state."""
+
+    #: The simulated process id — one process, many threads, so every
+    #: thread sees the same value (this is what makes the paper's
+    #: "redundant pid write" races genuinely redundant).
+    PROCESS_ID = 4321
+
+    def __init__(self, memory: Memory, rng: random.Random):
+        self.memory = memory
+        self.rng = rng
+        self.output: List[Tuple[str, int]] = []
+
+    def execute(
+        self,
+        name: str,
+        tid: int,
+        thread_name: str,
+        global_step: int,
+        arg: Optional[int] = None,
+    ) -> int:
+        """Run syscall ``name`` and return its result value.
+
+        ``arg`` carries the single input operand for syscalls that take one
+        (``sys_rand`` bound, ``sys_alloc`` size, ``sys_free`` pointer,
+        ``sys_print`` value).
+        """
+        if name == "sys_getpid":
+            return self.PROCESS_ID
+        if name == "sys_time":
+            return global_step
+        if name == "sys_rand":
+            bound = arg if arg else 1
+            return self.rng.randrange(bound)
+        if name == "sys_alloc":
+            return self.memory.alloc(arg or 0)
+        if name == "sys_free":
+            self.memory.free(arg or 0)
+            return 0
+        if name == "sys_print":
+            value = arg or 0
+            self.output.append((thread_name, value))
+            return value
+        if name == "sys_yield":
+            return 0
+        raise ValueError("unknown syscall %r" % name)

@@ -1,0 +1,60 @@
+"""Workload corpus: simulated applications with ground-truth race labels."""
+
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+from .benign_approximate import cache_timestamp, stats_counter
+from .benign_both_values import fn_selector, producer_consumer
+from .benign_double_check import double_check_cold, double_check_warm
+from .benign_disjoint_bits import disjoint_bits
+from .benign_redundant import redundant_pid
+from .benign_sync import barrier, consume_then_wait, flag_publish, handshake
+from .clean import atomic_counter, atomic_handoff, locked_counter, locked_handoff
+from .generator import mixed_service, seed_sweep
+from .harmful_atomicity import torn_pair
+from .harmful_lost_update import lost_update
+from .harmful_pointer import unsafe_publish
+from .harmful_refcount import refcount_free
+from .harmful_toctou import toctou_handle
+from .suite import (
+    Execution,
+    all_workloads,
+    clean_suite,
+    overhead_workload,
+    paper_suite,
+    workload_for_execution,
+)
+
+__all__ = [
+    "GroundTruth",
+    "RaceExpectation",
+    "Workload",
+    "render_template",
+    "cache_timestamp",
+    "stats_counter",
+    "fn_selector",
+    "producer_consumer",
+    "double_check_cold",
+    "double_check_warm",
+    "disjoint_bits",
+    "redundant_pid",
+    "barrier",
+    "consume_then_wait",
+    "flag_publish",
+    "handshake",
+    "atomic_counter",
+    "atomic_handoff",
+    "locked_counter",
+    "locked_handoff",
+    "mixed_service",
+    "seed_sweep",
+    "lost_update",
+    "torn_pair",
+    "unsafe_publish",
+    "refcount_free",
+    "toctou_handle",
+    "Execution",
+    "all_workloads",
+    "clean_suite",
+    "overhead_workload",
+    "paper_suite",
+    "workload_for_execution",
+]

@@ -1,0 +1,120 @@
+"""Workload model: programs with ground-truth race labels.
+
+The paper's evaluation ran on Windows Vista and Internet Explorer and
+relied on *manual* triage to establish which races were really benign and
+which really harmful (Table 1's Real-Benign / Real-Harmful columns).  Our
+substitute corpus is a suite of mini-ISA programs, each built around one
+of the paper's race motifs, carrying machine-checkable ground truth:
+
+* every :class:`Workload` declares, per shared location, whether races on
+  it are really benign or really harmful, and (for benign) which Table 2
+  category they belong to;
+* harmful workloads are real bugs — under the right schedule they corrupt
+  state or crash, which tests verify.
+
+Ground truth is matched to detected races *by address*: a data-segment
+symbol covers its words, and ``heap=True`` expectations cover all heap
+addresses.  Ground truth is never visible to the detector or classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.assembler import assemble
+from ..isa.program import HEAP_BASE, Program
+from ..race.heuristics import BenignCategory
+
+
+class GroundTruth(Enum):
+    """The manual-triage verdict a developer would reach."""
+
+    BENIGN = "real-benign"
+    HARMFUL = "real-harmful"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class RaceExpectation:
+    """Ground truth for races touching one shared location.
+
+    ``symbol`` names a data-segment item (covering all its words); when
+    ``heap`` is true the expectation instead covers every heap address.
+    """
+
+    truth: GroundTruth
+    symbol: Optional[str] = None
+    heap: bool = False
+    category: Optional[BenignCategory] = None
+    note: str = ""
+
+
+@dataclass
+class Workload:
+    """One simulated application plus its ground truth and run advice."""
+
+    name: str
+    source: str
+    description: str
+    expectations: Tuple[RaceExpectation, ...] = ()
+    #: Scheduler seeds known to produce interesting interleavings.
+    recommended_seeds: Tuple[int, ...] = (0, 1, 2)
+    #: Random-scheduler switch probability for recorded runs.
+    switch_probability: float = 0.3
+    #: Machines may legitimately fault on these workloads (harmful bugs).
+    may_fault: bool = False
+    #: True when the correctly synchronized program should show zero races.
+    expect_race_free: bool = False
+
+    def program(self) -> Program:
+        """Assemble (and cache) this workload's program."""
+        return _assemble_cached(self.name, self.source)
+
+    # ------------------------------------------------------------------
+    # Ground-truth resolution.
+    # ------------------------------------------------------------------
+
+    def expectation_for_address(self, address: int) -> Optional[RaceExpectation]:
+        """The expectation covering ``address``, if any."""
+        program = self.program()
+        for expectation in self.expectations:
+            if expectation.heap and address >= HEAP_BASE:
+                return expectation
+            if expectation.symbol is not None:
+                item = program.data.get(expectation.symbol)
+                if item is not None and item.address <= address < item.address + item.size:
+                    return expectation
+        return None
+
+    def ground_truth_for_address(self, address: int) -> Optional[GroundTruth]:
+        expectation = self.expectation_for_address(address)
+        return expectation.truth if expectation else None
+
+    @property
+    def has_harmful_races(self) -> bool:
+        return any(
+            expectation.truth is GroundTruth.HARMFUL
+            for expectation in self.expectations
+        )
+
+
+@lru_cache(maxsize=None)
+def _assemble_cached(name: str, source: str) -> Program:
+    return assemble(source, name=name)
+
+
+def render_template(template: str, **substitutions: str) -> str:
+    """Instantiate a workload source template.
+
+    Workload sources use ``{placeholder}`` markers for names that must be
+    unique per variant (thread names double as code-block names, and a
+    *unique static race* is keyed by code block — so two variants of the
+    same motif count as two unique races, exactly like two call sites in
+    the paper's corpus).
+    """
+    return template.format(**substitutions)

@@ -1,0 +1,126 @@
+"""Approximate-computation workloads (Table 2 category 6 — the big one).
+
+The paper, §5.2.4: "They described that these data races were left in the
+production code, because they chose to tolerate the effects of the data
+race rather than synchronize the code and lose performance.  A good
+example ... a data structure maintaining statistics.  Another example is
+where the variable's value is used to make decisions that can affect only
+the performance and not correctness (e.g., time-stamp value used for
+making decisions on what to replace from a software cache)."
+
+These races *do* change program state, so the replay analysis flags them
+potentially harmful — the dominant cause (23 of 29) of the paper's
+Real-Benign column under Potentially-Harmful.  The developer intent is
+modelled by ``.intent approximate`` annotations on the racing
+instructions; ground truth (and only ground truth) reads them.
+"""
+
+from __future__ import annotations
+
+from ..race.heuristics import BenignCategory
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_STATS_COUNTER_TEMPLATE = """
+.data
+work_{v}:  .word 0
+wmx_{v}:   .word 0
+stats_{v}: .word 0
+.thread stat1_{v} stat2_{v}
+    li r1, {iters}
+sloop:
+    lock [wmx_{v}]
+    load r2, [work_{v}]         ; the real work is properly locked
+    addi r2, r2, 1
+    store r2, [work_{v}]
+    unlock [wmx_{v}]
+    .intent approximate
+    load r4, [stats_{v}]        ; statistics counter: deliberately unlocked
+    addi r4, r4, 1
+    .intent approximate
+    store r4, [stats_{v}]       ; lost updates tolerated for speed
+    subi r1, r1, 1
+    bnez r1, sloop
+    sys_print r2
+    halt
+"""
+
+_CACHE_TIMESTAMP_TEMPLATE = """
+.data
+stamp_{v}: .word 0
+evict_{v}: .word 0
+.thread ctw_{v}
+    li r1, {witers}
+ctwl:
+    sys_time r2
+    .intent approximate
+    store r2, [stamp_{v}]       ; last-touched timestamp, unsynchronized
+    subi r1, r1, 1
+    bnez r1, ctwl
+    halt
+.thread ctr_{v}
+    li r1, {riters}
+ctrl:
+    .intent approximate
+    load r2, [stamp_{v}]        ; racing read: staleness only costs speed
+    andi r4, r2, 1              ; "old enough?" heuristic decision
+    beqz r4, ctskip
+    load r5, [evict_{v}]
+    addi r5, r5, 1
+    store r5, [evict_{v}]       ; eviction counter (performance only)
+ctskip:
+    subi r1, r1, 1
+    bnez r1, ctrl
+    halt
+"""
+
+
+def stats_counter(variant: int = 0, iters: int = 5) -> Workload:
+    """Deliberately unsynchronized statistics counter beside locked work."""
+    v = "st%d" % variant
+    return Workload(
+        name="stats_counter_%s" % v,
+        source=render_template(_STATS_COUNTER_TEMPLATE, v=v, iters=str(iters)),
+        description=(
+            "Two workers do locked work but bump a shared statistics counter "
+            "without locking — approximate statistics by design."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="stats_%s" % v,
+                category=BenignCategory.APPROXIMATE,
+                note="developers tolerate lost statistic updates for performance",
+            ),
+        ),
+        recommended_seeds=(10, 37, 41),
+    )
+
+
+def cache_timestamp(variant: int = 0, witers: int = 4, riters: int = 4) -> Workload:
+    """Unsynchronized cache timestamp driving an eviction heuristic."""
+    v = "ct%d" % variant
+    return Workload(
+        name="cache_timestamp_%s" % v,
+        source=render_template(
+            _CACHE_TIMESTAMP_TEMPLATE, v=v, witers=str(witers), riters=str(riters)
+        ),
+        description=(
+            "Writer refreshes a cache timestamp; reader uses it for an "
+            "eviction decision that affects performance, not correctness."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="stamp_%s" % v,
+                category=BenignCategory.APPROXIMATE,
+                note="timestamp staleness only influences cache policy",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="evict_%s" % v,
+                category=BenignCategory.APPROXIMATE,
+                note="eviction statistics, performance-only",
+            ),
+        ),
+        recommended_seeds=(12, 43),
+    )

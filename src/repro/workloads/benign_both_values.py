@@ -1,0 +1,145 @@
+"""Both-values-valid workloads (Table 2 category 3).
+
+The paper gives two shapes:
+
+* ``fn_selector`` — "a shared variable was checked to decide which of the
+  two versions of a function need to be used ... Both the functions do
+  exactly the same computation, but with different performance
+  characteristics."  Whichever value the racing read returns, the program
+  computes the same result, so every instance replays to No-State-Change.
+
+* ``producer_consumer`` — "it is possible that the consumer might read a
+  stale value for the buffer size.  But that is fine, since it will just
+  force the consumer to wait longer."  Correct by protocol, but the
+  consumer's *path* to any given dynamic operation depends on the true
+  interleaving, so the virtual processor cannot line the replay up with
+  the recorded step offsets and reports a replay failure — another member
+  of the paper's misclassified Real-Benign set.
+"""
+
+from __future__ import annotations
+
+from ..race.heuristics import BenignCategory
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_FN_SELECTOR_TEMPLATE = """
+.data
+selector_{v}: .word 0
+input_{v}:    .word 21
+result_{v}:   .word 0
+.thread sel_{v}
+    li r1, 0
+    li r2, {toggles}
+tog:
+    xori r1, r1, 1
+    store r1, [selector_{v}]    ; racing write: pick the fast or slow version
+    subi r2, r2, 1
+    bnez r2, tog
+    halt
+.thread use_{v}
+    li r5, {iters}
+uloop:
+    load r1, [selector_{v}]     ; racing read of the version selector
+    load r2, [input_{v}]
+    bnez r1, ufast
+    add r3, r2, r2              ; slow version: x + x
+    jmp ujoin
+ufast:
+    shli r3, r2, 1              ; fast version: x << 1
+    nop                         ; pad: both versions take two instructions,
+                                ; so replay offsets stay aligned either path
+ujoin:
+    store r3, [result_{v}]      ; identical result either way
+    li r1, 0                    ; selector value is dead after use
+    subi r5, r5, 1
+    bnez r5, uloop
+    halt
+"""
+
+_PRODUCER_CONSUMER_TEMPLATE = """
+.data
+buf_{v}:   .space {slots}
+count_{v}: .word 0
+sum_{v}:   .word 0
+.thread prod_{v}
+    li r1, 0
+ploop:
+    li r3, 7
+    add r2, r1, r3              ; item value = index + 7
+    li r4, buf_{v}
+    add r4, r4, r1
+    store r2, [r4]              ; fill the slot
+    addi r1, r1, 1
+    store r1, [count_{v}]       ; racing write: publish the new count
+    slti r5, r1, {slots}
+    bnez r5, ploop
+    halt
+.thread cons_{v}
+    li r1, 0
+cloop:
+    load r2, [count_{v}]        ; racing read: may be stale, that is fine
+    sltu r3, r1, r2
+    beqz r3, cloop              ; nothing new: wait longer
+    li r4, buf_{v}
+    add r4, r4, r1
+    load r5, [r4]               ; consume the slot
+    load r6, [sum_{v}]
+    add r6, r6, r5
+    store r6, [sum_{v}]
+    addi r1, r1, 1
+    slti r7, r1, {slots}
+    bnez r7, cloop
+    halt
+"""
+
+
+def fn_selector(variant: int = 0, iters: int = 6, toggles: int = 8) -> Workload:
+    """Racing selector choosing between two equivalent implementations."""
+    v = "fs%d" % variant
+    return Workload(
+        name="fn_selector_%s" % v,
+        source=render_template(
+            _FN_SELECTOR_TEMPLATE, v=v, iters=str(iters), toggles=str(toggles)
+        ),
+        description=(
+            "One thread toggles a version selector; another picks an "
+            "implementation by it — both versions compute the same value."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="selector_%s" % v,
+                category=BenignCategory.BOTH_VALUES_VALID,
+                note="either selector value yields the same computation",
+            ),
+        ),
+        recommended_seeds=(6, 17, 29),
+    )
+
+
+def producer_consumer(variant: int = 0, slots: int = 8) -> Workload:
+    """Unsynchronized single-producer/single-consumer count protocol."""
+    v = "pc%d" % variant
+    return Workload(
+        name="producer_consumer_%s" % v,
+        source=render_template(_PRODUCER_CONSUMER_TEMPLATE, v=v, slots=str(slots)),
+        description=(
+            "Producer fills slots and bumps a plain-store count; consumer "
+            "polls the count — a stale read only delays consumption."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="count_%s" % v,
+                category=BenignCategory.BOTH_VALUES_VALID,
+                note="stale count reads only make the consumer wait longer",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="buf_%s" % v,
+                category=BenignCategory.BOTH_VALUES_VALID,
+                note="slots are written strictly before the count that covers them",
+            ),
+        ),
+        recommended_seeds=(8, 23),
+    )

@@ -1,0 +1,64 @@
+"""Disjoint-bit-manipulation workloads (Table 2 category 5).
+
+The paper: "There can be data races between two memory operations where
+the programmer knows for sure that the two operations use or modify
+different bits in a shared variable."
+
+The motif: one owner thread sets a bit in the low nibble of a shared flag
+word; observer threads read the word but immediately mask it down to the
+high nibble, which the owner never changes.  Reordering the store against
+any observer read leaves every observable value identical, so each
+instance replays to No-State-Change; the static heuristic recognises the
+``ori``-mask vs ``andi``-mask disjointness.
+"""
+
+from __future__ import annotations
+
+from ..race.heuristics import BenignCategory
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_DISJOINT_BITS_TEMPLATE = """
+.data
+flags_{v}: .word 240            ; high nibble 0xF0 preset, low nibble free
+dsink_{v}: .word 0
+.thread bitw_{v}
+    load r1, [flags_{v}]        ; read-modify-write of the low nibble
+    ori r1, r1, {bit}           ; set this owner's bit
+    store r1, [flags_{v}]       ; racing write (low nibble only)
+    halt
+.thread bitr_{v}
+    li r2, {iters}
+brloop:
+    load r1, [flags_{v}]        ; racing read of the whole word
+    andi r1, r1, 240            ; observer only ever uses the high nibble
+    load r3, [dsink_{v}]
+    add r3, r3, r1
+    store r3, [dsink_{v}]
+    subi r2, r2, 1
+    bnez r2, brloop
+    halt
+"""
+
+
+def disjoint_bits(variant: int = 0, bit: int = 1, iters: int = 5) -> Workload:
+    """Owner sets a low-nibble bit; readers mask to the high nibble."""
+    v = "db%d" % variant
+    return Workload(
+        name="disjoint_bits_%s" % v,
+        source=render_template(
+            _DISJOINT_BITS_TEMPLATE, v=v, bit=str(bit), iters=str(iters)
+        ),
+        description=(
+            "Writer sets a low-nibble bit of a shared flag word; readers "
+            "mask the word to the (disjoint) high nibble."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="flags_%s" % v,
+                category=BenignCategory.DISJOINT_BITS,
+                note="writer and readers use disjoint bit fields of the word",
+            ),
+        ),
+        recommended_seeds=(9, 33),
+    )

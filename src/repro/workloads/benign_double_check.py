@@ -1,0 +1,144 @@
+"""Double-check locking workloads (Table 2 category 2).
+
+The paper's example::
+
+    if (a) {            // unsynchronized first check — the race
+        lock (..) {
+            if (a) ...  // re-check under the lock
+        }
+    }
+
+``double_check_warm`` models the steady state: the guarded value is
+already initialised, so the racing unsynchronized read returns the same
+value in either order and every instance replays to No-State-Change —
+the paper's correctly-classified double checks.
+
+``double_check_cold`` models the initialisation transition: the racing
+read can observe the 0→1 flip, the two replay orders take different paths,
+and the race is (mis)classified potentially harmful even though the code
+is correct — one source of the paper's Real-Benign column under
+Potentially-Harmful.
+"""
+
+from __future__ import annotations
+
+from ..race.heuristics import BenignCategory
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_WARM_TEMPLATE = """
+.data
+init_{v}:  .word 1              ; already initialised (steady state)
+value_{v}: .word 99
+dcmx_{v}:  .word 0
+.thread dcget_{v}
+    li r7, {iters}
+gloop:
+    load r1, [init_{v}]         ; unsynchronized first check (the race)
+    bnez r1, guse
+    lock [dcmx_{v}]
+    load r1, [init_{v}]         ; second check, under the lock
+    bnez r1, gskip
+    li r2, 99
+    store r2, [value_{v}]
+    li r3, 1
+    store r3, [init_{v}]
+gskip:
+    unlock [dcmx_{v}]
+guse:
+    load r4, [value_{v}]
+    subi r7, r7, 1
+    bnez r7, gloop
+    halt
+.thread dcset_{v}
+    li r7, {iters}
+sloop:
+    lock [dcmx_{v}]
+    li r1, 1
+    store r1, [init_{v}]        ; idempotent re-publish, under the lock
+    unlock [dcmx_{v}]
+    subi r7, r7, 1
+    bnez r7, sloop
+    halt
+"""
+
+_COLD_TEMPLATE = """
+.data
+init_{v}:  .word 0              ; NOT yet initialised (cold start)
+value_{v}: .word 0
+dcmx_{v}:  .word 0
+.thread dci1_{v} dci2_{v}
+    li r7, {iters}
+gloop:
+    load r1, [init_{v}]         ; unsynchronized first check (the race)
+    bnez r1, guse
+    lock [dcmx_{v}]
+    load r1, [init_{v}]         ; second check, under the lock
+    bnez r1, gskip
+    li r2, 99
+    store r2, [value_{v}]       ; one-time initialisation
+    li r3, 1
+    store r3, [init_{v}]        ; publish
+gskip:
+    unlock [dcmx_{v}]
+guse:
+    load r4, [value_{v}]
+    subi r7, r7, 1
+    bnez r7, gloop
+    halt
+"""
+
+
+def double_check_warm(variant: int = 0, iters: int = 4) -> Workload:
+    """Steady-state double-check: every race instance is No-State-Change."""
+    v = "dw%d" % variant
+    return Workload(
+        name="double_check_warm_%s" % v,
+        source=render_template(_WARM_TEMPLATE, v=v, iters=str(iters)),
+        description=(
+            "Double-checked initialisation in steady state: the guard is "
+            "already set, re-publishes are idempotent."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="init_%s" % v,
+                category=BenignCategory.DOUBLE_CHECK,
+                note="classic double-check guard flag",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="value_%s" % v,
+                category=BenignCategory.DOUBLE_CHECK,
+                note="value guarded by the double-check protocol",
+            ),
+        ),
+        recommended_seeds=(2, 13),
+    )
+
+
+def double_check_cold(variant: int = 0, iters: int = 4) -> Workload:
+    """Cold-start double-check: the 0→1 transition makes replays diverge."""
+    v = "dc%d" % variant
+    return Workload(
+        name="double_check_cold_%s" % v,
+        source=render_template(_COLD_TEMPLATE, v=v, iters=str(iters)),
+        description=(
+            "Double-checked one-time initialisation from cold: correct code, "
+            "but the initialising transition changes replayed control flow."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="init_%s" % v,
+                category=BenignCategory.DOUBLE_CHECK,
+                note="double-check guard; transition instances replay differently",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="value_%s" % v,
+                category=BenignCategory.DOUBLE_CHECK,
+                note="value writes are idempotent (always 99)",
+            ),
+        ),
+        recommended_seeds=(4, 21),
+    )

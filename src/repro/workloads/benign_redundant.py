@@ -1,0 +1,65 @@
+"""Redundant-write workloads (Table 2 category 4).
+
+The paper: "we found that a thread was writing its process identifier
+returned by a system call to a shared variable read by another thread.
+The writes were redundant and did not affect the correctness of the
+program execution."  In a single process every thread's ``sys_getpid``
+returns the same value, so the racing stores always rewrite the value the
+location already holds — every instance replays to No-State-Change, and
+the dynamic redundant-write heuristic recognises the pattern.
+"""
+
+from __future__ import annotations
+
+from ..race.heuristics import BenignCategory
+from ..vm.syscalls import Syscalls
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_REDUNDANT_PID_TEMPLATE = """
+.data
+pidvar_{v}: .word {pid}         ; recorded at process start
+.thread pidw1_{v} pidw2_{v}
+    sys_getpid r1               ; same pid in every thread of the process
+    li r2, {iters}
+wloop:
+    store r1, [pidvar_{v}]      ; racing redundant write
+    load r3, [pidvar_{v}]       ; racing read
+    subi r2, r2, 1
+    bnez r2, wloop
+    halt
+.thread pidr_{v}
+    li r2, {riters}
+rloop:
+    load r3, [pidvar_{v}]       ; racing read from the observer thread
+    subi r2, r2, 1
+    bnez r2, rloop
+    halt
+"""
+
+
+def redundant_pid(variant: int = 0, iters: int = 3, riters: int = 4) -> Workload:
+    """Threads redundantly refresh a pid cell other threads read."""
+    v = "rp%d" % variant
+    return Workload(
+        name="redundant_pid_%s" % v,
+        source=render_template(
+            _REDUNDANT_PID_TEMPLATE,
+            v=v,
+            pid=str(Syscalls.PROCESS_ID),
+            iters=str(iters),
+            riters=str(riters),
+        ),
+        description=(
+            "Two threads repeatedly store the (identical) process id into a "
+            "shared cell a third thread reads — all writes are redundant."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="pidvar_%s" % v,
+                category=BenignCategory.REDUNDANT_WRITE,
+                note="every store rewrites the value already present",
+            ),
+        ),
+        recommended_seeds=(7, 31),
+    )

@@ -1,0 +1,216 @@
+"""User-constructed synchronization workloads (Table 2 category 1).
+
+The paper: "Programmers may construct their own synchronization primitives
+without using fences or the atomic operations ... the happens-before
+algorithm will incorrectly classify a race between two user constructed
+synchronization operations, which is essentially correct synchronization,
+as a data race."
+
+``flag_publish`` is the classic motif: a publisher writes a payload and
+then raises a plain-store flag; a subscriber spins on the flag and then
+reads the payload.  Both races are really benign:
+
+* the **flag race** replays to No-State-Change (the subscriber converges
+  to the same exit state whichever side of the store its read lands on);
+* the **payload race** cannot be replayed in the alternative order at all
+  — the subscriber's prefix spins forever waiting for a flag the virtual
+  processor hasn't set — so it surfaces as a Replay-Failure and lands in
+  the paper's "misclassified due to replayer limitation" bucket (§5.2.4).
+"""
+
+from __future__ import annotations
+
+from ..race.heuristics import BenignCategory
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_FLAG_PUBLISH_TEMPLATE = """
+.data
+data_{v}: .word 0
+flag_{v}: .word 0
+sink_{v}: .word 0
+.thread pub_{v}
+    li r1, 42
+    store r1, [data_{v}]        ; payload write (user-sync protected)
+    li r2, 1
+    store r2, [flag_{v}]        ; flag raise (plain store, no fence)
+    halt
+.thread sub_{v}
+spin:
+    load r1, [flag_{v}]         ; spin read of the hand-rolled flag
+    beqz r1, spin
+    load r2, [data_{v}]         ; payload read, ordered only by the flag
+    store r2, [sink_{v}]
+    halt
+"""
+
+
+def flag_publish(variant: int = 0) -> Workload:
+    """Hand-rolled flag synchronization between a publisher and subscriber."""
+    v = "fp%d" % variant
+    return Workload(
+        name="flag_publish_%s" % v,
+        source=render_template(_FLAG_PUBLISH_TEMPLATE, v=v),
+        description=(
+            "Publisher writes a payload then raises a plain-store flag; "
+            "subscriber spins on the flag then consumes the payload."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="flag_%s" % v,
+                category=BenignCategory.USER_CONSTRUCTED_SYNC,
+                note="spin-wait flag is a user-constructed synchronization primitive",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="data_%s" % v,
+                category=BenignCategory.USER_CONSTRUCTED_SYNC,
+                note="payload is ordered by the flag protocol; replay cannot see that",
+            ),
+        ),
+        recommended_seeds=(3, 11, 27),
+    )
+
+
+_BARRIER_TEMPLATE = """
+.data
+arrived_{v}: .word 0
+bdata_{v}:   .space 2
+bsum_{v}:    .word 0
+.thread bar1_{v} bar2_{v}
+    sys_getpid r6               ; any per-thread setup work
+    li r1, 1
+    atom_add r2, [arrived_{v}], r1   ; announce arrival (atomic)
+bspin:
+    load r3, [arrived_{v}]      ; racing read: spin until everyone arrived
+    slti r4, r3, 2
+    bnez r4, bspin
+    load r5, [bsum_{v}]         ; past the barrier: read the shared sum
+    halt
+"""
+
+
+def barrier(variant: int = 0) -> Workload:
+    """A counter barrier: atomic arrivals, plain-load spin on the count.
+
+    This workload documents a *scope decision* of the paper's detector:
+    races are only reported between plain memory operations inside
+    sequencing regions.  The spin's plain loads conflict with the other
+    thread's **atomic** arrival increment, but the atomic is a sequencer
+    point — a region boundary — so the pair is never examined and the
+    detector stays silent.  That is the correct reading of Section 3.4
+    (and harmless here: the polled counter is monotone), but it means
+    sync-vs-plain conflicts are invisible by construction — worth knowing
+    when writing workloads.
+    """
+    v = "br%d" % variant
+    return Workload(
+        name="barrier_%s" % v,
+        source=render_template(_BARRIER_TEMPLATE, v=v),
+        description=(
+            "Two threads meet at a counter barrier; arrivals are atomic "
+            "but the wait loop polls with plain loads."
+        ),
+        expect_race_free=True,  # by the detector's (paper's) definition
+        recommended_seeds=(22, 35),
+    )
+
+
+_HANDSHAKE_TEMPLATE = """
+.data
+req_{v}: .word 0
+ack_{v}: .word 0
+.thread cli_{v}
+    li r1, 1
+    store r1, [req_{v}]         ; raise request (plain store)
+cwait:
+    load r2, [ack_{v}]          ; spin on acknowledgement
+    beqz r2, cwait
+    halt
+.thread srv_{v}
+swait:
+    load r1, [req_{v}]          ; spin on request
+    beqz r1, swait
+    li r2, 1
+    store r2, [ack_{v}]         ; acknowledge (plain store)
+    halt
+"""
+
+
+_CONSUME_THEN_WAIT_TEMPLATE = """
+.data
+cwdata_{v}: .word 7
+cwdone_{v}: .word 0
+.thread cwr_{v}
+    load r2, [cwdata_{v}]       ; racing read of a redundantly-written cell
+cwwait:
+    load r1, [cwdone_{v}]       ; spin for the writer's completion signal
+    beqz r1, cwwait
+    halt
+.thread cww_{v}
+    li r2, 7
+    store r2, [cwdata_{v}]      ; redundant write: the value is already 7
+    li r1, 1
+    store r1, [cwdone_{v}]      ; raise completion (plain store)
+    halt
+"""
+
+
+def consume_then_wait(variant: int = 0) -> Workload:
+    """Consume-then-wait: redundant data write plus completion-flag spin.
+
+    Both races are really benign (the data write is redundant; the flag is
+    hand-rolled sync), but the data race cannot be replayed in the
+    alternative order: the reader's suffix spins for a completion flag the
+    writer only raises later, so the replay wedges on its step limit — the
+    paper's "replayer limitation" misclassification, by construction.
+    """
+    v = "cw%d" % variant
+    return Workload(
+        name="consume_then_wait_%s" % v,
+        source=render_template(_CONSUME_THEN_WAIT_TEMPLATE, v=v),
+        description=(
+            "Reader consumes a (redundantly re-written) cell then spins on "
+            "a completion flag the writer raises afterwards."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="cwdata_%s" % v,
+                category=BenignCategory.REDUNDANT_WRITE,
+                note="the write re-stores the value already present",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="cwdone_%s" % v,
+                category=BenignCategory.USER_CONSTRUCTED_SYNC,
+                note="completion flag of a hand-rolled wait",
+            ),
+        ),
+        recommended_seeds=(13, 29),
+    )
+
+
+def handshake(variant: int = 0) -> Workload:
+    """Two-sided busy-wait handshake built from plain loads and stores."""
+    v = "hs%d" % variant
+    return Workload(
+        name="handshake_%s" % v,
+        source=render_template(_HANDSHAKE_TEMPLATE, v=v),
+        description="Request/acknowledge handshake using spin loops on plain flags.",
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="req_%s" % v,
+                category=BenignCategory.USER_CONSTRUCTED_SYNC,
+                note="request flag of a hand-rolled handshake",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="ack_%s" % v,
+                category=BenignCategory.USER_CONSTRUCTED_SYNC,
+                note="acknowledge flag of a hand-rolled handshake",
+            ),
+        ),
+        recommended_seeds=(5, 19),
+    )

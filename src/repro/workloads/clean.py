@@ -1,0 +1,157 @@
+"""Correctly synchronized workloads: the zero-false-positive controls.
+
+The happens-before detector "does not report any false positives"
+(Section 3) — these workloads make that claim testable: each is properly
+synchronized, so the detector must report *nothing* under every schedule.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, render_template
+
+_LOCKED_COUNTER_TEMPLATE = """
+.data
+counter_{v}: .word 0
+mx_{v}:      .word 0
+.thread lk1_{v} lk2_{v}
+    li r1, {iters}
+lloop:
+    lock [mx_{v}]
+    load r2, [counter_{v}]
+    addi r2, r2, 1
+    store r2, [counter_{v}]
+    unlock [mx_{v}]
+    subi r1, r1, 1
+    bnez r1, lloop
+    sys_print r2
+    halt
+"""
+
+_ATOMIC_COUNTER_TEMPLATE = """
+.data
+acounter_{v}: .word 0
+.thread at1_{v} at2_{v}
+    li r1, {iters}
+    li r2, 1
+atloop:
+    atom_add r3, [acounter_{v}], r2
+    subi r1, r1, 1
+    bnez r1, atloop
+    sys_print r3
+    halt
+"""
+
+_LOCKED_HANDOFF_TEMPLATE = """
+.data
+cell_{v}:  .word 0
+full_{v}:  .word 0
+hmx2_{v}:  .word 0
+.thread put_{v}
+    li r3, {iters}
+pwl:
+    lock [hmx2_{v}]
+    load r1, [full_{v}]
+    bnez r1, pskip
+    li r2, 5
+    store r2, [cell_{v}]
+    li r1, 1
+    store r1, [full_{v}]
+pskip:
+    unlock [hmx2_{v}]
+    subi r3, r3, 1
+    bnez r3, pwl
+    halt
+.thread get_{v}
+    li r3, {iters}
+gwl:
+    lock [hmx2_{v}]
+    load r1, [full_{v}]
+    beqz r1, gskip
+    load r2, [cell_{v}]
+    li r1, 0
+    store r1, [full_{v}]
+gskip:
+    unlock [hmx2_{v}]
+    subi r3, r3, 1
+    bnez r3, gwl
+    halt
+"""
+
+
+_ATOMIC_HANDOFF_TEMPLATE = """
+.data
+adata_{v}: .word 0
+aflag_{v}: .word 0
+asink_{v}: .word 0
+.thread aprod_{v}
+    li r1, 42
+    store r1, [adata_{v}]       ; payload
+    li r2, 1
+    atom_xchg r3, [aflag_{v}], r2   ; publish with an atomic (sequencer)
+    halt
+.thread acons_{v}
+    li r2, 0
+awl:
+    atom_add r1, [aflag_{v}], r2    ; atomic read of the flag
+    beqz r1, awl
+    load r3, [adata_{v}]        ; ordered by the atomics: NOT a race
+    store r3, [asink_{v}]
+    li r4, 0
+    store r4, [adata_{v}]       ; consume (clear) — still HB-ordered
+    halt
+"""
+
+
+def atomic_handoff(variant: int = 0) -> Workload:
+    """Payload handoff ordered by atomics — race-free, but lockset warns.
+
+    No lock ever guards ``adata``, yet the atomic flag operations give the
+    accesses a happens-before order, so the region detector correctly
+    stays silent.  The Eraser lockset algorithm sees a shared, written,
+    lock-free location and warns — the classic lockset *false positive*
+    the paper contrasts against (Section 2.2.2).
+    """
+    v = "ah%d" % variant
+    return Workload(
+        name="atomic_handoff_%s" % v,
+        source=render_template(_ATOMIC_HANDOFF_TEMPLATE, v=v),
+        description="Atomic-flag payload handoff: HB-ordered, lock-free.",
+        expect_race_free=True,
+        recommended_seeds=(30, 42),
+    )
+
+
+def locked_counter(variant: int = 0, iters: int = 5) -> Workload:
+    """Mutex-protected shared counter: no races by construction."""
+    v = "cl%d" % variant
+    return Workload(
+        name="locked_counter_%s" % v,
+        source=render_template(_LOCKED_COUNTER_TEMPLATE, v=v, iters=str(iters)),
+        description="Two threads increment one counter under a mutex.",
+        expect_race_free=True,
+        recommended_seeds=(20, 35),
+    )
+
+
+def atomic_counter(variant: int = 0, iters: int = 6) -> Workload:
+    """Atomic fetch-add counter: no races by construction."""
+    v = "ca%d" % variant
+    return Workload(
+        name="atomic_counter_%s" % v,
+        source=render_template(_ATOMIC_COUNTER_TEMPLATE, v=v, iters=str(iters)),
+        description="Two threads increment one counter with atom_add.",
+        expect_race_free=True,
+        recommended_seeds=(24, 36),
+    )
+
+
+def locked_handoff(variant: int = 0, iters: int = 4) -> Workload:
+    """Lock-protected single-cell producer/consumer: no races."""
+    v = "ch%d" % variant
+    return Workload(
+        name="locked_handoff_%s" % v,
+        source=render_template(_LOCKED_HANDOFF_TEMPLATE, v=v, iters=str(iters)),
+        description="Producer/consumer handing one cell over under a mutex.",
+        expect_race_free=True,
+        recommended_seeds=(25, 39),
+    )

@@ -1,0 +1,118 @@
+"""Composite and generated workloads.
+
+``mixed_service`` is the "Internet Explorer browsing session" analog used
+for the Section 5.1 overhead measurements: a longer-running, multi-thread
+program mixing correctly locked work, deliberately approximate statistics,
+redundant pid refreshes, and syscall traffic.
+
+``seed_sweep`` expands one workload into many recorded executions — the
+mechanism behind "the same data race occurred more than once in the same
+execution or in different scenarios".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..race.heuristics import BenignCategory
+from ..vm.syscalls import Syscalls
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_MIXED_SERVICE_TEMPLATE = """
+.data
+jobs_{v}:  .word 0
+jmx_{v}:   .word 0
+hits_{v}:  .word 0
+pid_{v}:   .word {pid}
+.thread svc1_{v} svc2_{v}
+    li r1, {iters}
+mloop:
+    li r8, {compute}
+compute:
+    muli r9, r9, 1103515245      ; local compute kernel (a PRNG-ish mix):
+    addi r9, r9, 12345           ; registers only, so the recorder's
+    xori r10, r9, 255            ; prediction cache logs nothing here —
+    shri r11, r9, 16             ; this is what makes real iDNA logs tiny
+    add r12, r10, r11            ; relative to instructions executed
+    subi r8, r8, 1
+    bnez r8, compute
+    lock [jmx_{v}]
+    load r2, [jobs_{v}]          ; real work: correctly locked
+    addi r2, r2, 1
+    store r2, [jobs_{v}]
+    unlock [jmx_{v}]
+    .intent approximate
+    load r4, [hits_{v}]          ; hit statistics: deliberately unlocked
+    addi r4, r4, 1
+    .intent approximate
+    store r4, [hits_{v}]
+    sys_rand r5, 4
+    beqz r5, mskip
+    sys_getpid r6
+    store r6, [pid_{v}]          ; redundant pid refresh
+mskip:
+    subi r1, r1, 1
+    bnez r1, mloop
+    sys_print r2
+    halt
+.thread mon_{v}
+    li r1, {moniters}
+monl:
+    load r3, [pid_{v}]           ; monitor reads the pid cell
+    load r4, [hits_{v}]          ; and samples the statistics
+    sys_yield
+    subi r1, r1, 1
+    bnez r1, monl
+    halt
+"""
+
+
+def mixed_service(
+    variant: int = 0, iters: int = 20, moniters: int = 10, compute: int = 2
+) -> Workload:
+    """A longer mixed workload: compute, locked work, racy stats, pid refreshes.
+
+    ``compute`` scales the register-only inner kernel per iteration; large
+    values approximate real applications, where almost every executed
+    instruction is locally predictable and the replay log stays tiny
+    relative to the instruction count (the paper's 0.8 bit/instruction).
+    """
+    v = "mx%d" % variant
+    return Workload(
+        name="mixed_service_%s" % v,
+        source=render_template(
+            _MIXED_SERVICE_TEMPLATE,
+            v=v,
+            pid=str(Syscalls.PROCESS_ID),
+            iters=str(iters),
+            moniters=str(moniters),
+            compute=str(compute),
+        ),
+        description=(
+            "Service threads doing locked work with approximate statistics "
+            "and redundant pid refreshes; a monitor thread samples both."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="hits_%s" % v,
+                category=BenignCategory.APPROXIMATE,
+                note="hit counter is intentionally unsynchronized",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.BENIGN,
+                symbol="pid_%s" % v,
+                category=BenignCategory.REDUNDANT_WRITE,
+                note="pid refreshes rewrite the same value",
+            ),
+        ),
+        recommended_seeds=(44, 45, 46),
+    )
+
+
+def seed_sweep(workload: Workload, seeds: Iterable[int]) -> List[Tuple[str, Workload, int]]:
+    """Expand a workload into ``(execution_id, workload, seed)`` runs."""
+    return [
+        ("%s#s%d" % (workload.name, seed), workload, seed)
+        for seed in seeds
+    ]

@@ -1,0 +1,75 @@
+"""Harmful atomicity violation: a torn multi-word invariant.
+
+Section 2.3 of the paper discusses atomicity-violation detectors (SVD,
+AVIO): "any violation of atomicity is a source of a bug, but every data
+race is not necessarily harmful."  This workload is the classic instance:
+a writer maintains the invariant ``lo == hi`` by updating both words, but
+without making the pair atomic; a reader that lands between the two
+stores observes a *torn* state and acts on it (here: records the
+corruption into an error counter a monitoring system would alarm on).
+
+Every race on the pair is harmful — the whole point of the invariant is
+that the two words change together.
+"""
+
+from __future__ import annotations
+
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_TORN_PAIR_TEMPLATE = """
+.data
+lo_{v}:   .word 0
+hi_{v}:   .word 0
+torn_{v}: .word 0
+.thread tw_{v}
+    li r1, {rounds}
+twl:
+    load r2, [lo_{v}]
+    addi r2, r2, 1
+    store r2, [lo_{v}]          ; first half of the invariant update
+    store r2, [hi_{v}]          ; second half — pair must change together
+    subi r1, r1, 1
+    bnez r1, twl
+    halt
+.thread tr_{v}
+    li r1, {checks}
+trl:
+    load r3, [lo_{v}]           ; racing read of the pair
+    load r4, [hi_{v}]
+    beq r3, r4, trok
+    load r5, [torn_{v}]         ; invariant violated: count the corruption
+    addi r5, r5, 1
+    store r5, [torn_{v}]
+trok:
+    subi r1, r1, 1
+    bnez r1, trl
+    halt
+"""
+
+
+def torn_pair(variant: int = 0, rounds: int = 6, checks: int = 6) -> Workload:
+    """Writer updates an invariant pair non-atomically; reader can tear it."""
+    v = "tp%d" % variant
+    return Workload(
+        name="torn_pair_%s" % v,
+        source=render_template(
+            _TORN_PAIR_TEMPLATE, v=v, rounds=str(rounds), checks=str(checks)
+        ),
+        description=(
+            "A two-word invariant (lo == hi) updated without atomicity; a "
+            "concurrent reader can observe and act on the torn state."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                symbol="lo_%s" % v,
+                note="half of a must-change-together pair",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                symbol="hi_%s" % v,
+                note="half of a must-change-together pair",
+            ),
+        ),
+        recommended_seeds=(19, 32),
+    )

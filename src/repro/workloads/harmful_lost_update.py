@@ -1,0 +1,63 @@
+"""Harmful lost-update workload: a racy balance counter.
+
+Mechanically this is the *same* read-modify-write race as the benign
+statistics counter in :mod:`.benign_approximate` — the difference is
+purely developer intent: losing a statistics tick is tolerated, losing a
+deposit is a bug.  This pair of workloads is the reproduction's sharpest
+illustration of why the paper needs the Real-Benign/Real-Harmful manual
+columns on top of the automatic classification.
+
+The two depositor threads use different amounts (and therefore different
+code blocks), so even the write/write races produce observably different
+states under reordering.
+"""
+
+from __future__ import annotations
+
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_LOST_UPDATE_TEMPLATE = """
+.data
+balance_{v}: .word 100
+.thread depa_{v}
+    li r1, {iters}
+aloop:
+    load r2, [balance_{v}]      ; racing read
+    addi r2, r2, 10             ; deposit 10
+    store r2, [balance_{v}]     ; racing write — updates can be lost
+    subi r1, r1, 1
+    bnez r1, aloop
+    sys_print r2
+    halt
+.thread depb_{v}
+    li r1, {iters}
+bloop:
+    load r2, [balance_{v}]      ; racing read
+    addi r2, r2, 30             ; deposit 30
+    store r2, [balance_{v}]     ; racing write — updates can be lost
+    subi r1, r1, 1
+    bnez r1, bloop
+    sys_print r2
+    halt
+"""
+
+
+def lost_update(variant: int = 0, iters: int = 6) -> Workload:
+    """Two depositors race read-modify-write updates to one balance."""
+    v = "lu%d" % variant
+    return Workload(
+        name="lost_update_%s" % v,
+        source=render_template(_LOST_UPDATE_TEMPLATE, v=v, iters=str(iters)),
+        description=(
+            "Unsynchronized read-modify-write deposits to a shared balance: "
+            "interleavings silently lose money."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                symbol="balance_%s" % v,
+                note="lost deposits corrupt the balance",
+            ),
+        ),
+        recommended_seeds=(15, 26, 38),
+    )

@@ -1,0 +1,63 @@
+"""Harmful unsynchronized pointer publication.
+
+The writer allocates and initialises an object, then publishes its address
+with a plain store — no lock, no flag protocol.  The reader (after a tuned
+delay that makes the *recorded* run succeed) loads the pointer and
+dereferences it unconditionally.  Reordering the publish against the read
+hands the reader a null pointer; the alternative-order replay faults
+exactly like the paper's Figure 2 narrative ("we will catch a null pointer
+violation").  Ground truth: harmful.
+"""
+
+from __future__ import annotations
+
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_UNSAFE_PUBLISH_TEMPLATE = """
+.data
+uptr_{v}:  .word 0
+usink_{v}: .word 0
+.thread upw_{v}
+    li r1, 1
+    sys_alloc r2, r1
+    li r3, 55
+    store r3, [r2]              ; initialise payload
+    store r2, [uptr_{v}]        ; racing publish, no synchronization at all
+    halt
+.thread upr_{v}
+    li r9, {delay}
+udly:
+    subi r9, r9, 1
+    bnez r9, udly               ; "it was always published by now" delay
+    load r1, [uptr_{v}]         ; racing read of the pointer
+    load r2, [r1]               ; unconditional dereference — the bug
+    store r2, [usink_{v}]
+    halt
+"""
+
+
+def unsafe_publish(variant: int = 0, delay: int = 40) -> Workload:
+    """Pointer published by plain store, dereferenced without a check."""
+    v = "up%d" % variant
+    return Workload(
+        name="unsafe_publish_%s" % v,
+        source=render_template(_UNSAFE_PUBLISH_TEMPLATE, v=v, delay=str(delay)),
+        description=(
+            "Writer publishes a heap pointer with a plain store; reader "
+            "dereferences it unconditionally after an ad-hoc delay."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                symbol="uptr_%s" % v,
+                note="reordering hands the reader a null pointer",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                heap=True,
+                note="payload may be read before initialisation",
+            ),
+        ),
+        recommended_seeds=(16, 28),
+        may_fault=True,
+    )

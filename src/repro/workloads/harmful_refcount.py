@@ -1,0 +1,81 @@
+"""The paper's Figure 2 bug: racy reference-count decrement and free.
+
+Sanitised paper code::
+
+    foo->refCnt--;
+    if (foo->refCnt == 0)
+        free(foo);
+
+executed by two threads with no synchronization.  Under a lucky
+interleaving (Figure 2a) exactly one thread frees; under the unlucky one
+(Figure 2b) a thread observes the other's decrement and the object is
+freed twice — the alternative-order replay "catches" the violation
+exactly as the paper describes.
+
+In this workload the object is heap-allocated and published under a lock
+(that part is correct); only the refcount protocol is broken.  Ground
+truth: harmful — this is one of the paper's Real-Harmful races, all of
+which were fixed in production.
+"""
+
+from __future__ import annotations
+
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_REFCOUNT_TEMPLATE = """
+.data
+ptr_{v}:   .word 0
+ready_{v}: .word 0
+rmx_{v}:   .word 0
+.thread rcown_{v}
+    li r1, 2
+    sys_alloc r2, r1            ; obj: [0]=refCnt, [1]=payload
+    li r3, 2
+    store r3, [r2]              ; refCnt = 2 (one per dropper)
+    li r4, 77
+    store r4, [r2+1]            ; payload
+    lock [rmx_{v}]
+    store r2, [ptr_{v}]         ; publish, correctly locked
+    li r5, 1
+    store r5, [ready_{v}]
+    unlock [rmx_{v}]
+    halt
+.thread rcdrop1_{v} rcdrop2_{v}
+rwait:
+    lock [rmx_{v}]
+    load r1, [ready_{v}]
+    load r2, [ptr_{v}]
+    unlock [rmx_{v}]
+    beqz r1, rwait
+    load r3, [r2+1]             ; use the payload while holding a reference
+    load r4, [r2]               ; foo->refCnt--  ... the racy part begins
+    subi r4, r4, 1
+    store r4, [r2]
+    load r5, [r2]               ; if (foo->refCnt == 0)
+    bnez r5, rdone
+    sys_free r2                 ;     free(foo)
+rdone:
+    halt
+"""
+
+
+def refcount_free(variant: int = 0) -> Workload:
+    """Two droppers run the Figure 2 code on a shared refcounted object."""
+    v = "rc%d" % variant
+    return Workload(
+        name="refcount_free_%s" % v,
+        source=render_template(_REFCOUNT_TEMPLATE, v=v),
+        description=(
+            "Racy reference-count decrement followed by free — the paper's "
+            "Figure 2 harmful race, verbatim."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                heap=True,
+                note="double free / use-after-free when decrements interleave",
+            ),
+        ),
+        recommended_seeds=(1, 14, 22),
+        may_fault=True,
+    )

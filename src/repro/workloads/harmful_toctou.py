@@ -1,0 +1,79 @@
+"""Harmful time-of-check-to-time-of-use on a shared handle.
+
+The owner publishes a heap handle under a lock (correct), but later frees
+the object and only *afterwards* clears the published slot — and without
+taking the lock.  The user checks the slot and dereferences the handle;
+between its check and its use the owner can free the object, so the
+recorded run can fault (use-after-free) and the alternative-order replay
+exposes divergent control flow.  Ground truth: harmful.
+"""
+
+from __future__ import annotations
+
+from .base import GroundTruth, RaceExpectation, Workload, render_template
+
+_TOCTOU_TEMPLATE = """
+.data
+hslot_{v}: .word 0
+hsink_{v}: .word 0
+hmx_{v}:   .word 0
+.thread hown_{v}
+    li r1, 1
+    sys_alloc r2, r1
+    li r3, 88
+    store r3, [r2]              ; initialise
+    lock [hmx_{v}]
+    store r2, [hslot_{v}]       ; publish, correctly locked
+    unlock [hmx_{v}]
+    li r9, {delay}
+hdly:
+    subi r9, r9, 1
+    bnez r9, hdly
+    sys_free r2                 ; free FIRST ...
+    li r4, 0
+    store r4, [hslot_{v}]       ; ... clear the slot second, and unlocked
+    halt
+.thread huse_{v}
+    li r9, {udelay}
+udly:
+    subi r9, r9, 1
+    bnez r9, udly
+    lock [hmx_{v}]
+    load r1, [hslot_{v}]        ; time-of-check (locked — but the owner's
+    unlock [hmx_{v}]            ;  invalidation does not take the lock!)
+    beqz r1, hskip
+    load r2, [r1]               ; time-of-use — the object may be gone
+    store r2, [hsink_{v}]
+hskip:
+    halt
+"""
+
+
+def toctou_handle(variant: int = 0, delay: int = 40, udelay: int = 40) -> Workload:
+    """Check-then-use of a handle the owner frees before clearing."""
+    v = "tc%d" % variant
+    return Workload(
+        name="toctou_handle_%s" % v,
+        source=render_template(
+            _TOCTOU_TEMPLATE, v=v, delay=str(delay), udelay=str(udelay)
+        ),
+        description=(
+            "User checks a published handle then dereferences it; owner "
+            "frees the object and clears the slot unlocked and in the wrong "
+            "order."
+        ),
+        expectations=(
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                symbol="hslot_%s" % v,
+                note="check-then-use races with the unlocked invalidation",
+            ),
+            RaceExpectation(
+                truth=GroundTruth.HARMFUL,
+                heap=True,
+                note="dereference can land after the free",
+            ),
+        ),
+        recommended_seeds=(18, 34),
+        may_fault=True,
+    )

@@ -1,0 +1,170 @@
+"""The paper-suite: our analog of the recorded Vista/IE executions.
+
+Each :class:`Execution` is one recorded run: a workload, a random-scheduler
+seed, and a preemption probability.  The suite spans every race motif (all
+six Table 2 benign categories plus four harmful-bug families); several
+motifs appear as multiple *variants* — distinct code blocks, hence
+distinct unique static races — and composite "service" workloads fuse
+several motifs into one multi-threaded process, the way one IE run
+exhibits many race sites at once.
+
+The same workload can be recorded under several seeds: the paper's
+"a data race ... occurred more than once in the same execution or in
+different scenarios", which is what lets a race that looked benign in one
+recording be re-classified by another (the refcount bug below needs its
+second, double-free-provoking seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .base import Workload
+from .benign_approximate import cache_timestamp, stats_counter
+from .benign_both_values import fn_selector, producer_consumer
+from .benign_double_check import double_check_cold, double_check_warm
+from .benign_disjoint_bits import disjoint_bits
+from .benign_redundant import redundant_pid
+from .benign_sync import barrier, consume_then_wait, flag_publish, handshake
+from .clean import atomic_counter, atomic_handoff, locked_counter, locked_handoff
+from .composite import combine_workloads
+from .generator import mixed_service
+from .harmful_atomicity import torn_pair
+from .harmful_lost_update import lost_update
+from .harmful_pointer import unsafe_publish
+from .harmful_refcount import refcount_free
+from .harmful_toctou import toctou_handle
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One recorded execution of the suite."""
+
+    execution_id: str
+    workload: Workload
+    seed: int
+    switch_probability: float = 0.3
+
+
+def _execution(workload: Workload, seed: int, switch: float = 0.3) -> Execution:
+    return Execution(
+        execution_id="%s#s%d" % (workload.name, seed),
+        workload=workload,
+        seed=seed,
+        switch_probability=switch,
+    )
+
+
+def _svc_pid_bits() -> Workload:
+    return combine_workloads(
+        "svc_pid_bits",
+        "Service mixing redundant pid refreshes with bit-field flag words.",
+        redundant_pid(1),
+        disjoint_bits(1, bit=2),
+        disjoint_bits(2, bit=4),
+    )
+
+
+def _svc_select() -> Workload:
+    return combine_workloads(
+        "svc_select",
+        "Service mixing version selectors with steady-state double checks.",
+        fn_selector(1),
+        fn_selector(2),
+        double_check_warm(1),
+    )
+
+
+def _svc_stats() -> Workload:
+    return combine_workloads(
+        "svc_stats",
+        "Service with several intentionally approximate statistics sites.",
+        stats_counter(1),
+        stats_counter(2),
+        cache_timestamp(1),
+    )
+
+
+def _svc_flags() -> Workload:
+    return combine_workloads(
+        "svc_flags",
+        "Service mixing hand-rolled flag/handshake sync with a lock-free queue.",
+        flag_publish(1),
+        handshake(1),
+        producer_consumer(1),
+    )
+
+
+def paper_suite() -> List[Execution]:
+    """The recorded executions driving Tables 1-2 and Figures 3-5."""
+    return [
+        # --- single-motif services -----------------------------------
+        _execution(flag_publish(0), seed=3),
+        _execution(handshake(0), seed=5),
+        _execution(consume_then_wait(0), seed=13),
+        _execution(consume_then_wait(1), seed=29),
+        _execution(double_check_warm(0), seed=2),
+        _execution(double_check_cold(0), seed=4),
+        _execution(fn_selector(0), seed=17),
+        _execution(producer_consumer(0), seed=8),
+        _execution(redundant_pid(0), seed=7),
+        _execution(disjoint_bits(0, bit=1), seed=9),
+        _execution(stats_counter(0), seed=10),
+        _execution(cache_timestamp(0), seed=12),
+        # --- composite services (many race sites per process) --------
+        _execution(_svc_pid_bits(), seed=7),
+        _execution(_svc_select(), seed=17),
+        _execution(_svc_stats(), seed=10),
+        _execution(_svc_flags(), seed=3),
+        _execution(mixed_service(0), seed=44),
+        # --- the harmful bugs (all must classify potentially harmful) -
+        _execution(refcount_free(0), seed=1),
+        _execution(refcount_free(0), seed=23),  # provokes the double free
+        _execution(lost_update(0), seed=15),
+        _execution(lost_update(0), seed=26),
+        _execution(unsafe_publish(0), seed=16),
+        _execution(torn_pair(0), seed=32),   # bug latent in the recording!
+        _execution(torn_pair(0), seed=19),
+        _execution(toctou_handle(0), seed=7),
+        _execution(toctou_handle(1), seed=7),
+    ]
+
+
+def clean_suite() -> List[Execution]:
+    """Correctly synchronized controls: the detector must stay silent."""
+    return [
+        _execution(locked_counter(0), seed=20),
+        _execution(atomic_counter(0), seed=24),
+        _execution(locked_handoff(0), seed=25),
+        _execution(atomic_handoff(0), seed=30),
+        _execution(barrier(0), seed=22),
+    ]
+
+
+def overhead_workload() -> Workload:
+    """The longer mixed workload used for the §5.1 overhead measurements.
+
+    The large compute kernel makes the instruction mix realistic: almost
+    all instructions are locally predictable, so the log-size-per-
+    instruction figure is meaningful to compare with the paper's.
+    """
+    return mixed_service(1, iters=40, moniters=20, compute=30)
+
+
+def all_workloads() -> Dict[str, Workload]:
+    """Every distinct workload in the suites, by name."""
+    collected: Dict[str, Workload] = {}
+    for execution in paper_suite() + clean_suite():
+        collected[execution.workload.name] = execution.workload
+    overhead = overhead_workload()
+    collected[overhead.name] = overhead
+    return collected
+
+
+def workload_for_execution(execution_id: str) -> Optional[Workload]:
+    """Find the workload an execution id belongs to."""
+    for execution in paper_suite() + clean_suite():
+        if execution.execution_id == execution_id:
+            return execution.workload
+    return None

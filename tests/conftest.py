@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import RandomScheduler, TraceObserver
+
+
+RACY_STATS_SOURCE = """
+.data
+counter: .word 0
+mutex:   .word 0
+stats:   .word 0
+.thread t1 t2
+    li r1, 0
+loop:
+    lock [mutex]
+    load r2, [counter]
+    addi r2, r2, 1
+    store r2, [counter]
+    unlock [mutex]
+    load r4, [stats]
+    addi r4, r4, 1
+    store r4, [stats]
+    addi r1, r1, 1
+    slti r3, r1, 4
+    bnez r3, loop
+    sys_print r1
+    halt
+"""
+
+LOCKED_ONLY_SOURCE = """
+.data
+counter: .word 0
+mutex:   .word 0
+.thread a b
+    li r1, 0
+loop:
+    lock [mutex]
+    load r2, [counter]
+    addi r2, r2, 1
+    store r2, [counter]
+    unlock [mutex]
+    addi r1, r1, 1
+    slti r3, r1, 3
+    bnez r3, loop
+    halt
+"""
+
+
+@pytest.fixture
+def racy_program():
+    """A program with a locked counter and an unlocked stats counter."""
+    return assemble(RACY_STATS_SOURCE, name="racy_stats")
+
+
+@pytest.fixture
+def locked_program():
+    """A fully synchronized program (no races)."""
+    return assemble(LOCKED_ONLY_SOURCE, name="locked_only")
+
+
+def record_with_trace(program, seed=7, switch_probability=0.3, max_steps=200_000):
+    """Run a program under recording plus full trace capture.
+
+    Returns ``(machine_result, replay_log, trace)``.
+    """
+    trace = TraceObserver()
+    result, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=switch_probability),
+        seed=seed,
+        max_steps=max_steps,
+        extra_observers=[trace],
+    )
+    return result, log, trace
+
+
+@pytest.fixture
+def racy_analysis(racy_program):
+    """(result, log, trace, ordered) for the racy stats program."""
+    result, log, trace = record_with_trace(racy_program, seed=7)
+    ordered = OrderedReplay(log, racy_program)
+    return result, log, trace, ordered

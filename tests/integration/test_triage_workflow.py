@@ -1,0 +1,121 @@
+"""Integration test: the paper's developer triage workflow (Section 1).
+
+1. Record test scenarios; analyse; get a prioritized report with
+   potentially-harmful races first.
+2. The developer triages a flagged race as benign; it is persisted to the
+   suppression database.
+3. A later analysis of a new execution suppresses it, keeping developer
+   attention on the remaining potentially-harmful races.
+"""
+
+import pytest
+
+from repro.analysis import analyze_execution
+from repro.race import (
+    Classification,
+    SuppressionDB,
+    aggregate_instances,
+    build_report,
+    categorize,
+    render_triage_list,
+)
+from repro.workloads.benign_approximate import stats_counter
+from repro.workloads.harmful_lost_update import lost_update
+from repro.workloads.composite import combine_workloads
+from repro.workloads.suite import Execution
+
+
+@pytest.fixture(scope="module")
+def service():
+    return combine_workloads(
+        "triage_service",
+        "a service with one intended race and one real bug",
+        stats_counter(6),
+        lost_update(6),
+    )
+
+
+def analyse(service, execution_id, seed):
+    analysis = analyze_execution(Execution(execution_id, service, seed))
+    return analysis, aggregate_instances(analysis.classified)
+
+
+def test_full_triage_cycle(service, tmp_path):
+    program = service.program()
+    analysis, results = analyse(service, "night1", seed=10)
+
+    # --- night 1: everything flagged is reported, harmful first --------
+    database = SuppressionDB()
+    reports = [
+        build_report(
+            result,
+            program,
+            analysis.log,
+            suggested_reason=(
+                str(categorize(result, program))
+                if categorize(result, program)
+                else None
+            ),
+            suppressed=database.is_suppressed(program.name, key),
+        )
+        for key, result in results.items()
+    ]
+    triage = render_triage_list(reports)
+    assert "potentially harmful (triage these)" in triage
+
+    flagged = {
+        key: result
+        for key, result in results.items()
+        if result.classification is Classification.POTENTIALLY_HARMFUL
+    }
+    assert flagged
+
+    # --- the developer marks the stats races benign ---------------------
+    stats_address = program.data_address("stats_st6")
+    for key, result in flagged.items():
+        addresses = {c.instance.address for c in result.instances}
+        if stats_address in addresses:
+            database.mark_benign(
+                program.name, key, reason="approximate statistics", triaged_by="dev"
+            )
+    assert len(database) >= 1
+    database.save(tmp_path / "suppressions.json")
+
+    # --- night 2: a fresh execution; suppressions persist ---------------
+    database2 = SuppressionDB.load(tmp_path / "suppressions.json")
+    analysis2, results2 = analyse(service, "night2", seed=37)
+    reports2 = [
+        build_report(
+            result,
+            program,
+            analysis2.log,
+            suppressed=database2.is_suppressed(program.name, key),
+        )
+        for key, result in results2.items()
+    ]
+    suppressed = [r for r in reports2 if r.suppressed]
+    active_harmful = [
+        r
+        for r in reports2
+        if r.classification is Classification.POTENTIALLY_HARMFUL and not r.suppressed
+    ]
+    assert suppressed, "previously triaged races must be suppressed"
+    assert active_harmful, "the real bug must still be reported"
+    balance_address = program.data_address("balance_lu6")
+    balance_reports = [
+        r
+        for key, r in zip(results2, reports2)
+        if balance_address in {c.instance.address for c in results2[key].instances}
+    ]
+    assert all(not r.suppressed for r in balance_reports)
+
+
+def test_retriage_unmark(service):
+    program = service.program()
+    _, results = analyse(service, "x", seed=10)
+    key = next(iter(results))
+    database = SuppressionDB()
+    database.mark_benign(program.name, key)
+    assert database.is_suppressed(program.name, key)
+    database.unmark(program.name, key)
+    assert not database.is_suppressed(program.name, key)

@@ -1,0 +1,99 @@
+"""Property-based tests: ALU semantics, varints, assembler round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble, disassemble
+from repro.isa.operands import WORD_MASK, to_signed, to_unsigned
+from repro.record.compression import decode_varint, encode_varint
+from repro.vm.alu import binary_op, branch_taken
+
+from strategies import programs
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+small = st.integers(min_value=0, max_value=2**20)
+
+
+class TestAluProperties:
+    @given(a=words, b=words)
+    def test_commutative_ops(self, a, b):
+        for op in ("add", "mul", "and", "or", "xor"):
+            assert binary_op(op, a, b) == binary_op(op, b, a)
+
+    @given(a=words, b=words)
+    def test_results_fit_in_64_bits(self, a, b):
+        for op in ("add", "sub", "mul", "divu", "remu", "shl", "shr"):
+            assert 0 <= binary_op(op, a, b) <= WORD_MASK
+
+    @given(a=words)
+    def test_additive_identity_and_inverse(self, a):
+        assert binary_op("add", a, 0) == a
+        assert binary_op("sub", a, a) == 0
+        assert binary_op("xor", a, a) == 0
+
+    @given(a=words, b=st.integers(min_value=1, max_value=WORD_MASK))
+    def test_division_euclidean(self, a, b):
+        quotient = binary_op("divu", a, b)
+        remainder = binary_op("remu", a, b)
+        assert to_unsigned(quotient * b + remainder) == a
+        assert remainder < b
+
+    @given(a=words, b=words)
+    def test_slt_trichotomy(self, a, b):
+        if a == b:
+            assert binary_op("slt", a, b) == 0
+            assert binary_op("slt", b, a) == 0
+        else:
+            assert binary_op("slt", a, b) ^ binary_op("slt", b, a) == 1
+
+    @given(a=words, b=words)
+    def test_branch_consistency_with_alu(self, a, b):
+        assert branch_taken("beq", a, b) == (a == b)
+        assert branch_taken("bne", a, b) == (a != b)
+        assert branch_taken("blt", a, b) == (to_signed(a) < to_signed(b))
+        assert branch_taken("bge", a, b) == (to_signed(a) >= to_signed(b))
+
+    @given(value=st.integers(min_value=-(2**70), max_value=2**70))
+    def test_signed_unsigned_round_trip(self, value):
+        assert to_unsigned(to_signed(to_unsigned(value))) == to_unsigned(value)
+
+
+class TestVarintProperties:
+    @given(value=st.integers(min_value=0, max_value=2**80))
+    def test_round_trip(self, value):
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+    @given(values=st.lists(small, min_size=1, max_size=20))
+    def test_stream_round_trip(self, values):
+        blob = b"".join(encode_varint(v) for v in values)
+        decoded, offset = [], 0
+        while offset < len(blob):
+            value, offset = decode_varint(blob, offset)
+            decoded.append(value)
+        assert decoded == values
+
+    @given(value=small)
+    def test_encoding_is_minimal_for_small_values(self, value):
+        encoded = encode_varint(value)
+        if value < 128:
+            assert len(encoded) == 1
+
+
+class TestAssemblerRoundTrip:
+    @given(source=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_disassemble_reassembles_equivalently(self, source):
+        program = assemble(source, name="rt")
+        text = disassemble(program)
+        again = assemble(text, name="rt")
+        assert set(again.blocks) == set(program.blocks)
+        for name, block in program.blocks.items():
+            other = again.blocks[name]
+            assert [i.opcode for i in block.instructions] == [
+                i.opcode for i in other.instructions
+            ]
+            assert [i.operands for i in block.instructions] == [
+                i.operands for i in other.instructions
+            ]
+        assert again.initial_memory() == program.initial_memory()
+        assert again.threads == program.threads

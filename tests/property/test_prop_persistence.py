@@ -1,0 +1,87 @@
+"""Property-based tests: persistence layers round-trip arbitrary content."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.program import StaticInstructionId
+from repro.race.database import RaceDatabase, RaceRecord
+from repro.race.model import static_race_key
+from repro.race.suppression import SuppressionDB
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,15}", fullmatch=True)
+indices = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def race_keys(draw):
+    first = StaticInstructionId(draw(identifiers), draw(indices))
+    second = StaticInstructionId(draw(identifiers), draw(indices))
+    return static_race_key(first, second)
+
+
+# Reasons may contain anything except characters JSON can't round-trip
+# losslessly as text (surrogates are excluded by default text()).
+free_text = st.text(max_size=60)
+
+
+class TestSuppressionRoundTrip:
+    @given(
+        entries=st.lists(
+            st.tuples(identifiers, race_keys(), free_text, free_text),
+            max_size=10,
+        )
+    )
+    @_SETTINGS
+    def test_save_load_preserves_everything(self, entries, tmp_path_factory):
+        database = SuppressionDB()
+        for program, key, reason, who in entries:
+            database.mark_benign(program, key, reason=reason, triaged_by=who)
+        path = tmp_path_factory.mktemp("sup") / "db.json"
+        database.save(path)
+        restored = SuppressionDB.load(path)
+        assert len(restored) == len(database)
+        for program, key, reason, who in entries:
+            assert restored.is_suppressed(program, key)
+            # Latest write wins per (program, key); reason must be *a*
+            # recorded reason for that pair.
+            assert restored.reason_for(program, key) is not None or reason == ""
+
+
+class TestDatabaseRoundTrip:
+    @given(
+        records=st.lists(
+            st.tuples(
+                identifiers,
+                race_keys(),
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+                st.lists(identifiers, max_size=4, unique=True),
+            ),
+            max_size=8,
+        )
+    )
+    @_SETTINGS
+    def test_save_load_preserves_counts(self, records, tmp_path_factory):
+        database = RaceDatabase()
+        for program, key, nsc, sc, rf, executions in records:
+            record = RaceRecord(
+                program_name=program,
+                key_text="%s|%s" % key,
+                no_state_change=nsc,
+                state_change=sc,
+                replay_failure=rf,
+                executions=list(executions),
+                history=["potentially-benign"],
+            )
+            database._records[(program, record.key_text)] = record
+        path = tmp_path_factory.mktemp("db") / "races.json"
+        database.save(path)
+        restored = RaceDatabase.load(path)
+        assert len(restored) == len(database)
+        for (program, key_text), record in database._records.items():
+            other = restored._records[(program, key_text)]
+            assert other.instance_count == record.instance_count
+            assert other.executions == record.executions
+            assert other.classification is record.classification

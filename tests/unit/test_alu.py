@@ -1,0 +1,82 @@
+"""Unit tests for the shared ALU semantics."""
+
+import pytest
+
+from repro.isa.operands import WORD_MASK
+from repro.vm.alu import binary_op, branch_taken, is_binary_op
+
+
+class TestBinaryOps:
+    def test_add_wraps(self):
+        assert binary_op("add", WORD_MASK, 1) == 0
+
+    def test_sub_wraps(self):
+        assert binary_op("sub", 0, 1) == WORD_MASK
+
+    def test_mul(self):
+        assert binary_op("mul", 3, 7) == 21
+
+    def test_divu_by_zero_is_all_ones(self):
+        assert binary_op("divu", 42, 0) == WORD_MASK
+
+    def test_remu_by_zero_returns_dividend(self):
+        assert binary_op("remu", 42, 0) == 42
+
+    def test_divu_remu(self):
+        assert binary_op("divu", 17, 5) == 3
+        assert binary_op("remu", 17, 5) == 2
+
+    def test_bitwise(self):
+        assert binary_op("and", 0b1100, 0b1010) == 0b1000
+        assert binary_op("or", 0b1100, 0b1010) == 0b1110
+        assert binary_op("xor", 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mod_64(self):
+        assert binary_op("shl", 1, 64) == 1
+        assert binary_op("shl", 1, 3) == 8
+        assert binary_op("shr", 8, 3) == 1
+
+    def test_slt_signed(self):
+        assert binary_op("slt", WORD_MASK, 0) == 1  # -1 < 0
+        assert binary_op("slt", 0, WORD_MASK) == 0
+
+    def test_sltu_unsigned(self):
+        assert binary_op("sltu", WORD_MASK, 0) == 0
+        assert binary_op("sltu", 0, WORD_MASK) == 1
+
+    def test_immediate_forms_aliased(self):
+        assert binary_op("addi", 2, 3) == binary_op("add", 2, 3)
+        assert binary_op("slti", WORD_MASK, 0) == 1
+
+    def test_is_binary_op(self):
+        assert is_binary_op("add")
+        assert is_binary_op("addi")
+        assert not is_binary_op("load")
+        assert not is_binary_op("jmp")
+
+    def test_negative_inputs_wrapped(self):
+        assert binary_op("add", -1, 2) == 1
+
+
+class TestBranchTaken:
+    def test_jmp_always(self):
+        assert branch_taken("jmp", 0)
+
+    def test_beq_bne(self):
+        assert branch_taken("beq", 5, 5)
+        assert not branch_taken("beq", 5, 6)
+        assert branch_taken("bne", 5, 6)
+
+    def test_signed_compares(self):
+        assert branch_taken("blt", WORD_MASK, 0)  # -1 < 0
+        assert not branch_taken("blt", 0, WORD_MASK)
+        assert branch_taken("bge", 0, WORD_MASK)
+
+    def test_zero_forms(self):
+        assert branch_taken("beqz", 0)
+        assert not branch_taken("beqz", 9)
+        assert branch_taken("bnez", 9)
+
+    def test_non_branch_raises(self):
+        with pytest.raises(ValueError):
+            branch_taken("add", 1, 2)

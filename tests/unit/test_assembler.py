@@ -1,0 +1,201 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    DuplicateSymbolError,
+    OperandError,
+    UndefinedSymbolError,
+    UnknownOpcodeError,
+    assemble,
+)
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.program import DATA_BASE
+
+
+class TestDataSegment:
+    def test_word_layout(self):
+        program = assemble(
+            ".data\na: .word 1\nb: .word 2, 3\n.thread t\n    halt\n"
+        )
+        assert program.data["a"].address == DATA_BASE
+        assert program.data["b"].address == DATA_BASE + 1
+        assert program.data["b"].values == (2, 3)
+
+    def test_space_directive(self):
+        program = assemble(".data\nbuf: .space 4\n.thread t\n    halt\n")
+        assert program.data["buf"].values == (0, 0, 0, 0)
+
+    def test_initial_memory_image(self):
+        program = assemble(
+            ".data\na: .word 7\nb: .word 8, 9\n.thread t\n    halt\n"
+        )
+        image = program.initial_memory()
+        assert image[DATA_BASE] == 7
+        assert image[DATA_BASE + 1] == 8
+        assert image[DATA_BASE + 2] == 9
+
+    def test_duplicate_data_symbol(self):
+        with pytest.raises(DuplicateSymbolError):
+            assemble(".data\na: .word 1\na: .word 2\n.thread t\n    halt\n")
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nbuf: .space 0\n.thread t\n    halt\n")
+
+
+class TestEqu:
+    def test_constant_in_immediate(self):
+        program = assemble(
+            ".equ LIMIT, 9\n.thread t\n    li r1, LIMIT\n    halt\n"
+        )
+        assert program.blocks["t"].instructions[0].operands[1] == Imm(9)
+
+    def test_duplicate_equ(self):
+        with pytest.raises(DuplicateSymbolError):
+            assemble(".equ A, 1\n.equ A, 2\n.thread t\n    halt\n")
+
+
+class TestOperandForms:
+    def test_register_indirect(self):
+        program = assemble(".thread t\n    load r1, [r2]\n    halt\n")
+        assert program.blocks["t"].instructions[0].operands[1] == Mem(base=2, offset=0)
+
+    def test_register_with_offset(self):
+        program = assemble(".thread t\n    load r1, [r2+3]\n    halt\n")
+        assert program.blocks["t"].instructions[0].operands[1] == Mem(base=2, offset=3)
+
+    def test_register_with_negative_offset(self):
+        program = assemble(".thread t\n    load r1, [r2-3]\n    halt\n")
+        assert program.blocks["t"].instructions[0].operands[1] == Mem(base=2, offset=-3)
+
+    def test_symbol_operand(self):
+        program = assemble(
+            ".data\nx: .word 0\n.thread t\n    load r1, [x]\n    halt\n"
+        )
+        operand = program.blocks["t"].instructions[0].operands[1]
+        assert operand.offset == DATA_BASE
+        assert operand.symbol == "x"
+
+    def test_symbol_plus_offset(self):
+        program = assemble(
+            ".data\nx: .word 0, 0\n.thread t\n    load r1, [x+1]\n    halt\n"
+        )
+        assert program.blocks["t"].instructions[0].operands[1].offset == DATA_BASE + 1
+
+    def test_absolute_address(self):
+        program = assemble(".thread t\n    load r1, [0x2000]\n    halt\n")
+        assert program.blocks["t"].instructions[0].operands[1].offset == 0x2000
+
+    def test_hex_immediate(self):
+        program = assemble(".thread t\n    li r1, 0xFF\n    halt\n")
+        assert program.blocks["t"].instructions[0].operands[1] == Imm(255)
+
+    def test_symbol_as_immediate_yields_address(self):
+        program = assemble(
+            ".data\nx: .word 0\n.thread t\n    li r1, x\n    halt\n"
+        )
+        assert program.blocks["t"].instructions[0].operands[1] == Imm(DATA_BASE)
+
+
+class TestLabels:
+    def test_branch_resolution(self):
+        program = assemble(
+            ".thread t\n    li r1, 3\nloop:\n    subi r1, r1, 1\n"
+            "    bnez r1, loop\n    halt\n"
+        )
+        branch = program.blocks["t"].instructions[2]
+        assert branch.operands[-1] == Imm(1)
+
+    def test_forward_reference(self):
+        program = assemble(
+            ".thread t\n    jmp end\n    nop\nend:\n    halt\n"
+        )
+        assert program.blocks["t"].instructions[0].operands[0] == Imm(2)
+
+    def test_label_on_same_line(self):
+        program = assemble(".thread t\nstart: li r1, 1\n    halt\n")
+        assert program.blocks["t"].labels["start"] == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(UndefinedSymbolError):
+            assemble(".thread t\n    jmp nowhere\n    halt\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(DuplicateSymbolError):
+            assemble(".thread t\nx:\n    nop\nx:\n    halt\n")
+
+
+class TestThreads:
+    def test_shared_block(self):
+        program = assemble(".thread a b\n    halt\n")
+        assert program.threads == {"a": "a", "b": "a"}
+        assert list(program.blocks) == ["a"]
+
+    def test_multiple_blocks(self):
+        program = assemble(".thread a\n    halt\n.thread b\n    nop\n    halt\n")
+        assert program.threads == {"a": "a", "b": "b"}
+        assert len(program.blocks["b"]) == 2
+
+    def test_duplicate_thread_name(self):
+        with pytest.raises(DuplicateSymbolError):
+            assemble(".thread a\n    halt\n.thread a\n    halt\n")
+
+    def test_instruction_outside_thread(self):
+        with pytest.raises(AssemblyError):
+            assemble("    li r1, 1\n.thread t\n    halt\n")
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".thread a\n.thread b\n    halt\n")
+
+
+class TestIntent:
+    def test_intent_attaches_to_next_instruction(self):
+        program = assemble(
+            ".data\nx: .word 0\n.thread t\n    .intent approximate\n"
+            "    load r1, [x]\n    halt\n"
+        )
+        static_id = program.blocks["t"].static_id(0)
+        assert program.intents[static_id] == "approximate"
+
+    def test_intent_requires_tag(self):
+        with pytest.raises(AssemblyError):
+            assemble(".thread t\n    .intent\n    halt\n")
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(UnknownOpcodeError):
+            assemble(".thread t\n    frobnicate r1\n    halt\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(OperandError):
+            assemble(".thread t\n    add r1, r2\n    halt\n")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(OperandError):
+            assemble(".thread t\n    li r99, 1\n    halt\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(UnknownOpcodeError) as info:
+            assemble(".thread t\n    nop\n    bogus\n    halt\n")
+        assert "line 3" in str(info.value)
+
+    def test_no_threads(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nx: .word 1\n")
+
+
+class TestComments:
+    def test_semicolon_and_hash_comments(self):
+        program = assemble(
+            "; leading comment\n.thread t\n    li r1, 1  ; trailing\n"
+            "    nop # other style\n    halt\n"
+        )
+        assert len(program.blocks["t"]) == 3
+
+    def test_source_text_preserved(self):
+        program = assemble(".thread t\n    li r1, 42\n    halt\n")
+        assert program.blocks["t"].instructions[0].source_text == "li r1, 42"

@@ -1,0 +1,132 @@
+"""Unit tests for the replay-both-orders classifier."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.race.classifier import ClassifierConfig, RaceClassifier
+from repro.race.happens_before import find_races
+from repro.race.outcomes import InstanceOutcome
+from repro.record import record_run
+from repro.replay import OrderedReplay, ReplayFailure
+from repro.vm import ExplicitScheduler, RandomScheduler
+
+
+def classify(source, seed=3, scheduler=None, config=None, name="cls"):
+    program = assemble(source, name=name)
+    _, log = record_run(
+        program,
+        scheduler=scheduler or RandomScheduler(seed=seed, switch_probability=0.4),
+        seed=seed,
+    )
+    ordered = OrderedReplay(log, program)
+    instances = find_races(ordered)
+    classifier = RaceClassifier(ordered, config=config, execution_id="x")
+    return program, instances, classifier.classify_all(instances), classifier
+
+
+RACY_RMW = (
+    ".data\nx: .word 10\n.thread a b\n    load r1, [x]\n"
+    "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+)
+
+REDUNDANT = (
+    ".data\nx: .word 7\n.thread a b\n    li r1, 7\n    store r1, [x]\n"
+    "    load r2, [x]\n    halt\n"
+)
+
+
+class TestOutcomes:
+    def test_lost_update_is_state_change(self):
+        _, instances, classified, _ = classify(RACY_RMW)
+        assert classified
+        rw = [
+            c
+            for c in classified
+            if c.instance.access_a.is_write != c.instance.access_b.is_write
+        ]
+        assert rw
+        assert all(c.outcome is InstanceOutcome.STATE_CHANGE for c in rw)
+
+    def test_redundant_write_is_no_state_change(self):
+        _, instances, classified, _ = classify(REDUNDANT)
+        assert classified
+        assert all(
+            c.outcome is InstanceOutcome.NO_STATE_CHANGE for c in classified
+        )
+
+    def test_pre_value_recorded(self):
+        program, _, classified, _ = classify(REDUNDANT)
+        assert all(c.pre_value == 7 for c in classified)
+
+    def test_execution_id_attached(self):
+        _, _, classified, _ = classify(RACY_RMW)
+        assert all(c.execution_id == "x" for c in classified)
+
+    def test_classification_is_deterministic(self):
+        _, _, first, _ = classify(RACY_RMW)
+        _, _, second, _ = classify(RACY_RMW)
+        assert [c.outcome for c in first] == [c.outcome for c in second]
+
+
+class TestOriginalOrder:
+    def test_original_first_uses_global_order(self):
+        # Force b to run entirely before a: b's racing ops came first.
+        program, instances, classified, _ = classify(
+            RACY_RMW, scheduler=ExplicitScheduler([1] * 8 + [0] * 8)
+        )
+        assert classified
+        assert all(c.original_first == "b" for c in classified)
+
+    def test_original_first_without_global_order(self):
+        program = assemble(RACY_RMW, name="nogo")
+        _, log = record_run(
+            program,
+            scheduler=RandomScheduler(seed=3),
+            seed=3,
+            capture_global_order=False,
+        )
+        ordered = OrderedReplay(log, program)
+        instances = find_races(ordered)
+        classified = RaceClassifier(ordered).classify_all(instances)
+        # Falls back to the earlier-region heuristic; still classifies.
+        assert all(
+            c.original_first in ("a", "b") and c.outcome is not None
+            for c in classified
+        )
+
+
+class TestStoredReplays:
+    def test_outcomes_stored_when_requested(self):
+        _, _, classified, _ = classify(
+            RACY_RMW, config=ClassifierConfig(store_replay_outcomes=True)
+        )
+        succeeded = [c for c in classified if c.failure_kind is None]
+        assert succeeded
+        for entry in succeeded:
+            assert entry.original_replay is not None
+            assert entry.alternative_replay is not None
+
+    def test_outcomes_dropped_by_default(self):
+        _, _, classified, _ = classify(RACY_RMW)
+        assert all(c.original_replay is None for c in classified)
+
+    def test_replay_pair_returns_both(self):
+        program, instances, classified, classifier = classify(REDUNDANT)
+        original, alternative = classifier.replay_pair(instances[0])
+        assert original.registers.keys() == alternative.registers.keys()
+
+
+class TestSymmetry:
+    def test_verdict_independent_of_side_order(self):
+        """Swapping access_a/access_b must not change the verdict."""
+        from repro.race.model import RaceInstance
+
+        program, instances, classified, classifier = classify(RACY_RMW)
+        for instance, entry in zip(instances, classified):
+            swapped = RaceInstance(
+                access_a=instance.access_b,
+                access_b=instance.access_a,
+                region_a=instance.region_b,
+                region_b=instance.region_a,
+            )
+            assert classifier.classify_instance(swapped).outcome is entry.outcome

@@ -1,0 +1,234 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+DEMO_SOURCE = """
+.data
+jobs:  .word 0
+mutex: .word 0
+stats: .word 0
+.thread w1 w2
+    li r1, 3
+loop:
+    lock [mutex]
+    load r2, [jobs]
+    addi r2, r2, 1
+    store r2, [jobs]
+    unlock [mutex]
+    load r4, [stats]
+    addi r4, r4, 1
+    store r4, [stats]
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+"""
+
+CLEAN_SOURCE = """
+.data
+jobs:  .word 0
+mutex: .word 0
+.thread w1 w2
+    lock [mutex]
+    load r2, [jobs]
+    addi r2, r2, 1
+    store r2, [jobs]
+    unlock [mutex]
+    halt
+"""
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def recorded(tmp_path):
+    program = tmp_path / "demo.asm"
+    program.write_text(DEMO_SOURCE)
+    log = tmp_path / "demo.replay.json"
+    code, text = run_cli(
+        ["record", str(program), "-o", str(log), "--seed", "7"]
+    )
+    assert code == 0
+    return program, log, text
+
+
+class TestRecord:
+    def test_record_writes_log(self, recorded):
+        program, log, text = recorded
+        assert log.exists()
+        assert "recorded" in text
+        assert "bits/instr" in text
+
+    def test_default_output_path(self, tmp_path):
+        program = tmp_path / "p.asm"
+        program.write_text(CLEAN_SOURCE)
+        code, _ = run_cli(["record", str(program), "--seed", "1"])
+        assert code == 0
+        assert (tmp_path / "p.replay.json").exists()
+
+    def test_round_robin_scheduler(self, tmp_path):
+        program = tmp_path / "p.asm"
+        program.write_text(CLEAN_SOURCE)
+        code, _ = run_cli(
+            ["record", str(program), "--scheduler", "round-robin"]
+        )
+        assert code == 0
+
+
+class TestReplay:
+    def test_replay_reports_threads(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(["replay", str(log)])
+        assert code == 0
+        assert "w1" in text and "w2" in text
+        assert "steps replayed" in text
+
+
+class TestDetect:
+    def test_detect_lists_unique_races(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(["detect", str(log)])
+        assert code == 0
+        assert "unique static race(s)" in text
+        assert "stats" in text
+
+    def test_detect_clean_program(self, tmp_path):
+        program = tmp_path / "clean.asm"
+        program.write_text(CLEAN_SOURCE)
+        log = tmp_path / "clean.replay.json"
+        run_cli(["record", str(program), "-o", str(log)])
+        code, text = run_cli(["detect", str(log)])
+        assert code == 0
+        assert "0 race instance(s), 0 unique" in text
+
+
+class TestClassify:
+    def test_classify_prints_triage(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(["classify", str(log)])
+        assert code == 0
+        assert "potentially harmful (triage these)" in text
+        assert "DATA RACE" in text
+
+    def test_mark_benign_then_suppressed(self, recorded, tmp_path):
+        _, log, _ = recorded
+        suppressions = tmp_path / "triage.json"
+        code, text = run_cli(
+            [
+                "mark-benign",
+                str(log),
+                "--race",
+                "w1:6|w1:8",
+                "--reason",
+                "approximate stats",
+                "--by",
+                "alice",
+                "--suppressions",
+                str(suppressions),
+            ]
+        )
+        assert code == 0 and suppressions.exists()
+        code, text = run_cli(
+            ["classify", str(log), "--suppressions", str(suppressions)]
+        )
+        assert code == 0
+        assert "1 suppressed" in text
+
+    def test_continue_extension_flag(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(
+            ["classify", str(log), "--continue-through-control-flow"]
+        )
+        assert code == 0
+
+
+class TestValidate:
+    def test_valid_log_reports_ok(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(["validate", str(log)])
+        assert code == 0
+        assert "OK" in text
+
+    def test_corrupt_log_lists_issues(self, recorded, tmp_path):
+        import json
+
+        _, log, _ = recorded
+        payload = json.loads(log.read_text())
+        payload["threads"]["w1"]["end"] = None
+        bad = tmp_path / "bad.replay.json"
+        bad.write_text(json.dumps(payload))
+        code, text = run_cli(["validate", str(bad)])
+        assert code == 0 and "issue(s)" in text
+        code, _ = run_cli(["validate", str(bad), "--strict"])
+        assert code == 1
+
+
+class TestInspect:
+    def test_inspect_shows_step_views(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(
+            ["inspect", str(log), "--thread", "w1", "--step", "0", "--count", "4"]
+        )
+        assert code == 0
+        assert "w1 step 0" in text
+        assert "->" in text  # register change rendering
+
+    def test_inspect_unknown_thread(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(["inspect", str(log), "--thread", "ghost"])
+        assert code == 1
+        assert "no thread" in text
+
+
+class TestDatabaseAccumulation:
+    def test_classify_with_database(self, recorded, tmp_path):
+        _, log, _ = recorded
+        database = tmp_path / "races.json"
+        code, text = run_cli(["classify", str(log), "--database", str(database)])
+        assert code == 0
+        assert database.exists()
+        assert "race database updated" in text
+        # Second run accumulates without error.
+        code, _ = run_cli(["classify", str(log), "--database", str(database)])
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_and_gate(self, recorded, tmp_path):
+        import json
+
+        _, log, _ = recorded
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        run_cli(["classify", str(log), "--json", str(baseline)])
+        run_cli(["classify", str(log), "--json", str(current)])
+        code, text = run_cli(["compare", str(baseline), str(current)])
+        assert code == 0
+        assert "stable" in text
+
+        # Inject a new harmful race into 'current' and gate.
+        payload = json.loads(current.read_text())
+        payload["races"].append(
+            {"race": "w1:0|w1:1", "classification": "potentially-harmful"}
+        )
+        current.write_text(json.dumps(payload))
+        code, text = run_cli(["compare", str(baseline), str(current), "--gate"])
+        assert code == 1
+        assert "gate this change" in text
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])
+
+    def test_experiment_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            run_cli(["experiment", "table99"])

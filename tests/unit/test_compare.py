@@ -1,0 +1,122 @@
+"""Unit tests for the classification-drift comparator."""
+
+import json
+
+import pytest
+
+from repro.analysis.compare import compare_documents, compare_files
+
+
+def document(races):
+    return {
+        "export_version": 1,
+        "program": "svc",
+        "races": [
+            {"race": name, "classification": classification}
+            for name, classification in races
+        ],
+    }
+
+
+class TestCompareDocuments:
+    def test_no_drift(self):
+        doc = document([("a:1|a:2", "potentially-benign")])
+        report = compare_documents(doc, doc)
+        assert not report.has_drift
+        assert report.stable == 1
+        assert "0 appeared" in report.render()
+
+    def test_appeared_race(self):
+        before = document([])
+        after = document([("a:1|a:2", "potentially-harmful")])
+        report = compare_documents(before, after)
+        assert len(report.appeared) == 1
+        assert report.appeared[0].after == "potentially-harmful"
+        assert report.new_harmful
+        assert "gate this change" in report.render()
+
+    def test_disappeared_race(self):
+        before = document([("a:1|a:2", "potentially-harmful")])
+        report = compare_documents(before, document([]))
+        assert len(report.disappeared) == 1
+        assert not report.new_harmful  # a fix is not gated
+
+    def test_reclassified_benign_to_harmful_is_gated(self):
+        before = document([("a:1|a:2", "potentially-benign")])
+        after = document([("a:1|a:2", "potentially-harmful")])
+        report = compare_documents(before, after)
+        assert len(report.reclassified) == 1
+        assert report.new_harmful
+
+    def test_reclassified_harmful_to_benign_not_gated(self):
+        before = document([("a:1|a:2", "potentially-harmful")])
+        after = document([("a:1|a:2", "potentially-benign")])
+        report = compare_documents(before, after)
+        assert report.reclassified and not report.new_harmful
+
+    def test_appeared_benign_not_gated(self):
+        report = compare_documents(
+            document([]), document([("a:1|a:2", "potentially-benign")])
+        )
+        assert report.appeared and not report.new_harmful
+
+
+class TestCompareFiles:
+    def test_file_round_trip(self, tmp_path):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        before.write_text(json.dumps(document([("a:1|a:2", "potentially-benign")])))
+        after.write_text(
+            json.dumps(
+                document(
+                    [
+                        ("a:1|a:2", "potentially-benign"),
+                        ("b:0|b:3", "potentially-harmful"),
+                    ]
+                )
+            )
+        )
+        report = compare_files(before, after)
+        assert report.stable == 1
+        assert len(report.appeared) == 1
+
+
+class TestEndToEndDrift:
+    def test_bug_fix_shows_as_disappearance(self, tmp_path):
+        """Analyse a racy service, 'fix' it (locked variant), and verify
+        the drift report records the races disappearing."""
+        from repro.isa import assemble
+        from repro.race import (
+            RaceClassifier,
+            aggregate_instances,
+            export_results,
+            find_races,
+        )
+        from repro.record import record_run
+        from repro.replay import OrderedReplay
+        from repro.vm import RandomScheduler
+
+        racy = (
+            ".data\nx: .word 0\nm: .word 0\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        fixed = (
+            ".data\nx: .word 0\nm: .word 0\n.thread a b\n    lock [m]\n"
+            "    load r1, [x]\n    addi r1, r1, 1\n    store r1, [x]\n"
+            "    unlock [m]\n    halt\n"
+        )
+        paths = []
+        for position, source in enumerate((racy, fixed)):
+            program = assemble(source, name="drift_svc")
+            _, log = record_run(program, scheduler=RandomScheduler(seed=3), seed=3)
+            ordered = OrderedReplay(log, program)
+            results = aggregate_instances(
+                RaceClassifier(ordered).classify_all(find_races(ordered))
+            )
+            path = tmp_path / ("round%d.json" % position)
+            export_results(path, results, program, log=log)
+            paths.append(path)
+        report = compare_files(paths[0], paths[1])
+        assert report.disappeared
+        assert not report.appeared
+        assert not report.new_harmful

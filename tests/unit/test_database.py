@@ -1,0 +1,143 @@
+"""Unit tests for the persistent race database."""
+
+import pytest
+
+from repro.isa.program import StaticInstructionId
+from repro.race.aggregate import StaticRaceResult
+from repro.race.database import RaceDatabase, RaceRecord
+from repro.race.model import static_race_key
+from repro.race.outcomes import (
+    Classification,
+    ClassifiedInstance,
+    InstanceOutcome,
+)
+
+from test_aggregate_and_model import classified, make_instance
+
+
+def result_with(outcomes, execution_id="e1"):
+    instance = make_instance()
+    result = StaticRaceResult(key=instance.static_key)
+    for outcome in outcomes:
+        result.add(classified(instance, outcome, execution_id=execution_id))
+    return result
+
+
+class TestAccumulation:
+    def test_first_update_creates_record(self):
+        database = RaceDatabase()
+        database.update("prog", [result_with([InstanceOutcome.NO_STATE_CHANGE])])
+        assert len(database) == 1
+        record = database.records("prog")[0]
+        assert record.instance_count == 1
+        assert record.classification is Classification.POTENTIALLY_BENIGN
+
+    def test_counts_accumulate(self):
+        database = RaceDatabase()
+        database.update("prog", [result_with([InstanceOutcome.NO_STATE_CHANGE] * 3)])
+        database.update("prog", [result_with([InstanceOutcome.NO_STATE_CHANGE] * 2, "e2")])
+        record = database.records("prog")[0]
+        assert record.instance_count == 5
+        assert record.executions == ["e1", "e2"]
+
+    def test_programs_kept_apart(self):
+        database = RaceDatabase()
+        database.update("prog_a", [result_with([InstanceOutcome.NO_STATE_CHANGE])])
+        database.update("prog_b", [result_with([InstanceOutcome.STATE_CHANGE])])
+        assert len(database.records("prog_a")) == 1
+        assert len(database.harmful_records("prog_a")) == 0
+        assert len(database.harmful_records("prog_b")) == 1
+
+    def test_record_lookup(self):
+        database = RaceDatabase()
+        result = result_with([InstanceOutcome.STATE_CHANGE])
+        database.update("prog", [result])
+        record = database.record_for("prog", result.key)
+        assert record is not None
+        assert record.classification is Classification.POTENTIALLY_HARMFUL
+        missing = static_race_key(
+            StaticInstructionId("x", 0), StaticInstructionId("x", 1)
+        )
+        assert database.record_for("prog", missing) is None
+
+
+class TestReclassification:
+    def test_benign_then_harmful_is_reported(self):
+        """The paper's scenario: a race that looked benign in one test
+        case is exposed as harmful by a later one — the database reports
+        the re-classification event."""
+        database = RaceDatabase()
+        changed = database.update(
+            "prog", [result_with([InstanceOutcome.NO_STATE_CHANGE], "night1")]
+        )
+        assert changed == []
+        changed = database.update(
+            "prog", [result_with([InstanceOutcome.STATE_CHANGE], "night2")]
+        )
+        assert len(changed) == 1
+        record = changed[0]
+        assert record.was_reclassified
+        assert record.history == ["potentially-benign", "potentially-harmful"]
+        assert "RE-CLASSIFIED" in record.describe()
+        assert database.reclassified_records() == [record]
+
+    def test_stable_classification_not_reported(self):
+        database = RaceDatabase()
+        database.update("prog", [result_with([InstanceOutcome.STATE_CHANGE], "n1")])
+        changed = database.update(
+            "prog", [result_with([InstanceOutcome.STATE_CHANGE], "n2")]
+        )
+        assert changed == []
+        assert not database.reclassified_records()
+
+    def test_harmful_never_downgrades(self):
+        """Once flagged, more benign sightings cannot un-flag a race."""
+        database = RaceDatabase()
+        database.update("prog", [result_with([InstanceOutcome.REPLAY_FAILURE], "n1")])
+        database.update(
+            "prog", [result_with([InstanceOutcome.NO_STATE_CHANGE] * 50, "n2")]
+        )
+        record = database.records("prog")[0]
+        assert record.classification is Classification.POTENTIALLY_HARMFUL
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        database = RaceDatabase()
+        database.update("prog", [result_with([InstanceOutcome.NO_STATE_CHANGE], "n1")])
+        database.update("prog", [result_with([InstanceOutcome.STATE_CHANGE], "n2")])
+        path = tmp_path / "races.json"
+        database.save(path)
+        restored = RaceDatabase.load(path)
+        assert len(restored) == 1
+        record = restored.records("prog")[0]
+        assert record.instance_count == 2
+        assert record.was_reclassified
+        assert record.executions == ["n1", "n2"]
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "records": []}')
+        with pytest.raises(ValueError):
+            RaceDatabase.load(path)
+
+
+class TestEndToEnd:
+    def test_database_over_real_analyses(self):
+        """Feed two real refcount analyses through the database: the
+        second (double-free) recording sharpens the verdicts."""
+        from repro.analysis import analyze_execution
+        from repro.race.aggregate import aggregate_instances
+        from repro.workloads import Execution, refcount_free
+
+        workload = refcount_free(3)
+        database = RaceDatabase()
+        for seed in (1, 23):
+            analysis = analyze_execution(
+                Execution("rc#%d" % seed, workload, seed)
+            )
+            results = aggregate_instances(analysis.classified)
+            database.update(workload.name, results.values())
+        assert database.harmful_records(workload.name)
+        for record in database.records(workload.name):
+            assert len(record.executions) >= 1

@@ -1,0 +1,96 @@
+"""Unit tests for the replay-outcome differ."""
+
+from repro.replay.differ import DiffKind, ReplayDiff, diff_outcomes
+from repro.replay.virtual_processor import VPOutcome
+
+
+def outcome(registers=None, memory=None, end_pcs=None):
+    registers = registers or {"a": (0,) * 16}
+    return VPOutcome(
+        registers=registers,
+        dirty_memory=memory or {},
+        end_pcs=end_pcs or {name: 5 for name in registers},
+        steps={name: 1 for name in registers},
+        executed={name: [] for name in registers},
+    )
+
+
+class TestDiffOutcomes:
+    def test_identical_outcomes_empty_diff(self):
+        one = outcome(memory={100: 7})
+        two = outcome(memory={100: 7})
+        diff = diff_outcomes(one, two)
+        assert diff.is_empty
+        assert diff.summary() == "live-outs identical"
+
+    def test_register_difference(self):
+        one = outcome(registers={"a": (1,) + (0,) * 15})
+        two = outcome(registers={"a": (2,) + (0,) * 15})
+        diff = diff_outcomes(one, two)
+        entries = diff.by_kind(DiffKind.REGISTER)
+        assert len(entries) == 1
+        assert entries[0].thread == "a"
+        assert entries[0].location == "r0"
+        assert "1 (original) vs 2 (alternative)" in entries[0].render()
+
+    def test_memory_difference(self):
+        diff = diff_outcomes(outcome(memory={100: 7}), outcome(memory={100: 9}))
+        entries = diff.by_kind(DiffKind.MEMORY)
+        assert len(entries) == 1
+        assert entries[0].location == "[0x64]"
+
+    def test_redundant_write_vs_no_write_is_equal(self):
+        """A write of the live-in value equals not writing at all."""
+        diff = diff_outcomes(
+            outcome(memory={100: 7}), outcome(memory={}), live_in={100: 7}
+        )
+        assert diff.is_empty
+
+    def test_write_vs_no_write_with_different_live_in(self):
+        diff = diff_outcomes(
+            outcome(memory={100: 7}), outcome(memory={}), live_in={100: 3}
+        )
+        assert not diff.is_empty
+
+    def test_control_flow_difference(self):
+        diff = diff_outcomes(outcome(end_pcs={"a": 5}), outcome(end_pcs={"a": 9}))
+        assert diff.has_control_flow_divergence
+        assert diff.by_kind(DiffKind.CONTROL_FLOW)[0].location == "end pc"
+
+    def test_summary_counts(self):
+        one = outcome(registers={"a": (1,) + (0,) * 15}, memory={100: 7}, end_pcs={"a": 5})
+        two = outcome(registers={"a": (2,) + (0,) * 15}, memory={100: 9}, end_pcs={"a": 6})
+        summary = diff_outcomes(one, two).summary()
+        assert "register" in summary and "memory" in summary and "control-flow" in summary
+
+    def test_render_lines(self):
+        one = outcome(registers={"a": (1,) + (0,) * 15})
+        two = outcome(registers={"a": (2,) + (0,) * 15})
+        lines = diff_outcomes(one, two).render()
+        assert lines == ["a r0: 1 (original) vs 2 (alternative)"]
+
+
+class TestAgainstClassifier:
+    def test_diff_agrees_with_same_state(self):
+        """diff_outcomes is empty exactly when same_state holds — on a
+        real racing program's replays."""
+        from repro.isa import assemble
+        from repro.race.classifier import ClassifierConfig, RaceClassifier
+        from repro.race.happens_before import find_races
+        from repro.record import record_run
+        from repro.replay import OrderedReplay, same_state
+        from repro.vm import RandomScheduler
+
+        source = (
+            ".data\nx: .word 10\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        program = assemble(source, name="dagree")
+        _, log = record_run(program, scheduler=RandomScheduler(seed=3), seed=3)
+        ordered = OrderedReplay(log, program)
+        classifier = RaceClassifier(ordered)
+        for instance in find_races(ordered)[:6]:
+            live_in, _ = ordered.pair_snapshot(instance.region_a, instance.region_b)
+            original, alternative = classifier.replay_pair(instance)
+            diff = diff_outcomes(original, alternative, live_in)
+            assert diff.is_empty == same_state(original, alternative, live_in)

@@ -1,0 +1,67 @@
+"""Unit tests for the disassembler (including assemble round trips)."""
+
+from repro.isa import assemble, disassemble
+from repro.isa.disassembler import disassemble_instruction
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Reg
+
+
+SOURCE = """
+.data
+x: .word 5
+buf: .space 3
+.thread t1 t2
+    li r1, 3
+loop:
+    load r2, [x]
+    addi r2, r2, 1
+    store r2, [x]
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+.thread solo
+    sys_print r0
+    halt
+"""
+
+
+class TestDisassemble:
+    def test_round_trip_equivalence(self):
+        program = assemble(SOURCE, name="rt")
+        text = disassemble(program)
+        reassembled = assemble(text, name="rt2")
+        for block_name, block in program.blocks.items():
+            other = reassembled.blocks[block_name]
+            assert [i.opcode for i in block.instructions] == [
+                i.opcode for i in other.instructions
+            ]
+            assert [i.operands for i in block.instructions] == [
+                i.operands for i in other.instructions
+            ]
+        assert reassembled.threads == program.threads
+
+    def test_data_round_trip(self):
+        program = assemble(SOURCE, name="rt")
+        reassembled = assemble(disassemble(program), name="rt2")
+        assert reassembled.initial_memory() == program.initial_memory()
+
+    def test_branch_targets_become_labels(self):
+        program = assemble(SOURCE, name="rt")
+        text = disassemble(program)
+        assert "L1:" in text
+        assert "bnez r1, L1" in text
+
+    def test_shared_threads_header(self):
+        program = assemble(SOURCE, name="rt")
+        assert ".thread t1 t2" in disassemble(program)
+
+
+class TestDisassembleInstruction:
+    def test_plain(self):
+        text = disassemble_instruction(Instruction("add", (Reg(1), Reg(2), Reg(3))), {})
+        assert text == "add r1, r2, r3"
+
+    def test_branch_uses_label_map(self):
+        instruction = Instruction("jmp", (Imm(4),))
+        assert disassemble_instruction(instruction, {4: "L4"}) == "jmp L4"
+        assert disassemble_instruction(instruction, {}) == "jmp 4"

@@ -1,0 +1,207 @@
+"""Unit tests for the region-overlap happens-before detector."""
+
+from repro.isa import assemble
+from repro.race.happens_before import HappensBeforeDetector, find_races
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import ExplicitScheduler, RandomScheduler
+
+from conftest import record_with_trace
+
+
+def detect(source, seed=3, scheduler=None, name="hb", **kwargs):
+    program = assemble(source, name=name)
+    _, log = record_run(
+        program,
+        scheduler=scheduler or RandomScheduler(seed=seed, switch_probability=0.4),
+        seed=seed,
+    )
+    ordered = OrderedReplay(log, program)
+    return program, find_races(ordered, **kwargs), ordered
+
+
+class TestDetection:
+    def test_unsynchronized_rmw_detected(self):
+        program, instances, _ = detect(
+            ".data\nx: .word 0\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        assert instances
+        assert all(i.address == program.data_address("x") for i in instances)
+        assert all(i.involves_write for i in instances)
+
+    def test_locked_program_is_silent(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 0\nm: .word 0\n.thread a b\n    lock [m]\n"
+            "    load r1, [x]\n    addi r1, r1, 1\n    store r1, [x]\n"
+            "    unlock [m]\n    halt\n"
+        )
+        assert instances == []
+
+    def test_atomic_program_is_silent(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 0\n.thread a b\n    li r1, 1\n"
+            "    atom_add r2, [x], r1\n    halt\n"
+        )
+        assert instances == []
+
+    def test_read_read_is_not_a_race(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 5\n.thread a b\n    load r1, [x]\n    halt\n"
+        )
+        assert instances == []
+
+    def test_disjoint_addresses_not_raced(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 0\ny: .word 0\n.thread a\n    li r1, 1\n"
+            "    store r1, [x]\n    halt\n.thread b\n    li r1, 2\n"
+            "    store r1, [y]\n    halt\n"
+        )
+        assert instances == []
+
+    def test_single_thread_never_races(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 0\n.thread t\n    load r1, [x]\n    li r2, 1\n"
+            "    store r2, [x]\n    load r3, [x]\n    halt\n"
+        )
+        assert instances == []
+
+    def test_serialized_by_schedule_still_races(self):
+        """Even when thread a fully runs before b, no sequencer orders
+        their accesses — the happens-before algorithm must still report
+        the race (unlike an 'actually overlapped in time' heuristic)."""
+        program, instances, _ = detect(
+            ".data\nx: .word 0\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n",
+            scheduler=ExplicitScheduler([0] * 8 + [1] * 8),
+        )
+        assert instances
+
+    def test_sync_ordered_threads_do_not_race(self):
+        """When a lock genuinely orders the two accesses, silence."""
+        _, instances, _ = detect(
+            ".data\nx: .word 0\nm: .word 0\n.thread a b\n"
+            "    lock [m]\n    load r1, [x]\n    addi r1, r1, 1\n"
+            "    store r1, [x]\n    unlock [m]\n    halt\n",
+            scheduler=ExplicitScheduler([0] * 12 + [1] * 12),
+        )
+        assert instances == []
+
+
+class TestInstanceStructure:
+    def test_canonical_side_ordering(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 0\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        for instance in instances:
+            assert (instance.region_a.start_ts, instance.region_a.tid) <= (
+                instance.region_b.start_ts,
+                instance.region_b.tid,
+            )
+            assert instance.access_a.tid == instance.region_a.tid
+            assert instance.access_b.tid == instance.region_b.tid
+
+    def test_static_key_is_order_insensitive(self):
+        _, instances, _ = detect(
+            ".data\nx: .word 0\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        keys = {i.static_key for i in instances}
+        for first, second in keys:
+            assert first.sort_key() <= second.sort_key()
+
+    def test_deterministic_output(self):
+        source = (
+            ".data\nx: .word 0\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        _, first, _ = detect(source)
+        _, second, _ = detect(source)
+        assert [str(i) for i in first] == [str(i) for i in second]
+
+
+class TestPairCap:
+    LOOPY = (
+        ".data\nx: .word 0\n.thread a b\n    li r1, 30\nl:\n    load r2, [x]\n"
+        "    addi r2, r2, 1\n    store r2, [x]\n    subi r1, r1, 1\n"
+        "    bnez r1, l\n    halt\n"
+    )
+
+    def test_cap_limits_instances(self):
+        program = assemble(self.LOOPY, name="cap")
+        _, log = record_run(program, scheduler=RandomScheduler(seed=2), seed=2)
+        ordered = OrderedReplay(log, program)
+        capped = HappensBeforeDetector(ordered, max_pairs_per_location=10)
+        capped_instances = capped.detect()
+        uncapped = HappensBeforeDetector(ordered, max_pairs_per_location=None)
+        uncapped_instances = uncapped.detect()
+        assert len(capped_instances) < len(uncapped_instances)
+        assert capped.truncated_locations > 0
+        assert uncapped.truncated_locations == 0
+
+
+def _oracle_races(trace):
+    """Independent happens-before oracle computed from the machine trace.
+
+    Access ``x`` (thread T) happens-before access ``y`` (thread U) iff some
+    sequencer of T at-or-after ``x`` has a timestamp no greater than some
+    sequencer of U at-or-before ``y`` — i.e. the synchronization total
+    order transitively orders them.  A conflicting pair ordered in neither
+    direction is a true data race.
+    """
+    sequencers_by_tid = {}
+    for sequencer in trace.sequencers:
+        sequencers_by_tid.setdefault(sequencer.tid, []).append(sequencer)
+
+    def earliest_seq_after(tid, step):
+        candidates = [s.timestamp for s in sequencers_by_tid[tid] if s.thread_step >= step]
+        return min(candidates) if candidates else None
+
+    def latest_seq_before(tid, step):
+        candidates = [s.timestamp for s in sequencers_by_tid[tid] if s.thread_step <= step]
+        return max(candidates) if candidates else None
+
+    def happens_before(x, y):
+        after_x = earliest_seq_after(x.tid, x.thread_step)
+        before_y = latest_seq_before(y.tid, y.thread_step)
+        return after_x is not None and before_y is not None and after_x <= before_y
+
+    plain = [a for a in trace.accesses if not a.is_sync]
+    races = set()
+    for i in range(len(plain)):
+        for j in range(i + 1, len(plain)):
+            x, y = plain[i], plain[j]
+            if x.tid == y.tid or x.address != y.address:
+                continue
+            if not (x.is_write or y.is_write):
+                continue
+            if happens_before(x, y) or happens_before(y, x):
+                continue
+            key = tuple(sorted([(x.tid, x.thread_step), (y.tid, y.thread_step)]))
+            races.add(key + (x.address,))
+    return races
+
+
+class TestNoFalsePositives:
+    def test_detector_matches_independent_oracle(self, racy_analysis):
+        """The detector's instance set equals an independently computed
+        happens-before oracle over the full machine trace — so there are
+        neither false positives nor missed pairs."""
+        result, log, trace, ordered = racy_analysis
+        detector = HappensBeforeDetector(ordered, max_pairs_per_location=None)
+        detected = {
+            tuple(
+                sorted(
+                    [
+                        (i.access_a.tid, i.access_a.thread_step),
+                        (i.access_b.tid, i.access_b.thread_step),
+                    ]
+                )
+            )
+            + (i.address,)
+            for i in detector.detect()
+        }
+        oracle = _oracle_races(trace)
+        assert detected == oracle
+        assert detected, "expected the racy program to race"

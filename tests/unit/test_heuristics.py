@@ -1,0 +1,55 @@
+"""Unit tests for the benign-reason categorizer (Table 2 taxonomy)."""
+
+from repro.analysis.pipeline import analyze_execution
+from repro.race.aggregate import aggregate_instances
+from repro.race.heuristics import BenignCategory, categorize
+from repro.workloads.benign_approximate import stats_counter
+from repro.workloads.benign_double_check import double_check_warm
+from repro.workloads.benign_disjoint_bits import disjoint_bits
+from repro.workloads.benign_redundant import redundant_pid
+from repro.workloads.benign_sync import flag_publish
+from repro.workloads.benign_both_values import fn_selector
+from repro.workloads.harmful_lost_update import lost_update
+from repro.workloads.suite import Execution
+
+
+def categorized(workload, seed):
+    analysis = analyze_execution(Execution("t", workload, seed))
+    results = aggregate_instances(analysis.classified)
+    program = workload.program()
+    return {
+        "%s|%s" % key: categorize(result, program)
+        for key, result in results.items()
+    }, results, program
+
+
+class TestCategories:
+    def test_spin_flag_is_user_sync(self):
+        categories, _, _ = categorized(flag_publish(7), seed=3)
+        flag_races = {k: v for k, v in categories.items() if "sub_fp7:0" in k}
+        assert flag_races
+        assert all(v is BenignCategory.USER_CONSTRUCTED_SYNC for v in flag_races.values())
+
+    def test_double_check_detected(self):
+        categories, _, _ = categorized(double_check_warm(7), seed=2)
+        assert BenignCategory.DOUBLE_CHECK in categories.values()
+
+    def test_redundant_write_detected(self):
+        categories, _, _ = categorized(redundant_pid(7), seed=7)
+        assert BenignCategory.REDUNDANT_WRITE in categories.values()
+
+    def test_disjoint_bits_detected(self):
+        categories, _, _ = categorized(disjoint_bits(7), seed=9)
+        assert BenignCategory.DISJOINT_BITS in categories.values()
+
+    def test_intent_annotation_wins(self):
+        categories, _, _ = categorized(stats_counter(7), seed=10)
+        assert BenignCategory.APPROXIMATE in categories.values()
+
+    def test_both_values_fallback(self):
+        categories, _, _ = categorized(fn_selector(7), seed=17)
+        assert BenignCategory.BOTH_VALUES_VALID in categories.values()
+
+    def test_harmful_race_gets_no_category(self):
+        categories, _, _ = categorized(lost_update(7), seed=15)
+        assert all(v is None for v in categories.values())

@@ -1,0 +1,75 @@
+"""Unit tests for the opcode table and instruction model."""
+
+import pytest
+
+from repro.isa.instructions import OPCODES, Instruction, validate_operands
+from repro.isa.operands import Imm, Mem, Reg
+
+
+class TestOpcodeTable:
+    def test_core_opcodes_present(self):
+        for name in ("li", "load", "store", "lock", "unlock", "cas", "halt"):
+            assert name in OPCODES
+
+    def test_sync_flags(self):
+        for name in ("lock", "unlock", "atom_add", "atom_xchg", "cas", "fence"):
+            assert OPCODES[name].is_sync
+            assert OPCODES[name].is_sequencer_point
+
+    def test_syscall_flags(self):
+        for name in OPCODES:
+            if name.startswith("sys_"):
+                assert OPCODES[name].is_syscall
+                assert OPCODES[name].is_sequencer_point
+
+    def test_plain_ops_are_not_sequencer_points(self):
+        for name in ("li", "add", "load", "store", "beq", "nop"):
+            assert not OPCODES[name].is_sequencer_point
+
+    def test_memory_flags(self):
+        assert OPCODES["load"].is_load and not OPCODES["load"].is_store
+        assert OPCODES["store"].is_store and not OPCODES["store"].is_load
+        assert OPCODES["lock"].touches_memory
+
+    def test_branch_flags(self):
+        for name in ("jmp", "beq", "bne", "blt", "bge", "beqz", "bnez"):
+            assert OPCODES[name].is_branch
+
+    def test_halt_flag(self):
+        assert OPCODES["halt"].is_halt
+
+
+class TestInstruction:
+    def test_str_rendering(self):
+        instruction = Instruction("add", (Reg(1), Reg(2), Reg(3)))
+        assert str(instruction) == "add r1, r2, r3"
+        assert str(Instruction("nop")) == "nop"
+
+    def test_mem_operand_lookup(self):
+        instruction = Instruction("load", (Reg(1), Mem(base=None, offset=100)))
+        assert instruction.mem_operand() == Mem(base=None, offset=100)
+        assert Instruction("nop").mem_operand() is None
+
+    def test_spec_property(self):
+        assert Instruction("halt").spec.is_halt
+
+
+class TestValidateOperands:
+    def test_accepts_correct_shapes(self):
+        spec = OPCODES["add"]
+        assert validate_operands(spec, (Reg(0), Reg(1), Reg(2))) is None
+
+    def test_rejects_wrong_arity(self):
+        spec = OPCODES["add"]
+        message = validate_operands(spec, (Reg(0), Reg(1)))
+        assert "expects 3" in message
+
+    def test_rejects_wrong_kind(self):
+        spec = OPCODES["add"]
+        message = validate_operands(spec, (Reg(0), Imm(1), Reg(2)))
+        assert "must be a reg" in message
+
+    def test_branch_target_is_imm(self):
+        spec = OPCODES["jmp"]
+        assert validate_operands(spec, (Imm(3),)) is None
+        assert validate_operands(spec, (Reg(3),)) is not None

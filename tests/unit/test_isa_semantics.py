@@ -1,0 +1,251 @@
+"""Exhaustive per-opcode semantic tests, cross-validated across engines.
+
+Every opcode is exercised through a small program and its effect asserted
+on the *machine*; the same recording is then replayed through the
+*thread replayer* and the *time-travel inspector*, which must agree —
+three independent implementations of the ISA semantics locked together.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.replay.inspector import TimeTravelInspector
+from repro.vm import run_program
+
+
+def run_and_crosscheck(source, name="sem"):
+    """Run, record, replay, inspect; assert all engines agree; return result."""
+    program = assemble(source, name=name)
+    result, log = record_run(program)
+    ordered = OrderedReplay(log, program)
+    inspector = TimeTravelInspector(ordered)
+    for thread_name, outcome in result.threads.items():
+        replay = ordered.thread_replays[thread_name]
+        assert replay.final_registers == outcome.registers
+        assert (
+            inspector.registers_at(thread_name, replay.steps) == outcome.registers
+        )
+    return program, result
+
+
+def expect_prints(source, expected, name="sem"):
+    program, result = run_and_crosscheck(source, name)
+    assert [value for _, value in result.output] == expected
+
+
+class TestDataMovement:
+    def test_li(self):
+        expect_prints(".thread t\n    li r1, 1234\n    sys_print r1\n    halt\n", [1234])
+
+    def test_li_negative_wraps(self):
+        expect_prints(
+            ".thread t\n    li r1, -1\n    shri r1, r1, 63\n    sys_print r1\n    halt\n",
+            [1],
+        )
+
+    def test_mov(self):
+        expect_prints(
+            ".thread t\n    li r1, 9\n    mov r2, r1\n    sys_print r2\n    halt\n",
+            [9],
+        )
+
+
+@pytest.mark.parametrize(
+    "opcode,a,b,expected",
+    [
+        ("add", 6, 7, 13),
+        ("sub", 7, 6, 1),
+        ("mul", 6, 7, 42),
+        ("divu", 42, 6, 7),
+        ("remu", 43, 6, 1),
+        ("and", 12, 10, 8),
+        ("or", 12, 10, 14),
+        ("xor", 12, 10, 6),
+        ("shl", 3, 2, 12),
+        ("shr", 12, 2, 3),
+        ("slt", 3, 5, 1),
+        ("slt", 5, 3, 0),
+        ("sltu", 3, 5, 1),
+    ],
+)
+def test_three_register_alu(opcode, a, b, expected):
+    expect_prints(
+        ".thread t\n    li r1, %d\n    li r2, %d\n    %s r3, r1, r2\n"
+        "    sys_print r3\n    halt\n" % (a, b, opcode),
+        [expected],
+    )
+
+
+@pytest.mark.parametrize(
+    "opcode,a,imm,expected",
+    [
+        ("addi", 6, 7, 13),
+        ("subi", 7, 6, 1),
+        ("muli", 6, 7, 42),
+        ("andi", 12, 10, 8),
+        ("ori", 12, 10, 14),
+        ("xori", 12, 10, 6),
+        ("shli", 3, 2, 12),
+        ("shri", 12, 2, 3),
+        ("slti", 3, 5, 1),
+    ],
+)
+def test_immediate_alu(opcode, a, imm, expected):
+    expect_prints(
+        ".thread t\n    li r1, %d\n    %s r3, r1, %d\n    sys_print r3\n    halt\n"
+        % (a, opcode, imm),
+        [expected],
+    )
+
+
+class TestMemoryOpcodes:
+    def test_load_store_symbolic(self):
+        expect_prints(
+            ".data\nx: .word 11\n.thread t\n    load r1, [x]\n    addi r1, r1, 1\n"
+            "    store r1, [x]\n    load r2, [x]\n    sys_print r2\n    halt\n",
+            [12],
+        )
+
+    def test_register_indirect_with_offset(self):
+        expect_prints(
+            ".data\narr: .word 5, 6, 7\n.thread t\n    li r1, arr\n"
+            "    load r2, [r1+2]\n    sys_print r2\n    halt\n",
+            [7],
+        )
+
+    def test_negative_offset(self):
+        expect_prints(
+            ".data\narr: .word 5, 6, 7\n.thread t\n    li r1, arr\n"
+            "    addi r1, r1, 2\n    load r2, [r1-1]\n    sys_print r2\n    halt\n",
+            [6],
+        )
+
+
+@pytest.mark.parametrize(
+    "branch,a,b,taken",
+    [
+        ("beq", 5, 5, True),
+        ("beq", 5, 6, False),
+        ("bne", 5, 6, True),
+        ("bne", 5, 5, False),
+        ("blt", 3, 5, True),
+        ("blt", 5, 3, False),
+        ("bge", 5, 3, True),
+        ("bge", 3, 5, False),
+    ],
+)
+def test_two_register_branches(branch, a, b, taken):
+    expect_prints(
+        ".thread t\n    li r1, %d\n    li r2, %d\n    %s r1, r2, yes\n"
+        "    sys_print r0\n    halt\nyes:\n    li r3, 1\n    sys_print r3\n"
+        "    halt\n" % (a, b, branch),
+        [1] if taken else [0],
+    )
+
+
+@pytest.mark.parametrize(
+    "branch,a,taken",
+    [("beqz", 0, True), ("beqz", 7, False), ("bnez", 7, True), ("bnez", 0, False)],
+)
+def test_zero_branches(branch, a, taken):
+    expect_prints(
+        ".thread t\n    li r1, %d\n    %s r1, yes\n    sys_print r0\n    halt\n"
+        "yes:\n    li r3, 1\n    sys_print r3\n    halt\n" % (a, branch),
+        [1] if taken else [0],
+    )
+
+
+class TestControlFlow:
+    def test_jmp(self):
+        expect_prints(
+            ".thread t\n    jmp end\n    li r1, 99\nend:\n    sys_print r1\n    halt\n",
+            [0],
+        )
+
+    def test_backward_branch_loop(self):
+        expect_prints(
+            ".thread t\n    li r1, 4\n    li r2, 0\nloop:\n    add r2, r2, r1\n"
+            "    subi r1, r1, 1\n    bnez r1, loop\n    sys_print r2\n    halt\n",
+            [10],
+        )
+
+
+class TestSyncOpcodes:
+    def test_lock_unlock_word_values(self):
+        expect_prints(
+            ".data\nm: .word 0\n.thread t\n    lock [m]\n    load r1, [m]\n"
+            "    unlock [m]\n    load r2, [m]\n    sys_print r1\n    sys_print r2\n"
+            "    halt\n",
+            [1, 0],
+        )
+
+    def test_atom_add(self):
+        expect_prints(
+            ".data\nc: .word 5\n.thread t\n    li r1, 3\n    atom_add r2, [c], r1\n"
+            "    load r3, [c]\n    sys_print r2\n    sys_print r3\n    halt\n",
+            [5, 8],
+        )
+
+    def test_atom_xchg(self):
+        expect_prints(
+            ".data\nc: .word 5\n.thread t\n    li r1, 3\n    atom_xchg r2, [c], r1\n"
+            "    load r3, [c]\n    sys_print r2\n    sys_print r3\n    halt\n",
+            [5, 3],
+        )
+
+    def test_cas_success(self):
+        expect_prints(
+            ".data\nc: .word 5\n.thread t\n    li r1, 5\n    li r2, 9\n"
+            "    cas r3, [c], r1, r2\n    load r4, [c]\n    sys_print r3\n"
+            "    sys_print r4\n    halt\n",
+            [5, 9],
+        )
+
+    def test_cas_failure(self):
+        expect_prints(
+            ".data\nc: .word 5\n.thread t\n    li r1, 4\n    li r2, 9\n"
+            "    cas r3, [c], r1, r2\n    load r4, [c]\n    sys_print r3\n"
+            "    sys_print r4\n    halt\n",
+            [5, 5],
+        )
+
+    def test_fence_is_a_noop_for_state(self):
+        expect_prints(
+            ".thread t\n    li r1, 7\n    fence\n    sys_print r1\n    halt\n",
+            [7],
+        )
+
+
+class TestSyscallOpcodes:
+    def test_getpid(self):
+        from repro.vm.syscalls import Syscalls
+
+        expect_prints(
+            ".thread t\n    sys_getpid r1\n    sys_print r1\n    halt\n",
+            [Syscalls.PROCESS_ID],
+        )
+
+    def test_time_is_monotone(self):
+        program, result = run_and_crosscheck(
+            ".thread t\n    sys_time r1\n    nop\n    sys_time r2\n"
+            "    sltu r3, r1, r2\n    sys_print r3\n    halt\n"
+        )
+        assert result.output == [("t", 1)]
+
+    def test_alloc_free_roundtrip(self):
+        run_and_crosscheck(
+            ".thread t\n    li r1, 4\n    sys_alloc r2, r1\n    li r3, 9\n"
+            "    store r3, [r2+1]\n    load r4, [r2+1]\n    sys_free r2\n    halt\n"
+        )
+
+    def test_yield_keeps_state(self):
+        expect_prints(
+            ".thread t\n    li r1, 5\n    sys_yield\n    sys_print r1\n    halt\n",
+            [5],
+        )
+
+    def test_nop_and_halt(self):
+        program, result = run_and_crosscheck(".thread t\n    nop\n    nop\n    halt\n")
+        assert result.threads["t"].steps == 3

@@ -1,0 +1,161 @@
+"""Unit tests for log packing, compression, serialization, and metrics."""
+
+import json
+
+import pytest
+
+from repro.isa import assemble
+from repro.record import (
+    aggregate_stats,
+    compression_stats,
+    decode_varint,
+    encode_varint,
+    load_log,
+    log_from_json,
+    log_metrics,
+    log_to_json,
+    pack_log,
+    record_run,
+    save_log,
+)
+from repro.vm import RandomScheduler
+
+SOURCE = """
+.data
+x: .word 0
+m: .word 0
+.thread a b
+    li r1, 5
+loop:
+    lock [m]
+    load r2, [x]
+    addi r2, r2, 1
+    store r2, [x]
+    unlock [m]
+    sys_rand r3, 7
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+"""
+
+
+def make_log(seed=3):
+    program = assemble(SOURCE, name="serial")
+    _, log = record_run(
+        program, scheduler=RandomScheduler(seed=seed), seed=seed
+    )
+    return log
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_round_trip(self, value):
+        decoded, offset = decode_varint(encode_varint(value))
+        assert decoded == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_stream_of_varints(self):
+        data = b"".join(encode_varint(v) for v in (5, 500, 5_000_000))
+        values, offset = [], 0
+        for _ in range(3):
+            value, offset = decode_varint(data, offset)
+            values.append(value)
+        assert values == [5, 500, 5_000_000]
+
+
+class TestCompression:
+    def test_pack_is_deterministic(self):
+        log = make_log()
+        assert pack_log(log) == pack_log(make_log())
+
+    def test_compression_shrinks_packed_log(self):
+        stats = compression_stats(make_log())
+        assert 0 < stats.compressed_bytes <= stats.raw_bytes + 16
+
+    def test_bits_per_instruction_positive(self):
+        stats = compression_stats(make_log())
+        assert stats.raw_bits_per_instruction > 0
+        assert stats.compressed_bits_per_instruction > 0
+
+    def test_aggregate(self):
+        stats = [compression_stats(make_log(seed)) for seed in (1, 2)]
+        total = aggregate_stats(stats)
+        assert total.raw_bytes == sum(s.raw_bytes for s in stats)
+        assert total.total_instructions == sum(s.total_instructions for s in stats)
+
+    def test_empty_stats(self):
+        from repro.record.compression import CompressionStats
+
+        empty = CompressionStats(0, 0, 0)
+        assert empty.raw_bits_per_instruction == 0.0
+        assert empty.ratio == 1.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        log = make_log()
+        restored = log_from_json(log_to_json(log))
+        assert restored.program_name == log.program_name
+        assert restored.program_source == log.program_source
+        assert restored.global_order == log.global_order
+        for name, thread in log.threads.items():
+            other = restored.threads[name]
+            assert other.loads == thread.loads
+            assert other.syscalls == thread.syscalls
+            assert other.sequencers == thread.sequencers
+            assert other.pc_footprint == thread.pc_footprint
+            assert other.steps == thread.steps
+            assert (other.end.reason if other.end else None) == (
+                thread.end.reason if thread.end else None
+            )
+
+    def test_json_is_actually_json(self):
+        text = json.dumps(log_to_json(make_log()))
+        assert json.loads(text)["program_name"] == "serial"
+
+    def test_file_round_trip(self, tmp_path):
+        log = make_log()
+        path = tmp_path / "run.replay.json"
+        save_log(log, path)
+        restored = load_log(path)
+        assert restored.total_instructions == log.total_instructions
+
+    def test_version_check(self):
+        payload = log_to_json(make_log())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            log_from_json(payload)
+
+    def test_log_is_self_contained(self, tmp_path):
+        """A saved log alone is sufficient to replay and re-analyse."""
+        from repro.replay import OrderedReplay
+
+        path = tmp_path / "run.json"
+        save_log(make_log(), path)
+        restored = load_log(path)
+        ordered = OrderedReplay(restored)  # program reassembled from the log
+        assert ordered.program.name == "serial"
+        assert ordered.final_memory()
+
+
+class TestMetrics:
+    def test_counts(self):
+        log = make_log()
+        metrics = log_metrics(log)
+        assert metrics.threads == 2
+        assert metrics.total_instructions == log.total_instructions
+        assert metrics.load_records == sum(
+            len(t.loads) for t in log.threads.values()
+        )
+        assert metrics.syscall_records == 10  # 5 sys_rand per thread
+        assert metrics.total_records == log.total_records
+
+    def test_describe(self):
+        assert "instructions" in log_metrics(make_log()).describe()
+
+    def test_load_fraction_below_one(self):
+        metrics = log_metrics(make_log())
+        assert 0 < metrics.load_log_fraction < 1

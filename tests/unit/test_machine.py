@@ -1,0 +1,269 @@
+"""Unit tests for the machine: instruction semantics, scheduling, faults."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import HEAP_BASE
+from repro.vm import (
+    DeadlockError,
+    ExplicitScheduler,
+    Machine,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScheduleError,
+    StepLimitError,
+    TraceObserver,
+    run_program,
+)
+
+
+def run(source, scheduler=None, seed=0, **kwargs):
+    return run_program(assemble(source), scheduler=scheduler, seed=seed, **kwargs)
+
+
+class TestBasicSemantics:
+    def test_arithmetic_and_halt(self):
+        result = run(
+            ".thread t\n    li r1, 6\n    li r2, 7\n    mul r3, r1, r2\n"
+            "    sys_print r3\n    halt\n"
+        )
+        assert result.output == [("t", 42)]
+        assert result.threads["t"].status == "halted"
+
+    def test_load_store(self):
+        result = run(
+            ".data\nx: .word 5\n.thread t\n    load r1, [x]\n    addi r1, r1, 1\n"
+            "    store r1, [x]\n    halt\n"
+        )
+        program = assemble(".data\nx: .word 5\n.thread t\n    halt\n")
+        assert result.memory[program.data_address("x")] == 6
+
+    def test_register_indirect_addressing(self):
+        result = run(
+            ".data\nbuf: .space 4\n.thread t\n    li r1, buf\n    li r2, 9\n"
+            "    store r2, [r1+2]\n    load r3, [r1+2]\n    sys_print r3\n    halt\n"
+        )
+        assert result.output == [("t", 9)]
+
+    def test_loop(self):
+        result = run(
+            ".thread t\n    li r1, 5\n    li r2, 0\nloop:\n    add r2, r2, r1\n"
+            "    subi r1, r1, 1\n    bnez r1, loop\n    sys_print r2\n    halt\n"
+        )
+        assert result.output == [("t", 15)]
+
+    def test_fall_off_end_halts(self):
+        result = run(".thread t\n    nop\n")
+        assert result.threads["t"].status == "halted"
+
+    def test_output_order_multi_thread(self):
+        result = run(
+            ".thread a\n    sys_print r0\n    halt\n"
+            ".thread b\n    sys_print r0\n    halt\n",
+            scheduler=ExplicitScheduler([1, 1, 0, 0]),
+        )
+        assert [name for name, _ in result.output] == ["b", "a"]
+
+
+class TestLocking:
+    LOCKED = (
+        ".data\nc: .word 0\nm: .word 0\n.thread a b\n"
+        "    li r1, 10\nloop:\n    lock [m]\n    load r2, [c]\n"
+        "    addi r2, r2, 1\n    store r2, [c]\n    unlock [m]\n"
+        "    subi r1, r1, 1\n    bnez r1, loop\n    halt\n"
+    )
+
+    def test_mutual_exclusion_under_many_seeds(self):
+        program = assemble(self.LOCKED)
+        for seed in range(6):
+            result = run_program(
+                program,
+                scheduler=RandomScheduler(seed=seed, switch_probability=0.5),
+                seed=seed,
+            )
+            assert result.memory[program.data_address("c")] == 20
+
+    def test_lock_word_visible_in_memory(self):
+        result = run(
+            ".data\nm: .word 0\n.thread t\n    lock [m]\n    load r1, [m]\n"
+            "    sys_print r1\n    unlock [m]\n    halt\n"
+        )
+        assert result.output == [("t", 1)]
+
+    def test_deadlock_detection(self):
+        source = (
+            ".data\nm1: .word 0\nm2: .word 0\n.thread a\n    lock [m1]\n"
+            "    sys_yield\n    lock [m2]\n    halt\n"
+            ".thread b\n    lock [m2]\n    sys_yield\n    lock [m1]\n    halt\n"
+        )
+        with pytest.raises(DeadlockError):
+            run(source, scheduler=ExplicitScheduler([0, 0, 1, 1, 0, 1]))
+
+    def test_unlock_without_lock_faults_thread(self):
+        result = run(".data\nm: .word 0\n.thread t\n    unlock [m]\n    halt\n")
+        assert result.threads["t"].status == "faulted"
+        assert "lock-misuse" in result.threads["t"].fault
+
+
+class TestAtomics:
+    def test_atom_add_returns_old(self):
+        result = run(
+            ".data\nc: .word 10\n.thread t\n    li r1, 5\n"
+            "    atom_add r2, [c], r1\n    sys_print r2\n    load r3, [c]\n"
+            "    sys_print r3\n    halt\n"
+        )
+        assert result.output == [("t", 10), ("t", 15)]
+
+    def test_atom_xchg(self):
+        result = run(
+            ".data\nc: .word 1\n.thread t\n    li r1, 9\n"
+            "    atom_xchg r2, [c], r1\n    sys_print r2\n    load r3, [c]\n"
+            "    sys_print r3\n    halt\n"
+        )
+        assert result.output == [("t", 1), ("t", 9)]
+
+    def test_cas_success_and_failure(self):
+        result = run(
+            ".data\nc: .word 3\n.thread t\n    li r1, 3\n    li r2, 7\n"
+            "    cas r3, [c], r1, r2\n    sys_print r3\n"  # succeeds, old=3
+            "    li r1, 99\n    cas r4, [c], r1, r2\n    load r5, [c]\n"
+            "    sys_print r5\n    halt\n"  # fails, c stays 7
+        )
+        assert result.output == [("t", 3), ("t", 7)]
+
+    def test_atomic_counter_is_exact(self):
+        source = (
+            ".data\nc: .word 0\n.thread a b\n    li r1, 25\n    li r2, 1\n"
+            "loop:\n    atom_add r3, [c], r2\n    subi r1, r1, 1\n"
+            "    bnez r1, loop\n    halt\n"
+        )
+        program = assemble(source)
+        result = run_program(
+            program, scheduler=RandomScheduler(seed=11, switch_probability=0.6)
+        )
+        assert result.memory[program.data_address("c")] == 50
+
+
+class TestFaults:
+    def test_null_deref_faults_thread_only(self):
+        result = run(
+            ".thread bad\n    li r1, 0\n    load r2, [r1]\n    halt\n"
+            ".thread good\n    sys_print r0\n    halt\n"
+        )
+        assert result.threads["bad"].status == "faulted"
+        assert result.threads["good"].status == "halted"
+        assert result.output == [("good", 0)]
+
+    def test_use_after_free_faults(self):
+        result = run(
+            ".thread t\n    li r1, 2\n    sys_alloc r2, r1\n    sys_free r2\n"
+            "    load r3, [r2]\n    halt\n"
+        )
+        assert result.threads["t"].status == "faulted"
+        assert "use-after-free" in result.threads["t"].fault
+
+    def test_double_free_faults(self):
+        result = run(
+            ".thread t\n    li r1, 1\n    sys_alloc r2, r1\n    sys_free r2\n"
+            "    sys_free r2\n    halt\n"
+        )
+        assert "double-free" in result.threads["t"].fault
+
+
+class TestDeterminism:
+    RACY = (
+        ".data\nx: .word 0\n.thread a b\n    li r1, 20\nloop:\n"
+        "    load r2, [x]\n    addi r2, r2, 1\n    store r2, [x]\n"
+        "    subi r1, r1, 1\n    bnez r1, loop\n    halt\n"
+    )
+
+    def test_same_seed_same_result(self):
+        program = assemble(self.RACY)
+        first = run_program(program, scheduler=RandomScheduler(seed=4), seed=4)
+        second = run_program(
+            assemble(self.RACY), scheduler=RandomScheduler(seed=4), seed=4
+        )
+        assert first.memory == second.memory
+        assert first.global_steps == second.global_steps
+
+    def test_different_seeds_can_differ(self):
+        program_address = assemble(self.RACY).data_address("x")
+        values = set()
+        for seed in range(8):
+            result = run_program(
+                assemble(self.RACY),
+                scheduler=RandomScheduler(seed=seed, switch_probability=0.6),
+                seed=seed,
+            )
+            values.add(result.memory[program_address])
+        assert len(values) > 1  # racy increments lose updates differently
+
+    def test_heap_addresses_depend_on_schedule(self):
+        source = (
+            ".data\np1: .word 0\np2: .word 0\n"
+            ".thread a\n    li r1, 1\n    sys_alloc r2, r1\n    store r2, [p1]\n    halt\n"
+            ".thread b\n    li r1, 1\n    sys_alloc r2, r1\n    store r2, [p2]\n    halt\n"
+        )
+        a_first = run(source, scheduler=ExplicitScheduler([0, 0, 0, 1, 1, 1]))
+        b_first = run(source, scheduler=ExplicitScheduler([1, 1, 1, 0, 0, 0]))
+        program = assemble(source)
+        assert (
+            a_first.memory[program.data_address("p1")]
+            != b_first.memory[program.data_address("p1")]
+        )
+
+
+class TestMachineGuards:
+    def test_single_use(self):
+        program = assemble(".thread t\n    halt\n")
+        machine = Machine(program)
+        machine.run()
+        with pytest.raises(ScheduleError):
+            machine.run()
+
+    def test_step_limit(self):
+        source = ".thread t\nloop:\n    jmp loop\n"
+        with pytest.raises(StepLimitError):
+            run(source, max_steps=1000)
+
+    def test_scheduler_picking_nonrunnable_rejected(self):
+        class Bad(RoundRobinScheduler):
+            def pick(self, runnable, last, step):
+                return 99
+
+        with pytest.raises(ScheduleError):
+            run(".thread t\n    halt\n", scheduler=Bad())
+
+
+class TestObservers:
+    def test_trace_covers_every_step(self):
+        program = assemble(
+            ".data\nx: .word 0\n.thread t\n    li r1, 1\n    store r1, [x]\n"
+            "    load r2, [x]\n    halt\n"
+        )
+        trace = TraceObserver()
+        result = run_program(program, observers=[trace])
+        assert len(trace.steps) == result.global_steps
+        kinds = [(a.is_write, a.address) for a in trace.accesses]
+        assert (True, program.data_address("x")) in kinds
+        assert (False, program.data_address("x")) in kinds
+
+    def test_sequencers_are_strictly_increasing(self):
+        program = assemble(
+            ".data\nm: .word 0\n.thread a b\n    lock [m]\n    unlock [m]\n"
+            "    sys_yield\n    halt\n"
+        )
+        trace = TraceObserver()
+        run_program(program, observers=[trace])
+        timestamps = [s.timestamp for s in trace.sequencers]
+        assert timestamps == sorted(timestamps)
+        assert len(set(timestamps)) == len(timestamps)
+
+    def test_thread_start_sequencers_first(self):
+        program = assemble(".thread a b\n    halt\n")
+        trace = TraceObserver()
+        run_program(program, observers=[trace])
+        assert [s.kind for s in trace.sequencers[:2]] == [
+            "thread_start",
+            "thread_start",
+        ]

@@ -1,0 +1,114 @@
+"""Unit tests for the VM memory and heap allocator."""
+
+import pytest
+
+from repro.isa.program import HEAP_BASE
+from repro.vm.errors import FaultKind, MemoryFault
+from repro.vm.memory import Memory
+
+
+class TestWordAccess:
+    def test_unwritten_reads_zero(self):
+        assert Memory().read(0x2000) == 0
+
+    def test_write_then_read(self):
+        memory = Memory()
+        memory.write(0x2000, 42)
+        assert memory.read(0x2000) == 42
+
+    def test_write_returns_old_value(self):
+        memory = Memory({0x2000: 7})
+        assert memory.write(0x2000, 8) == 7
+
+    def test_values_wrap_to_64_bits(self):
+        memory = Memory()
+        memory.write(0x2000, -1)
+        assert memory.read(0x2000) == (1 << 64) - 1
+
+    def test_initial_image(self):
+        memory = Memory({1: 10, 2: 20})
+        assert memory.read(1) == 10 and memory.read(2) == 20
+
+    def test_null_faults(self):
+        with pytest.raises(MemoryFault) as info:
+            Memory().read(0)
+        assert info.value.kind is FaultKind.NULL_DEREF
+
+    def test_negative_faults(self):
+        with pytest.raises(MemoryFault) as info:
+            Memory().write(-4, 1)
+        assert info.value.kind is FaultKind.BAD_ADDRESS
+
+    def test_peek_skips_checks(self):
+        assert Memory().peek(0) == 0
+
+
+class TestHeap:
+    def test_alloc_returns_zeroed_block(self):
+        memory = Memory()
+        base = memory.alloc(3)
+        assert base == HEAP_BASE
+        assert all(memory.read(base + i) == 0 for i in range(3))
+
+    def test_allocations_do_not_overlap(self):
+        memory = Memory()
+        first = memory.alloc(4)
+        second = memory.alloc(4)
+        assert second >= first + 4
+
+    def test_alloc_zero_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().alloc(0)
+
+    def test_free_then_use_faults(self):
+        memory = Memory()
+        base = memory.alloc(2)
+        memory.free(base)
+        with pytest.raises(MemoryFault) as info:
+            memory.read(base + 1)
+        assert info.value.kind is FaultKind.USE_AFTER_FREE
+
+    def test_double_free_faults(self):
+        memory = Memory()
+        base = memory.alloc(1)
+        memory.free(base)
+        with pytest.raises(MemoryFault) as info:
+            memory.free(base)
+        assert info.value.kind is FaultKind.DOUBLE_FREE
+
+    def test_bad_free_faults(self):
+        with pytest.raises(MemoryFault) as info:
+            Memory().free(0x3000)
+        assert info.value.kind is FaultKind.BAD_FREE
+
+    def test_freed_space_never_reused(self):
+        memory = Memory()
+        first = memory.alloc(2)
+        memory.free(first)
+        second = memory.alloc(2)
+        assert second >= first + 2
+
+    def test_is_freed(self):
+        memory = Memory()
+        base = memory.alloc(2)
+        assert not memory.is_freed(base)
+        memory.free(base)
+        assert memory.is_freed(base)
+        assert memory.is_freed(base + 1)
+
+
+class TestSnapshots:
+    def test_snapshot_is_a_copy(self):
+        memory = Memory()
+        memory.write(0x2000, 1)
+        snap = memory.snapshot()
+        memory.write(0x2000, 2)
+        assert snap[0x2000] == 1
+
+    def test_heap_state_round_trip(self):
+        memory = Memory()
+        base = memory.alloc(2)
+        state = memory.heap_state()
+        memory.free(base)
+        memory.restore_heap_state(state)
+        assert not memory.is_freed(base)

@@ -1,0 +1,72 @@
+"""Unit tests for the operand model."""
+
+import pytest
+
+from repro.isa.operands import (
+    Imm,
+    Mem,
+    NUM_REGISTERS,
+    Reg,
+    WORD_MASK,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestReg:
+    def test_valid_range(self):
+        assert Reg(0).index == 0
+        assert Reg(NUM_REGISTERS - 1).index == NUM_REGISTERS - 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Reg(NUM_REGISTERS)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_str(self):
+        assert str(Reg(5)) == "r5"
+
+    def test_equality_and_hash(self):
+        assert Reg(3) == Reg(3)
+        assert Reg(3) != Reg(4)
+        assert len({Reg(3), Reg(3), Reg(4)}) == 2
+
+
+class TestImm:
+    def test_str(self):
+        assert str(Imm(42)) == "42"
+        assert str(Imm(-7)) == "-7"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Imm(1).value = 2
+
+
+class TestMem:
+    def test_register_base(self):
+        assert str(Mem(base=2, offset=0)) == "[r2]"
+        assert str(Mem(base=2, offset=8)) == "[r2+8]"
+        assert str(Mem(base=2, offset=-8)) == "[r2-8]"
+
+    def test_absolute(self):
+        assert str(Mem(base=None, offset=4096)) == "[4096]"
+
+    def test_symbolic(self):
+        assert str(Mem(base=None, offset=4096, symbol="counter")) == "[counter]"
+
+
+class TestConversions:
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == WORD_MASK
+        assert to_unsigned(1 << 64) == 0
+        assert to_unsigned(5) == 5
+
+    def test_to_signed(self):
+        assert to_signed(WORD_MASK) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+        assert to_signed(5) == 5
+
+    def test_round_trip(self):
+        for value in (-5, 0, 5, (1 << 63) - 1, -(1 << 63)):
+            assert to_signed(to_unsigned(value)) == value

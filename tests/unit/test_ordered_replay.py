@@ -1,0 +1,156 @@
+"""Unit tests for the region-ordered global replay."""
+
+from repro.isa import assemble
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import ExplicitScheduler, RandomScheduler
+
+
+def replayed(source, seed=5, scheduler=None, name="ord"):
+    program = assemble(source, name=name)
+    result, log = record_run(
+        program,
+        scheduler=scheduler or RandomScheduler(seed=seed, switch_probability=0.4),
+        seed=seed,
+    )
+    return program, result, OrderedReplay(log, program)
+
+
+LOCKED = """
+.data
+c: .word 0
+m: .word 0
+.thread a b
+    li r1, 6
+loop:
+    lock [m]
+    load r2, [c]
+    addi r2, r2, 1
+    store r2, [c]
+    unlock [m]
+    subi r1, r1, 1
+    bnez r1, loop
+    sys_print r2
+    halt
+"""
+
+
+class TestFinalState:
+    def test_final_memory_matches_for_race_free_program(self):
+        program, result, ordered = replayed(LOCKED)
+        replay_memory = ordered.final_memory()
+        for address, value in result.memory.items():
+            assert replay_memory.get(address, 0) == value
+
+    def test_output_matches_original(self):
+        program, result, ordered = replayed(LOCKED)
+        assert ordered.output() == result.output
+
+    def test_all_threads_replayed(self):
+        _, result, ordered = replayed(LOCKED)
+        assert set(ordered.thread_replays) == set(result.threads)
+
+
+class TestRegionQueries:
+    def test_all_regions_sorted(self):
+        _, _, ordered = replayed(LOCKED)
+        regions = ordered.all_regions()
+        timestamps = [r.start_ts for r in regions]
+        assert timestamps == sorted(timestamps)
+
+    def test_region_for_step(self):
+        _, _, ordered = replayed(LOCKED)
+        for name, replays in ordered.thread_replays.items():
+            region = ordered.region_for_step(name, 0)
+            assert region is not None and region.contains_step(0)
+
+    def test_live_in_registers_match_snapshot(self):
+        _, _, ordered = replayed(LOCKED)
+        for name, regions in ordered.regions.items():
+            for region in regions:
+                if region.is_empty:
+                    continue
+                registers = ordered.live_in_registers(region)
+                assert len(registers) == 16
+                assert ordered.region_start_pc(region) >= 0
+
+
+class TestSnapshots:
+    PUBLISH = """
+.data
+slot: .word 0
+m: .word 0
+.thread w
+    lock [m]
+    li r1, 77
+    store r1, [slot]
+    unlock [m]
+    halt
+.thread r
+    li r9, 30
+d:
+    subi r9, r9, 1
+    bnez r9, d
+    lock [m]
+    load r2, [slot]
+    unlock [m]
+    halt
+"""
+
+    def test_later_region_sees_earlier_writes(self):
+        program, _, ordered = replayed(self.PUBLISH, seed=1)
+        # The reader's locked region must see slot=77 in its live-in image.
+        reader_regions = ordered.regions["r"]
+        locked_region = [r for r in reader_regions if r.start_kind == "lock"][0]
+        image, freed = ordered.region_snapshot(locked_region)
+        assert image[program.data_address("slot")] == 77
+
+    def test_snapshot_returns_copies(self):
+        program, _, ordered = replayed(self.PUBLISH, seed=1)
+        region = [r for r in ordered.all_regions() if not r.is_empty][0]
+        image, freed = ordered.region_snapshot(region)
+        image[999999] = 1
+        image2, _ = ordered.region_snapshot(region)
+        assert 999999 not in image2
+
+    def test_pair_snapshot_excludes_racing_region_stores(self):
+        source = (
+            ".data\nx: .word 1\n.thread a b\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        program, _, ordered = replayed(source, seed=2)
+        region_a = ordered.regions["a"][0]
+        region_b = ordered.regions["b"][0]
+        image, _ = ordered.pair_snapshot(region_a, region_b)
+        # Neither thread's store may be baked in: live-in keeps x=1.
+        assert image[program.data_address("x")] == 1
+
+    def test_pair_snapshot_includes_third_party_writes(self):
+        source = (
+            ".data\nx: .word 0\ny: .word 0\nm: .word 0\n"
+            ".thread early\n    li r1, 5\n    store r1, [y]\n"
+            "    lock [m]\n    unlock [m]\n    halt\n"
+            ".thread a b\n    li r9, 40\nd:\n    subi r9, r9, 1\n    bnez r9, d\n"
+            "    lock [m]\n    unlock [m]\n    load r1, [x]\n"
+            "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+        )
+        program, _, ordered = replayed(source, seed=4)
+        racing_a = [r for r in ordered.regions["a"] if r.start_kind == "unlock"][0]
+        racing_b = [r for r in ordered.regions["b"] if r.start_kind == "unlock"][0]
+        image, _ = ordered.pair_snapshot(racing_a, racing_b)
+        assert image[program.data_address("y")] == 5
+
+    def test_heap_freed_state_in_snapshot(self):
+        source = (
+            ".data\np: .word 0\n"
+            ".thread o\n    li r1, 1\n    sys_alloc r2, r1\n    store r2, [p]\n"
+            "    sys_free r2\n    nop\n    halt\n"
+            ".thread u\n    li r9, 40\nd:\n    subi r9, r9, 1\n    bnez r9, d\n"
+            "    load r1, [p]\n    halt\n"
+        )
+        program, _, ordered = replayed(source, seed=3)
+        # The owner's post-free region opens after the free: its snapshot
+        # must carry the freed range.
+        post_free = [r for r in ordered.regions["o"] if r.start_kind == "sys_free"][0]
+        _, freed = ordered.region_snapshot(post_free)
+        assert len(freed) == 1

@@ -1,0 +1,91 @@
+"""Unit tests for the Program model."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.errors import ProgramValidationError
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Reg
+from repro.isa.program import (
+    DATA_BASE,
+    CodeBlock,
+    DataItem,
+    Program,
+    StaticInstructionId,
+)
+
+
+def make_program(**overrides):
+    defaults = dict(
+        name="p",
+        blocks={"t": CodeBlock("t", (Instruction("halt"),))},
+        threads={"t": "t"},
+    )
+    defaults.update(overrides)
+    return Program(**defaults)
+
+
+class TestValidation:
+    def test_valid_program(self):
+        make_program()
+
+    def test_no_threads(self):
+        with pytest.raises(ProgramValidationError):
+            make_program(threads={})
+
+    def test_unknown_block(self):
+        with pytest.raises(ProgramValidationError):
+            make_program(threads={"t": "missing"})
+
+    def test_empty_block(self):
+        with pytest.raises(ProgramValidationError):
+            make_program(blocks={"t": CodeBlock("t", ())})
+
+    def test_bad_operands_caught(self):
+        bad = CodeBlock("t", (Instruction("add", (Reg(0),)),))
+        with pytest.raises(ProgramValidationError):
+            make_program(blocks={"t": bad})
+
+    def test_overlapping_data(self):
+        with pytest.raises(ProgramValidationError):
+            make_program(
+                data={
+                    "a": DataItem("a", DATA_BASE, (1, 2)),
+                    "b": DataItem("b", DATA_BASE + 1, (3,)),
+                }
+            )
+
+
+class TestQueries:
+    def test_symbol_for_address(self):
+        program = assemble(
+            ".data\nx: .word 1\nbuf: .space 2\n.thread t\n    halt\n"
+        )
+        assert program.symbol_for_address(DATA_BASE) == "x"
+        assert program.symbol_for_address(DATA_BASE + 2) == "buf+1"
+        assert program.symbol_for_address(0xDEAD) is None
+
+    def test_data_address(self):
+        program = assemble(".data\nx: .word 1\n.thread t\n    halt\n")
+        assert program.data_address("x") == DATA_BASE
+
+    def test_block_for_thread(self):
+        program = assemble(".thread a b\n    halt\n")
+        assert program.block_for_thread("b").name == "a"
+
+    def test_instruction_lookup(self):
+        program = assemble(".thread t\n    li r1, 5\n    halt\n")
+        sid = StaticInstructionId("t", 0)
+        assert program.instruction(sid).opcode == "li"
+        assert "li r1, 5" in program.describe_instruction(sid)
+
+
+class TestStaticInstructionId:
+    def test_str(self):
+        assert str(StaticInstructionId("blk", 3)) == "blk:3"
+
+    def test_ordering_key(self):
+        assert StaticInstructionId("a", 2).sort_key() < StaticInstructionId("b", 0).sort_key()
+
+    def test_hashable(self):
+        assert len({StaticInstructionId("a", 1), StaticInstructionId("a", 1)}) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for sequencing-region extraction and overlap."""
+
+from repro.isa import assemble
+from repro.record import record_run
+from repro.record.log import SequencerRecord, ThreadLog
+from repro.replay.regions import (
+    SequencingRegion,
+    overlaps,
+    regions_of_log,
+    regions_of_thread,
+)
+from repro.vm import ExplicitScheduler
+
+
+def make_region(tid, start_ts, end_ts, name="t", start_step=0, end_step=10):
+    return SequencingRegion(
+        thread_name=name,
+        tid=tid,
+        index=0,
+        start_step=start_step,
+        end_step=end_step,
+        start_ts=start_ts,
+        end_ts=end_ts,
+        start_kind="thread_start",
+        end_kind="thread_end",
+    )
+
+
+class TestOverlap:
+    def test_concurrent_regions_overlap(self):
+        assert overlaps(make_region(0, 1, 5), make_region(1, 2, 4))
+        assert overlaps(make_region(0, 1, 5), make_region(1, 4, 9))
+
+    def test_ordered_regions_do_not_overlap(self):
+        assert not overlaps(make_region(0, 1, 3), make_region(1, 3, 5))
+        assert not overlaps(make_region(0, 5, 7), make_region(1, 1, 5))
+
+    def test_same_thread_never_overlaps(self):
+        assert not overlaps(make_region(0, 1, 5), make_region(0, 2, 4))
+
+    def test_paper_figure1_example(self):
+        """The paper's Figure 1: S3-S5 (T1) overlaps S1-S4 and S4-S7 (T2),
+        and S2-S6 (T3)."""
+        t1 = make_region(0, 3, 5, "T1")
+        assert overlaps(t1, make_region(1, 1, 4, "T2"))
+        assert overlaps(t1, make_region(1, 4, 7, "T2"))
+        assert overlaps(t1, make_region(2, 2, 6, "T3"))
+
+
+class TestExtraction:
+    def test_regions_from_thread_log(self):
+        log = ThreadLog(name="t", tid=0, block="t", initial_registers=(0,) * 16)
+        log.sequencers = [
+            SequencerRecord(thread_step=-1, timestamp=1, kind="thread_start"),
+            SequencerRecord(thread_step=4, timestamp=5, kind="lock"),
+            SequencerRecord(thread_step=9, timestamp=8, kind="thread_end"),
+        ]
+        regions = regions_of_thread(log)
+        assert len(regions) == 2
+        first, second = regions
+        assert (first.start_step, first.end_step) == (0, 4)
+        assert (first.start_ts, first.end_ts) == (1, 5)
+        assert (second.start_step, second.end_step) == (5, 9)
+        assert second.start_kind == "lock"
+
+    def test_empty_region(self):
+        log = ThreadLog(name="t", tid=0, block="t", initial_registers=(0,) * 16)
+        log.sequencers = [
+            SequencerRecord(thread_step=-1, timestamp=1, kind="thread_start"),
+            SequencerRecord(thread_step=0, timestamp=2, kind="lock"),
+            SequencerRecord(thread_step=1, timestamp=3, kind="unlock"),
+        ]
+        regions = regions_of_thread(log)
+        assert regions[0].is_empty  # lock at step 0: nothing before it
+        assert regions[1].is_empty  # unlock immediately follows lock
+
+    def test_contains_step(self):
+        region = make_region(0, 1, 5, start_step=3, end_step=7)
+        assert region.contains_step(3)
+        assert region.contains_step(6)
+        assert not region.contains_step(7)
+        assert not region.contains_step(2)
+
+    def test_regions_from_real_log(self):
+        program = assemble(
+            ".data\nm: .word 0\n.thread a b\n    lock [m]\n    nop\n"
+            "    unlock [m]\n    halt\n"
+        )
+        _, log = record_run(program, scheduler=ExplicitScheduler([0] * 8 + [1] * 8))
+        all_regions = regions_of_log(log)
+        assert set(all_regions) == {"a", "b"}
+        for regions in all_regions.values():
+            assert len(regions) == 3  # start->lock, lock->unlock, unlock->end
+            assert regions[1].step_count == 1  # the nop
+
+    def test_serialized_threads_do_not_overlap(self):
+        """Thread a fully runs before b: conservative HB orders them."""
+        program = assemble(
+            ".data\nm: .word 0\n.thread a b\n    lock [m]\n    nop\n"
+            "    unlock [m]\n    halt\n"
+        )
+        _, log = record_run(program, scheduler=ExplicitScheduler([0] * 8 + [1] * 8))
+        regions = regions_of_log(log)
+        # a's lock region ends (unlock) before b even acquires:
+        a_region = regions["a"][1]
+        b_region = regions["b"][1]
+        assert not overlaps(a_region, b_region)

@@ -1,0 +1,141 @@
+"""Unit tests for race reports and the suppression database."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.race import (
+    ClassifierConfig,
+    RaceClassifier,
+    SuppressionDB,
+    aggregate_instances,
+    build_report,
+    find_races,
+    render_triage_list,
+)
+from repro.race.outcomes import Classification
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import RandomScheduler
+
+RACY = (
+    ".data\nx: .word 10\n.thread a b\n    load r1, [x]\n"
+    "    addi r1, r1, 1\n    store r1, [x]\n    halt\n"
+)
+
+
+@pytest.fixture
+def analysis():
+    program = assemble(RACY, name="report_prog")
+    _, log = record_run(program, scheduler=RandomScheduler(seed=3), seed=3)
+    ordered = OrderedReplay(log, program)
+    instances = find_races(ordered)
+    classifier = RaceClassifier(
+        ordered,
+        config=ClassifierConfig(store_replay_outcomes=True),
+        execution_id="exec1",
+    )
+    results = aggregate_instances(classifier.classify_all(instances))
+    return program, log, results
+
+
+class TestRaceReport:
+    def test_report_structure(self, analysis):
+        program, log, results = analysis
+        result = next(iter(results.values()))
+        report = build_report(result, program, log)
+        assert report.instance_count == result.instance_count
+        assert "load" in report.instruction_a or "store" in report.instruction_a
+        assert report.executions == ["exec1"]
+        assert report.scenarios
+
+    def test_scenario_carries_reproduction_info(self, analysis):
+        program, log, results = analysis
+        harmful = [
+            r
+            for r in results.values()
+            if r.classification is Classification.POTENTIALLY_HARMFUL
+        ]
+        report = build_report(harmful[0], program, log)
+        text = report.render()
+        assert "seed 3" in text
+        assert "racing ops" in text
+        assert "report_prog" in text
+
+    def test_state_change_diff_rendered(self, analysis):
+        program, log, results = analysis
+        harmful = [
+            r
+            for r in results.values()
+            if r.classification is Classification.POTENTIALLY_HARMFUL
+        ]
+        report = build_report(harmful[0], program, log)
+        rendered = report.render()
+        assert "original" in rendered and "alternative" in rendered
+
+    def test_triage_list_orders_harmful_first(self, analysis):
+        program, log, results = analysis
+        reports = [build_report(r, program, log) for r in results.values()]
+        text = render_triage_list(reports)
+        assert "potentially harmful" in text
+        first_block = text.split("=" * 72)[1]
+        assert "potentially-harmful" in first_block
+
+    def test_suggested_reason_included(self, analysis):
+        program, log, results = analysis
+        result = next(iter(results.values()))
+        report = build_report(result, program, log, suggested_reason="redundant-write")
+        assert "redundant-write" in report.render()
+
+
+class TestSuppressionDB:
+    def test_mark_and_check(self, analysis):
+        program, log, results = analysis
+        key = next(iter(results))
+        database = SuppressionDB()
+        assert not database.is_suppressed(program.name, key)
+        database.mark_benign(program.name, key, reason="stats counter", triaged_by="dev")
+        assert database.is_suppressed(program.name, key)
+        assert database.reason_for(program.name, key) == "stats counter"
+
+    def test_program_scoping(self, analysis):
+        program, log, results = analysis
+        key = next(iter(results))
+        database = SuppressionDB()
+        database.mark_benign("other_program", key)
+        assert not database.is_suppressed(program.name, key)
+
+    def test_unmark(self, analysis):
+        program, log, results = analysis
+        key = next(iter(results))
+        database = SuppressionDB()
+        database.mark_benign(program.name, key)
+        assert database.unmark(program.name, key)
+        assert not database.is_suppressed(program.name, key)
+        assert not database.unmark(program.name, key)
+
+    def test_persistence_round_trip(self, analysis, tmp_path):
+        program, log, results = analysis
+        key = next(iter(results))
+        database = SuppressionDB()
+        database.mark_benign(program.name, key, reason="ok", triaged_by="dev")
+        path = tmp_path / "suppressions.json"
+        database.save(path)
+        restored = SuppressionDB.load(path)
+        assert restored.is_suppressed(program.name, key)
+        assert restored.reason_for(program.name, key) == "ok"
+        assert len(restored) == 1
+
+    def test_keys_for_program(self, analysis):
+        program, log, results = analysis
+        database = SuppressionDB()
+        for key in results:
+            database.mark_benign(program.name, key)
+        assert sorted(map(str, database.keys_for_program(program.name))) == sorted(
+            map(str, results.keys())
+        )
+
+    def test_suppressed_flag_in_report(self, analysis):
+        program, log, results = analysis
+        result = next(iter(results.values()))
+        report = build_report(result, program, log, suppressed=True)
+        assert "suppressed" in report.render()

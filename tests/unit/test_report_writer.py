@@ -1,0 +1,54 @@
+"""Unit tests for the results-document writer."""
+
+import pytest
+
+from repro.analysis import analyze_suite
+from repro.analysis.report_writer import write_report
+from repro.workloads import Execution, lost_update, stats_counter
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return analyze_suite(
+        [
+            Execution("stats#1", stats_counter(9, iters=3), seed=10),
+            Execution("bank#1", lost_update(9, iters=3), seed=15),
+        ]
+    )
+
+
+class TestWriteReport:
+    def test_contains_every_section(self, mini_suite):
+        document = write_report(suite=mini_suite, include_overheads=False)
+        for heading in (
+            "## Corpus",
+            "## Table 1",
+            "## Table 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "## Detector ablation",
+            "## Replay-continuation ablation",
+            "## Confidence / coverage ablation",
+        ):
+            assert heading in document, heading
+
+    def test_overheads_toggle(self, mini_suite):
+        without = write_report(suite=mini_suite, include_overheads=False)
+        assert "Section 5.1" not in without
+
+    def test_paper_references_quoted(self, mini_suite):
+        document = write_report(suite=mini_suite, include_overheads=False)
+        assert "paper: over half" in document
+        assert "16,642 instances" in document
+
+    def test_writes_to_disk(self, mini_suite, tmp_path):
+        path = tmp_path / "RESULTS.md"
+        returned = write_report(path, suite=mini_suite, include_overheads=False)
+        assert path.read_text() == returned
+
+    def test_live_numbers_embedded(self, mini_suite):
+        document = write_report(suite=mini_suite, include_overheads=False)
+        assert "Corpus: %d executions" % len(mini_suite.executions) in document
+        assert "%d unique races" % mini_suite.unique_race_count in document
+        assert "Per-execution breakdown" in document

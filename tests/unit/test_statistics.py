@@ -1,0 +1,73 @@
+"""Unit tests for corpus statistics."""
+
+import pytest
+
+from repro.analysis import analyze_suite
+from repro.analysis.statistics import corpus_statistics, execution_statistics
+from repro.race.outcomes import InstanceOutcome
+from repro.workloads import Execution, lost_update, stats_counter, locked_counter
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return analyze_suite(
+        [
+            Execution("stats#1", stats_counter(13, iters=3), seed=10),
+            Execution("bank#1", lost_update(13, iters=3), seed=15),
+            Execution("clean#1", locked_counter(13), seed=20),
+        ]
+    )
+
+
+class TestExecutionStats:
+    def test_fields(self, suite):
+        stats = execution_statistics(suite.executions[0])
+        assert stats.execution_id == "stats#1"
+        assert stats.threads == 2
+        assert stats.instructions > 0
+        assert stats.sequencers >= 4  # at least start/end per thread
+        assert stats.race_instances == suite.executions[0].instance_count
+        assert stats.unique_races >= 1
+        assert stats.faulted_threads == 0
+
+    def test_clean_execution_has_zero_races(self, suite):
+        stats = execution_statistics(suite.executions[2])
+        assert stats.race_instances == 0
+        assert stats.unique_races == 0
+
+    def test_render(self, suite):
+        text = execution_statistics(suite.executions[0]).render()
+        assert "stats#1" in text and "uniq" in text
+
+
+class TestCorpusStats:
+    def test_totals_consistent(self, suite):
+        stats = corpus_statistics(suite)
+        assert stats.total_instances == suite.total_instances
+        assert stats.unique_races == suite.unique_race_count
+        assert stats.total_instructions == sum(
+            e.instructions for e in stats.executions
+        )
+        assert len(stats.executions) == 3
+
+    def test_outcome_distribution_sums_to_instances(self, suite):
+        stats = corpus_statistics(suite)
+        assert sum(stats.instance_outcomes.values()) == stats.total_instances
+
+    def test_collapse_ratio(self, suite):
+        stats = corpus_statistics(suite)
+        assert stats.collapse_ratio == pytest.approx(
+            stats.total_instances / stats.unique_races
+        )
+
+    def test_render_mentions_paper_framing(self, suite):
+        text = corpus_statistics(suite).render()
+        assert "16,642 instances" in text
+        assert "Per-execution breakdown" in text
+        for outcome in InstanceOutcome:
+            assert outcome.value in text
+
+    def test_empty_collapse_ratio(self):
+        from repro.analysis.statistics import CorpusStats
+
+        assert CorpusStats(executions=[], total_instances=0, unique_races=0).collapse_ratio == 0.0

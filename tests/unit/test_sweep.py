@@ -1,0 +1,47 @@
+"""Unit tests for the seed-coverage sweep."""
+
+import pytest
+
+from repro.analysis.sweep import seed_coverage
+from repro.workloads import lost_update, stats_counter, locked_counter
+
+
+class TestSeedCoverage:
+    def test_coverage_is_monotone(self):
+        sweep = seed_coverage(stats_counter(6, iters=3), seeds=range(5))
+        uniques = [point.unique_races for point in sweep.points]
+        assert uniques == sorted(uniques)
+        assert sweep.total_unique >= 1
+
+    def test_new_races_sum_to_total(self):
+        sweep = seed_coverage(stats_counter(6, iters=3), seeds=range(5))
+        assert sum(point.new_races for point in sweep.points) == sweep.total_unique
+
+    def test_harmful_counts_bounded(self):
+        sweep = seed_coverage(lost_update(6, iters=3), seeds=range(4))
+        for point in sweep.points:
+            assert 0 <= point.harmful_races <= point.unique_races
+        assert sweep.points[-1].harmful_races >= 1
+
+    def test_clean_workload_never_discovers(self):
+        sweep = seed_coverage(locked_counter(6), seeds=range(4))
+        assert sweep.total_unique == 0
+        assert all(point.new_races == 0 for point in sweep.points)
+
+    def test_saturation_metric(self):
+        sweep = seed_coverage(stats_counter(6, iters=3), seeds=range(5))
+        assert 1 <= sweep.seeds_to_saturation <= 5
+
+    def test_render(self):
+        sweep = seed_coverage(stats_counter(6, iters=3), seeds=range(3))
+        text = sweep.render()
+        assert "coverage" in text.lower()
+        assert "unique race" in text
+
+    def test_races_by_seed_count_grows(self):
+        sweep = seed_coverage(stats_counter(6, iters=3), seeds=range(4))
+        previous = set()
+        for count in sorted(sweep.races_by_seed_count):
+            current = sweep.races_by_seed_count[count]
+            assert previous <= current
+            previous = current

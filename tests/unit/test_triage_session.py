@@ -1,0 +1,115 @@
+"""Unit tests for the TriageSession orchestration layer."""
+
+import pytest
+
+from repro.analysis import analyze_execution
+from repro.race.outcomes import Classification
+from repro.race.triage import TriageSession
+from repro.workloads import Execution, lost_update, refcount_free, stats_counter
+from repro.workloads.composite import combine_workloads
+
+
+@pytest.fixture(scope="module")
+def service():
+    return combine_workloads(
+        "triage_session_svc",
+        "intended stats race + real lost-update bug",
+        stats_counter(4, iters=4),
+        lost_update(4, iters=4),
+    )
+
+
+def analysed(service, execution_id, seed):
+    analysis = analyze_execution(Execution(execution_id, service, seed))
+    return analysis
+
+
+class TestProcess:
+    def test_outcome_contents(self, service):
+        session = TriageSession()
+        analysis = analysed(service, "n1", 10)
+        outcome = session.process(
+            service.program(), analysis.log, analysis.classified
+        )
+        assert outcome.program_name == service.program().name
+        assert outcome.reports
+        assert outcome.actionable
+        assert outcome.reclassified == []  # first session: nothing to reclassify
+        assert "triage these" in outcome.render()
+
+    def test_suggested_reasons_attached(self, service):
+        session = TriageSession()
+        analysis = analysed(service, "n1", 10)
+        outcome = session.process(
+            service.program(), analysis.log, analysis.classified
+        )
+        assert any(report.suggested_reason for report in outcome.reports)
+
+    def test_suppression_shrinks_actionable(self, service):
+        session = TriageSession()
+        program = service.program()
+        analysis = analysed(service, "n1", 10)
+        outcome = session.process(program, analysis.log, analysis.classified)
+        before = len(outcome.actionable)
+        stats_address = program.data_address("stats_st4")
+        for key, result in outcome.results.items():
+            addresses = {c.instance.address for c in result.instances}
+            if stats_address in addresses:
+                session.mark_benign(program.name, key, reason="intended")
+        outcome2 = session.process(program, analysis.log, analysis.classified)
+        assert len(outcome2.actionable) < before
+        # The real bug stays actionable.
+        assert outcome2.actionable
+
+    def test_pending_harmful_respects_suppressions(self, service):
+        session = TriageSession()
+        program = service.program()
+        analysis = analysed(service, "n1", 10)
+        outcome = session.process(program, analysis.log, analysis.classified)
+        pending_before = session.pending_harmful(program.name)
+        assert pending_before
+        session.mark_benign(program.name, pending_before[0].key)
+        assert len(session.pending_harmful(program.name)) == len(pending_before) - 1
+
+
+class TestReclassification:
+    def test_cross_session_reclassification_surfaces(self):
+        workload = refcount_free(4)
+        program = workload.program()
+        session = TriageSession()
+        # Analyse two recordings; the second one can expose harm the
+        # first missed — any classification flips must be reported.
+        outcomes = []
+        for seed in (1, 23):
+            analysis = analysed(workload, "rc#%d" % seed, seed)
+            outcomes.append(
+                session.process(program, analysis.log, analysis.classified)
+            )
+        # The database accumulated both sessions.
+        assert session.database.records(program.name)
+        all_history = [
+            record.history for record in session.database.records(program.name)
+        ]
+        assert all(len(history) >= 1 for history in all_history)
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, service, tmp_path):
+        session = TriageSession()
+        program = service.program()
+        analysis = analysed(service, "n1", 10)
+        outcome = session.process(program, analysis.log, analysis.classified)
+        key = next(iter(outcome.results))
+        session.mark_benign(program.name, key, reason="ok")
+        suppressions = tmp_path / "sup.json"
+        database = tmp_path / "db.json"
+        session.save(suppressions, database)
+
+        restored = TriageSession.load(suppressions, database)
+        assert restored.suppressions.is_suppressed(program.name, key)
+        assert restored.database.records(program.name)
+
+    def test_load_missing_files_gives_empty_session(self, tmp_path):
+        session = TriageSession.load(tmp_path / "nope.json", tmp_path / "nada.json")
+        assert len(session.suppressions) == 0
+        assert len(session.database) == 0

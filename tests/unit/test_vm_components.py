@@ -1,0 +1,206 @@
+"""Unit tests for registers, lock table, syscalls, and schedulers."""
+
+import random
+
+import pytest
+
+from repro.vm.errors import MemoryFault, ScheduleError
+from repro.vm.memory import Memory
+from repro.vm.registers import RegisterFile
+from repro.vm.scheduler import (
+    ExplicitScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.vm.sync import LockTable
+from repro.vm.syscalls import Syscalls
+
+
+class TestRegisterFile:
+    def test_zero_initialised(self):
+        registers = RegisterFile()
+        assert all(registers.read(i) == 0 for i in range(16))
+
+    def test_write_read(self):
+        registers = RegisterFile()
+        registers.write(3, 99)
+        assert registers.read(3) == 99
+
+    def test_wraps_64_bits(self):
+        registers = RegisterFile()
+        registers.write(0, -1)
+        assert registers.read(0) == (1 << 64) - 1
+
+    def test_snapshot_restore(self):
+        registers = RegisterFile()
+        registers.write(1, 7)
+        snap = registers.snapshot()
+        registers.write(1, 8)
+        registers.restore(snap)
+        assert registers.read(1) == 7
+
+    def test_construct_from_snapshot(self):
+        snap = tuple(range(16))
+        assert RegisterFile(snap).snapshot() == snap
+
+    def test_bad_snapshot_length(self):
+        with pytest.raises(ValueError):
+            RegisterFile((1, 2, 3))
+
+    def test_equality(self):
+        a, b = RegisterFile(), RegisterFile()
+        assert a == b
+        a.write(0, 1)
+        assert a != b
+
+
+class TestLockTable:
+    def test_acquire_free_lock(self):
+        locks = LockTable()
+        assert locks.try_acquire(0, 100)
+        assert locks.owner(100) == 0
+
+    def test_contended_acquire_fails(self):
+        locks = LockTable()
+        locks.try_acquire(0, 100)
+        assert not locks.try_acquire(1, 100)
+
+    def test_recursive_acquire_faults(self):
+        locks = LockTable()
+        locks.try_acquire(0, 100)
+        with pytest.raises(MemoryFault):
+            locks.try_acquire(0, 100)
+
+    def test_release_wakes_fifo_waiter(self):
+        locks = LockTable()
+        locks.try_acquire(0, 100)
+        locks.add_waiter(1, 100)
+        locks.add_waiter(2, 100)
+        assert locks.release(0, 100) == 1
+        assert locks.waiters(100) == [2]
+
+    def test_release_by_non_owner_faults(self):
+        locks = LockTable()
+        locks.try_acquire(0, 100)
+        with pytest.raises(MemoryFault):
+            locks.release(1, 100)
+
+    def test_release_without_waiters(self):
+        locks = LockTable()
+        locks.try_acquire(0, 100)
+        assert locks.release(0, 100) is None
+        assert not locks.is_held(100)
+
+
+class TestSyscalls:
+    def make(self):
+        return Syscalls(Memory(), random.Random(0))
+
+    def test_getpid_same_for_all_threads(self):
+        syscalls = self.make()
+        values = {syscalls.execute("sys_getpid", tid, "t%d" % tid, 0) for tid in range(4)}
+        assert values == {Syscalls.PROCESS_ID}
+
+    def test_time_returns_global_step(self):
+        assert self.make().execute("sys_time", 0, "t", 1234) == 1234
+
+    def test_rand_within_bound_and_seeded(self):
+        a = Syscalls(Memory(), random.Random(5))
+        b = Syscalls(Memory(), random.Random(5))
+        seq_a = [a.execute("sys_rand", 0, "t", 0, 10) for _ in range(20)]
+        seq_b = [b.execute("sys_rand", 0, "t", 0, 10) for _ in range(20)]
+        assert seq_a == seq_b
+        assert all(0 <= value < 10 for value in seq_a)
+
+    def test_alloc_and_free(self):
+        syscalls = self.make()
+        base = syscalls.execute("sys_alloc", 0, "t", 0, 4)
+        assert syscalls.memory.read(base) == 0
+        assert syscalls.execute("sys_free", 0, "t", 0, base) == 0
+
+    def test_print_appends_output(self):
+        syscalls = self.make()
+        syscalls.execute("sys_print", 0, "main", 0, 42)
+        assert syscalls.output == [("main", 42)]
+
+    def test_unknown_syscall(self):
+        with pytest.raises(ValueError):
+            self.make().execute("sys_nope", 0, "t", 0)
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        scheduler = RoundRobinScheduler(quantum=1)
+        assert scheduler.pick([0, 1, 2], None, 0) == 0
+        assert scheduler.pick([0, 1, 2], 0, 1) == 1
+        assert scheduler.pick([0, 1, 2], 1, 2) == 2
+        assert scheduler.pick([0, 1, 2], 2, 3) == 0
+
+    def test_quantum_keeps_thread(self):
+        scheduler = RoundRobinScheduler(quantum=3)
+        picks = [scheduler.pick([0, 1], scheduler.pick([0, 1], 0, 0), 0) for _ in range(1)]
+        scheduler.reset()
+        first = scheduler.pick([0, 1], 0, 0)
+        second = scheduler.pick([0, 1], first, 1)
+        assert first == 0 and second == 0
+
+    def test_skips_unrunnable(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick([2], 0, 0) == 2
+
+    def test_bad_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)
+
+
+class TestRandomScheduler:
+    def test_deterministic_per_seed(self):
+        a, b = RandomScheduler(seed=3), RandomScheduler(seed=3)
+        picks_a = [a.pick([0, 1, 2], 0, i) for i in range(50)]
+        picks_b = [b.pick([0, 1, 2], 0, i) for i in range(50)]
+        assert picks_a == picks_b
+
+    def test_different_seeds_differ(self):
+        a, b = RandomScheduler(seed=1), RandomScheduler(seed=2)
+        picks_a = [a.pick([0, 1, 2], 0, i) for i in range(50)]
+        picks_b = [b.pick([0, 1, 2], 0, i) for i in range(50)]
+        assert picks_a != picks_b
+
+    def test_reset_replays(self):
+        scheduler = RandomScheduler(seed=9)
+        first = [scheduler.pick([0, 1], None, i) for i in range(20)]
+        scheduler.reset()
+        second = [scheduler.pick([0, 1], None, i) for i in range(20)]
+        assert first == second
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(switch_probability=1.5)
+
+
+class TestExplicitScheduler:
+    def test_follows_sequence(self):
+        scheduler = ExplicitScheduler([1, 0, 1])
+        assert scheduler.pick([0, 1], None, 0) == 1
+        assert scheduler.pick([0, 1], 1, 1) == 0
+        assert scheduler.pick([0, 1], 0, 2) == 1
+
+    def test_falls_back_to_round_robin(self):
+        scheduler = ExplicitScheduler([1])
+        scheduler.pick([0, 1], None, 0)
+        assert scheduler.pick([0, 1], None, 1) in (0, 1)
+
+    def test_skips_unrunnable_when_lenient(self):
+        scheduler = ExplicitScheduler([5, 0])
+        assert scheduler.pick([0, 1], None, 0) == 0
+
+    def test_strict_raises(self):
+        scheduler = ExplicitScheduler([5], strict=True)
+        with pytest.raises(ScheduleError):
+            scheduler.pick([0, 1], None, 0)
+
+    def test_reset(self):
+        scheduler = ExplicitScheduler([1, 0])
+        scheduler.pick([0, 1], None, 0)
+        scheduler.reset()
+        assert scheduler.pick([0, 1], None, 0) == 1

@@ -1,0 +1,131 @@
+"""Edge-case tests for the machine's concurrency semantics."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.vm import (
+    DeadlockError,
+    ExplicitScheduler,
+    RandomScheduler,
+    TraceObserver,
+    run_program,
+)
+
+
+class TestBlockedAcquire:
+    def test_blocked_thread_does_not_retire_a_step(self):
+        """A contended lock attempt blocks without consuming a thread step;
+        the sequencer lands on the step where the lock was finally granted."""
+        source = (
+            ".data\nm: .word 0\n.thread holder\n    lock [m]\n    nop\n    nop\n"
+            "    unlock [m]\n    halt\n.thread waiter\n    lock [m]\n"
+            "    unlock [m]\n    halt\n"
+        )
+        program = assemble(source)
+        trace = TraceObserver()
+        # Schedule: holder acquires, waiter repeatedly attempts (blocked),
+        # holder finishes, waiter proceeds.
+        result = run_program(
+            program,
+            scheduler=ExplicitScheduler([0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1]),
+            observers=[trace],
+        )
+        assert result.threads["waiter"].status == "halted"
+        waiter_locks = [
+            s
+            for s in trace.sequencers
+            if s.tid == 1 and s.kind == "lock"
+        ]
+        assert len(waiter_locks) == 1
+        assert waiter_locks[0].thread_step == 0  # granted at its first step
+
+    def test_fifo_wakeup_order(self):
+        """Two waiters acquire in the order they blocked."""
+        source = (
+            ".data\nm: .word 0\norder: .word 0\n"
+            ".thread holder\n    lock [m]\n    nop\n    nop\n    nop\n"
+            "    unlock [m]\n    halt\n"
+            ".thread w1\n    lock [m]\n    li r1, 1\n    store r1, [order]\n"
+            "    unlock [m]\n    halt\n"
+            ".thread w2\n    lock [m]\n    load r1, [order]\n    unlock [m]\n"
+            "    sys_print r1\n    halt\n"
+        )
+        program = assemble(source)
+        # holder grabs the lock; w1 blocks first, then w2; on release w1
+        # must go first, so w2 reads order == 1.
+        result = run_program(
+            program,
+            scheduler=ExplicitScheduler([0, 1, 2] + [0] * 6 + [1] * 8 + [2] * 8),
+        )
+        assert result.output == [("w2", 1)]
+
+    def test_deadlock_reported_with_lock_addresses(self):
+        source = (
+            ".data\nm1: .word 0\nm2: .word 0\n"
+            ".thread a\n    lock [m1]\n    lock [m2]\n    halt\n"
+            ".thread b\n    lock [m2]\n    lock [m1]\n    halt\n"
+        )
+        with pytest.raises(DeadlockError) as info:
+            run_program(
+                assemble(source), scheduler=ExplicitScheduler([0, 1, 0, 1])
+            )
+        assert "blocked" in str(info.value)
+
+
+class TestFaultInteractions:
+    def test_fault_while_holding_lock_deadlocks_waiters(self):
+        """A thread that faults inside a critical section never releases;
+        waiters deadlock — realistic and detected."""
+        source = (
+            ".data\nm: .word 0\n"
+            ".thread bad\n    lock [m]\n    li r1, 0\n    load r2, [r1]\n"
+            "    unlock [m]\n    halt\n"
+            ".thread waiter\n    lock [m]\n    unlock [m]\n    halt\n"
+        )
+        with pytest.raises(DeadlockError):
+            run_program(
+                assemble(source), scheduler=ExplicitScheduler([0, 0, 0, 1, 1])
+            )
+
+    def test_fault_without_lock_lets_others_finish(self):
+        source = (
+            ".thread bad\n    li r1, 0\n    load r2, [r1]\n    halt\n"
+            ".thread good\n    li r1, 7\n    sys_print r1\n    halt\n"
+        )
+        result = run_program(assemble(source))
+        assert result.threads["bad"].status == "faulted"
+        assert result.output == [("good", 7)]
+
+
+class TestYieldSemantics:
+    def test_yield_rotates_round_robin(self):
+        """sys_yield drops affinity: with quantum > 1 the other thread runs."""
+        source = (
+            ".thread a\n    li r1, 1\n    sys_print r1\n    sys_yield\n"
+            "    li r1, 3\n    sys_print r1\n    halt\n"
+            ".thread b\n    li r1, 2\n    sys_print r1\n    halt\n"
+        )
+        from repro.vm import RoundRobinScheduler
+
+        result = run_program(
+            assemble(source), scheduler=RoundRobinScheduler(quantum=100)
+        )
+        values = [value for _, value in result.output]
+        assert values.index(2) < values.index(3)
+
+
+class TestSchedulerSeedSpace:
+    @pytest.mark.parametrize("switch", [0.0, 0.5, 1.0])
+    def test_extreme_switch_probabilities_terminate(self, switch):
+        source = (
+            ".data\nc: .word 0\nm: .word 0\n.thread a b\n    li r1, 4\nl:\n"
+            "    lock [m]\n    load r2, [c]\n    addi r2, r2, 1\n"
+            "    store r2, [c]\n    unlock [m]\n    subi r1, r1, 1\n"
+            "    bnez r1, l\n    halt\n"
+        )
+        program = assemble(source)
+        result = run_program(
+            program,
+            scheduler=RandomScheduler(seed=1, switch_probability=switch),
+        )
+        assert result.memory[program.data_address("c")] == 8

@@ -1,0 +1,188 @@
+"""Unit tests for the workload corpus and its ground-truth labels."""
+
+import pytest
+
+from repro.isa.program import HEAP_BASE
+from repro.race.heuristics import BenignCategory
+from repro.vm import RandomScheduler, run_program
+from repro.workloads import (
+    GroundTruth,
+    all_workloads,
+    atomic_handoff,
+    clean_suite,
+    disjoint_bits,
+    flag_publish,
+    lost_update,
+    mixed_service,
+    paper_suite,
+    refcount_free,
+    stats_counter,
+    toctou_handle,
+    unsafe_publish,
+    workload_for_execution,
+)
+from repro.workloads.composite import combine_workloads
+
+
+class TestCorpusIntegrity:
+    def test_every_workload_assembles(self):
+        for name, workload in all_workloads().items():
+            program = workload.program()
+            assert program.threads, name
+
+    def test_workload_names_unique(self):
+        names = [e.workload.name for e in paper_suite()]
+        # The same workload may appear under several seeds; names must be
+        # consistent per workload, and execution ids unique.
+        ids = [e.execution_id for e in paper_suite()]
+        assert len(set(ids)) == len(ids)
+
+    def test_block_names_globally_unique(self):
+        """Two different workloads must never share a code-block name —
+        otherwise their unique races would be conflated when merged."""
+        seen = {}
+        for name, workload in all_workloads().items():
+            for block in workload.program().blocks:
+                assert block not in seen, (
+                    "block %r in both %s and %s" % (block, seen[block], name)
+                )
+                seen[block] = name
+
+    def test_every_racy_workload_has_expectations(self):
+        for execution in paper_suite():
+            assert execution.workload.expectations, execution.workload.name
+
+    def test_clean_workloads_declare_race_free(self):
+        for execution in clean_suite():
+            assert execution.workload.expect_race_free
+
+    def test_workload_for_execution(self):
+        execution = paper_suite()[0]
+        found = workload_for_execution(execution.execution_id)
+        assert found is not None and found.name == execution.workload.name
+        assert workload_for_execution("nonsense") is None
+
+
+class TestGroundTruthResolution:
+    def test_symbol_expectation(self):
+        workload = flag_publish(9)
+        program = workload.program()
+        address = program.data_address("flag_fp9")
+        expectation = workload.expectation_for_address(address)
+        assert expectation is not None
+        assert expectation.truth is GroundTruth.BENIGN
+        assert expectation.category is BenignCategory.USER_CONSTRUCTED_SYNC
+
+    def test_heap_expectation(self):
+        workload = refcount_free(9)
+        expectation = workload.expectation_for_address(HEAP_BASE + 5)
+        assert expectation is not None
+        assert expectation.truth is GroundTruth.HARMFUL
+
+    def test_unknown_address(self):
+        workload = flag_publish(9)
+        assert workload.expectation_for_address(0xDEAD) is None
+
+    def test_multi_word_symbol_covered(self):
+        from repro.workloads.benign_both_values import producer_consumer
+
+        workload = producer_consumer(9, slots=4)
+        program = workload.program()
+        base = program.data_address("buf_pc9")
+        for offset in range(4):
+            assert workload.ground_truth_for_address(base + offset) is GroundTruth.BENIGN
+
+    def test_has_harmful_races_flag(self):
+        assert lost_update(9).has_harmful_races
+        assert not stats_counter(9).has_harmful_races
+
+
+class TestWorkloadBehaviour:
+    def test_lost_update_actually_loses_updates(self):
+        workload = lost_update(8, iters=10)
+        program = workload.program()
+        finals = set()
+        for seed in range(8):
+            result = run_program(
+                program.__class__(**vars(program))
+                if False
+                else workload.program(),
+                scheduler=RandomScheduler(seed=seed, switch_probability=0.6),
+                seed=seed,
+            )
+            finals.add(result.memory[program.data_address("balance_lu8")])
+        correct = 100 + 10 * 10 + 30 * 10
+        assert correct in finals or len(finals) > 1
+        assert any(value < correct for value in finals)  # money was lost
+
+    def test_refcount_can_double_free(self):
+        workload = refcount_free(8)
+        program = workload.program()
+        faults = []
+        for seed in range(40):
+            result = run_program(
+                workload.program(),
+                scheduler=RandomScheduler(seed=seed, switch_probability=0.3),
+                seed=seed,
+            )
+            faults.extend(
+                outcome.fault_kind
+                for outcome in result.threads.values()
+                if outcome.fault_kind
+            )
+        assert any("free" in kind for kind in faults), faults
+
+    def test_unsafe_publish_mostly_survives_recording(self):
+        workload = unsafe_publish(8)
+        result = run_program(
+            workload.program(),
+            scheduler=RandomScheduler(seed=16, switch_probability=0.3),
+            seed=16,
+        )
+        assert result.threads["upr_up8"].status == "halted"
+
+    def test_clean_workloads_run_clean(self):
+        for execution in clean_suite():
+            result = run_program(
+                execution.workload.program(),
+                scheduler=RandomScheduler(seed=execution.seed),
+                seed=execution.seed,
+            )
+            assert not result.faulted_threads
+
+    def test_mixed_service_runs(self):
+        workload = mixed_service(8, iters=5, moniters=3)
+        result = run_program(
+            workload.program(), scheduler=RandomScheduler(seed=1), seed=1
+        )
+        assert not result.faulted_threads
+        assert len(result.output) == 2  # one sys_print per service thread
+
+
+class TestComposite:
+    def test_combined_workload_assembles(self):
+        combined = combine_workloads(
+            "combo_test",
+            "test combo",
+            flag_publish(8),
+            disjoint_bits(8),
+        )
+        program = combined.program()
+        assert set(program.threads) >= {"pub_fp8", "sub_fp8", "bitw_db8", "bitr_db8"}
+
+    def test_combined_expectations_union(self):
+        combined = combine_workloads(
+            "combo_test2", "test", flag_publish(6), lost_update(6)
+        )
+        assert len(combined.expectations) == (
+            len(flag_publish(6).expectations) + len(lost_update(6).expectations)
+        )
+        assert combined.has_harmful_races
+
+    def test_combined_may_fault_propagates(self):
+        combined = combine_workloads("combo_test3", "test", toctou_handle(6))
+        assert combined.may_fault
+
+    def test_empty_combination_rejected(self):
+        with pytest.raises(ValueError):
+            combine_workloads("empty", "nothing")
