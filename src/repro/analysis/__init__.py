@@ -17,8 +17,16 @@ from .experiments import (
     run_table1,
     run_table2,
 )
+from .engine import (
+    ClassificationEngine,
+    EngineConfig,
+    MemoizingClassifier,
+    TrackingImage,
+    VerdictCache,
+)
 from .figures import FigurePoint, FigureSeries, build_figure3, build_figure4, build_figure5
 from .overheads import OverheadReport, measure_overheads
+from .perf import PerfStats
 from .compare import Drift, DriftReport, compare_documents, compare_files
 from .report_writer import write_report
 from .statistics import CorpusStats, ExecutionStats, corpus_statistics, execution_statistics
@@ -32,6 +40,12 @@ from .pipeline import (
 from .tables import Table1, Table1Row, Table2, build_table1, build_table2
 
 __all__ = [
+    "ClassificationEngine",
+    "EngineConfig",
+    "MemoizingClassifier",
+    "PerfStats",
+    "TrackingImage",
+    "VerdictCache",
     "EXPERIMENTS",
     "ContinueAblation",
     "DetectorComparison",

@@ -1,0 +1,405 @@
+"""The classification engine: parallel, memoized execution analysis.
+
+This layer sits between :mod:`repro.analysis.pipeline` (one execution →
+one :class:`ExecutionAnalysis`) and the suite/experiment drivers.  It adds
+two things the per-execution pipeline does not have:
+
+* **fan-out** — executions are independent, so the engine can dispatch
+  them across a ``ProcessPoolExecutor`` (``jobs`` workers) and reassemble
+  the results in submission order;
+* **verdict memoization** — race instances that are structurally identical
+  replays (same racing code, same in-region offsets, same recorded
+  prefix/suffix content, same live-in values *where the replay actually
+  looked*) must produce the same verdict, so the engine caches verdicts
+  and serves repeats without touching the virtual processor.
+
+Cache-key soundness (the full argument is in ``docs/performance.md``): a
+verdict is a deterministic function of (a) the two racing regions'
+recorded content — start pc, live-in registers, executed static ids and
+every recorded access with its value, region-end state, (b) the racing
+ops' in-region step offsets and owning thread names, (c) which racing op
+was originally first, (d) the freed-range set, and (e) the pair-snapshot
+live-in values the replay *reads*.  Components (a)–(c) form the structural
+key — (a) is interned once per region so per-instance keys are tuples of
+small ints; (d)–(e) cannot be known up front, so the first classification
+runs with a :class:`TrackingImage` that records every live-in probe
+(including misses), and the probe set + values are stored with the
+verdict.  A later instance hits only when its own live-in agrees on every
+probed address — and since the replay is deterministic in exactly those
+inputs, it would have probed the same addresses and produced the same
+verdict.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..race.classifier import ClassifierConfig, RaceClassifier
+from ..race.model import RaceInstance
+from ..race.outcomes import ClassifiedInstance, InstanceOutcome
+from ..replay.regions import SequencingRegion
+from ..workloads.suite import Execution
+from .perf import PerfStats
+from .pipeline import ExecutionAnalysis, analyze_execution
+
+
+class TrackingImage(dict):
+    """A live-in image that records every probe, *including misses*.
+
+    The classifier and virtual processor only ever read the live-in image
+    (``in``, ``[]``, ``.get``); every such probe lands in :attr:`probes`
+    as ``address -> value`` (``None`` for a miss — memory values are
+    non-negative ints, so ``None`` is unambiguous).  Misses matter: a
+    replay that faulted on an absent address must not hit a cached verdict
+    computed when the address was present, and vice versa.
+    """
+
+    __slots__ = ("probes",)
+
+    _MISS = object()
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.probes: Dict[int, Optional[int]] = {}
+
+    def _probe(self, key):
+        value = super().get(key, self._MISS)
+        self.probes[key] = None if value is self._MISS else value
+        return value
+
+    def get(self, key, default=None):
+        value = self._probe(key)
+        return default if value is self._MISS else value
+
+    def __contains__(self, key) -> bool:
+        return self._probe(key) is not self._MISS
+
+    def __getitem__(self, key):
+        value = self._probe(key)
+        if value is self._MISS:
+            raise KeyError(key)
+        return value
+
+
+#: What the cache stores per verdict: everything needed to rebuild a
+#: ClassifiedInstance around a *different* RaceInstance object.
+#: (outcome, original-first-was-side-a, pre_value, failure_kind, detail)
+_VerdictTemplate = Tuple[InstanceOutcome, bool, int, object, str]
+
+
+class VerdictCache:
+    """Memoized verdicts keyed by structural key + live-in probe set.
+
+    One structural key maps to a list of candidates because the same
+    structural replay can behave differently under different live-in
+    images; each candidate carries the probe set its verdict was computed
+    under and matches only a live-in that agrees everywhere it looked.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[
+            tuple, List[Tuple[Tuple[Tuple[int, Optional[int]], ...], tuple, _VerdictTemplate]]
+        ] = {}
+        self._interned: Dict[tuple, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, content: tuple) -> int:
+        """Map a (possibly large) content tuple to a stable small id.
+
+        Region content is hashed once here, at interning time; the
+        per-instance structural keys then carry only the id, so repeated
+        lookups never re-hash whole region transcripts.
+        """
+        interned = self._interned.get(content)
+        if interned is None:
+            interned = len(self._interned)
+            self._interned[content] = interned
+        return interned
+
+    def __len__(self) -> int:
+        return sum(len(candidates) for candidates in self._entries.values())
+
+    def lookup(
+        self, key: tuple, live_in: Dict[int, int], freed: Dict[int, int]
+    ) -> Optional[_VerdictTemplate]:
+        freed_fp = tuple(sorted(freed.items()))
+        for probe_items, candidate_freed, template in self._entries.get(key, ()):
+            if candidate_freed != freed_fp:
+                continue
+            if all(
+                live_in.get(address, None) == value
+                for address, value in probe_items
+            ):
+                self.hits += 1
+                return template
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        key: tuple,
+        probes: Dict[int, Optional[int]],
+        freed: Dict[int, int],
+        template: _VerdictTemplate,
+    ) -> None:
+        self._entries.setdefault(key, []).append(
+            (
+                tuple(sorted(probes.items())),
+                tuple(sorted(freed.items())),
+                template,
+            )
+        )
+
+
+class MemoizingClassifier(RaceClassifier):
+    """A :class:`RaceClassifier` that consults a shared verdict cache."""
+
+    def __init__(self, *args, cache: Optional[VerdictCache] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.cache = cache if cache is not None else VerdictCache()
+        #: (tid, region index) -> interned region-content id.
+        self._region_ids: Dict[Tuple[int, int], int] = {}
+
+    def classify_instance(self, instance: RaceInstance) -> ClassifiedInstance:
+        if self.config.store_replay_outcomes:
+            # Callers wanting the raw VPOutcomes need the real replay.
+            return super().classify_instance(instance)
+        instance = self._canonicalize(instance)
+        live_in, freed = self.ordered.pair_snapshot(
+            instance.region_a, instance.region_b
+        )
+        key = self._structural_key(instance)
+        template = self.cache.lookup(key, live_in, freed)
+        if template is not None:
+            return self._from_template(instance, template)
+        tracking = TrackingImage(live_in)
+        result = self._classify_with_state(instance, tracking, freed)
+        self.cache.store(
+            key,
+            tracking.probes,
+            freed,
+            (
+                result.outcome,
+                result.original_first == instance.access_a.thread_name,
+                result.pre_value,
+                result.failure_kind,
+                result.failure_detail,
+            ),
+        )
+        return result
+
+    def _from_template(
+        self, instance: RaceInstance, template: _VerdictTemplate
+    ) -> ClassifiedInstance:
+        outcome, first_is_a, pre_value, failure_kind, failure_detail = template
+        return ClassifiedInstance(
+            instance=instance,
+            outcome=outcome,
+            original_first=(
+                instance.access_a.thread_name
+                if first_is_a
+                else instance.access_b.thread_name
+            ),
+            pre_value=pre_value,
+            failure_kind=failure_kind,
+            failure_detail=failure_detail,
+            execution_id=self.execution_id,
+        )
+
+    # ------------------------------------------------------------------
+    # The structural key.
+    # ------------------------------------------------------------------
+
+    def _region_content_id(
+        self, thread_name: str, region: SequencingRegion
+    ) -> int:
+        """Interned id of everything the recording says about ``region``.
+
+        Every input the replay draws from one side — start pc, live-in
+        registers, the executed static-id trajectory, every recorded
+        access (loads seed values, stores and their values, sync ops) and
+        the region-end state — is a function of this tuple, so two regions
+        with equal content ids are interchangeable for classification.
+        Content is hashed once at interning; instances carry the int.
+        """
+        region_key = (region.tid, region.index)
+        interned = self._region_ids.get(region_key)
+        if interned is None:
+            replay = self.ordered.thread_replays[thread_name]
+            start, end = region.start_step, region.end_step
+            if region.end_kind == "thread_end":
+                thread_end = self.log.threads[thread_name].end
+                end_state = (
+                    "thread_end",
+                    None if thread_end is None else thread_end.reason,
+                    replay.final_registers,
+                    replay.final_pc,
+                )
+            else:
+                end_state = (
+                    region.end_kind,
+                    replay.region_end_registers.get(end),
+                    replay.region_end_pcs.get(end),
+                )
+            content = (
+                thread_name,
+                # The whole-thread pc footprint gates which control flow
+                # an alternative replay may visit (§4.2.1), so it is part
+                # of what determines the verdict.
+                tuple(sorted(self._pc_footprint(thread_name))),
+                self.ordered.region_start_pc(region),
+                self.ordered.live_in_registers(region),
+                tuple(replay.static_ids[start:end]),
+                tuple(
+                    (
+                        access.thread_step - start,
+                        access.address,
+                        access.value,
+                        access.is_write,
+                        access.is_sync,
+                    )
+                    for access in replay.accesses_in_steps(start, end)
+                ),
+                end_state,
+            )
+            interned = self.cache.intern(content)
+            self._region_ids[region_key] = interned
+        return interned
+
+    def _structural_key(self, instance: RaceInstance) -> tuple:
+        access_a, access_b = instance.access_a, instance.access_b
+        region_a, region_b = instance.region_a, instance.region_b
+        return (
+            self.log.program_name,
+            access_a.thread_step - region_a.start_step,
+            self._region_content_id(access_a.thread_name, region_a),
+            access_b.thread_step - region_b.start_step,
+            self._region_content_id(access_b.thread_name, region_b),
+            self._original_first(instance) == access_a.thread_name,
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of a :class:`ClassificationEngine`."""
+
+    #: Worker processes; 1 analyses in-process (no pool).
+    jobs: int = 1
+    #: Serve structurally identical race instances from the verdict cache.
+    memoize: bool = True
+    classifier_config: Optional[ClassifierConfig] = None
+    max_pairs_per_location: Optional[int] = 256
+    max_steps: int = 200_000
+    capture_global_order: bool = True
+
+
+class ClassificationEngine:
+    """Analyses batches of executions, in parallel and with verdict reuse.
+
+    The verdict cache is engine-lifetime: with ``jobs == 1`` every
+    execution in every :meth:`analyze_executions` call shares it; with a
+    pool each worker process keeps its own engine (and cache) alive across
+    the executions it is handed, and the per-worker statistics are merged
+    back into the caller's :class:`PerfStats`.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.cache = VerdictCache()
+
+    # -- classifier construction (pipeline hook) -----------------------
+
+    def _classifier_factory(
+        self, ordered, classifier_config, execution_id
+    ) -> RaceClassifier:
+        if not self.config.memoize:
+            return RaceClassifier(
+                ordered, config=classifier_config, execution_id=execution_id
+            )
+        return MemoizingClassifier(
+            ordered,
+            config=classifier_config,
+            execution_id=execution_id,
+            cache=self.cache,
+        )
+
+    # -- public API ----------------------------------------------------
+
+    def analyze_execution(
+        self, execution: Execution, perf: Optional[PerfStats] = None
+    ) -> ExecutionAnalysis:
+        """Analyse one execution in-process (the pool is for batches)."""
+        stats = perf if perf is not None else PerfStats()
+        hits_before, misses_before = self.cache.hits, self.cache.misses
+        analysis = analyze_execution(
+            execution,
+            classifier_config=self.config.classifier_config,
+            max_pairs_per_location=self.config.max_pairs_per_location,
+            max_steps=self.config.max_steps,
+            capture_global_order=self.config.capture_global_order,
+            classifier_factory=self._classifier_factory,
+            perf=stats,
+        )
+        stats.cache_hits += self.cache.hits - hits_before
+        stats.cache_misses += self.cache.misses - misses_before
+        return analysis
+
+    def analyze_executions(
+        self, executions: Sequence[Execution], perf: Optional[PerfStats] = None
+    ) -> List[ExecutionAnalysis]:
+        """Analyse a batch, preserving input order in the result list."""
+        stats = perf if perf is not None else PerfStats()
+        stats.jobs = max(stats.jobs, self.config.jobs)
+        if self.config.jobs <= 1 or len(executions) <= 1:
+            return [self.analyze_execution(e, perf=stats) for e in executions]
+        return self._analyze_pooled(list(executions), stats)
+
+    def _analyze_pooled(
+        self, executions: List[Execution], stats: PerfStats
+    ) -> List[ExecutionAnalysis]:
+        workers = min(self.config.jobs, len(executions))
+        with stats.stage("pool"):
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.config,),
+            ) as pool:
+                futures = [pool.submit(_worker_analyze, e) for e in executions]
+                outcomes = [future.result() for future in futures]
+        analyses: List[ExecutionAnalysis] = []
+        for analysis, worker_stats in outcomes:
+            analyses.append(analysis)
+            stats.merge(worker_stats)
+        stats.pool_tasks += len(executions)
+        return analyses
+
+
+# ----------------------------------------------------------------------
+# Pool worker plumbing.  The engine (and its verdict cache) lives for the
+# whole worker process, so memoization spans every execution a worker is
+# handed, not just one task.
+# ----------------------------------------------------------------------
+
+_WORKER_ENGINE: Optional[ClassificationEngine] = None
+
+
+def _init_worker(config: EngineConfig) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = ClassificationEngine(replace(config, jobs=1))
+
+
+def _worker_analyze(execution: Execution) -> Tuple[ExecutionAnalysis, PerfStats]:
+    assert _WORKER_ENGINE is not None, "worker used before initialization"
+    worker_stats = PerfStats()
+    analysis = _WORKER_ENGINE.analyze_execution(execution, perf=worker_stats)
+    worker_stats.pool_workers.add(os.getpid())
+    return analysis, worker_stats

@@ -84,9 +84,20 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 
 def run_suite(
     classifier_config: Optional[ClassifierConfig] = None,
+    jobs: int = 1,
+    memoize: bool = False,
 ) -> SuiteAnalysis:
-    """Analyse the full paper suite (the input to most experiments)."""
-    return analyze_suite(paper_suite(), classifier_config=classifier_config)
+    """Analyse the full paper suite (the input to most experiments).
+
+    ``jobs``/``memoize`` route through the classification engine (process
+    pool + verdict cache); verdicts are identical either way.
+    """
+    return analyze_suite(
+        paper_suite(),
+        classifier_config=classifier_config,
+        jobs=jobs,
+        memoize=memoize,
+    )
 
 
 def run_table1(suite: Optional[SuiteAnalysis] = None) -> Table1:

@@ -1,0 +1,133 @@
+"""Performance instrumentation for the analysis pipeline.
+
+:class:`PerfStats` is a small, picklable accumulator the pipeline and the
+classification engine thread through their stages: per-stage wall time,
+classifier work counters (virtual-processor runs, synthesized originals,
+fast-forwarded prefixes), verdict-cache hits/misses, and process-pool
+utilization.  Workers fill one instance each and the engine merges them,
+so the counters stay correct across a ``ProcessPoolExecutor`` fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Set
+
+
+@dataclass
+class PerfStats:
+    """Wall-time and work counters for one analysis run."""
+
+    #: Worker processes requested (1 = serial in-process analysis).
+    jobs: int = 1
+    #: Wall seconds per pipeline stage (record/replay/detect/classify/...).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Executions analysed.
+    executions: int = 0
+    #: Race instances classified (cache hits included).
+    instances: int = 0
+    #: Verdicts served from the memo cache.
+    cache_hits: int = 0
+    #: Verdicts that had to be computed.
+    cache_misses: int = 0
+    #: Virtual-processor region replays actually interpreted.
+    vp_runs: int = 0
+    #: Original-order replays synthesized from the recording.
+    originals_synthesized: int = 0
+    #: Alternative replays whose logged prefix was fast-forwarded.
+    prefixes_fast_forwarded: int = 0
+    #: Tasks dispatched to the process pool (0 when serial).
+    pool_tasks: int = 0
+    #: Distinct worker processes that returned results.
+    pool_workers: Set[int] = field(default_factory=set)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage; nested/repeated stages accumulate."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+
+    def merge(self, other: "PerfStats") -> None:
+        """Fold another accumulator (e.g. one worker's) into this one.
+
+        Stage times add up: across pool workers they are CPU-seconds of
+        work, not wall time — wall time belongs to the dispatching stage.
+        """
+        for name, seconds in other.stage_seconds.items():
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+        self.executions += other.executions
+        self.instances += other.instances
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.vp_runs += other.vp_runs
+        self.originals_synthesized += other.originals_synthesized
+        self.prefixes_fast_forwarded += other.prefixes_fast_forwarded
+        self.pool_tasks += other.pool_tasks
+        self.pool_workers |= other.pool_workers
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of classified instances served from the verdict cache."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def pool_utilization(self) -> float:
+        """Distinct workers used over workers requested."""
+        return len(self.pool_workers) / self.jobs if self.jobs else 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "stage_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.stage_seconds.items())
+            },
+            "executions": self.executions,
+            "instances": self.instances,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "vp_runs": self.vp_runs,
+            "originals_synthesized": self.originals_synthesized,
+            "prefixes_fast_forwarded": self.prefixes_fast_forwarded,
+            "pool_tasks": self.pool_tasks,
+            "pool_workers": len(self.pool_workers),
+        }
+
+    def render(self) -> str:
+        lines = ["analysis performance (jobs=%d)" % self.jobs]
+        for name, seconds in sorted(self.stage_seconds.items()):
+            lines.append("  %-12s %8.3f s" % (name, seconds))
+        lines.append(
+            "  %d executions, %d instances, %d VP runs" % (self.executions, self.instances, self.vp_runs)
+        )
+        lines.append(
+            "  verdict cache: %d hits / %d misses (%.1f%% hit rate)"
+            % (self.cache_hits, self.cache_misses, 100.0 * self.cache_hit_rate)
+        )
+        lines.append(
+            "  replay reuse: %d originals synthesized, %d prefixes fast-forwarded"
+            % (self.originals_synthesized, self.prefixes_fast_forwarded)
+        )
+        if self.pool_tasks:
+            lines.append(
+                "  pool: %d tasks over %d workers (%.0f%% of %d requested)"
+                % (
+                    self.pool_tasks,
+                    len(self.pool_workers),
+                    100.0 * self.pool_utilization,
+                    self.jobs,
+                )
+            )
+        return "\n".join(lines)

@@ -24,6 +24,7 @@ from ..vm.machine import MachineResult
 from ..vm.scheduler import RandomScheduler
 from ..workloads.base import GroundTruth, RaceExpectation, Workload
 from ..workloads.suite import Execution
+from .perf import PerfStats
 
 
 @dataclass
@@ -37,6 +38,8 @@ class ExecutionAnalysis:
     ordered: OrderedReplay
     instances: List[RaceInstance]
     classified: List[ClassifiedInstance]
+    #: Stage timings/work counters, when the caller asked for them.
+    perf: Optional[PerfStats] = None
 
     @property
     def program(self) -> Program:
@@ -78,29 +81,51 @@ def analyze_execution(
     max_pairs_per_location: Optional[int] = 256,
     max_steps: int = 200_000,
     capture_global_order: bool = True,
+    classifier_factory=None,
+    perf: Optional[PerfStats] = None,
 ) -> ExecutionAnalysis:
-    """Record and fully analyse one execution of a workload."""
+    """Record and fully analyse one execution of a workload.
+
+    ``classifier_factory(ordered, classifier_config, execution_id)`` lets
+    the classification engine substitute its memoizing classifier; ``perf``
+    accumulates per-stage wall time and classifier work counters.
+    """
     workload = execution.workload
     program = workload.program()
-    scheduler = RandomScheduler(
-        seed=execution.seed, switch_probability=execution.switch_probability
-    )
-    machine_result, log = record_run(
-        program,
-        scheduler=scheduler,
-        seed=execution.seed,
-        max_steps=max_steps,
-        capture_global_order=capture_global_order,
-    )
-    ordered = OrderedReplay(log, program)
-    detector = HappensBeforeDetector(
-        ordered, max_pairs_per_location=max_pairs_per_location
-    )
-    instances = detector.detect()
-    classifier = RaceClassifier(
-        ordered, config=classifier_config, execution_id=execution.execution_id
-    )
-    classified = classifier.classify_all(instances)
+    stats = perf if perf is not None else PerfStats()
+    with stats.stage("record"):
+        scheduler = RandomScheduler(
+            seed=execution.seed, switch_probability=execution.switch_probability
+        )
+        machine_result, log = record_run(
+            program,
+            scheduler=scheduler,
+            seed=execution.seed,
+            max_steps=max_steps,
+            capture_global_order=capture_global_order,
+        )
+    with stats.stage("replay"):
+        ordered = OrderedReplay(log, program)
+    with stats.stage("detect"):
+        detector = HappensBeforeDetector(
+            ordered, max_pairs_per_location=max_pairs_per_location
+        )
+        instances = detector.detect()
+    if classifier_factory is None:
+        classifier = RaceClassifier(
+            ordered, config=classifier_config, execution_id=execution.execution_id
+        )
+    else:
+        classifier = classifier_factory(
+            ordered, classifier_config, execution.execution_id
+        )
+    with stats.stage("classify"):
+        classified = classifier.classify_all(instances)
+    stats.executions += 1
+    stats.instances += len(instances)
+    stats.vp_runs += classifier.vp_runs
+    stats.originals_synthesized += classifier.originals_synthesized
+    stats.prefixes_fast_forwarded += classifier.prefixes_fast_forwarded
     return ExecutionAnalysis(
         execution_id=execution.execution_id,
         workload=workload,
@@ -109,6 +134,7 @@ def analyze_execution(
         ordered=ordered,
         instances=instances,
         classified=classified,
+        perf=perf,
     )
 
 
@@ -129,18 +155,43 @@ def analyze_suite(
     executions: Sequence[Execution],
     classifier_config: Optional[ClassifierConfig] = None,
     max_pairs_per_location: Optional[int] = 256,
+    jobs: int = 1,
+    memoize: bool = False,
+    perf: Optional[PerfStats] = None,
 ) -> SuiteAnalysis:
-    """Analyse a corpus and merge per-static-race results across executions."""
-    analyses: List[ExecutionAnalysis] = []
+    """Analyse a corpus and merge per-static-race results across executions.
+
+    ``jobs > 1`` fans the per-execution analyses across a process pool and
+    ``memoize`` reuses verdicts of structurally identical race instances;
+    both delegate to :class:`repro.analysis.engine.ClassificationEngine`
+    and change no verdict (the engine equivalence tests assert identical
+    results).
+    """
+    if jobs != 1 or memoize:
+        from .engine import ClassificationEngine, EngineConfig
+
+        engine = ClassificationEngine(
+            EngineConfig(
+                jobs=jobs,
+                memoize=memoize,
+                classifier_config=classifier_config,
+                max_pairs_per_location=max_pairs_per_location,
+            )
+        )
+        analyses = engine.analyze_executions(list(executions), perf=perf)
+    else:
+        analyses = [
+            analyze_execution(
+                execution,
+                classifier_config=classifier_config,
+                max_pairs_per_location=max_pairs_per_location,
+                perf=perf,
+            )
+            for execution in executions
+        ]
     merged: Dict[StaticRaceKey, StaticRaceResult] = {}
     race_workloads: Dict[StaticRaceKey, Workload] = {}
-    for execution in executions:
-        analysis = analyze_execution(
-            execution,
-            classifier_config=classifier_config,
-            max_pairs_per_location=max_pairs_per_location,
-        )
-        analyses.append(analysis)
+    for analysis in analyses:
         aggregate_instances(analysis.classified, into=merged)
         for entry in analysis.classified:
             race_workloads.setdefault(entry.instance.static_key, analysis.workload)

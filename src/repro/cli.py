@@ -36,6 +36,7 @@ from .analysis.experiments import (
     run_table1,
     run_table2,
 )
+from .analysis.pipeline import analyze_suite
 from .isa.assembler import assemble
 from .race.classifier import ClassifierConfig, RaceClassifier
 from .race.happens_before import find_races
@@ -132,7 +133,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="suppression database to update (JSON, created if missing)",
     )
 
-    sub.add_parser("suite", help="analyse the paper suite and print Table 1/2")
+    suite = sub.add_parser(
+        "suite", help="analyse the paper suite and print Table 1/2"
+    )
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the classification engine (default 1)",
+    )
+    suite.add_argument(
+        "--memoize",
+        action="store_true",
+        help="reuse verdicts of structurally identical race instances",
+    )
+    suite.add_argument(
+        "--perf",
+        action="store_true",
+        help="print per-stage timings and engine statistics",
+    )
 
     report = sub.add_parser(
         "report", help="write the full reproduction results document"
@@ -164,6 +183,17 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run one experiment by id")
     experiment.add_argument(
         "experiment_id", choices=sorted(EXPERIMENTS), help="experiment to run"
+    )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for suite-based experiments (default 1)",
+    )
+    experiment.add_argument(
+        "--memoize",
+        action="store_true",
+        help="reuse verdicts of structurally identical race instances",
     )
 
     return parser
@@ -348,14 +378,22 @@ def _cmd_report(args, out) -> int:
 
 
 def _cmd_suite(args, out) -> int:
+    from .analysis.perf import PerfStats
     from .analysis.statistics import corpus_statistics
+    from .workloads.suite import paper_suite
 
-    suite = run_suite()
+    perf = PerfStats()
+    suite = analyze_suite(
+        paper_suite(), jobs=args.jobs, memoize=args.memoize, perf=perf
+    )
     print(corpus_statistics(suite).render(), file=out)
     print("", file=out)
     print(run_table1(suite).render(), file=out)
     print("", file=out)
     print(run_table2(suite).render(), file=out)
+    if args.perf:
+        print("", file=out)
+        print(perf.render(), file=out)
     return 0
 
 
@@ -371,24 +409,37 @@ def _cmd_compare(args, out) -> int:
 
 def _cmd_experiment(args, out) -> int:
     experiment_id = args.experiment_id
+    # Suite-based experiments share one engine-analysed suite so --jobs
+    # and --memoize apply; sec51/ablation_continue time their own runs.
+    suite = None
+    if experiment_id in (
+        "table1",
+        "table2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "ablation_detectors",
+        "ablation_instances",
+    ):
+        suite = run_suite(jobs=args.jobs, memoize=args.memoize)
     if experiment_id == "table1":
-        print(run_table1().render(), file=out)
+        print(run_table1(suite).render(), file=out)
     elif experiment_id == "table2":
-        print(run_table2().render(), file=out)
+        print(run_table2(suite).render(), file=out)
     elif experiment_id == "figure3":
-        print(run_figure3().render(), file=out)
+        print(run_figure3(suite).render(), file=out)
     elif experiment_id == "figure4":
-        print(run_figure4().render(), file=out)
+        print(run_figure4(suite).render(), file=out)
     elif experiment_id == "figure5":
-        print(run_figure5().render(), file=out)
+        print(run_figure5(suite).render(), file=out)
     elif experiment_id == "sec51":
         print(run_sec51().render(), file=out)
     elif experiment_id == "ablation_detectors":
-        print(run_ablation_detectors().render(), file=out)
+        print(run_ablation_detectors(suite).render(), file=out)
     elif experiment_id == "ablation_continue":
         print(run_ablation_continue().render(), file=out)
     elif experiment_id == "ablation_instances":
-        print(run_ablation_instances().render(), file=out)
+        print(run_ablation_instances(suite).render(), file=out)
     else:  # pragma: no cover - argparse choices gate this
         raise ValueError(experiment_id)
     return 0

@@ -10,6 +10,21 @@ For every race instance the classifier:
 4. compares live-outs: identical → ``NO_STATE_CHANGE``; different →
    ``STATE_CHANGE``; a replay that leaves the recorded envelope →
    ``REPLAY_FAILURE``.
+
+Two redundancy-elimination optimisations (both on by default, both
+verified byte-identical to the naive path by the engine equivalence
+tests) make step 3 cheap:
+
+* **recorded-original synthesis** — the original-order replay follows the
+  log throughout, so it *is* the recording; when the regions replayed
+  cleanly (no fault-truncated recording, within the step limit) its
+  live-out is assembled directly from the per-thread replay instead of
+  re-interpreted instruction by instruction;
+* **prefix fast-forward** — the alternative-order replay follows the log
+  up to the racing pair, so its prefix state (registers at the racing op,
+  load seeds, stores) is likewise taken from the recording and only the
+  divergent window — the racing pair and the region suffixes — executes
+  live in the virtual processor.
 """
 
 from __future__ import annotations
@@ -20,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from ..isa.program import Program
 from ..record.log import ReplayLog
 from ..replay.errors import ReplayFailure, ReplayFailureKind
+from ..replay.events import ReplayedAccess
 from ..replay.ordered_replay import OrderedReplay
 from ..replay.regions import SequencingRegion
 from ..replay.virtual_processor import (
@@ -42,19 +58,44 @@ class ClassifierConfig:
     to allow replay to continue"); with it on, alternative-order replays
     continue through control flow the recording never saw instead of
     failing — the A2 ablation measures what this buys.
+
+    ``reuse_recorded_original`` and ``fast_forward_prefix`` gate the
+    redundancy-elimination fast paths (see the module docstring).  They
+    change no verdict — the engine equivalence tests assert byte-identical
+    results — and exist as flags so the naive path stays available as the
+    reference for those tests and for A/B benchmarking.
     """
 
     step_limit: int = 20_000
     allow_unrecorded_control_flow: bool = False
     allow_unknown_addresses: bool = False
     store_replay_outcomes: bool = False
+    reuse_recorded_original: bool = True
+    fast_forward_prefix: bool = True
+    detect_spin_cycles: bool = True
 
     def vp_config(self) -> VPConfig:
         return VPConfig(
             step_limit=self.step_limit,
             allow_unrecorded_control_flow=self.allow_unrecorded_control_flow,
             allow_unknown_addresses=self.allow_unknown_addresses,
+            detect_spin_cycles=self.detect_spin_cycles,
         )
+
+
+@dataclass
+class _RecordedSide:
+    """One thread's recorded-region live-out, for original synthesis."""
+
+    name: str
+    registers: Tuple[int, ...]
+    end_pc: int
+    steps: int
+    executed: Tuple
+    prefix_writes: Tuple[ReplayedAccess, ...]
+    racing_write: Optional[ReplayedAccess]
+    suffix_writes: Tuple[ReplayedAccess, ...]
+    racing_value: int
 
 
 class RaceClassifier:
@@ -71,6 +112,15 @@ class RaceClassifier:
         self.log: ReplayLog = ordered.log
         self.config = config or ClassifierConfig()
         self.execution_id = execution_id
+        #: Perf counters read by analysis.perf / the engine.
+        self.vp_runs = 0
+        self.originals_synthesized = 0
+        self.prefixes_fast_forwarded = 0
+        # Per-thread / per-region caches shared across instances.
+        self._footprints: Dict[str, set] = {}
+        self._recorded_loads: Dict[
+            Tuple[int, int], Dict[int, Tuple[int, int]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Public API.
@@ -82,52 +132,7 @@ class RaceClassifier:
         live_in, freed = self.ordered.pair_snapshot(
             instance.region_a, instance.region_b
         )
-        spec_a = self._thread_spec(instance.access_a, instance.region_a)
-        spec_b = self._thread_spec(instance.access_b, instance.region_b)
-        processor = VirtualProcessor(
-            self.program, live_in, freed, spec_a, spec_b, self.config.vp_config()
-        )
-        original_first = self._original_first(instance)
-        alternative_first = (
-            instance.access_b.thread_name
-            if original_first == instance.access_a.thread_name
-            else instance.access_a.thread_name
-        )
-        pre_value = live_in.get(instance.address, 0)
-
-        try:
-            # The original-order replay follows the log throughout — it is
-            # the recording, reproduced exactly.  The alternative replay
-            # follows the log up to the racing pair, flips the pair, and
-            # runs live from there.
-            original = processor.run(first=original_first, follow_log=True)
-            alternative = processor.run(first=alternative_first)
-            identical = same_state(original, alternative, live_in)
-        except ReplayFailure as failure:
-            return ClassifiedInstance(
-                instance=instance,
-                outcome=InstanceOutcome.REPLAY_FAILURE,
-                original_first=original_first,
-                pre_value=pre_value,
-                failure_kind=failure.kind,
-                failure_detail=failure.detail,
-                execution_id=self.execution_id,
-            )
-        return ClassifiedInstance(
-            instance=instance,
-            outcome=(
-                InstanceOutcome.NO_STATE_CHANGE
-                if identical
-                else InstanceOutcome.STATE_CHANGE
-            ),
-            original_first=original_first,
-            pre_value=pre_value,
-            original_replay=original if self.config.store_replay_outcomes else None,
-            alternative_replay=(
-                alternative if self.config.store_replay_outcomes else None
-            ),
-            execution_id=self.execution_id,
-        )
+        return self._classify_with_state(instance, live_in, freed)
 
     def classify_all(self, instances: List[RaceInstance]) -> List[ClassifiedInstance]:
         """Classify every instance (the paper's full §5 analysis pass)."""
@@ -162,6 +167,184 @@ class RaceClassifier:
         )
 
     # ------------------------------------------------------------------
+    # The per-instance analysis, with an injectable live-in state (the
+    # engine's memoizing classifier wraps this entry point).
+    # ------------------------------------------------------------------
+
+    def _classify_with_state(
+        self,
+        instance: RaceInstance,
+        live_in: Dict[int, int],
+        freed: Dict[int, int],
+    ) -> ClassifiedInstance:
+        spec_a = self._thread_spec(instance.access_a, instance.region_a)
+        spec_b = self._thread_spec(instance.access_b, instance.region_b)
+        if spec_a.racing_registers is not None and spec_b.racing_registers is not None:
+            self.prefixes_fast_forwarded += 1
+        processor = VirtualProcessor(
+            self.program, live_in, freed, spec_a, spec_b, self.config.vp_config()
+        )
+        original_first = self._original_first(instance)
+        alternative_first = (
+            instance.access_b.thread_name
+            if original_first == instance.access_a.thread_name
+            else instance.access_a.thread_name
+        )
+        pre_value = live_in.get(instance.address, 0)
+
+        try:
+            # The original-order replay follows the log throughout — it is
+            # the recording, reproduced exactly.  When the recording of
+            # both regions is complete, its live-out is assembled from the
+            # per-thread replays; otherwise (fault-truncated recording,
+            # over-limit region) it is re-executed as in the paper.  The
+            # alternative replay follows the log up to the racing pair,
+            # flips the pair, and runs live from there.
+            original = None
+            if self.config.reuse_recorded_original:
+                original = self._synthesized_original(instance, original_first)
+            if original is None:
+                original = processor.run(first=original_first, follow_log=True)
+                self.vp_runs += 1
+            else:
+                self.originals_synthesized += 1
+            alternative = processor.run(first=alternative_first)
+            self.vp_runs += 1
+            identical = same_state(original, alternative, live_in)
+        except ReplayFailure as failure:
+            return ClassifiedInstance(
+                instance=instance,
+                outcome=InstanceOutcome.REPLAY_FAILURE,
+                original_first=original_first,
+                pre_value=pre_value,
+                failure_kind=failure.kind,
+                failure_detail=failure.detail,
+                execution_id=self.execution_id,
+            )
+        return ClassifiedInstance(
+            instance=instance,
+            outcome=(
+                InstanceOutcome.NO_STATE_CHANGE
+                if identical
+                else InstanceOutcome.STATE_CHANGE
+            ),
+            original_first=original_first,
+            pre_value=pre_value,
+            original_replay=original if self.config.store_replay_outcomes else None,
+            alternative_replay=(
+                alternative if self.config.store_replay_outcomes else None
+            ),
+            execution_id=self.execution_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Recorded-original synthesis.
+    # ------------------------------------------------------------------
+
+    def _recorded_side(
+        self, access: RaceAccess, region: SequencingRegion
+    ) -> Optional[_RecordedSide]:
+        """The recorded live-out of one racing region, or ``None`` when the
+        original-order replay is not provably the recording (see
+        :meth:`_synthesized_original`)."""
+        start, end = region.start_step, region.end_step
+        if end - start > self.config.step_limit:
+            return None  # the interpreter would fail with STEP_LIMIT
+        replay = self.ordered.thread_replays[access.thread_name]
+        if region.end_kind == "thread_end":
+            thread_end = self.log.threads[access.thread_name].end
+            if thread_end is None or thread_end.reason == "fault":
+                # The recording stopped mid-instruction: the replay would
+                # run past the recorded envelope.  Fall back to the VP.
+                return None
+            end_pc = (
+                replay.pcs[end - 1]  # halt: the VP stops *on* the halt
+                if thread_end.reason == "halt" and end - 1 >= start
+                else replay.final_pc
+            )
+            registers = replay.final_registers
+        else:
+            try:
+                registers = replay.region_end_registers[end]
+                end_pc = replay.region_end_pcs[end]
+            except KeyError:
+                return None
+        prefix_writes: List[ReplayedAccess] = []
+        suffix_writes: List[ReplayedAccess] = []
+        racing_write: Optional[ReplayedAccess] = None
+        for recorded in replay.accesses_in_steps(start, end):
+            if not recorded.is_write:
+                continue
+            if recorded.thread_step < access.thread_step:
+                prefix_writes.append(recorded)
+            elif recorded.thread_step > access.thread_step:
+                suffix_writes.append(recorded)
+            else:
+                racing_write = recorded
+        return _RecordedSide(
+            name=access.thread_name,
+            registers=registers,
+            end_pc=end_pc,
+            steps=end - start,
+            executed=tuple(replay.static_ids[start:end]),
+            prefix_writes=tuple(prefix_writes),
+            racing_write=racing_write,
+            suffix_writes=tuple(suffix_writes),
+            racing_value=access.value,
+        )
+
+    def _synthesized_original(
+        self, instance: RaceInstance, original_first: str
+    ) -> Optional[VPOutcome]:
+        """Assemble the original-order replay's live-out from the recording.
+
+        Sound because the original-order replay takes every load from the
+        log: its per-thread trajectories are exactly the recorded ones, so
+        registers, end pcs, executed instructions and racing values can be
+        read off the thread replays, and its dirty memory is the recorded
+        writes applied in the virtual processor's canonical phase order
+        (prefix A, prefix B, racing pair in recorded order, suffix A,
+        suffix B).  Returns ``None`` — fall back to actually running the
+        replay — whenever that argument does not hold: a region whose
+        recording was truncated by a fault, or one over the step limit.
+        """
+        side_a = self._recorded_side(instance.access_a, instance.region_a)
+        if side_a is None:
+            return None
+        side_b = self._recorded_side(instance.access_b, instance.region_b)
+        if side_b is None:
+            return None
+        dirty: Dict[int, int] = {}
+        for side in (side_a, side_b):
+            for write in side.prefix_writes:
+                dirty[write.address] = write.value
+        racing_order = (
+            (side_a, side_b)
+            if original_first == instance.access_a.thread_name
+            else (side_b, side_a)
+        )
+        for side in racing_order:
+            if side.racing_write is not None:
+                dirty[side.racing_write.address] = side.racing_write.value
+        for side in (side_a, side_b):
+            for write in side.suffix_writes:
+                dirty[write.address] = write.value
+        return VPOutcome(
+            registers={side_a.name: side_a.registers, side_b.name: side_b.registers},
+            dirty_memory=dirty,
+            end_pcs={side_a.name: side_a.end_pc, side_b.name: side_b.end_pc},
+            steps={side_a.name: side_a.steps, side_b.name: side_b.steps},
+            executed={
+                side_a.name: list(side_a.executed),
+                side_b.name: list(side_b.executed),
+            },
+            racing_values={
+                side_a.name: side_a.racing_value,
+                side_b.name: side_b.racing_value,
+            },
+        )
+
+    # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
@@ -193,18 +376,49 @@ class RaceClassifier:
             return instance.region_a
         return instance.region_b
 
+    def _pc_footprint(self, thread_name: str) -> set:
+        footprint = self._footprints.get(thread_name)
+        if footprint is None:
+            footprint = set(self.log.threads[thread_name].pc_footprint)
+            self._footprints[thread_name] = footprint
+        return footprint
+
+    def _region_recorded_loads(
+        self, thread_name: str, region: SequencingRegion
+    ) -> Dict[int, Tuple[int, int]]:
+        key = (region.tid, region.index)
+        recorded_loads = self._recorded_loads.get(key)
+        if recorded_loads is None:
+            replay = self.ordered.thread_replays[thread_name]
+            recorded_loads = {}
+            for recorded in replay.accesses_in_steps(
+                region.start_step, region.end_step
+            ):
+                if not recorded.is_write and not recorded.is_sync:
+                    recorded_loads[recorded.thread_step - region.start_step] = (
+                        recorded.address,
+                        recorded.value,
+                    )
+            self._recorded_loads[key] = recorded_loads
+        return recorded_loads
+
     def _thread_spec(
         self, access: RaceAccess, region: SequencingRegion
     ) -> VPThreadSpec:
         thread_log = self.log.threads[access.thread_name]
         block = self.program.blocks[thread_log.block]
         replay = self.ordered.thread_replays[access.thread_name]
-        recorded_loads: Dict[int, Tuple[int, int]] = {}
-        for recorded in replay.accesses_in_steps(region.start_step, region.end_step):
-            if not recorded.is_write and not recorded.is_sync:
-                recorded_loads[recorded.thread_step - region.start_step] = (
-                    recorded.address,
-                    recorded.value,
+        racing_registers = racing_pc = None
+        prefix_accesses = prefix_static_ids = None
+        if self.config.fast_forward_prefix:
+            racing_registers = replay.registers_at_step.get(access.thread_step)
+            if racing_registers is not None:
+                racing_pc = replay.pcs[access.thread_step]
+                prefix_accesses = tuple(
+                    replay.accesses_in_steps(region.start_step, access.thread_step)
+                )
+                prefix_static_ids = tuple(
+                    replay.static_ids[region.start_step : access.thread_step]
                 )
         return VPThreadSpec(
             thread_name=access.thread_name,
@@ -213,8 +427,12 @@ class RaceClassifier:
             registers=self.ordered.live_in_registers(region),
             racing_step_offset=access.thread_step - region.start_step,
             racing_static_id=access.static_id,
-            pc_footprint=set(thread_log.pc_footprint),
-            recorded_loads=recorded_loads,
+            pc_footprint=self._pc_footprint(access.thread_name),
+            recorded_loads=self._region_recorded_loads(access.thread_name, region),
+            racing_registers=racing_registers,
+            racing_pc=racing_pc,
+            prefix_accesses=prefix_accesses,
+            prefix_static_ids=prefix_static_ids,
         )
 
     def _original_first(self, instance: RaceInstance) -> str:

@@ -137,10 +137,18 @@ class ReplayLog:
         return assemble(self.program_source, name=self.program_name)
 
     def global_position(self, tid: int, thread_step: int) -> Optional[int]:
-        """Index of ``(tid, thread_step)`` in the recorded global order."""
+        """Index of ``(tid, thread_step)`` in the recorded global order.
+
+        Indexed once on first query (the classifier asks twice per race
+        instance; a linear scan per query was quadratic in practice).
+        """
         if self.global_order is None:
             return None
-        try:
-            return self.global_order.index((tid, thread_step))
-        except ValueError:
-            return None
+        index = getattr(self, "_position_index", None)
+        if index is None or len(index) != len(self.global_order):
+            index = {}
+            for position, entry in enumerate(self.global_order):
+                if entry not in index:  # match list.index: first occurrence wins
+                    index[entry] = position
+            self._position_index = index
+        return index.get((tid, thread_step))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -40,7 +41,13 @@ class ThreadReplay:
 
     ``region_start_registers``/``region_start_pcs`` give the architectural
     live-in at each sequencing-region start step — the state the virtual
-    processor is initialised with.
+    processor is initialised with.  ``region_end_registers``/
+    ``region_end_pcs`` give the state just *before* each boundary
+    (sequencer-point) step executes — the region live-out, which lets the
+    classifier reconstruct the original-order replay without re-executing
+    it.  ``registers_at_step`` snapshots the registers just before every
+    plain memory access, so an alternative-order replay can fast-forward
+    straight to the racing operation.
     """
 
     name: str
@@ -52,23 +59,56 @@ class ThreadReplay:
     heap_events: List[HeapEvent] = field(default_factory=list)
     region_start_registers: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     region_start_pcs: Dict[int, int] = field(default_factory=dict)
+    region_end_registers: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    region_end_pcs: Dict[int, int] = field(default_factory=dict)
+    registers_at_step: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     final_registers: Tuple[int, ...] = ()
+    final_pc: int = 0
     output: List[Tuple[str, int]] = field(default_factory=list)
+
+    # Lazily built indexes (accesses are appended in step order, so the
+    # step list is sorted and bisectable).  ``None`` until first use.
+    _access_steps: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _writes_by_step: Optional[Dict[int, List[ReplayedAccess]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _heap_by_step: Optional[Dict[int, List[HeapEvent]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def accesses_in_steps(self, start_step: int, end_step: int) -> List[ReplayedAccess]:
         """All accesses with ``start_step <= thread_step < end_step``."""
-        return [
-            access
-            for access in self.accesses
-            if start_step <= access.thread_step < end_step
-        ]
+        if self._access_steps is None:
+            self._access_steps = [access.thread_step for access in self.accesses]
+        lo = bisect_left(self._access_steps, start_step)
+        hi = bisect_left(self._access_steps, end_step, lo)
+        return self.accesses[lo:hi]
 
     def access_at(
         self, thread_step: int, address: Optional[int] = None
     ) -> Optional[ReplayedAccess]:
-        for access in self.accesses:
-            if access.thread_step == thread_step and (
-                address is None or access.address == address
-            ):
+        for access in self.accesses_in_steps(thread_step, thread_step + 1):
+            if address is None or access.address == address:
                 return access
         return None
+
+    def writes_at_step(self, thread_step: int) -> List[ReplayedAccess]:
+        """The write accesses retired at one step (indexed once, O(1) after)."""
+        if self._writes_by_step is None:
+            index: Dict[int, List[ReplayedAccess]] = {}
+            for access in self.accesses:
+                if access.is_write:
+                    index.setdefault(access.thread_step, []).append(access)
+            self._writes_by_step = index
+        return self._writes_by_step.get(thread_step, [])
+
+    def heap_events_at_step(self, thread_step: int) -> List[HeapEvent]:
+        """The heap events retired at one step (indexed once, O(1) after)."""
+        if self._heap_by_step is None:
+            index: Dict[int, List[HeapEvent]] = {}
+            for event in self.heap_events:
+                index.setdefault(event.thread_step, []).append(event)
+            self._heap_by_step = index
+        return self._heap_by_step.get(thread_step, [])

@@ -14,11 +14,21 @@ The reconstruction is exact for correctly synchronized programs and a
 best-effort linearization where data races exist — which is precisely why
 racing operations need the both-orders classification rather than a single
 replayed order.
+
+Snapshots are **copy-on-write deltas**: the walk appends every store to a
+versioned, writer-tagged history instead of copying the whole memory image
+per region (the seed implementation's ``dict(image)`` was O(regions x
+image) in both time and space).  A region's live-in is reconstructed
+lazily, on first query, by reading the history at the region's opening
+version; a *pair* snapshot is the same read with the earlier racing
+region's stores filtered out — which also replaces the seed's full
+re-walk per racing pair.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_right
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..isa.program import Program
 from ..record.log import ReplayLog, SequencerRecord
@@ -35,6 +45,51 @@ def region_key(region: SequencingRegion) -> RegionKey:
     return (region.tid, region.index)
 
 
+class VersionedImage:
+    """Append-only, writer-tagged memory history with point-in-time reads.
+
+    Every store is appended as ``(version, value, writer)`` under its
+    address; ``writer`` is the region that performed it (``None`` for
+    boundary sync/heap effects, which belong to no region).  Reconstruction
+    at a version — optionally excluding some writers — is a bisect per
+    address, so snapshots cost O(addresses touched) instead of O(full
+    image) per region.
+    """
+
+    __slots__ = ("_history", "_version")
+
+    def __init__(self, initial: Dict[int, int]):
+        self._history: Dict[int, List[Tuple[int, int, Optional[RegionKey]]]] = {
+            address: [(0, value, None)] for address, value in initial.items()
+        }
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def write(self, address: int, value: int, writer: Optional[RegionKey]) -> None:
+        self._version += 1
+        self._history.setdefault(address, []).append(
+            (self._version, value, writer)
+        )
+
+    def reconstruct(
+        self, version: int, excluded: Optional[Set[RegionKey]] = None
+    ) -> Dict[int, int]:
+        """The image at ``version``, skipping writes by ``excluded`` regions."""
+        image: Dict[int, int] = {}
+        for address, entries in self._history.items():
+            # Last entry with entry_version <= version …
+            position = bisect_right(entries, (version, float("inf"))) - 1
+            # … then skip back over excluded writers.
+            while position >= 0 and excluded and entries[position][2] in excluded:
+                position -= 1
+            if position >= 0:
+                image[address] = entries[position][1]
+        return image
+
+
 class OrderedReplay:
     """Replays a whole log in sequencer order, snapshotting region live-ins."""
 
@@ -48,10 +103,17 @@ class OrderedReplay:
             name: regions_of_thread(thread_log)
             for name, thread_log in log.threads.items()
         }
-        self._snapshots: Dict[RegionKey, Tuple[Dict[int, int], Dict[int, int]]] = {}
+        #: Version of the memory/freed history at each region's open (after
+        #: the opening sequencer's boundary effects, before the region's
+        #: own stores) — the delta-snapshot replacement for eager copies.
+        self._region_versions: Dict[RegionKey, int] = {}
+        self._snapshot_cache: Dict[RegionKey, Tuple[Dict[int, int], Dict[int, int]]] = {}
         self._pair_snapshots: Dict[
             Tuple[RegionKey, RegionKey], Tuple[Dict[int, int], Dict[int, int]]
         ] = {}
+        self._image = VersionedImage(self.program.initial_memory())
+        #: Freed-range history: (version, base, size) in walk order.
+        self._freed_history: List[Tuple[int, int, int]] = []
         self._final_image: Dict[int, int] = {}
         self._final_freed: Dict[int, int] = {}
         self._walk()
@@ -90,13 +152,16 @@ class OrderedReplay:
                 self._apply_boundary_effects(
                     replay, sequencer.thread_step, image, freed, live_allocations
                 )
-            if following is not None and not following.is_empty:
-                self._snapshots[region_key(following)] = (dict(image), dict(freed))
-                for access in replay.accesses_in_steps(
-                    following.start_step, following.end_step
-                ):
-                    if access.is_write:
-                        image[access.address] = access.value
+            if following is not None:
+                key = region_key(following)
+                self._region_versions[key] = self._image.version
+                if not following.is_empty:
+                    for access in replay.accesses_in_steps(
+                        following.start_step, following.end_step
+                    ):
+                        if access.is_write:
+                            image[access.address] = access.value
+                            self._image.write(access.address, access.value, key)
         self._final_image = image
         self._final_freed = freed
 
@@ -109,19 +174,27 @@ class OrderedReplay:
         live_allocations: Dict[int, int],
     ) -> None:
         """Apply a boundary sync/syscall instruction's memory+heap effects."""
-        for access in replay.accesses:
-            if access.thread_step == thread_step and access.is_write:
-                image[access.address] = access.value
-        for event in replay.heap_events:
-            if event.thread_step != thread_step:
-                continue
+        for access in replay.writes_at_step(thread_step):
+            image[access.address] = access.value
+            self._image.write(access.address, access.value, None)
+        for event in replay.heap_events_at_step(thread_step):
             if event.kind == "alloc":
                 live_allocations[event.base] = event.size
                 for offset in range(event.size):
                     image[event.base + offset] = 0
+                    self._image.write(event.base + offset, 0, None)
             else:
                 size = live_allocations.pop(event.base, 0)
                 freed[event.base] = size
+                self._freed_history.append((self._image.version, event.base, size))
+
+    def _freed_at(self, version: int) -> Dict[int, int]:
+        freed: Dict[int, int] = {}
+        for freed_version, base, size in self._freed_history:
+            if freed_version > version:
+                break
+            freed[base] = size
+        return freed
 
     # ------------------------------------------------------------------
     # Queries used by the race analyses.
@@ -148,12 +221,19 @@ class OrderedReplay:
     ) -> Tuple[Dict[int, int], Dict[int, int]]:
         """``(live-in memory image, freed ranges)`` just before ``region``.
 
-        Returned dicts are fresh copies — callers may mutate them.
+        Reconstructed lazily from the write-delta history on first query;
+        returned dicts are fresh copies — callers may mutate them.
         """
         key = region_key(region)
-        if key not in self._snapshots:
+        if region.is_empty or key not in self._region_versions:
             raise ReplayDivergence("no snapshot for region %s (empty region?)" % region)
-        image, freed = self._snapshots[key]
+        if key not in self._snapshot_cache:
+            version = self._region_versions[key]
+            self._snapshot_cache[key] = (
+                self._image.reconstruct(version),
+                self._freed_at(version),
+            )
+        image, freed = self._snapshot_cache[key]
         return dict(image), dict(freed)
 
     def pair_snapshot(
@@ -170,47 +250,29 @@ class OrderedReplay:
         is not recoverable from the logs, and the approximation is
         identical for both replay orders.)
 
+        Built from the walk's write-delta history: one point-in-time read
+        at the later region's opening version with the earlier region's
+        stores filtered out, instead of the seed's full per-pair re-walk.
+
         Returned dicts are fresh copies — callers may mutate them.
         """
         key = (region_key(region_a), region_key(region_b))
         if key[0] > key[1]:
             key = (key[1], key[0])
         if key not in self._pair_snapshots:
-            self._pair_snapshots[key] = self._build_pair_snapshot(region_a, region_b)
+            later = (
+                region_a
+                if region_a.start_ts >= region_b.start_ts
+                else region_b
+            )
+            earlier = region_b if later is region_a else region_a
+            version = self._region_versions[region_key(later)]
+            self._pair_snapshots[key] = (
+                self._image.reconstruct(version, excluded={region_key(earlier)}),
+                self._freed_at(version),
+            )
         image, freed = self._pair_snapshots[key]
         return dict(image), dict(freed)
-
-    def _build_pair_snapshot(
-        self, region_a: SequencingRegion, region_b: SequencingRegion
-    ) -> Tuple[Dict[int, int], Dict[int, int]]:
-        cutoff = max(region_a.start_ts, region_b.start_ts)
-        excluded = {region_key(region_a), region_key(region_b)}
-        image: Dict[int, int] = dict(self.program.initial_memory())
-        freed: Dict[int, int] = {}
-        live_allocations: Dict[int, int] = {}
-        for sequencer, thread_name, following in self.sequencers_with_regions():
-            if sequencer.timestamp > cutoff:
-                break
-            replay = self.thread_replays[thread_name]
-            if sequencer.thread_step >= 0 and sequencer.kind not in (
-                "thread_start",
-                "thread_end",
-            ):
-                self._apply_boundary_effects(
-                    replay, sequencer.thread_step, image, freed, live_allocations
-                )
-            if (
-                following is not None
-                and not following.is_empty
-                and region_key(following) not in excluded
-                and following.start_ts < cutoff
-            ):
-                for access in replay.accesses_in_steps(
-                    following.start_step, following.end_step
-                ):
-                    if access.is_write:
-                        image[access.address] = access.value
-        return image, freed
 
     def region_accesses(self, region: SequencingRegion) -> List[ReplayedAccess]:
         """Plain (non-sync) memory accesses inside ``region``."""

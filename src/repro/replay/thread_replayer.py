@@ -45,11 +45,21 @@ class ThreadReplayer:
         snapshot_steps: Set[int] = {
             sequencer.thread_step + 1 for sequencer in thread_log.sequencers
         }
+        boundary_steps: Set[int] = {
+            sequencer.thread_step
+            for sequencer in thread_log.sequencers
+            if sequencer.thread_step >= 0
+        }
         pc = 0
         for step in range(thread_log.steps):
             if step in snapshot_steps:
                 replay.region_start_registers[step] = registers.snapshot()
                 replay.region_start_pcs[step] = pc
+            if step in boundary_steps:
+                # Live-out of the region this boundary closes: the state
+                # just before the sequencer-point instruction executes.
+                replay.region_end_registers[step] = registers.snapshot()
+                replay.region_end_pcs[step] = pc
             if pc >= len(self.block):
                 raise ReplayDivergence(
                     "thread %r ran past the end of block %r at step %d"
@@ -58,8 +68,15 @@ class ThreadReplayer:
             instruction = self.block.instruction_at(pc)
             replay.pcs.append(pc)
             replay.static_ids.append(self.block.static_id(pc))
+            if instruction.spec.touches_memory:
+                replay.registers_at_step[step] = registers.snapshot()
             pc = self._execute(instruction, pc, step, registers, local_view, replay)
         replay.final_registers = registers.snapshot()
+        replay.final_pc = pc
+        if thread_log.steps in boundary_steps:
+            # Thread-end sequencers sit one past the last retired step.
+            replay.region_end_registers[thread_log.steps] = registers.snapshot()
+            replay.region_end_pcs[thread_log.steps] = pc
         return replay
 
     # ------------------------------------------------------------------

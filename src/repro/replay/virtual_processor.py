@@ -62,6 +62,10 @@ class VPConfig:
     step_limit: int = 20_000
     allow_unrecorded_control_flow: bool = False
     allow_unknown_addresses: bool = False
+    #: Prove STEP_LIMIT early when a live thread provably spins forever
+    #: (see :meth:`VirtualProcessor._run_to_region_end`).  Same verdicts,
+    #: without interpreting up to ``step_limit`` instructions first.
+    detect_spin_cycles: bool = True
 
 
 @dataclass
@@ -79,6 +83,16 @@ class VPThreadSpec:
     so prefix control flow is exact by construction; only from the racing
     pair onward does execution run live against the virtual processor's
     copy-on-read memory.
+
+    The optional ``racing_registers``/``racing_pc``/``prefix_accesses``/
+    ``prefix_static_ids`` fields carry the *result* of that logged prefix,
+    precomputed from the thread's recorded replay.  When present, the
+    processor fast-forwards straight to the racing operation instead of
+    re-executing the prefix instruction by instruction: because the prefix
+    is replayed from the log in both cases, its register trajectory and
+    memory effects (load seeds + stores, in program order) are exactly the
+    recorded ones, so only the divergent window — the racing pair and the
+    suffixes — needs live execution.
     """
 
     thread_name: str
@@ -89,6 +103,14 @@ class VPThreadSpec:
     racing_static_id: StaticInstructionId
     pc_footprint: Set[int]
     recorded_loads: Dict[int, Tuple[int, int]] = None  # type: ignore[assignment]
+    #: Registers just before the racing instruction (from the recording).
+    racing_registers: Optional[Tuple[int, ...]] = None
+    #: Pc of the racing instruction (from the recording).
+    racing_pc: Optional[int] = None
+    #: Recorded accesses of the pre-race prefix, in program order.
+    prefix_accesses: Optional[Tuple] = None
+    #: Static ids the prefix executed, in program order.
+    prefix_static_ids: Optional[Tuple[StaticInstructionId, ...]] = None
 
 
 @dataclass
@@ -181,11 +203,12 @@ class _VPMemory:
     read different subsets of memory do not spuriously differ.
     """
 
-    __slots__ = ("values", "written")
+    __slots__ = ("values", "written", "store_count")
 
     def __init__(self) -> None:
         self.values: Dict[int, int] = {}
         self.written: Set[int] = set()
+        self.store_count = 0
 
     def seed(self, address: int, value: int) -> None:
         """Record an observed (read) value without marking it written.
@@ -201,6 +224,7 @@ class _VPMemory:
     def store(self, address: int, value: int) -> None:
         self.values[address] = value & ((1 << 64) - 1)
         self.written.add(address)
+        self.store_count += 1
 
     def dirty(self) -> Dict[int, int]:
         return {address: self.values[address] for address in self.written}
@@ -244,9 +268,20 @@ class VirtualProcessor:
         thread_b = _VPThread(self.spec_b, follow_log)
         memory = _VPMemory()
 
-        # Phase 1: prefixes, in fixed thread order.
-        for thread in (thread_a, thread_b):
-            self._run_to_racing_op(thread, memory)
+        # Phase 1: prefixes, in fixed thread order.  Both replays' prefixes
+        # follow the log, so when the specs carry the precomputed prefix
+        # state the threads fast-forward to their racing ops and only the
+        # divergent window executes live.
+        if (
+            not follow_log
+            and self.spec_a.racing_registers is not None
+            and self.spec_b.racing_registers is not None
+        ):
+            for thread in (thread_a, thread_b):
+                self._fast_forward(thread, memory)
+        else:
+            for thread in (thread_a, thread_b):
+                self._run_to_racing_op(thread, memory)
 
         # Phase 2: the racing pair, in the requested order.
         ordered = (
@@ -299,9 +334,65 @@ class VirtualProcessor:
                 % (thread.name, static_here, thread.spec.racing_static_id),
             )
 
+    #: Steps a thread runs before spin-cycle detection engages (almost every
+    #: replay finishes well under this, so the common case pays nothing).
+    _SPIN_CHECK_AFTER = 64
+
     def _run_to_region_end(self, thread: _VPThread, memory: "_VPMemory") -> None:
+        if not self.config.detect_spin_cycles or thread.follow_log:
+            # A log-following thread's loads are keyed by step number, so a
+            # repeated (pc, registers) state does *not* imply repetition;
+            # cycle detection is sound only for live threads.
+            while not thread.at_region_end():
+                self._step(thread, memory)
+            return
+        seen: Optional[Set[Tuple[int, Tuple[int, ...]]]] = None
+        stores_seen = -1
         while not thread.at_region_end():
+            if thread.steps >= self._SPIN_CHECK_AFTER:
+                # Past the racing op a live thread reads only VP memory, and
+                # values there change only on stores.  So if it revisits a
+                # (pc, registers) state with no store in between, every
+                # input to every subsequent instruction is unchanged: the
+                # trajectory repeats verbatim, forever.  That replay *will*
+                # exhaust the step limit — raise its exact failure now.
+                if memory.store_count != stores_seen:
+                    stores_seen = memory.store_count
+                    seen = set()
+                state = (thread.pc, thread.registers.snapshot())
+                if state in seen:
+                    raise ReplayFailure(
+                        ReplayFailureKind.STEP_LIMIT,
+                        "%s exceeded %d steps"
+                        % (thread.name, self.config.step_limit),
+                    )
+                seen.add(state)
             self._step(thread, memory)
+
+    def _fast_forward(self, thread: _VPThread, memory: "_VPMemory") -> None:
+        """Install the logged prefix's end state instead of re-executing it.
+
+        Matches :meth:`_run_to_racing_op` step for step: the prefix's loads
+        seed the VP memory with their recorded values and its stores write
+        through, in program order; registers/pc land on the recorded state
+        just before the racing instruction.  The step-limit failure the
+        interpreter would raise mid-prefix is reproduced up front.
+        """
+        spec = thread.spec
+        if spec.racing_step_offset > self.config.step_limit:
+            raise ReplayFailure(
+                ReplayFailureKind.STEP_LIMIT,
+                "%s exceeded %d steps" % (thread.name, self.config.step_limit),
+            )
+        for access in spec.prefix_accesses:
+            if access.is_write:
+                memory.store(access.address, access.value)
+            else:
+                memory.seed(access.address, access.value)
+        thread.pc = spec.racing_pc
+        thread.registers = RegisterFile(spec.racing_registers)
+        thread.steps = spec.racing_step_offset
+        thread.executed = list(spec.prefix_static_ids)
 
     # ------------------------------------------------------------------
     # Copy-on-read memory.

@@ -1,0 +1,111 @@
+"""The engine's optimized paths must not change a single verdict.
+
+Every shortcut the classification engine stacks on top of the plain
+pipeline — recorded-original synthesis, prefix fast-forward, spin-cycle
+cutoff, verdict memoization, process-pool fan-out — is sound only if a
+suite analysed through it is *byte-identical* to the naive serial
+analysis.  These tests enforce that across the full paper suite and a set
+of re-seeded recordings the suite does not contain.
+"""
+
+import pytest
+
+from repro.analysis.perf import PerfStats
+from repro.analysis.pipeline import analyze_suite
+from repro.race.classifier import ClassifierConfig
+from repro.workloads.harmful_lost_update import lost_update
+from repro.workloads.harmful_refcount import refcount_free
+from repro.workloads.benign_sync import flag_publish
+from repro.workloads.suite import Execution, paper_suite
+
+#: The classifier exactly as the seed revision ran it: every replay
+#: shortcut off, no memoization, no pool.
+NAIVE = ClassifierConfig(
+    reuse_recorded_original=False,
+    fast_forward_prefix=False,
+    detect_spin_cycles=False,
+)
+
+
+def reseeded_executions():
+    """Recordings at seeds the paper suite does not use."""
+    return [
+        Execution("equiv:%s#s%d" % (workload.name, seed), workload, seed)
+        for workload, seed in [
+            (lost_update(90), 901),
+            (lost_update(90), 902),
+            (refcount_free(91), 911),
+            (flag_publish(92), 921),
+        ]
+    ]
+
+
+def verdicts(suite):
+    return [
+        (
+            entry.instance.static_key,
+            entry.execution_id,
+            entry.outcome,
+            entry.original_first,
+            entry.pre_value,
+            entry.failure_kind,
+            entry.failure_detail,
+        )
+        for analysis in suite.executions
+        for entry in analysis.classified
+    ]
+
+
+def aggregates(suite):
+    return {
+        key: result.classification for key, result in suite.results.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return analyze_suite(paper_suite(), classifier_config=NAIVE)
+
+
+class TestPaperSuiteEquivalence:
+    def test_fast_serial_path_is_byte_identical(self, reference):
+        fast = analyze_suite(paper_suite())
+        assert verdicts(fast) == verdicts(reference)
+        assert aggregates(fast) == aggregates(reference)
+
+    def test_memoized_path_is_byte_identical(self, reference):
+        perf = PerfStats()
+        memoized = analyze_suite(paper_suite(), memoize=True, perf=perf)
+        assert verdicts(memoized) == verdicts(reference)
+        assert aggregates(memoized) == aggregates(reference)
+        assert perf.cache_hits + perf.cache_misses == perf.instances
+
+    def test_pooled_path_is_byte_identical(self, reference):
+        perf = PerfStats()
+        pooled = analyze_suite(paper_suite(), jobs=2, memoize=True, perf=perf)
+        assert verdicts(pooled) == verdicts(reference)
+        assert aggregates(pooled) == aggregates(reference)
+        assert perf.pool_tasks == len(paper_suite())
+        assert perf.pool_workers
+
+
+class TestReseededEquivalence:
+    def test_engine_matches_naive_on_unseen_seeds(self):
+        executions = reseeded_executions()
+        reference = analyze_suite(executions, classifier_config=NAIVE)
+        engine = analyze_suite(executions, jobs=2, memoize=True)
+        assert verdicts(reference)  # the workloads do race
+        assert verdicts(engine) == verdicts(reference)
+
+    def test_duplicate_recordings_hit_the_cache_without_drift(self):
+        # The same recording twice: the second pass must be served from
+        # the verdict cache and still reproduce every verdict verbatim.
+        twice = [
+            Execution("dup%d:lost_update#s905" % n, lost_update(90), 905)
+            for n in range(2)
+        ]
+        perf = PerfStats()
+        suite = analyze_suite(twice, memoize=True, perf=perf)
+        reference = analyze_suite(twice, classifier_config=NAIVE)
+        assert verdicts(suite) == verdicts(reference)
+        assert perf.cache_hits > 0
