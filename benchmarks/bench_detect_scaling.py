@@ -1,0 +1,197 @@
+"""Detect-stage speedup: the retained quadratic reference vs the sweep line.
+
+The legacy detector (`NaiveHappensBeforeDetector`, the seed algorithm)
+examines every region pair with an ``overlaps`` check and re-materializes
+per-region access lists on each call — O(R^2) in the region count.  The
+sweep-line detector walks the shared columnar ``AccessIndex`` in opening-
+timestamp order and only examines genuinely overlapping, address-sharing
+pairs.  This benchmark scales the region count with ``bench_scaling.py``-
+style racy loop workloads (a per-iteration syscall sequencer splits every
+iteration into its own region) and records both detectors' wall time,
+asserting along the way that their race-instance lists — ordering
+included — and truncation counters are identical.
+
+Runs both under pytest (``pytest benchmarks/bench_detect_scaling.py``)
+and as a script::
+
+    PYTHONPATH=src python benchmarks/bench_detect_scaling.py --quick
+
+Either way the measured numbers land in
+``benchmarks/results/BENCH_detect.json``.  ``--quick`` (used by CI) keeps
+the equality assertions but runs single repeats on the smaller sizes —
+the race-set equivalence gate, not the timing gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.isa import assemble
+from repro.race.happens_before import (
+    HappensBeforeDetector,
+    NaiveHappensBeforeDetector,
+)
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import RandomScheduler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Two independent racy pairs: regions of the a/b threads never share an
+#: address with regions of the c/d threads, so the benchmark exercises
+#: both pruning dimensions (temporal overlap *and* address postings).
+SOURCE_TEMPLATE = """
+.data
+x: .word 0
+y: .word 0
+.thread a b
+    li r1, {iters}
+al:
+    load r2, [x]
+    addi r2, r2, 1
+    store r2, [x]
+    sys_rand r3, 3
+    subi r1, r1, 1
+    bnez r1, al
+    halt
+.thread c d
+    li r1, {iters}
+cl:
+    load r2, [y]
+    addi r2, r2, 2
+    store r2, [y]
+    sys_rand r3, 3
+    subi r1, r1, 1
+    bnez r1, cl
+    halt
+"""
+
+SIZES = (20, 60, 200)
+QUICK_SIZES = (10, 30)
+SEED = 15
+
+
+def _ordered(iters: int, seed: int = SEED) -> OrderedReplay:
+    program = assemble(SOURCE_TEMPLATE.format(iters=iters), name="detscale%d" % iters)
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=0.3),
+        seed=seed,
+        max_steps=400_000,
+    )
+    return OrderedReplay(log, program)
+
+
+def _time_detector(make_detector, ordered: OrderedReplay, repeats: int):
+    """Min wall time over ``repeats`` plus the last run's instance list.
+
+    The sweep path's cached index is invalidated before every repeat so
+    the measured time includes the index build — the honest end-to-end
+    detect cost.
+    """
+    best = None
+    detector = None
+    instances = None
+    for _ in range(repeats):
+        ordered.invalidate_access_index()
+        detector = make_detector(ordered)
+        start = time.perf_counter()
+        instances = detector.detect()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, instances, detector
+
+
+def run_benchmark(sizes=SIZES, repeats: int = 3) -> dict:
+    """Time reference vs sweep per size; assert byte-identical race sets."""
+    rows = []
+    for iters in sizes:
+        ordered = _ordered(iters)
+        naive_s, naive_instances, naive = _time_detector(
+            NaiveHappensBeforeDetector, ordered, repeats
+        )
+        sweep_s, sweep_instances, sweep = _time_detector(
+            HappensBeforeDetector, ordered, repeats
+        )
+        if sweep_instances != naive_instances:
+            raise AssertionError(
+                "sweep-line race set diverges from the reference at iters=%d "
+                "(%d vs %d instances)"
+                % (iters, len(sweep_instances), len(naive_instances))
+            )
+        if sweep.truncated_locations != naive.truncated_locations:
+            raise AssertionError(
+                "truncation counters diverge at iters=%d (%d vs %d)"
+                % (iters, sweep.truncated_locations, naive.truncated_locations)
+            )
+        index = ordered.access_index()
+        rows.append(
+            {
+                "iters": iters,
+                "regions": index.region_count,
+                "accesses": index.access_count,
+                "instances": len(sweep_instances),
+                "naive_s": round(naive_s, 4),
+                "sweep_s": round(sweep_s, 4),
+                "speedup": round(naive_s / sweep_s, 2) if sweep_s else 0.0,
+                "races_identical": True,
+            }
+        )
+    largest = rows[-1]
+    return {
+        "workloads": rows,
+        "seed": SEED,
+        "largest_iters": largest["iters"],
+        "speedup": largest["speedup"],
+        "races_identical": all(row["races_identical"] for row in rows),
+    }
+
+
+def write_result(result: dict, output: Path) -> None:
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_sweep_beats_quadratic_reference(results_dir):
+    result = run_benchmark(sizes=SIZES, repeats=3)
+    write_result(result, results_dir / "BENCH_detect.json")
+    assert result["races_identical"]
+    assert result["speedup"] >= 2.0, (
+        "sweep-line detect must be >=2x over the quadratic reference "
+        "on the largest workload (got %.2fx)" % result["speedup"]
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes, single repeat: equivalence check, not a timing gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_detect.json",
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args()
+    result = run_benchmark(
+        sizes=QUICK_SIZES if args.quick else SIZES,
+        repeats=1 if args.quick else 3,
+    )
+    if not args.quick:
+        write_result(result, args.output)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        "race sets identical across %d workloads; largest speedup %.2fx"
+        % (len(result["workloads"]), result["speedup"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,6 @@
 """Experiment harness: pipeline, tables, figures, overheads, registry."""
 
+from .access_index import AccessIndex, build_access_index
 from .experiments import (
     EXPERIMENTS,
     ContinueAblation,
@@ -40,6 +41,8 @@ from .pipeline import (
 from .tables import Table1, Table1Row, Table2, build_table1, build_table2
 
 __all__ = [
+    "AccessIndex",
+    "build_access_index",
     "ClassificationEngine",
     "EngineConfig",
     "MemoizingClassifier",

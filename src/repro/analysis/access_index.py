@@ -1,0 +1,191 @@
+"""Columnar access index: one trace representation, shared by every analysis.
+
+Detection and classification both walk the plain (non-sync) memory accesses
+of every sequencing region.  The seed implementation re-materialized those
+lists on every query (`OrderedReplay.region_accesses` was a bisect plus a
+per-access sync filter), and the detector additionally re-grouped them by
+address on every ``detect()`` call.  Following the observation of the
+compressed-trace detection literature — detection cost falls out of the
+trace *representation* — this module builds the representation once per
+execution:
+
+* **parallel columns** over every plain access, in region-major order:
+  region ordinal, thread step, address, value, write flag (plus the
+  original :class:`~repro.replay.events.ReplayedAccess` objects, so callers
+  that need the rich records get slices, not copies);
+* **per-region slices** — ``region_accesses`` becomes an O(1) slice of the
+  object column;
+* **per-address postings** — for every address, the ascending list of
+  region ordinals that touch it, so conflicting regions are found by
+  intersection instead of scanning.
+
+Region ordinals follow the opening-timestamp order of
+:meth:`OrderedReplay.all_regions`, which is exactly the order a sweep line
+over sequencer timestamps visits regions — the detector iterates ordinals
+and never re-sorts.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..replay.events import ReplayedAccess
+from ..replay.regions import SequencingRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay builds us)
+    from ..replay.ordered_replay import OrderedReplay
+
+
+class AccessIndex:
+    """Columnar index of every plain memory access of one execution.
+
+    Built once from an :class:`OrderedReplay`; regions are keyed by their
+    *ordinal* — the position in the opening-timestamp order over all
+    non-empty regions.  Step-empty regions are not indexed (they contain
+    no accesses by construction) and map to the empty slice.
+    """
+
+    __slots__ = (
+        "regions",
+        "_ordinals",
+        "steps",
+        "addresses",
+        "values",
+        "write_flags",
+        "region_of",
+        "_objects",
+        "_slices",
+        "_address_tuples",
+        "postings",
+        "_by_address",
+    )
+
+    def __init__(self, ordered: "OrderedReplay"):
+        #: Non-empty regions in opening-timestamp (sweep) order.
+        self.regions: List[SequencingRegion] = [
+            region for region in ordered.all_regions() if not region.is_empty
+        ]
+        self._ordinals: Dict[Tuple[int, int], int] = {
+            (region.tid, region.index): ordinal
+            for ordinal, region in enumerate(self.regions)
+        }
+        # The columns.  Addresses/values are 64-bit unsigned machine words,
+        # steps and ordinals are non-negative — "Q" holds them all exactly.
+        self.steps = array("Q")
+        self.addresses = array("Q")
+        self.values = array("Q")
+        self.write_flags = bytearray()
+        self.region_of = array("Q")
+        self._objects: List[ReplayedAccess] = []
+        self._slices: List[Tuple[int, int]] = []
+        self._address_tuples: List[Tuple[int, ...]] = []
+        #: address -> ascending region ordinals touching it.
+        self.postings: Dict[int, List[int]] = {}
+        #: Per-ordinal address -> accesses grouping, built lazily.
+        self._by_address: List[Optional[Dict[int, List[ReplayedAccess]]]] = []
+
+        for ordinal, region in enumerate(self.regions):
+            replay = ordered.thread_replays[region.thread_name]
+            start = len(self._objects)
+            seen: Dict[int, None] = {}
+            for access in replay.accesses_in_steps(
+                region.start_step, region.end_step
+            ):
+                if access.is_sync:
+                    continue
+                self._objects.append(access)
+                self.steps.append(access.thread_step)
+                self.addresses.append(access.address)
+                self.values.append(access.value)
+                self.write_flags.append(1 if access.is_write else 0)
+                self.region_of.append(ordinal)
+                if access.address not in seen:
+                    seen[access.address] = None
+                    self.postings.setdefault(access.address, []).append(ordinal)
+            self._slices.append((start, len(self._objects)))
+            self._address_tuples.append(tuple(seen))
+        self._by_address = [None] * len(self.regions)
+
+    # ------------------------------------------------------------------
+    # Sizes.
+    # ------------------------------------------------------------------
+
+    @property
+    def access_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    @property
+    def address_count(self) -> int:
+        """Distinct addresses touched by plain accesses."""
+        return len(self.postings)
+
+    @property
+    def write_count(self) -> int:
+        return sum(self.write_flags)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def ordinal_of(self, region: SequencingRegion) -> Optional[int]:
+        """The sweep ordinal of ``region`` (None for empty regions)."""
+        return self._ordinals.get((region.tid, region.index))
+
+    def region_slice(self, ordinal: int) -> Tuple[int, int]:
+        """``[start, end)`` bounds of a region's accesses in the columns."""
+        return self._slices[ordinal]
+
+    def region_accesses(self, region: SequencingRegion) -> List[ReplayedAccess]:
+        """Plain accesses inside ``region`` — an O(1) slice of the index."""
+        ordinal = self._ordinals.get((region.tid, region.index))
+        if ordinal is None:
+            return []
+        start, end = self._slices[ordinal]
+        return self._objects[start:end]
+
+    def addresses_of(self, ordinal: int) -> Tuple[int, ...]:
+        """Distinct addresses a region touches, in first-touch order."""
+        return self._address_tuples[ordinal]
+
+    def by_address(self, ordinal: int) -> Dict[int, List[ReplayedAccess]]:
+        """A region's accesses grouped by address (step order preserved).
+
+        Grouped once per ordinal on first query, driven by the address
+        column; the detector shares the grouping across every pair the
+        region participates in.
+        """
+        grouped = self._by_address[ordinal]
+        if grouped is None:
+            start, end = self._slices[ordinal]
+            grouped = {}
+            addresses = self.addresses
+            objects = self._objects
+            for position in range(start, end):
+                grouped.setdefault(addresses[position], []).append(
+                    objects[position]
+                )
+            self._by_address[ordinal] = grouped
+        return grouped
+
+    def regions_touching(self, address: int) -> List[int]:
+        """Ascending ordinals of regions touching ``address``."""
+        return self.postings.get(address, [])
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters (surfaced by ``--perf`` breakdowns)."""
+        return {
+            "regions": self.region_count,
+            "accesses": self.access_count,
+            "addresses": self.address_count,
+            "writes": self.write_count,
+        }
+
+
+def build_access_index(ordered: "OrderedReplay") -> AccessIndex:
+    """Convenience constructor mirroring the other analysis entry points."""
+    return AccessIndex(ordered)

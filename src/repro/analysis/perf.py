@@ -42,6 +42,13 @@ class PerfStats:
     pool_tasks: int = 0
     #: Distinct worker processes that returned results.
     pool_workers: Set[int] = field(default_factory=set)
+    #: Regions with plain accesses visited by the detect sweep.
+    detect_regions: int = 0
+    #: Overlapping, address-sharing region pairs the sweep examined.
+    detect_pairs_examined: int = 0
+    #: Region pairs the quadratic reference loop would have visited but
+    #: the sweep line never touched.
+    detect_pairs_pruned: int = 0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -70,6 +77,9 @@ class PerfStats:
         self.prefixes_fast_forwarded += other.prefixes_fast_forwarded
         self.pool_tasks += other.pool_tasks
         self.pool_workers |= other.pool_workers
+        self.detect_regions += other.detect_regions
+        self.detect_pairs_examined += other.detect_pairs_examined
+        self.detect_pairs_pruned += other.detect_pairs_pruned
 
     @property
     def cache_hit_rate(self) -> float:
@@ -85,6 +95,12 @@ class PerfStats:
     def pool_utilization(self) -> float:
         """Distinct workers used over workers requested."""
         return len(self.pool_workers) / self.jobs if self.jobs else 0.0
+
+    @property
+    def detect_prune_rate(self) -> float:
+        """Fraction of the quadratic pair space the sweep never examined."""
+        total = self.detect_pairs_examined + self.detect_pairs_pruned
+        return self.detect_pairs_pruned / total if total else 0.0
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -103,6 +119,10 @@ class PerfStats:
             "prefixes_fast_forwarded": self.prefixes_fast_forwarded,
             "pool_tasks": self.pool_tasks,
             "pool_workers": len(self.pool_workers),
+            "detect_regions": self.detect_regions,
+            "detect_pairs_examined": self.detect_pairs_examined,
+            "detect_pairs_pruned": self.detect_pairs_pruned,
+            "detect_prune_rate": round(self.detect_prune_rate, 4),
         }
 
     def render(self) -> str:
@@ -120,6 +140,16 @@ class PerfStats:
             "  replay reuse: %d originals synthesized, %d prefixes fast-forwarded"
             % (self.originals_synthesized, self.prefixes_fast_forwarded)
         )
+        if self.detect_regions:
+            lines.append(
+                "  detect sweep: %d regions, %d pairs examined, %d pruned (%.1f%%)"
+                % (
+                    self.detect_regions,
+                    self.detect_pairs_examined,
+                    self.detect_pairs_pruned,
+                    100.0 * self.detect_prune_rate,
+                )
+            )
         if self.pool_tasks:
             lines.append(
                 "  pool: %d tasks over %d workers (%.0f%% of %d requested)"

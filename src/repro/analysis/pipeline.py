@@ -82,13 +82,17 @@ def analyze_execution(
     max_steps: int = 200_000,
     capture_global_order: bool = True,
     classifier_factory=None,
+    detector_factory=None,
     perf: Optional[PerfStats] = None,
 ) -> ExecutionAnalysis:
     """Record and fully analyse one execution of a workload.
 
     ``classifier_factory(ordered, classifier_config, execution_id)`` lets
-    the classification engine substitute its memoizing classifier; ``perf``
-    accumulates per-stage wall time and classifier work counters.
+    the classification engine substitute its memoizing classifier;
+    ``detector_factory(ordered, max_pairs_per_location)`` substitutes the
+    race detector (the equivalence tests pass the retained naive
+    reference); ``perf`` accumulates per-stage wall time and work
+    counters.
     """
     workload = execution.workload
     program = workload.program()
@@ -107,9 +111,12 @@ def analyze_execution(
     with stats.stage("replay"):
         ordered = OrderedReplay(log, program)
     with stats.stage("detect"):
-        detector = HappensBeforeDetector(
-            ordered, max_pairs_per_location=max_pairs_per_location
-        )
+        if detector_factory is None:
+            detector = HappensBeforeDetector(
+                ordered, max_pairs_per_location=max_pairs_per_location, perf=stats
+            )
+        else:
+            detector = detector_factory(ordered, max_pairs_per_location)
         instances = detector.detect()
     if classifier_factory is None:
         classifier = RaceClassifier(

@@ -2,18 +2,20 @@
 
 Mirrors the paper's usage model as subcommands::
 
-    python -m repro record  prog.asm -o run.replay.json --seed 7
-    python -m repro replay  run.replay.json
-    python -m repro detect  run.replay.json
-    python -m repro classify run.replay.json --suppressions triage.json
-    python -m repro mark-benign run.replay.json --race 'blk:3|blk:5' ...
+    python -m repro record  prog.asm -o run.replay.bin --seed 7
+    python -m repro replay  run.replay.bin
+    python -m repro detect  run.replay.bin --perf
+    python -m repro classify run.replay.bin --suppressions triage.json
+    python -m repro mark-benign run.replay.bin --race 'blk:3|blk:5' ...
     python -m repro suite                       # the paper-suite tables
     python -m repro experiment table1           # one experiment by id
 
 ``record`` runs an assembly program under a seeded scheduler and writes a
-self-contained replay log.  ``classify`` is the full offline analysis:
-happens-before detection plus the replay-both-orders classification, with
-a prioritized triage report on stdout.
+self-contained replay log — the versioned binary container by default, or
+the legacy JSON document when the destination ends in ``.json``; every
+log-reading subcommand auto-detects the format.  ``classify`` is the full
+offline analysis: happens-before detection plus the replay-both-orders
+classification, with a prioritized triage report on stdout.
 """
 
 from __future__ import annotations
@@ -78,6 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     detect = sub.add_parser("detect", help="happens-before race detection")
     detect.add_argument("log", type=Path, help="replay log file")
+    detect.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the detect-stage breakdown (index/sweep time, pair pruning)",
+    )
+    detect.add_argument(
+        "--naive",
+        action="store_true",
+        help="use the retained quadratic reference detector instead of the sweep line",
+    )
 
     classify = sub.add_parser(
         "classify", help="detect + classify races, print the triage report"
@@ -211,7 +223,7 @@ def _cmd_record(args, out) -> int:
     result, log = record_run(
         program, scheduler=_make_scheduler(args), seed=args.seed
     )
-    destination = args.output or args.program.with_suffix(".replay.json")
+    destination = args.output or args.program.with_suffix(".replay.bin")
     save_log(log, destination)
     stats = compression_stats(log)
     print(result.summary(), file=out)
@@ -242,9 +254,18 @@ def _cmd_replay(args, out) -> int:
 
 
 def _cmd_detect(args, out) -> int:
+    from .analysis.perf import PerfStats
+    from .race.happens_before import HappensBeforeDetector, NaiveHappensBeforeDetector
+
     log = load_log(args.log)
     ordered = OrderedReplay(log)
-    instances = find_races(ordered)
+    perf = PerfStats()
+    with perf.stage("detect"):
+        if args.naive:
+            detector = NaiveHappensBeforeDetector(ordered)
+        else:
+            detector = HappensBeforeDetector(ordered, perf=perf)
+        instances = detector.detect()
     unique = {instance.static_key for instance in instances}
     print(
         "%d race instance(s), %d unique static race(s)"
@@ -260,6 +281,19 @@ def _cmd_detect(args, out) -> int:
             ),
             file=out,
         )
+    if args.perf:
+        index_stats = ordered.access_index().stats()
+        print(
+            "access index: %d regions, %d accesses, %d addresses, %d writes"
+            % (
+                index_stats["regions"],
+                index_stats["accesses"],
+                index_stats["addresses"],
+                index_stats["writes"],
+            ),
+            file=out,
+        )
+        print(perf.render(), file=out)
     return 0
 
 

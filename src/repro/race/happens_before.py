@@ -7,14 +7,32 @@ two operations in the global synchronization order, every reported pair is
 a true unordered conflict — **no false positives**, the property the paper
 chose the happens-before algorithm for.
 
-The detector runs entirely off the :class:`OrderedReplay` (logs only); the
-test suite cross-validates its output against the full machine trace.
+Two detectors implement the same definition:
+
+* :class:`HappensBeforeDetector` — the production engine: a **sweep line**
+  over region opening/closing sequencer timestamps.  Regions enter an
+  active set at their opening timestamp and expire at their closing one,
+  so only genuinely overlapping pairs are ever examined; within the
+  active set, candidate partners are found through the per-address
+  postings of the shared columnar :class:`AccessIndex` instead of
+  scanning every active region.  Work is proportional to overlap and
+  address sharing, not to the square of the region count.
+* :class:`NaiveHappensBeforeDetector` — the seed's quadratic region-pair
+  loop with an ``overlaps`` check per pair, retained verbatim as the
+  executable reference.  The equivalence tests and
+  ``benchmarks/bench_detect_scaling.py`` hold the sweep line to
+  byte-identical output (instances, ordering, truncation counters)
+  against it.
+
+Both run entirely off the :class:`OrderedReplay` (logs only); the test
+suite cross-validates their output against the full machine trace.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..replay.events import ReplayedAccess
 from ..replay.ordered_replay import OrderedReplay
@@ -22,12 +40,14 @@ from ..replay.regions import SequencingRegion, overlaps
 from .model import RaceAccess, RaceInstance
 
 
-class HappensBeforeDetector:
-    """Region-overlap happens-before detector.
+class _DetectorBase:
+    """Shared conflict enumeration and canonical output ordering.
 
     ``max_pairs_per_location`` caps the number of instance pairs reported
     per (region pair, address) so that adversarial loops cannot explode
     the instance count; the cap is reported via ``truncated_locations``.
+    Both detectors share this code, so the cap semantics cannot drift
+    between the sweep line and the reference.
     """
 
     def __init__(
@@ -39,27 +59,11 @@ class HappensBeforeDetector:
         self.max_pairs_per_location = max_pairs_per_location
         self.truncated_locations = 0
 
-    def detect(self) -> List[RaceInstance]:
-        """All race instances in the replayed execution, canonically ordered."""
-        regions = [
-            region for region in self.ordered.all_regions() if not region.is_empty
-        ]
-        indexed = [
-            (region, self._index_accesses(region))
-            for region in regions
-        ]
-        instances: List[RaceInstance] = []
-        for position_a in range(len(indexed)):
-            region_a, accesses_a = indexed[position_a]
-            if not accesses_a:
-                continue
-            for position_b in range(position_a + 1, len(indexed)):
-                region_b, accesses_b = indexed[position_b]
-                if not accesses_b or not overlaps(region_a, region_b):
-                    continue
-                instances.extend(
-                    self._conflicts(region_a, accesses_a, region_b, accesses_b)
-                )
+    def detect(self) -> List[RaceInstance]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @staticmethod
+    def _sort_canonically(instances: List[RaceInstance]) -> List[RaceInstance]:
         instances.sort(
             key=lambda instance: (
                 instance.region_a.start_ts,
@@ -70,18 +74,6 @@ class HappensBeforeDetector:
             )
         )
         return instances
-
-    # ------------------------------------------------------------------
-    # Internals.
-    # ------------------------------------------------------------------
-
-    def _index_accesses(
-        self, region: SequencingRegion
-    ) -> Dict[int, List[ReplayedAccess]]:
-        by_address: Dict[int, List[ReplayedAccess]] = defaultdict(list)
-        for access in self.ordered.region_accesses(region):
-            by_address[access.address].append(access)
-        return dict(by_address)
 
     def _conflicts(
         self,
@@ -134,6 +126,140 @@ class HappensBeforeDetector:
             value=access.value,
             is_write=access.is_write,
         )
+
+
+class HappensBeforeDetector(_DetectorBase):
+    """Sweep-line happens-before detector over the columnar access index.
+
+    Regions are visited in opening-timestamp order (the access index's
+    ordinal order).  A region expires from the active set once its closing
+    timestamp is at or before the sweep position — exactly the negation of
+    the strict :func:`overlaps` definition — so the active set holds
+    precisely the earlier-opening regions that overlap the entering one.
+    Candidate partners are the active regions sharing at least one address
+    with the entering region, found by union over the entering region's
+    addresses in the active per-address index.
+
+    ``perf`` (a :class:`repro.analysis.perf.PerfStats`) receives the
+    detect-stage breakdown: index/sweep wall time, regions swept, pairs
+    examined vs. the quadratic pair count the naive loop would have
+    visited.
+    """
+
+    def __init__(
+        self,
+        ordered: OrderedReplay,
+        max_pairs_per_location: Optional[int] = 256,
+        perf=None,
+    ):
+        super().__init__(ordered, max_pairs_per_location)
+        self.perf = perf
+
+    def detect(self) -> List[RaceInstance]:
+        """All race instances in the replayed execution, canonically ordered."""
+        perf = self.perf
+        if perf is not None:
+            with perf.stage("detect.index"):
+                index = self.ordered.access_index()
+            with perf.stage("detect.sweep"):
+                instances = self._sweep(index)
+        else:
+            index = self.ordered.access_index()
+            instances = self._sweep(index)
+        return self._sort_canonically(instances)
+
+    def _sweep(self, index) -> List[RaceInstance]:
+        instances: List[RaceInstance] = []
+        #: Min-heap of (end_ts, ordinal) over currently active regions.
+        expiry: List[Tuple[int, int]] = []
+        #: address -> ordinals of active regions touching it.
+        active_by_address: Dict[int, Set[int]] = defaultdict(set)
+        regions = index.regions
+        swept = 0
+        examined = 0
+        for ordinal, region in enumerate(regions):
+            addresses = index.addresses_of(ordinal)
+            if not addresses:
+                continue
+            swept += 1
+            start_ts = region.start_ts
+            # Expire: closed at or before the sweep position means ordered
+            # (happens-before), mirroring the strict overlap definition.
+            while expiry and expiry[0][0] <= start_ts:
+                _, expired = heappop(expiry)
+                for address in index.addresses_of(expired):
+                    active_by_address[address].discard(expired)
+            candidates: Set[int] = set()
+            for address in addresses:
+                candidates |= active_by_address[address]
+            tid = region.tid
+            grouped = None
+            for other in sorted(candidates):
+                other_region = regions[other]
+                if other_region.tid == tid:
+                    continue
+                examined += 1
+                if grouped is None:
+                    grouped = index.by_address(ordinal)
+                instances.extend(
+                    self._conflicts(
+                        other_region,
+                        index.by_address(other),
+                        region,
+                        grouped,
+                    )
+                )
+            heappush(expiry, (region.end_ts, ordinal))
+            for address in addresses:
+                active_by_address[address].add(ordinal)
+        if self.perf is not None:
+            self.perf.detect_regions += swept
+            self.perf.detect_pairs_examined += examined
+            self.perf.detect_pairs_pruned += swept * (swept - 1) // 2 - examined
+        return instances
+
+
+class NaiveHappensBeforeDetector(_DetectorBase):
+    """The seed's quadratic region-pair detector, kept as the reference.
+
+    Every region pair is tested with :func:`overlaps`; per-region access
+    lists are re-materialized from the thread replays on every call,
+    exactly as the seed did (it deliberately does not touch the columnar
+    index, so benchmarks compare genuine before/after costs).
+    """
+
+    def detect(self) -> List[RaceInstance]:
+        """All race instances in the replayed execution, canonically ordered."""
+        regions = [
+            region for region in self.ordered.all_regions() if not region.is_empty
+        ]
+        indexed = [
+            (region, self._index_accesses(region))
+            for region in regions
+        ]
+        instances: List[RaceInstance] = []
+        for position_a in range(len(indexed)):
+            region_a, accesses_a = indexed[position_a]
+            if not accesses_a:
+                continue
+            for position_b in range(position_a + 1, len(indexed)):
+                region_b, accesses_b = indexed[position_b]
+                if not accesses_b or not overlaps(region_a, region_b):
+                    continue
+                instances.extend(
+                    self._conflicts(region_a, accesses_a, region_b, accesses_b)
+                )
+        return self._sort_canonically(instances)
+
+    def _index_accesses(
+        self, region: SequencingRegion
+    ) -> Dict[int, List[ReplayedAccess]]:
+        replay = self.ordered.thread_replays[region.thread_name]
+        by_address: Dict[int, List[ReplayedAccess]] = defaultdict(list)
+        for access in replay.accesses_in_steps(region.start_step, region.end_step):
+            if not access.is_sync:
+                by_address[access.address].append(access)
+        return dict(by_address)
 
 
 def find_races(

@@ -1,5 +1,12 @@
 """iDNA-analog recording: load-based checkpointing logs with sequencers."""
 
+from .binary_format import (
+    BINARY_FORMAT_VERSION,
+    MAGIC,
+    decode_log,
+    encode_log,
+    is_binary_log,
+)
 from .compression import (
     CompressionStats,
     aggregate_stats,
@@ -8,6 +15,8 @@ from .compression import (
     encode_varint,
     pack_log,
     pack_thread_log,
+    unzigzag,
+    zigzag,
 )
 from .log import (
     LoadRecord,
@@ -23,6 +32,11 @@ from .serialization import load_log, log_from_json, log_to_json, save_log
 from .validation import InvalidLogError, ValidationIssue, validate_log
 
 __all__ = [
+    "BINARY_FORMAT_VERSION",
+    "MAGIC",
+    "decode_log",
+    "encode_log",
+    "is_binary_log",
     "CompressionStats",
     "aggregate_stats",
     "compression_stats",
@@ -30,6 +44,8 @@ __all__ = [
     "encode_varint",
     "pack_log",
     "pack_thread_log",
+    "unzigzag",
+    "zigzag",
     "LoadRecord",
     "ReplayLog",
     "SequencerRecord",

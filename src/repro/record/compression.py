@@ -44,8 +44,18 @@ def decode_varint(data: bytes, offset: int = 0):
         shift += 7
 
 
-def _zigzag(value: int) -> int:
+def zigzag(value: int) -> int:
+    """Map a signed int onto the unsigned varint domain (protobuf-style)."""
     return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return value >> 1 if not value & 1 else -((value + 1) >> 1)
+
+
+#: Backwards-compatible alias (pre-binary-container name).
+_zigzag = zigzag
 
 
 def pack_thread_log(log: ThreadLog) -> bytes:

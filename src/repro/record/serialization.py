@@ -1,9 +1,21 @@
-"""JSON (de)serialization of replay logs.
+"""(De)serialization of replay logs: binary container first, JSON fallback.
 
 A serialized log is self-contained: it embeds the program source, so a log
 file plus this library is sufficient to replay, detect, and classify — the
 paper's model of shipping a replay log to the developer alongside the race
 report.
+
+Two on-disk representations exist:
+
+* the **binary container** (:mod:`.binary_format`) — versioned magic
+  bytes, varint/zigzag packing, zlib compression.  The default for every
+  new log: suite runs stop paying JSON text encode/decode and the files
+  are several times smaller;
+* the legacy **JSON document** — kept for old fixtures, hand inspection
+  and tooling interop.  ``save_log`` picks it automatically for ``.json``
+  paths (or on request), and ``load_log`` detects the format from the
+  file's leading bytes, so callers never need to know which one they
+  have.
 """
 
 from __future__ import annotations
@@ -139,11 +151,34 @@ def log_from_json(data: Dict[str, Any]) -> ReplayLog:
     )
 
 
-def save_log(log: ReplayLog, path: Union[str, Path]) -> None:
-    """Write a replay log to a JSON file."""
-    Path(path).write_text(json.dumps(log_to_json(log)))
+def save_log(
+    log: ReplayLog, path: Union[str, Path], format: str = "auto"
+) -> None:
+    """Write a replay log to ``path``.
+
+    ``format`` is ``"binary"`` (the versioned container), ``"json"`` (the
+    legacy document) or ``"auto"`` — binary-first, falling back to JSON
+    only when the destination carries a ``.json`` suffix so existing
+    fixtures and text-based tooling keep working.
+    """
+    from .binary_format import encode_log
+
+    path = Path(path)
+    if format == "auto":
+        format = "json" if path.suffix == ".json" else "binary"
+    if format == "binary":
+        path.write_bytes(encode_log(log))
+    elif format == "json":
+        path.write_text(json.dumps(log_to_json(log)))
+    else:
+        raise ValueError("unknown replay-log format: %r" % format)
 
 
 def load_log(path: Union[str, Path]) -> ReplayLog:
-    """Read a replay log from a JSON file."""
-    return log_from_json(json.loads(Path(path).read_text()))
+    """Read a replay log, auto-detecting binary container vs JSON."""
+    from .binary_format import decode_log, is_binary_log
+
+    data = Path(path).read_bytes()
+    if is_binary_log(data):
+        return decode_log(data)
+    return log_from_json(json.loads(data.decode("utf-8")))

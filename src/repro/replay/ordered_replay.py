@@ -116,6 +116,8 @@ class OrderedReplay:
         self._freed_history: List[Tuple[int, int, int]] = []
         self._final_image: Dict[int, int] = {}
         self._final_freed: Dict[int, int] = {}
+        #: Columnar access index, built once on first analysis query.
+        self._access_index = None
         self._walk()
 
     # ------------------------------------------------------------------
@@ -274,14 +276,32 @@ class OrderedReplay:
         image, freed = self._pair_snapshots[key]
         return dict(image), dict(freed)
 
+    def access_index(self):
+        """The execution's columnar :class:`AccessIndex`, built on first use.
+
+        Shared by the happens-before detector and the classification
+        engine: one pass over the thread replays feeds every later
+        per-region or per-address query.
+        """
+        if self._access_index is None:
+            # Local import: the index lives in the analysis layer, which
+            # imports replay at module scope.
+            from ..analysis.access_index import AccessIndex
+
+            self._access_index = AccessIndex(self)
+        return self._access_index
+
+    def invalidate_access_index(self) -> None:
+        """Drop the cached index (benchmarks re-time the build with this)."""
+        self._access_index = None
+
     def region_accesses(self, region: SequencingRegion) -> List[ReplayedAccess]:
-        """Plain (non-sync) memory accesses inside ``region``."""
-        replay = self.thread_replays[region.thread_name]
-        return [
-            access
-            for access in replay.accesses_in_steps(region.start_step, region.end_step)
-            if not access.is_sync
-        ]
+        """Plain (non-sync) memory accesses inside ``region``.
+
+        Served as an O(1) slice of the columnar access index (the seed
+        re-filtered the thread replay's access list on every call).
+        """
+        return self.access_index().region_accesses(region)
 
     def live_in_registers(self, region: SequencingRegion) -> Tuple[int, ...]:
         replay = self.thread_replays[region.thread_name]

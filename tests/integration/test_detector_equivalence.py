@@ -1,0 +1,131 @@
+"""The sweep-line detector must not change a single race or verdict.
+
+The production detector replaces the seed's quadratic region-pair loop
+with a sweep line over the columnar access index.  That optimization is
+sound only if the detected race set — ordering included — and every
+downstream classification verdict are *byte-identical* to the retained
+:class:`NaiveHappensBeforeDetector` reference.  These tests enforce that
+across the paper suite, re-seeded recordings the suite does not contain,
+and randomized multi-region workloads with and without the per-location
+pair cap.
+"""
+
+import pytest
+
+from repro.analysis.pipeline import analyze_execution
+from repro.isa import assemble
+from repro.race.happens_before import (
+    HappensBeforeDetector,
+    NaiveHappensBeforeDetector,
+)
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import RandomScheduler
+from repro.workloads.suite import paper_suite
+
+#: Many small regions (one per loop iteration) and two independent racy
+#: address groups — the shape that exercises both the temporal and the
+#: per-address pruning of the sweep.
+REGION_HEAVY = """
+.data
+x: .word 0
+y: .word 0
+.thread a b
+    li r1, 12
+al:
+    load r2, [x]
+    addi r2, r2, 1
+    store r2, [x]
+    sys_rand r3, 3
+    subi r1, r1, 1
+    bnez r1, al
+    halt
+.thread c d
+    li r1, 12
+cl:
+    load r2, [y]
+    addi r2, r2, 2
+    store r2, [y]
+    sys_rand r3, 3
+    subi r1, r1, 1
+    bnez r1, cl
+    halt
+"""
+
+
+def ordered_for(seed):
+    program = assemble(REGION_HEAVY, name="deteq%d" % seed)
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=0.4),
+        seed=seed,
+    )
+    return OrderedReplay(log, program)
+
+
+def naive_factory(ordered, max_pairs_per_location):
+    return NaiveHappensBeforeDetector(
+        ordered, max_pairs_per_location=max_pairs_per_location
+    )
+
+
+def verdicts(analysis):
+    return [
+        (
+            entry.instance.static_key,
+            entry.execution_id,
+            entry.outcome,
+            entry.original_first,
+            entry.pre_value,
+            entry.failure_kind,
+            entry.failure_detail,
+        )
+        for entry in analysis.classified
+    ]
+
+
+class TestInstanceEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_instance_lists(self, seed):
+        """Full instance lists — ordering included — match the reference."""
+        ordered = ordered_for(seed)
+        sweep = HappensBeforeDetector(ordered, max_pairs_per_location=None)
+        naive = NaiveHappensBeforeDetector(ordered, max_pairs_per_location=None)
+        assert sweep.detect() == naive.detect()
+
+    @pytest.mark.parametrize("cap", [1, 4, 256])
+    def test_identical_under_pair_cap(self, cap):
+        ordered = ordered_for(5)
+        sweep = HappensBeforeDetector(ordered, max_pairs_per_location=cap)
+        naive = NaiveHappensBeforeDetector(ordered, max_pairs_per_location=cap)
+        assert sweep.detect() == naive.detect()
+        assert sweep.truncated_locations == naive.truncated_locations
+
+    def test_paper_suite_instances_identical(self):
+        for execution in paper_suite():
+            program = execution.workload.program()
+            _, log = record_run(
+                program,
+                scheduler=RandomScheduler(
+                    seed=execution.seed,
+                    switch_probability=execution.switch_probability,
+                ),
+                seed=execution.seed,
+            )
+            ordered = OrderedReplay(log, program)
+            sweep = HappensBeforeDetector(ordered)
+            naive = NaiveHappensBeforeDetector(ordered)
+            assert sweep.detect() == naive.detect(), execution.execution_id
+            assert sweep.truncated_locations == naive.truncated_locations
+
+
+class TestEndToEndVerdictEquivalence:
+    def test_suite_verdicts_identical(self):
+        """The full pipeline — detect *and* classify — produces the same
+        verdict tuples whether the sweep line or the quadratic reference
+        finds the races."""
+        for execution in paper_suite():
+            default = analyze_execution(execution)
+            reference = analyze_execution(execution, detector_factory=naive_factory)
+            assert default.instances == reference.instances, execution.execution_id
+            assert verdicts(default) == verdicts(reference), execution.execution_id

@@ -1,0 +1,178 @@
+"""Unit tests for the columnar access index shared by detect and classify."""
+
+import pytest
+
+from repro.analysis.access_index import AccessIndex, build_access_index
+from repro.isa import assemble
+from repro.record import record_run
+from repro.replay import OrderedReplay
+from repro.vm import RandomScheduler
+
+SOURCE = """
+.data
+x: .word 0
+y: .word 0
+m: .word 0
+.thread a b
+    li r1, 3
+loop:
+    lock [m]
+    load r2, [x]
+    addi r2, r2, 1
+    store r2, [x]
+    unlock [m]
+    load r4, [y]
+    addi r4, r4, 1
+    store r4, [y]
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def ordered():
+    program = assemble(SOURCE, name="aidx")
+    _, log = record_run(
+        program, scheduler=RandomScheduler(seed=5, switch_probability=0.4), seed=5
+    )
+    return OrderedReplay(log, program)
+
+
+@pytest.fixture(scope="module")
+def index(ordered):
+    return ordered.access_index()
+
+
+class TestConstruction:
+    def test_regions_follow_opening_timestamp_order(self, index):
+        timestamps = [region.start_ts for region in index.regions]
+        assert timestamps == sorted(timestamps)
+        assert all(not region.is_empty for region in index.regions)
+
+    def test_slices_partition_the_columns(self, index):
+        position = 0
+        for ordinal in range(index.region_count):
+            start, end = index.region_slice(ordinal)
+            assert start == position and end >= start
+            position = end
+        assert position == index.access_count
+
+    def test_columns_are_parallel(self, index):
+        assert (
+            len(index.steps)
+            == len(index.addresses)
+            == len(index.values)
+            == len(index.write_flags)
+            == len(index.region_of)
+            == index.access_count
+        )
+
+    def test_region_of_matches_slices(self, index):
+        for ordinal in range(index.region_count):
+            start, end = index.region_slice(ordinal)
+            assert all(
+                index.region_of[position] == ordinal
+                for position in range(start, end)
+            )
+
+    def test_sync_accesses_excluded(self, ordered, index):
+        for region in index.regions:
+            for access in index.region_accesses(region):
+                assert not access.is_sync
+
+    def test_build_helper(self, ordered):
+        built = build_access_index(ordered)
+        assert built.access_count == ordered.access_index().access_count
+
+
+class TestQueries:
+    def test_region_accesses_matches_direct_extraction(self, ordered, index):
+        """The O(1) slice equals the seed's bisect-and-filter extraction."""
+        for region in index.regions:
+            replay = ordered.thread_replays[region.thread_name]
+            expected = [
+                access
+                for access in replay.accesses_in_steps(
+                    region.start_step, region.end_step
+                )
+                if not access.is_sync
+            ]
+            assert index.region_accesses(region) == expected
+
+    def test_empty_region_yields_no_accesses(self):
+        # lock at step 0 and unlock right after it create step-empty regions.
+        program = assemble(
+            ".data\nm: .word 0\n.thread a b\n    lock [m]\n    unlock [m]\n"
+            "    halt\n",
+            name="aidx-empty",
+        )
+        _, log = record_run(program, scheduler=RandomScheduler(seed=1), seed=1)
+        ordered = OrderedReplay(log, program)
+        index = ordered.access_index()
+        empties = [
+            region for region in ordered.all_regions() if region.is_empty
+        ]
+        assert empties, "workload should produce at least one empty region"
+        for region in empties:
+            assert index.ordinal_of(region) is None
+            assert index.region_accesses(region) == []
+
+    def test_postings_are_ascending_and_complete(self, index):
+        for address, ordinals in index.postings.items():
+            assert ordinals == sorted(set(ordinals))
+            for ordinal in ordinals:
+                assert address in index.addresses_of(ordinal)
+
+    def test_addresses_of_covers_every_access(self, index):
+        for ordinal, region in enumerate(index.regions):
+            touched = {
+                access.address for access in index.region_accesses(region)
+            }
+            assert set(index.addresses_of(ordinal)) == touched
+
+    def test_by_address_groups_in_step_order(self, index):
+        for ordinal in range(index.region_count):
+            grouped = index.by_address(ordinal)
+            flattened = [
+                access for accesses in grouped.values() for access in accesses
+            ]
+            assert len(flattened) == len(
+                index.region_accesses(index.regions[ordinal])
+            )
+            for address, accesses in grouped.items():
+                steps = [access.thread_step for access in accesses]
+                assert steps == sorted(steps)
+                assert all(access.address == address for access in accesses)
+
+    def test_regions_touching(self, ordered, index):
+        x = ordered.program.data_address("x")
+        assert index.regions_touching(x) == index.postings[x]
+        assert index.regions_touching(0xDEAD_BEEF) == []
+
+    def test_stats_counters(self, index):
+        stats = index.stats()
+        assert stats["regions"] == index.region_count
+        assert stats["accesses"] == index.access_count == len(index.steps)
+        assert stats["addresses"] == len(index.postings)
+        assert stats["writes"] == sum(index.write_flags)
+        assert 0 < stats["writes"] < stats["accesses"]
+
+
+class TestOrderedReplayIntegration:
+    def test_index_is_cached(self, ordered):
+        assert ordered.access_index() is ordered.access_index()
+
+    def test_invalidate_rebuilds(self, ordered):
+        first = ordered.access_index()
+        ordered.invalidate_access_index()
+        second = ordered.access_index()
+        assert second is not first
+        assert second.access_count == first.access_count
+
+    def test_region_accesses_delegates_to_index(self, ordered):
+        region = next(
+            region for region in ordered.all_regions() if not region.is_empty
+        )
+        assert ordered.region_accesses(region) == ordered.access_index(
+        ).region_accesses(region)

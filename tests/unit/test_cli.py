@@ -66,12 +66,22 @@ class TestRecord:
         assert "recorded" in text
         assert "bits/instr" in text
 
-    def test_default_output_path(self, tmp_path):
+    def test_default_output_path_is_binary(self, tmp_path):
         program = tmp_path / "p.asm"
         program.write_text(CLEAN_SOURCE)
         code, _ = run_cli(["record", str(program), "--seed", "1"])
         assert code == 0
-        assert (tmp_path / "p.replay.json").exists()
+        log = tmp_path / "p.replay.bin"
+        assert log.exists()
+        assert log.read_bytes()[:4] == b"RPRB"
+        # Binary logs feed every downstream subcommand transparently.
+        code, text = run_cli(["replay", str(log)])
+        assert code == 0 and "steps replayed" in text
+
+    def test_json_destination_keeps_json(self, recorded):
+        _, log, _ = recorded
+        assert log.suffix == ".json"
+        assert log.read_text().startswith("{")
 
     def test_round_robin_scheduler(self, tmp_path):
         program = tmp_path / "p.asm"
@@ -107,6 +117,21 @@ class TestDetect:
         code, text = run_cli(["detect", str(log)])
         assert code == 0
         assert "0 race instance(s), 0 unique" in text
+
+    def test_detect_perf_breakdown(self, recorded):
+        _, log, _ = recorded
+        code, text = run_cli(["detect", str(log), "--perf"])
+        assert code == 0
+        assert "access index:" in text
+        assert "detect sweep:" in text
+        assert "detect.sweep" in text
+
+    def test_detect_naive_reference_agrees(self, recorded):
+        _, log, _ = recorded
+        code_sweep, text_sweep = run_cli(["detect", str(log)])
+        code_naive, text_naive = run_cli(["detect", str(log), "--naive"])
+        assert code_sweep == code_naive == 0
+        assert text_sweep == text_naive
 
 
 class TestClassify:

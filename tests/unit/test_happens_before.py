@@ -1,7 +1,11 @@
 """Unit tests for the region-overlap happens-before detector."""
 
 from repro.isa import assemble
-from repro.race.happens_before import HappensBeforeDetector, find_races
+from repro.race.happens_before import (
+    HappensBeforeDetector,
+    NaiveHappensBeforeDetector,
+    find_races,
+)
 from repro.record import record_run
 from repro.replay import OrderedReplay
 from repro.vm import ExplicitScheduler, RandomScheduler
@@ -139,6 +143,44 @@ class TestPairCap:
         assert len(capped_instances) < len(uncapped_instances)
         assert capped.truncated_locations > 0
         assert uncapped.truncated_locations == 0
+
+    #: No sequencers at all: one region per thread, one region pair.
+    #: Address ``x`` races on every loop iteration (well past the cap);
+    #: address ``y`` races exactly once (a single store per thread).
+    TWO_LOCATIONS = (
+        ".data\nx: .word 0\ny: .word 0\n.thread a b\n    li r1, 4\nl:\n"
+        "    load r2, [x]\n    addi r2, r2, 1\n    store r2, [x]\n"
+        "    subi r1, r1, 1\n    bnez r1, l\n    li r3, 7\n"
+        "    store r3, [y]\n    halt\n"
+    )
+
+    def test_cap_counts_per_location_not_per_pair(self):
+        """The cap trips on the hot address only; the quiet address in the
+        same region pair reports all of its instances, and the truncation
+        counter says exactly one location was cut."""
+        program = assemble(self.TWO_LOCATIONS, name="cap2loc")
+        _, log = record_run(program, scheduler=RandomScheduler(seed=4), seed=4)
+        ordered = OrderedReplay(log, program)
+        x = program.data_address("x")
+        y = program.data_address("y")
+        detector = HappensBeforeDetector(ordered, max_pairs_per_location=10)
+        instances = detector.detect()
+        by_address = {
+            address: sum(1 for i in instances if i.address == address)
+            for address in (x, y)
+        }
+        assert by_address[x] == 10  # cut at the cap
+        assert by_address[y] == 1  # untouched by the cap
+        assert detector.truncated_locations == 1
+
+    def test_cap_semantics_match_reference(self):
+        program = assemble(self.TWO_LOCATIONS, name="cap2ref")
+        _, log = record_run(program, scheduler=RandomScheduler(seed=4), seed=4)
+        ordered = OrderedReplay(log, program)
+        sweep = HappensBeforeDetector(ordered, max_pairs_per_location=10)
+        naive = NaiveHappensBeforeDetector(ordered, max_pairs_per_location=10)
+        assert sweep.detect() == naive.detect()
+        assert sweep.truncated_locations == naive.truncated_locations == 1
 
 
 def _oracle_races(trace):

@@ -6,10 +6,15 @@ import pytest
 
 from repro.isa import assemble
 from repro.record import (
+    BINARY_FORMAT_VERSION,
+    MAGIC,
     aggregate_stats,
     compression_stats,
+    decode_log,
     decode_varint,
+    encode_log,
     encode_varint,
+    is_binary_log,
     load_log,
     log_from_json,
     log_metrics,
@@ -17,6 +22,8 @@ from repro.record import (
     pack_log,
     record_run,
     save_log,
+    unzigzag,
+    zigzag,
 )
 from repro.vm import RandomScheduler
 
@@ -39,12 +46,25 @@ loop:
 """
 
 
-def make_log(seed=3):
+def make_log(seed=3, capture_global_order=True):
     program = assemble(SOURCE, name="serial")
     _, log = record_run(
-        program, scheduler=RandomScheduler(seed=seed), seed=seed
+        program,
+        scheduler=RandomScheduler(seed=seed),
+        seed=seed,
+        capture_global_order=capture_global_order,
     )
     return log
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 2**31, -(2**31)])
+    def test_round_trip(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    def test_mapping_is_compact(self):
+        # Small magnitudes (either sign) map to small codes.
+        assert sorted(zigzag(v) for v in (0, -1, 1, -2, 2)) == [0, 1, 2, 3, 4]
 
 
 class TestVarint:
@@ -137,6 +157,90 @@ class TestSerialization:
         save_log(make_log(), path)
         restored = load_log(path)
         ordered = OrderedReplay(restored)  # program reassembled from the log
+        assert ordered.program.name == "serial"
+        assert ordered.final_memory()
+
+
+class TestBinaryFormat:
+    def test_round_trip_is_lossless(self):
+        """Every field the JSON document carries survives the container."""
+        log = make_log()
+        restored = decode_log(encode_log(log))
+        assert log_to_json(restored) == log_to_json(log)
+
+    def test_round_trip_without_global_order(self):
+        log = make_log(capture_global_order=False)
+        assert log.global_order is None
+        restored = decode_log(encode_log(log))
+        assert restored.global_order is None
+        assert log_to_json(restored) == log_to_json(log)
+
+    def test_container_layout(self):
+        data = encode_log(make_log())
+        assert data[:4] == MAGIC
+        assert data[4] == BINARY_FORMAT_VERSION
+        assert is_binary_log(data)
+        assert not is_binary_log(b'{"format_version": 1}')
+        assert not is_binary_log(b"RP")  # shorter than the magic
+
+    def test_unknown_version_rejected(self):
+        data = bytearray(encode_log(make_log()))
+        data[4] = 99
+        with pytest.raises(ValueError):
+            decode_log(bytes(data))
+
+    def test_bad_magic_rejected(self):
+        data = b"NOPE" + encode_log(make_log())[4:]
+        with pytest.raises(ValueError):
+            decode_log(data)
+
+    def test_binary_is_smaller_than_json(self):
+        log = make_log()
+        binary = encode_log(log)
+        text = json.dumps(log_to_json(log)).encode("utf-8")
+        assert len(binary) < len(text) / 2
+
+    def test_encoding_is_deterministic(self):
+        assert encode_log(make_log()) == encode_log(make_log())
+
+
+class TestFormatAutoDetection:
+    def test_save_defaults_to_binary(self, tmp_path):
+        log = make_log()
+        path = tmp_path / "run.replay.bin"
+        save_log(log, path)
+        assert path.read_bytes()[:4] == MAGIC
+        assert log_to_json(load_log(path)) == log_to_json(log)
+
+    def test_json_suffix_keeps_json(self, tmp_path):
+        log = make_log()
+        path = tmp_path / "run.replay.json"
+        save_log(log, path)
+        assert path.read_text().startswith("{")
+        assert log_to_json(load_log(path)) == log_to_json(log)
+
+    def test_load_sniffs_content_not_suffix(self, tmp_path):
+        """A binary container behind a ``.json`` name still loads: the
+        reader trusts the leading bytes, never the file name."""
+        log = make_log()
+        path = tmp_path / "mislabeled.json"
+        save_log(log, path, format="binary")
+        assert path.read_bytes()[:4] == MAGIC
+        assert log_to_json(load_log(path)) == log_to_json(log)
+
+    def test_explicit_formats(self, tmp_path):
+        log = make_log()
+        save_log(log, tmp_path / "a.dat", format="json")
+        assert (tmp_path / "a.dat").read_text().startswith("{")
+        with pytest.raises(ValueError):
+            save_log(log, tmp_path / "b.dat", format="msgpack")
+
+    def test_binary_log_is_self_contained(self, tmp_path):
+        from repro.replay import OrderedReplay
+
+        path = tmp_path / "run.replay.bin"
+        save_log(make_log(), path)
+        ordered = OrderedReplay(load_log(path))
         assert ordered.program.name == "serial"
         assert ordered.final_memory()
 

@@ -38,6 +38,29 @@ class TestOverlap:
     def test_same_thread_never_overlaps(self):
         assert not overlaps(make_region(0, 1, 5), make_region(0, 2, 4))
 
+    def test_shared_timestamp_is_ordered_not_overlapping(self):
+        """Regions meeting at a sequencer timestamp are ordered by it: the
+        closing region happens-before the opening one.  The sweep line
+        relies on this exact boundary (expiry at ``end_ts <= start_ts``)."""
+        assert not overlaps(make_region(0, 1, 4), make_region(1, 4, 8))
+        assert not overlaps(make_region(1, 4, 8), make_region(0, 1, 4))
+        # Sharing only the opening (or only the closing) timestamp still
+        # leaves the interiors concurrent.
+        assert overlaps(make_region(0, 4, 8), make_region(1, 4, 6))
+        assert overlaps(make_region(0, 1, 4), make_region(1, 2, 4))
+
+    def test_zero_width_region_boundaries(self):
+        """A region whose opening and closing sequencers carry the same
+        timestamp: unordered (concurrent) with a window that strictly
+        contains the point, but ordered against any region meeting it at
+        that timestamp — including another zero-width region."""
+        point = make_region(0, 4, 4)
+        assert overlaps(point, make_region(1, 1, 9))
+        assert overlaps(make_region(1, 1, 9), point)
+        assert not overlaps(point, make_region(1, 4, 9))
+        assert not overlaps(point, make_region(1, 1, 4))
+        assert not overlaps(point, make_region(1, 4, 4))
+
     def test_paper_figure1_example(self):
         """The paper's Figure 1: S3-S5 (T1) overlaps S1-S4 and S4-S7 (T2),
         and S2-S6 (T3)."""
