@@ -28,6 +28,7 @@ and never re-sorts.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..replay.events import ReplayedAccess
@@ -85,24 +86,66 @@ class AccessIndex:
         #: Per-ordinal address -> accesses grouping, built lazily.
         self._by_address: List[Optional[Dict[int, List[ReplayedAccess]]]] = []
 
+        # Prefer the recorder's columnar capture when the log still carries
+        # it: region slicing becomes a bisect over the recorded step column,
+        # with no second walk over replay-materialized access objects.  The
+        # constructed records are value-identical to the replay-derived ones
+        # (the equivalence tests compare both paths), so every downstream
+        # analysis is oblivious to the source.
+        captured = getattr(ordered.log, "captured", None)
         for ordinal, region in enumerate(self.regions):
-            replay = ordered.thread_replays[region.thread_name]
+            columns = (
+                captured.threads.get(region.thread_name)
+                if captured is not None
+                else None
+            )
             start = len(self._objects)
             seen: Dict[int, None] = {}
-            for access in replay.accesses_in_steps(
-                region.start_step, region.end_step
-            ):
-                if access.is_sync:
-                    continue
-                self._objects.append(access)
-                self.steps.append(access.thread_step)
-                self.addresses.append(access.address)
-                self.values.append(access.value)
-                self.write_flags.append(1 if access.is_write else 0)
-                self.region_of.append(ordinal)
-                if access.address not in seen:
-                    seen[access.address] = None
-                    self.postings.setdefault(access.address, []).append(ordinal)
+            if columns is not None:
+                column_steps = columns.steps
+                lo = bisect_left(column_steps, region.start_step)
+                hi = bisect_left(column_steps, region.end_step, lo)
+                for position in range(lo, hi):
+                    flag = columns.flags[position]
+                    if flag & 2:  # synchronization access
+                        continue
+                    address = columns.addresses[position]
+                    value = columns.values[position]
+                    step = column_steps[position]
+                    self._objects.append(
+                        ReplayedAccess(
+                            thread_step=step,
+                            static_id=columns.static_ids[position],
+                            address=address,
+                            value=value,
+                            is_write=bool(flag & 1),
+                            is_sync=False,
+                        )
+                    )
+                    self.steps.append(step)
+                    self.addresses.append(address)
+                    self.values.append(value)
+                    self.write_flags.append(flag & 1)
+                    self.region_of.append(ordinal)
+                    if address not in seen:
+                        seen[address] = None
+                        self.postings.setdefault(address, []).append(ordinal)
+            else:
+                replay = ordered.thread_replays[region.thread_name]
+                for access in replay.accesses_in_steps(
+                    region.start_step, region.end_step
+                ):
+                    if access.is_sync:
+                        continue
+                    self._objects.append(access)
+                    self.steps.append(access.thread_step)
+                    self.addresses.append(access.address)
+                    self.values.append(access.value)
+                    self.write_flags.append(1 if access.is_write else 0)
+                    self.region_of.append(ordinal)
+                    if access.address not in seen:
+                        seen[access.address] = None
+                        self.postings.setdefault(access.address, []).append(ordinal)
             self._slices.append((start, len(self._objects)))
             self._address_tuples.append(tuple(seen))
         self._by_address = [None] * len(self.regions)

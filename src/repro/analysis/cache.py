@@ -1,0 +1,161 @@
+"""Content-addressed disk cache of recorded executions.
+
+Recording is a deterministic function of ``(program source, seed,
+scheduler configuration, step budget)`` — the machine reproduces all
+nondeterminism under explicit control.  That makes the record stage
+cacheable by content address: hash the inputs, and if a previous run
+already recorded the same execution, load its binary log and machine
+result instead of re-executing.  Repeated ``analyze_suite`` invocations,
+benchmark reruns and CI jobs then skip record entirely for unchanged
+workloads.
+
+Layout: one ``<key>.replay.bin`` (the versioned binary container, see
+:mod:`repro.record.binary_format`) plus one ``<key>.meta.json`` (the
+:class:`~repro.vm.machine.MachineResult`) per execution, where ``key`` is
+a sha256 over a versioned tuple of the inputs — including the container
+format version, so a format bump silently invalidates old entries rather
+than decoding them wrongly.  Writes are atomic (temp file +
+``os.replace``); any missing or undecodable entry is treated as a miss.
+
+Note that cache hits return logs without the recorder's in-memory
+columnar capture (it is never serialized), so the access index for a hit
+is built through the replay-derived path — identical by construction, as
+the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..record.binary_format import BINARY_FORMAT_VERSION, decode_log, encode_log
+from ..record.log import ReplayLog
+from ..vm.machine import MachineResult, ThreadOutcome
+from ..workloads.suite import Execution
+
+#: Bump to invalidate every existing cache entry (key-schema changes).
+CACHE_SCHEMA_VERSION = 1
+
+
+def execution_cache_key(
+    execution: Execution,
+    max_steps: int,
+    capture_global_order: bool,
+) -> str:
+    """The content address of one recorded execution.
+
+    Covers everything the recording depends on: workload identity and
+    program source (hashed, so source edits invalidate), seed and
+    scheduler configuration, the step budget, global-order capture, and
+    the binary container version the entry would be stored in.
+    """
+    source_digest = hashlib.sha256(
+        execution.workload.source.encode("utf-8")
+    ).hexdigest()
+    material = json.dumps(
+        [
+            CACHE_SCHEMA_VERSION,
+            BINARY_FORMAT_VERSION,
+            execution.workload.name,
+            source_digest,
+            execution.seed,
+            execution.switch_probability,
+            max_steps,
+            capture_global_order,
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _machine_result_to_json(result: MachineResult) -> dict:
+    return {
+        "program_name": result.program_name,
+        "output": [[name, value] for name, value in result.output],
+        "global_steps": result.global_steps,
+        "threads": {
+            name: {
+                "name": outcome.name,
+                "tid": outcome.tid,
+                "status": outcome.status,
+                "steps": outcome.steps,
+                "registers": list(outcome.registers),
+                "fault": outcome.fault,
+                "fault_kind": outcome.fault_kind,
+            }
+            for name, outcome in result.threads.items()
+        },
+        "memory": {str(address): value for address, value in result.memory.items()},
+        "sequencer_count": result.sequencer_count,
+        "seed": result.seed,
+    }
+
+
+def _machine_result_from_json(data: dict) -> MachineResult:
+    return MachineResult(
+        program_name=data["program_name"],
+        output=[(name, value) for name, value in data["output"]],
+        global_steps=data["global_steps"],
+        threads={
+            name: ThreadOutcome(
+                name=entry["name"],
+                tid=entry["tid"],
+                status=entry["status"],
+                steps=entry["steps"],
+                registers=tuple(entry["registers"]),
+                fault=entry["fault"],
+                fault_kind=entry["fault_kind"],
+            )
+            for name, entry in data["threads"].items()
+        },
+        memory={int(address): value for address, value in data["memory"].items()},
+        sequencer_count=data["sequencer_count"],
+        seed=data["seed"],
+    )
+
+
+class SuiteCache:
+    """Disk cache mapping execution content addresses to recorded runs."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _log_path(self, key: str) -> Path:
+        return self.directory / ("%s.replay.bin" % key)
+
+    def _meta_path(self, key: str) -> Path:
+        return self.directory / ("%s.meta.json" % key)
+
+    def load(self, key: str) -> Optional[Tuple[MachineResult, ReplayLog]]:
+        """The cached ``(machine result, log)`` for ``key``, or ``None``.
+
+        Every failure mode — missing files, truncated container, schema
+        drift — degrades to a miss so a stale cache can never break a run.
+        """
+        log_path = self._log_path(key)
+        meta_path = self._meta_path(key)
+        try:
+            log = decode_log(log_path.read_bytes())
+            result = _machine_result_from_json(
+                json.loads(meta_path.read_text(encoding="utf-8"))
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return result, log
+
+    def store(self, key: str, result: MachineResult, log: ReplayLog) -> None:
+        """Persist one recorded execution under ``key`` (atomic replace)."""
+        self._write_atomic(self._log_path(key), encode_log(log))
+        self._write_atomic(
+            self._meta_path(key),
+            json.dumps(_machine_result_to_json(result)).encode("utf-8"),
+        )
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        temporary = path.with_name(path.name + ".tmp.%d" % os.getpid())
+        temporary.write_bytes(data)
+        os.replace(temporary, path)

@@ -300,6 +300,9 @@ class EngineConfig:
     max_pairs_per_location: Optional[int] = 256
     max_steps: int = 200_000
     capture_global_order: bool = True
+    #: Directory of the content-addressed record cache (None = no cache).
+    #: A string (not a Path) so the config pickles cheaply to pool workers.
+    cache_dir: Optional[str] = None
 
 
 class ClassificationEngine:
@@ -315,6 +318,11 @@ class ClassificationEngine:
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
         self.cache = VerdictCache()
+        self._record_cache = None
+        if self.config.cache_dir is not None:
+            from .cache import SuiteCache
+
+            self._record_cache = SuiteCache(self.config.cache_dir)
 
     # -- classifier construction (pipeline hook) -----------------------
 
@@ -348,6 +356,7 @@ class ClassificationEngine:
             capture_global_order=self.config.capture_global_order,
             classifier_factory=self._classifier_factory,
             perf=stats,
+            cache=self._record_cache,
         )
         stats.cache_hits += self.cache.hits - hits_before
         stats.cache_misses += self.cache.misses - misses_before

@@ -49,6 +49,16 @@ class PerfStats:
     #: Region pairs the quadratic reference loop would have visited but
     #: the sweep line never touched.
     detect_pairs_pruned: int = 0
+    #: Instructions retired by recording machines.
+    record_steps: int = 0
+    #: Access events (loads + stores) the recorder captured columnarly.
+    record_events: int = 0
+    #: Loads the recorder's prediction cache elided from the log.
+    record_predicted_loads: int = 0
+    #: Executions whose recording was served from the suite cache.
+    record_cache_hits: int = 0
+    #: Executions that had to be recorded (cache enabled but cold/stale).
+    record_cache_misses: int = 0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -80,6 +90,11 @@ class PerfStats:
         self.detect_regions += other.detect_regions
         self.detect_pairs_examined += other.detect_pairs_examined
         self.detect_pairs_pruned += other.detect_pairs_pruned
+        self.record_steps += other.record_steps
+        self.record_events += other.record_events
+        self.record_predicted_loads += other.record_predicted_loads
+        self.record_cache_hits += other.record_cache_hits
+        self.record_cache_misses += other.record_cache_misses
 
     @property
     def cache_hit_rate(self) -> float:
@@ -102,6 +117,12 @@ class PerfStats:
         total = self.detect_pairs_examined + self.detect_pairs_pruned
         return self.detect_pairs_pruned / total if total else 0.0
 
+    @property
+    def record_cache_hit_rate(self) -> float:
+        """Fraction of recordings served from the suite cache."""
+        looked_up = self.record_cache_hits + self.record_cache_misses
+        return self.record_cache_hits / looked_up if looked_up else 0.0
+
     def to_json(self) -> Dict[str, object]:
         return {
             "jobs": self.jobs,
@@ -123,6 +144,12 @@ class PerfStats:
             "detect_pairs_examined": self.detect_pairs_examined,
             "detect_pairs_pruned": self.detect_pairs_pruned,
             "detect_prune_rate": round(self.detect_prune_rate, 4),
+            "record_steps": self.record_steps,
+            "record_events": self.record_events,
+            "record_predicted_loads": self.record_predicted_loads,
+            "record_cache_hits": self.record_cache_hits,
+            "record_cache_misses": self.record_cache_misses,
+            "record_cache_hit_rate": round(self.record_cache_hit_rate, 4),
         }
 
     def render(self) -> str:
@@ -140,6 +167,20 @@ class PerfStats:
             "  replay reuse: %d originals synthesized, %d prefixes fast-forwarded"
             % (self.originals_synthesized, self.prefixes_fast_forwarded)
         )
+        if self.record_steps or self.record_cache_hits:
+            lines.append(
+                "  record: %d steps, %d access events, %d predicted loads elided"
+                % (self.record_steps, self.record_events, self.record_predicted_loads)
+            )
+        if self.record_cache_hits or self.record_cache_misses:
+            lines.append(
+                "  record cache: %d hits / %d misses (%.1f%% hit rate)"
+                % (
+                    self.record_cache_hits,
+                    self.record_cache_misses,
+                    100.0 * self.record_cache_hit_rate,
+                )
+            )
         if self.detect_regions:
             lines.append(
                 "  detect sweep: %d regions, %d pairs examined, %d pruned (%.1f%%)"

@@ -84,6 +84,7 @@ def analyze_execution(
     classifier_factory=None,
     detector_factory=None,
     perf: Optional[PerfStats] = None,
+    cache=None,
 ) -> ExecutionAnalysis:
     """Record and fully analyse one execution of a workload.
 
@@ -92,22 +93,41 @@ def analyze_execution(
     ``detector_factory(ordered, max_pairs_per_location)`` substitutes the
     race detector (the equivalence tests pass the retained naive
     reference); ``perf`` accumulates per-stage wall time and work
-    counters.
+    counters; ``cache`` (a :class:`repro.analysis.cache.SuiteCache`)
+    serves the record stage by content address when the same execution
+    was recorded before.
     """
     workload = execution.workload
     program = workload.program()
     stats = perf if perf is not None else PerfStats()
     with stats.stage("record"):
-        scheduler = RandomScheduler(
-            seed=execution.seed, switch_probability=execution.switch_probability
-        )
-        machine_result, log = record_run(
-            program,
-            scheduler=scheduler,
-            seed=execution.seed,
-            max_steps=max_steps,
-            capture_global_order=capture_global_order,
-        )
+        machine_result = None
+        if cache is not None:
+            from .cache import execution_cache_key
+
+            cache_key = execution_cache_key(execution, max_steps, capture_global_order)
+            cached = cache.load(cache_key)
+            if cached is not None:
+                machine_result, log = cached
+                stats.record_cache_hits += 1
+        if machine_result is None:
+            scheduler = RandomScheduler(
+                seed=execution.seed, switch_probability=execution.switch_probability
+            )
+            machine_result, log = record_run(
+                program,
+                scheduler=scheduler,
+                seed=execution.seed,
+                max_steps=max_steps,
+                capture_global_order=capture_global_order,
+            )
+            if cache is not None:
+                stats.record_cache_misses += 1
+                cache.store(cache_key, machine_result, log)
+        stats.record_steps += log.total_instructions
+        if log.captured is not None:
+            stats.record_events += log.captured.total_events
+            stats.record_predicted_loads += log.captured.predicted_loads
     with stats.stage("replay"):
         ordered = OrderedReplay(log, program)
     with stats.stage("detect"):
@@ -165,6 +185,7 @@ def analyze_suite(
     jobs: int = 1,
     memoize: bool = False,
     perf: Optional[PerfStats] = None,
+    cache_dir=None,
 ) -> SuiteAnalysis:
     """Analyse a corpus and merge per-static-race results across executions.
 
@@ -172,7 +193,9 @@ def analyze_suite(
     ``memoize`` reuses verdicts of structurally identical race instances;
     both delegate to :class:`repro.analysis.engine.ClassificationEngine`
     and change no verdict (the engine equivalence tests assert identical
-    results).
+    results).  ``cache_dir`` enables the content-addressed record cache
+    (:mod:`repro.analysis.cache`), letting repeated runs skip record for
+    unchanged workloads — again with no effect on any result.
     """
     if jobs != 1 or memoize:
         from .engine import ClassificationEngine, EngineConfig
@@ -183,16 +206,23 @@ def analyze_suite(
                 memoize=memoize,
                 classifier_config=classifier_config,
                 max_pairs_per_location=max_pairs_per_location,
+                cache_dir=str(cache_dir) if cache_dir is not None else None,
             )
         )
         analyses = engine.analyze_executions(list(executions), perf=perf)
     else:
+        cache = None
+        if cache_dir is not None:
+            from .cache import SuiteCache
+
+            cache = SuiteCache(cache_dir)
         analyses = [
             analyze_execution(
                 execution,
                 classifier_config=classifier_config,
                 max_pairs_per_location=max_pairs_per_location,
                 perf=perf,
+                cache=cache,
             )
             for execution in executions
         ]

@@ -74,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.3,
         help="preemption probability for the random scheduler",
     )
+    record.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the record-stage breakdown (steps, events, elisions)",
+    )
+    record.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help="record through the generic reference interpreter",
+    )
 
     replay = sub.add_parser("replay", help="replay a log and verify it")
     replay.add_argument("log", type=Path, help="replay log file")
@@ -164,6 +174,17 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage timings and engine statistics",
     )
+    suite.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-addressed record cache directory (skips re-recording)",
+    )
+    suite.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and always re-record",
+    )
 
     report = sub.add_parser(
         "report", help="write the full reproduction results document"
@@ -207,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse verdicts of structurally identical race instances",
     )
+    experiment.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-addressed record cache directory (skips re-recording)",
+    )
 
     return parser
 
@@ -218,11 +245,18 @@ def _make_scheduler(args):
 
 
 def _cmd_record(args, out) -> int:
+    from .analysis.perf import PerfStats
+
     source = args.program.read_text()
     program = assemble(source, name=args.program.stem)
-    result, log = record_run(
-        program, scheduler=_make_scheduler(args), seed=args.seed
-    )
+    perf = PerfStats()
+    with perf.stage("record"):
+        result, log = record_run(
+            program,
+            scheduler=_make_scheduler(args),
+            seed=args.seed,
+            fast_path=not args.no_fast_path,
+        )
     destination = args.output or args.program.with_suffix(".replay.bin")
     save_log(log, destination)
     stats = compression_stats(log)
@@ -237,6 +271,13 @@ def _cmd_record(args, out) -> int:
         ),
         file=out,
     )
+    if args.perf:
+        perf.record_steps = log.total_instructions
+        if log.captured is not None:
+            perf.record_events = log.captured.total_events
+            perf.record_predicted_loads = log.captured.predicted_loads
+        print("", file=out)
+        print(perf.render(), file=out)
     return 0
 
 
@@ -416,9 +457,14 @@ def _cmd_suite(args, out) -> int:
     from .analysis.statistics import corpus_statistics
     from .workloads.suite import paper_suite
 
+    cache_dir = None if args.no_cache else args.cache_dir
     perf = PerfStats()
     suite = analyze_suite(
-        paper_suite(), jobs=args.jobs, memoize=args.memoize, perf=perf
+        paper_suite(),
+        jobs=args.jobs,
+        memoize=args.memoize,
+        perf=perf,
+        cache_dir=cache_dir,
     )
     print(corpus_statistics(suite).render(), file=out)
     print("", file=out)
@@ -455,7 +501,9 @@ def _cmd_experiment(args, out) -> int:
         "ablation_detectors",
         "ablation_instances",
     ):
-        suite = run_suite(jobs=args.jobs, memoize=args.memoize)
+        suite = run_suite(
+            jobs=args.jobs, memoize=args.memoize, cache_dir=args.cache_dir
+        )
     if experiment_id == "table1":
         print(run_table1(suite).render(), file=out)
     elif experiment_id == "table2":

@@ -66,6 +66,21 @@ class CodeBlock:
     name: str
     instructions: Tuple[Instruction, ...]
     labels: Dict[str, int] = field(default_factory=dict)
+    #: Lazily predecoded dispatch records (see :mod:`repro.isa.predecode`)
+    #: and the matching static-id table; shared by every thread running
+    #: this block and by every machine executing this program object.
+    _decoded: Optional[list] = field(default=None, repr=False, compare=False)
+    _static_ids: Optional[Tuple[StaticInstructionId, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The decode caches hold bound callables (not picklable, and cheap
+        # to rebuild); strip them so blocks ship cleanly to pool workers.
+        state = self.__dict__.copy()
+        state["_decoded"] = None
+        state["_static_ids"] = None
+        return state
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -75,6 +90,23 @@ class CodeBlock:
 
     def static_id(self, index: int) -> StaticInstructionId:
         return StaticInstructionId(self.name, index)
+
+    def static_ids(self) -> Tuple[StaticInstructionId, ...]:
+        """All static ids of this block, built once (fast-path id source)."""
+        if self._static_ids is None:
+            self._static_ids = tuple(
+                StaticInstructionId(self.name, index)
+                for index in range(len(self.instructions))
+            )
+        return self._static_ids
+
+    def decoded(self) -> list:
+        """This block's predecoded dispatch records, built on first use."""
+        if self._decoded is None:
+            from .predecode import predecode_block
+
+            self._decoded = predecode_block(self)
+        return self._decoded
 
 
 @dataclass

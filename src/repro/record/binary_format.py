@@ -11,7 +11,7 @@ behind a versioned magic header.
 Container layout::
 
     offset 0   4 bytes   MAGIC  = b"RPRB"   (\"repro replay binary\")
-    offset 4   1 byte    format version (currently 1)
+    offset 4   1 byte    format version (currently 2; v1 still decodes)
     offset 5   ...       zlib-compressed body
 
 The body is a single varint record stream (LEB128 unsigned varints;
@@ -21,6 +21,15 @@ the same technique ``pack_log`` uses, so the compressed container lands
 within a few percent of the accounting-only stream while remaining fully
 invertible.  Suite runs that persist logs stop paying JSON encode/decode
 and store roughly 5-10x fewer bytes.
+
+Version 2 adds **predicted-load value elision** on top: each load record's
+step delta carries a low-order *predicted* bit, and when it is set the
+value field is omitted entirely — the decoder reconstructs it from a
+per-thread, per-address last-logged-value predictor whose state the
+encoder maintains identically.  This is the serialization-side analog of
+the recorder's load-based checkpointing: values the reader can already
+predict never hit the wire.  Elision is a binary-only feature; the JSON
+document always spells every value out.
 
 ``save_log``/``load_log`` in :mod:`.serialization` route through this
 module: saving is binary-first (JSON retained for ``.json`` paths and old
@@ -46,7 +55,9 @@ from .log import (
 #: First bytes of every binary replay log.
 MAGIC = b"RPRB"
 #: Current container format version (bumped on any layout change).
-BINARY_FORMAT_VERSION = 1
+BINARY_FORMAT_VERSION = 2
+#: Every version this reader can decode.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: zlib level: 6 is the historical "zip utility" analog used by
 #: :func:`repro.record.compression.compression_stats`.
@@ -114,7 +125,10 @@ def _write_static_id(writer: _Writer, static_id: Optional[StaticInstructionId]) 
         writer.uint(static_id.index)
 
 
-def _write_thread(writer: _Writer, log: ThreadLog) -> None:
+def _write_thread(
+    writer: _Writer, log: ThreadLog, version: int, elide_predicted: bool
+) -> int:
+    """Write one thread; returns the number of load values elided."""
     writer.text(log.name)
     writer.uint(log.tid)
     writer.text(log.block)
@@ -122,14 +136,30 @@ def _write_thread(writer: _Writer, log: ThreadLog) -> None:
     for value in log.initial_registers:
         writer.uint(value)
 
+    elided = 0
     writer.uint(len(log.loads))
     previous_step = 0
     previous_address = 0
+    #: address -> last value written to the stream for it (v2 predictor).
+    predictor: dict = {}
     for step in sorted(log.loads):
         record = log.loads[step]
-        writer.uint(step - previous_step)
-        writer.sint(record.address - previous_address)
-        writer.uint(record.value)
+        step_delta = step - previous_step
+        if version >= 2:
+            predicted = (
+                elide_predicted and predictor.get(record.address) == record.value
+            )
+            writer.uint(step_delta * 2 + (1 if predicted else 0))
+            writer.sint(record.address - previous_address)
+            if predicted:
+                elided += 1
+            else:
+                writer.uint(record.value)
+            predictor[record.address] = record.value
+        else:
+            writer.uint(step_delta)
+            writer.sint(record.address - previous_address)
+            writer.uint(record.value)
         previous_step = step
         previous_address = record.address
 
@@ -168,10 +198,24 @@ def _write_thread(writer: _Writer, log: ThreadLog) -> None:
         writer.flag(log.end.fault_kind is not None)
         if log.end.fault_kind is not None:
             writer.text(log.end.fault_kind)
+    return elided
 
 
-def encode_log(log: ReplayLog) -> bytes:
-    """Serialize ``log`` into the versioned binary container."""
+def encode_log(
+    log: ReplayLog,
+    version: int = BINARY_FORMAT_VERSION,
+    elide_predicted_loads: bool = True,
+    stats: Optional[dict] = None,
+) -> bytes:
+    """Serialize ``log`` into the versioned binary container.
+
+    ``version`` selects the container layout (v1 kept for compatibility
+    fixtures); ``elide_predicted_loads`` toggles the v2 value elision
+    (ignored for v1).  When ``stats`` is given, ``stats["elided_load_values"]``
+    receives the number of load values the predictor kept off the wire.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError("unsupported binary replay-log format version: %d" % version)
     writer = _Writer()
     writer.text(log.program_name)
     writer.text(log.program_source)
@@ -184,10 +228,13 @@ def encode_log(log: ReplayLog) -> bytes:
             writer.uint(tid)
             writer.sint(step)
     writer.uint(len(log.threads))
+    elided = 0
     for thread in log.threads.values():
-        _write_thread(writer, thread)
+        elided += _write_thread(writer, thread, version, elide_predicted_loads)
+    if stats is not None:
+        stats["elided_load_values"] = elided
     body = zlib.compress(bytes(writer.out), _COMPRESSION_LEVEL)
-    return MAGIC + bytes([BINARY_FORMAT_VERSION]) + body
+    return MAGIC + bytes([version]) + body
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +250,7 @@ def _read_static_id(reader: _Reader) -> Optional[StaticInstructionId]:
     return StaticInstructionId(block=block, index=index)
 
 
-def _read_thread(reader: _Reader) -> ThreadLog:
+def _read_thread(reader: _Reader, version: int) -> ThreadLog:
     name = reader.text()
     tid = reader.uint()
     block = reader.text()
@@ -212,10 +259,27 @@ def _read_thread(reader: _Reader) -> ThreadLog:
 
     step = 0
     address = 0
+    predictor: dict = {}
     for _ in range(reader.uint()):
-        step += reader.uint()
-        address += reader.sint()
-        value = reader.uint()
+        if version >= 2:
+            packed = reader.uint()
+            step += packed >> 1
+            address += reader.sint()
+            if packed & 1:
+                try:
+                    value = predictor[address]
+                except KeyError:
+                    raise ValueError(
+                        "corrupt log: predicted load with no prior value "
+                        "for address %#x" % address
+                    )
+            else:
+                value = reader.uint()
+            predictor[address] = value
+        else:
+            step += reader.uint()
+            address += reader.sint()
+            value = reader.uint()
         log.loads[step] = LoadRecord(thread_step=step, address=address, value=value)
 
     step = 0
@@ -264,7 +328,7 @@ def decode_log(data: bytes) -> ReplayLog:
     if not data.startswith(MAGIC):
         raise ValueError("not a binary replay log (bad magic bytes)")
     version = data[len(MAGIC)]
-    if version != BINARY_FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             "unsupported binary replay-log format version: %d" % version
         )
@@ -280,7 +344,7 @@ def decode_log(data: bytes) -> ReplayLog:
         ]
     threads = {}
     for _ in range(reader.uint()):
-        thread = _read_thread(reader)
+        thread = _read_thread(reader, version)
         threads[thread.name] = thread
     return ReplayLog(
         program_name=program_name,

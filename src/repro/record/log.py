@@ -65,6 +65,46 @@ class SequencerRecord:
 
 
 @dataclass
+class ThreadAccessColumns:
+    """Columnar capture of every data access one thread performed.
+
+    Parallel arrays in event order (``steps`` is non-decreasing: the
+    thread-step counter only moves forward).  ``flags`` packs bit 0 =
+    write, bit 1 = synchronization access.  Store rows carry the *new*
+    value — the value the location holds after the access, matching what
+    replay reconstructs.
+    """
+
+    steps: List[int] = field(default_factory=list)
+    addresses: List[int] = field(default_factory=list)
+    values: List[int] = field(default_factory=list)
+    flags: List[int] = field(default_factory=list)
+    static_ids: List[StaticInstructionId] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class CapturedAccessColumns:
+    """All access columns of one recorded run, keyed by thread name.
+
+    Built by the recorder at :meth:`Recorder.finish`; lets
+    :class:`~repro.analysis.access_index.AccessIndex` come straight from
+    the recording instead of re-deriving every access by replaying.  This
+    is in-memory capture only — never serialized, and absent (``None``)
+    on logs loaded from disk, which fall back to the replay-derived path.
+    """
+
+    threads: Dict[str, ThreadAccessColumns] = field(default_factory=dict)
+    predicted_loads: int = 0
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(columns) for columns in self.threads.values())
+
+
+@dataclass
 class ThreadEnd:
     """How a thread's recording ended."""
 
@@ -115,6 +155,12 @@ class ReplayLog:
     seed: int = 0
     scheduler: str = ""
     global_order: Optional[List[Tuple[int, int]]] = None
+    #: Columnar access capture from the recording machine, when this log
+    #: came from a live :class:`Recorder` (``None`` after deserialization).
+    #: Excluded from equality: a round-tripped log equals its original.
+    captured: Optional[CapturedAccessColumns] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def total_instructions(self) -> int:

@@ -13,22 +13,132 @@ Attach a :class:`Recorder` to a machine run and call :meth:`finish` for the
 
 The recorder never reads machine internals — it sees only observer events,
 so it records exactly the information a binary instrumentation engine could.
+
+Capture is *columnar*: each observer hook appends scalars to parallel
+per-thread arrays instead of constructing a record object per event, and
+:meth:`finish` assembles the dataclass-shaped :class:`ReplayLog` once at the
+end.  The same columns double as the full access trace
+(:class:`CapturedAccessColumns` on the returned log), which lets the
+analysis pipeline build its :class:`~repro.analysis.access_index.AccessIndex`
+straight from the recording instead of re-deriving every access by replay.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..isa.program import Program, StaticInstructionId
+from ..isa.program import Program
 from ..vm.observers import Observer
 from .log import (
+    CapturedAccessColumns,
     LoadRecord,
     ReplayLog,
     SequencerRecord,
     SyscallRecord,
+    ThreadAccessColumns,
     ThreadEnd,
     ThreadLog,
 )
+
+
+class _ThreadCapture:
+    """Columnar accumulation for one thread (parallel arrays, one row per
+    event).  Split from :class:`ThreadLog` so the hot observer hooks touch
+    only list appends and one dict probe."""
+
+    __slots__ = (
+        "name",
+        "tid",
+        "block",
+        "cache",
+        "load_steps",
+        "load_addresses",
+        "load_values",
+        "syscall_steps",
+        "syscall_names",
+        "syscall_results",
+        "seq_steps",
+        "seq_timestamps",
+        "seq_kinds",
+        "seq_static_ids",
+        "access_steps",
+        "access_addresses",
+        "access_values",
+        "access_flags",
+        "access_static_ids",
+        "pc_footprint",
+        "steps",
+        "end",
+        "predicted_loads",
+    )
+
+    def __init__(self, tid: int, name: str, block: str):
+        self.tid = tid
+        self.name = name
+        self.block = block
+        self.cache: Dict[int, int] = {}
+        self.load_steps: List[int] = []
+        self.load_addresses: List[int] = []
+        self.load_values: List[int] = []
+        self.syscall_steps: List[int] = []
+        self.syscall_names: List[str] = []
+        self.syscall_results: List[int] = []
+        self.seq_steps: List[int] = []
+        self.seq_timestamps: List[int] = []
+        self.seq_kinds: List[str] = []
+        self.seq_static_ids: List[Optional[object]] = []
+        self.access_steps: List[int] = []
+        self.access_addresses: List[int] = []
+        self.access_values: List[int] = []
+        self.access_flags: List[int] = []
+        self.access_static_ids: List[object] = []
+        self.pc_footprint = set()
+        self.steps = 0
+        self.end: Optional[ThreadEnd] = None
+        self.predicted_loads = 0
+
+    def to_thread_log(self) -> ThreadLog:
+        loads = {
+            step: LoadRecord(thread_step=step, address=address, value=value)
+            for step, address, value in zip(
+                self.load_steps, self.load_addresses, self.load_values
+            )
+        }
+        syscalls = {
+            step: SyscallRecord(thread_step=step, name=name, result=result)
+            for step, name, result in zip(
+                self.syscall_steps, self.syscall_names, self.syscall_results
+            )
+        }
+        sequencers = [
+            SequencerRecord(
+                thread_step=step, timestamp=timestamp, kind=kind, static_id=static_id
+            )
+            for step, timestamp, kind, static_id in zip(
+                self.seq_steps, self.seq_timestamps, self.seq_kinds, self.seq_static_ids
+            )
+        ]
+        return ThreadLog(
+            name=self.name,
+            tid=self.tid,
+            block=self.block,
+            initial_registers=(0,) * 16,
+            loads=loads,
+            syscalls=syscalls,
+            sequencers=sequencers,
+            pc_footprint=self.pc_footprint,
+            steps=self.steps,
+            end=self.end,
+        )
+
+    def to_access_columns(self) -> ThreadAccessColumns:
+        return ThreadAccessColumns(
+            steps=self.access_steps,
+            addresses=self.access_addresses,
+            values=self.access_values,
+            flags=self.access_flags,
+            static_ids=self.access_static_ids,
+        )
 
 
 class Recorder(Observer):
@@ -44,11 +154,9 @@ class Recorder(Observer):
         self.program = program
         self.seed = seed
         self.scheduler_description = scheduler
-        self._threads: Dict[int, ThreadLog] = {}
-        self._caches: Dict[int, Dict[int, int]] = {}
-        self._global_order: Optional[List[Tuple[int, int]]] = (
-            [] if capture_global_order else None
-        )
+        self._captures: Dict[int, _ThreadCapture] = {}
+        self._order_tids: Optional[List[int]] = [] if capture_global_order else None
+        self._order_steps: Optional[List[int]] = [] if capture_global_order else None
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -56,51 +164,59 @@ class Recorder(Observer):
     # ------------------------------------------------------------------
 
     def on_thread_start(self, tid: int, thread_name: str, block_name: str) -> None:
-        self._threads[tid] = ThreadLog(
-            name=thread_name,
-            tid=tid,
-            block=block_name,
-            initial_registers=(0,) * 16,
-        )
-        self._caches[tid] = {}
+        self._captures[tid] = _ThreadCapture(tid, thread_name, block_name)
 
     def on_sequencer(self, tid, thread_step, timestamp, kind, static_id) -> None:
-        self._threads[tid].sequencers.append(
-            SequencerRecord(
-                thread_step=thread_step,
-                timestamp=timestamp,
-                kind=kind,
-                static_id=static_id,
-            )
-        )
+        capture = self._captures[tid]
+        capture.seq_steps.append(thread_step)
+        capture.seq_timestamps.append(timestamp)
+        capture.seq_kinds.append(kind)
+        capture.seq_static_ids.append(static_id)
 
     def on_load(self, tid, thread_step, static_id, address, value, is_sync) -> None:
-        cache = self._caches[tid]
-        if address not in cache or cache[address] != value:
-            self._threads[tid].loads[thread_step] = LoadRecord(
-                thread_step=thread_step, address=address, value=value
-            )
-        cache[address] = value
+        capture = self._captures[tid]
+        # Load-based checkpointing: log only mispredicted values.  (Values
+        # are non-negative words, so the None of a cold cache never aliases.)
+        if capture.cache.get(address) != value:
+            capture.load_steps.append(thread_step)
+            capture.load_addresses.append(address)
+            capture.load_values.append(value)
+        else:
+            capture.predicted_loads += 1
+        capture.cache[address] = value
+        capture.access_steps.append(thread_step)
+        capture.access_addresses.append(address)
+        capture.access_values.append(value)
+        capture.access_flags.append(2 if is_sync else 0)
+        capture.access_static_ids.append(static_id)
 
     def on_store(
         self, tid, thread_step, static_id, address, old_value, new_value, is_sync
     ) -> None:
-        self._caches[tid][address] = new_value
+        capture = self._captures[tid]
+        capture.cache[address] = new_value
+        capture.access_steps.append(thread_step)
+        capture.access_addresses.append(address)
+        capture.access_values.append(new_value)
+        capture.access_flags.append(3 if is_sync else 1)
+        capture.access_static_ids.append(static_id)
 
     def on_syscall(self, tid, thread_step, static_id, name, result) -> None:
-        self._threads[tid].syscalls[thread_step] = SyscallRecord(
-            thread_step=thread_step, name=name, result=result
-        )
+        capture = self._captures[tid]
+        capture.syscall_steps.append(thread_step)
+        capture.syscall_names.append(name)
+        capture.syscall_results.append(result)
 
     def on_step(self, global_step, tid, thread_step, static_id) -> None:
-        log = self._threads[tid]
-        log.pc_footprint.add(static_id.index)
-        log.steps = thread_step + 1
-        if self._global_order is not None:
-            self._global_order.append((tid, thread_step))
+        capture = self._captures[tid]
+        capture.pc_footprint.add(static_id.index)
+        capture.steps = thread_step + 1
+        if self._order_tids is not None:
+            self._order_tids.append(tid)
+            self._order_steps.append(thread_step)
 
     def on_thread_end(self, tid, thread_step, reason, fault) -> None:
-        self._threads[tid].end = ThreadEnd(
+        self._captures[tid].end = ThreadEnd(
             thread_step=thread_step,
             reason=reason,
             fault_kind=str(fault) if fault is not None else None,
@@ -110,18 +226,34 @@ class Recorder(Observer):
     # Result.
     # ------------------------------------------------------------------
 
+    @property
+    def predicted_loads(self) -> int:
+        """Loads elided by the prediction cache so far."""
+        return sum(capture.predicted_loads for capture in self._captures.values())
+
     def finish(self) -> ReplayLog:
         """Assemble the final :class:`ReplayLog` (idempotent)."""
         self._finished = True
+        captured = CapturedAccessColumns(
+            threads={
+                capture.name: capture.to_access_columns()
+                for capture in self._captures.values()
+            },
+            predicted_loads=self.predicted_loads,
+        )
         return ReplayLog(
             program_name=self.program.name,
             program_source=self.program.source,
-            threads={log.name: log for log in self._threads.values()},
+            threads={
+                capture.name: capture.to_thread_log()
+                for capture in self._captures.values()
+            },
             seed=self.seed,
             scheduler=self.scheduler_description,
-            global_order=list(self._global_order)
-            if self._global_order is not None
+            global_order=list(zip(self._order_tids, self._order_steps))
+            if self._order_tids is not None
             else None,
+            captured=captured,
         )
 
 
@@ -132,12 +264,14 @@ def record_run(
     max_steps: int = 200_000,
     capture_global_order: bool = True,
     extra_observers=(),
+    fast_path: bool = True,
 ):
     """Run ``program`` under recording; returns ``(MachineResult, ReplayLog)``.
 
     The convenience entry point used throughout the examples and the
     analysis pipeline: one call replaces "deploy iDNA and run the test
-    scenario" from the paper's usage model.
+    scenario" from the paper's usage model.  ``fast_path=False`` forces the
+    generic reference interpreter (the logs are identical either way).
     """
     from ..vm.machine import Machine
 
@@ -154,6 +288,7 @@ def record_run(
         seed=seed,
         max_steps=max_steps,
         observers=[recorder, *extra_observers],
+        fast_path=fast_path,
     )
     result = machine.run()
     return result, recorder.finish()

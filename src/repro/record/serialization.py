@@ -158,14 +158,17 @@ def save_log(
 
     ``format`` is ``"binary"`` (the versioned container), ``"json"`` (the
     legacy document) or ``"auto"`` — binary-first, falling back to JSON
-    only when the destination carries a ``.json`` suffix so existing
-    fixtures and text-based tooling keep working.
+    only when the destination carries a ``.json`` suffix (matched
+    case-insensitively: a ``.JSON`` path must not silently get a binary
+    log) so existing fixtures and text-based tooling keep working.  The
+    v2 predicted-load elision is a binary-container feature; JSON output
+    always spells every load value out.
     """
     from .binary_format import encode_log
 
     path = Path(path)
     if format == "auto":
-        format = "json" if path.suffix == ".json" else "binary"
+        format = "json" if path.suffix.lower() == ".json" else "binary"
     if format == "binary":
         path.write_bytes(encode_log(log))
     elif format == "json":

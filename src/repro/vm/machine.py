@@ -79,12 +79,14 @@ class Machine:
         seed: int = 0,
         max_steps: int = 200_000,
         observers: Sequence[Observer] = (),
+        fast_path: bool = True,
     ):
         self.program = program
         self.scheduler = scheduler or RoundRobinScheduler()
         self.seed = seed
         self.max_steps = max_steps
         self.observers: List[Observer] = list(observers)
+        self.fast_path = fast_path
 
         self.memory = Memory(program.initial_memory())
         self.locks = LockTable()
@@ -93,11 +95,15 @@ class Machine:
             ThreadState(tid, name, program.block_for_thread(name))
             for tid, name in enumerate(program.threads)
         ]
+        if fast_path:
+            for thread in self.threads:
+                thread.attach_decoded()
         self.global_step = 0
         self._sequencer_clock = 0
         self._last_tid: Optional[int] = None
         self._yielded_tid: Optional[int] = None
         self._current_tid: Optional[int] = None
+        self._runnable_dirty = False
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -164,6 +170,7 @@ class Machine:
     def block_thread(self, thread: ThreadState, lock_address: int) -> None:
         thread.status = ThreadStatus.BLOCKED
         thread.blocked_on = lock_address
+        self._runnable_dirty = True
         self.locks.add_waiter(thread.tid, lock_address)
 
     def wake_thread(self, tid: int) -> None:
@@ -171,9 +178,11 @@ class Machine:
         if thread.status is ThreadStatus.BLOCKED:
             thread.status = ThreadStatus.RUNNABLE
             thread.blocked_on = None
+            self._runnable_dirty = True
 
     def end_thread(self, thread: ThreadState, reason: str) -> None:
         thread.status = ThreadStatus.HALTED
+        self._runnable_dirty = True
         self.emit_sequencer(thread, kind="thread_end", static_id=None)
         for observer in self.observers:
             observer.on_thread_end(thread.tid, thread.steps, reason, None)
@@ -181,6 +190,7 @@ class Machine:
     def fault_thread(self, thread: ThreadState, fault: MemoryFault) -> None:
         thread.status = ThreadStatus.FAULTED
         thread.fault = fault
+        self._runnable_dirty = True
         self.emit_sequencer(thread, kind="thread_end", static_id=None)
         for observer in self.observers:
             observer.on_thread_end(thread.tid, thread.steps, "fault", fault.kind)
@@ -211,6 +221,17 @@ class Machine:
                 observer.on_thread_start(thread.tid, thread.name, thread.block.name)
             self.emit_sequencer(thread, kind="thread_start", static_id=None, thread_step=-1)
 
+        if self.fast_path:
+            self._run_fast()
+        else:
+            self._run_generic()
+        return self._result()
+
+    def _run_generic(self) -> None:
+        """The seed interpreter loop: rebuilds the runnable list every
+        iteration and dispatches through :meth:`ThreadState.step`'s generic
+        operand resolution.  Kept as the reference implementation the fast
+        path is tested against."""
         iterations = 0
         iteration_limit = self.max_steps * 2
         while True:
@@ -257,6 +278,67 @@ class Machine:
             if iterations > iteration_limit:
                 raise StepLimitError("exceeded iteration limit (livelock?)")
 
+    def _run_fast(self) -> None:
+        """The predecoded loop.  Equivalent to :meth:`_run_generic` step for
+        step — same runnable ordering (tid-ascending), same yield filter,
+        same scheduler calls and limit checks — but the runnable list is
+        maintained incrementally (rebuilt only when a lifecycle hook flips
+        a thread's status) and dispatch goes through
+        :meth:`ThreadState.step_fast`."""
+        threads = self.threads
+        scheduler_pick = self.scheduler.pick
+        max_steps = self.max_steps
+        iterations = 0
+        iteration_limit = max_steps * 2
+        runnable = [
+            thread.tid for thread in threads if thread.status is ThreadStatus.RUNNABLE
+        ]
+        self._runnable_dirty = False
+        while True:
+            if self._runnable_dirty:
+                runnable = [
+                    thread.tid
+                    for thread in threads
+                    if thread.status is ThreadStatus.RUNNABLE
+                ]
+                self._runnable_dirty = False
+            if not runnable:
+                if any(thread.status is ThreadStatus.BLOCKED for thread in threads):
+                    raise DeadlockError(
+                        "all live threads are blocked: %s"
+                        % {
+                            thread.name: thread.blocked_on
+                            for thread in threads
+                            if thread.status is ThreadStatus.BLOCKED
+                        }
+                    )
+                break
+            candidates = runnable
+            if self._yielded_tid is not None:
+                others = [tid for tid in runnable if tid != self._yielded_tid]
+                if others:
+                    candidates = others
+                self._yielded_tid = None
+            tid = scheduler_pick(candidates, self._last_tid, self.global_step)
+            if tid not in candidates:
+                raise ScheduleError("scheduler picked non-runnable thread %d" % tid)
+            thread = threads[tid]
+            self._current_tid = tid
+            outcome = thread.step_fast(self)
+            self._current_tid = None
+            if outcome is StepOutcome.RETIRED:
+                self._last_tid = tid
+            elif outcome is StepOutcome.BLOCKED:
+                self._last_tid = None
+            if self.global_step > max_steps:
+                raise StepLimitError(
+                    "exceeded max_steps=%d (runaway schedule?)" % max_steps
+                )
+            iterations += 1
+            if iterations > iteration_limit:
+                raise StepLimitError("exceeded iteration limit (livelock?)")
+
+    def _result(self) -> MachineResult:
         return MachineResult(
             program_name=self.program.name,
             output=list(self.syscalls.output),
@@ -285,6 +367,7 @@ def run_program(
     seed: int = 0,
     max_steps: int = 200_000,
     observers: Sequence[Observer] = (),
+    fast_path: bool = True,
 ) -> MachineResult:
     """Convenience: construct a machine and run it to completion."""
     machine = Machine(
@@ -293,5 +376,6 @@ def run_program(
         seed=seed,
         max_steps=max_steps,
         observers=observers,
+        fast_path=fast_path,
     )
     return machine.run()

@@ -35,10 +35,12 @@ class Memory:
     # ------------------------------------------------------------------
 
     def _check(self, address: int) -> None:
-        if address == 0:
-            raise MemoryFault(FaultKind.NULL_DEREF, address)
-        if address < 0:
+        if address <= 0:
+            if address == 0:
+                raise MemoryFault(FaultKind.NULL_DEREF, address)
             raise MemoryFault(FaultKind.BAD_ADDRESS, address, "negative address")
+        if not self._freed:  # nothing freed yet: skip the range scan entirely
+            return
         freed_base = self._freed_base_of(address)
         if freed_base is not None:
             raise MemoryFault(
