@@ -56,10 +56,12 @@ class AccessIndex:
         "write_flags",
         "region_of",
         "_objects",
+        "_static_id_col",
         "_slices",
         "_address_tuples",
         "postings",
         "_by_address",
+        "_perf",
     )
 
     def __init__(self, ordered: "OrderedReplay"):
@@ -78,7 +80,12 @@ class AccessIndex:
         self.values = array("Q")
         self.write_flags = bytearray()
         self.region_of = array("Q")
-        self._objects: List[ReplayedAccess] = []
+        #: Rich access records, parallel to the columns.  On the captured
+        #: path rows start as ``None`` and are materialized on demand
+        #: (most are never asked for: the sweep detector reads columns);
+        #: the replay path stores the already-built objects directly.
+        self._objects: List[Optional[ReplayedAccess]] = []
+        self._static_id_col: List[object] = []
         self._slices: List[Tuple[int, int]] = []
         self._address_tuples: List[Tuple[int, ...]] = []
         #: address -> ascending region ordinals touching it.
@@ -93,6 +100,9 @@ class AccessIndex:
         # (the equivalence tests compare both paths), so every downstream
         # analysis is oblivious to the source.
         captured = getattr(ordered.log, "captured", None)
+        if not getattr(ordered, "_fast_path", True):
+            captured = None  # generic reference path: no columnar shortcuts
+        self._perf = getattr(ordered, "_perf", None)
         for ordinal, region in enumerate(self.regions):
             columns = (
                 captured.threads.get(region.thread_name)
@@ -112,16 +122,8 @@ class AccessIndex:
                     address = columns.addresses[position]
                     value = columns.values[position]
                     step = column_steps[position]
-                    self._objects.append(
-                        ReplayedAccess(
-                            thread_step=step,
-                            static_id=columns.static_ids[position],
-                            address=address,
-                            value=value,
-                            is_write=bool(flag & 1),
-                            is_sync=False,
-                        )
-                    )
+                    self._objects.append(None)
+                    self._static_id_col.append(columns.static_ids[position])
                     self.steps.append(step)
                     self.addresses.append(address)
                     self.values.append(value)
@@ -138,6 +140,7 @@ class AccessIndex:
                     if access.is_sync:
                         continue
                     self._objects.append(access)
+                    self._static_id_col.append(access.static_id)
                     self.steps.append(access.thread_step)
                     self.addresses.append(access.address)
                     self.values.append(access.value)
@@ -183,13 +186,45 @@ class AccessIndex:
         """``[start, end)`` bounds of a region's accesses in the columns."""
         return self._slices[ordinal]
 
+    def _materialize_range(self, start: int, end: int) -> List[ReplayedAccess]:
+        """Object rows ``[start, end)``, building captured-path rows on
+        first use."""
+        objects = self._objects
+        out = objects[start:end]
+        if None in out:
+            static_ids = self._static_id_col
+            steps, addresses, values = self.steps, self.addresses, self.values
+            write_flags = self.write_flags
+            built = 0
+            for position in range(start, end):
+                if objects[position] is None:
+                    objects[position] = ReplayedAccess(
+                        thread_step=steps[position],
+                        static_id=static_ids[position],
+                        address=addresses[position],
+                        value=values[position],
+                        is_write=bool(write_flags[position]),
+                        is_sync=False,
+                    )
+                    built += 1
+            if built and self._perf is not None:
+                self._perf.replay_accesses_materialized += built
+            out = objects[start:end]
+        return out
+
+    def materialized_objects(self) -> List[ReplayedAccess]:
+        """Every access record, fully materialized (tests and equivalence
+        checks compare this across the captured and replay-derived paths)."""
+        return self._materialize_range(0, len(self._objects))
+
     def region_accesses(self, region: SequencingRegion) -> List[ReplayedAccess]:
-        """Plain accesses inside ``region`` — an O(1) slice of the index."""
+        """Plain accesses inside ``region`` — a slice of the object column
+        (captured-path rows materialize on first query)."""
         ordinal = self._ordinals.get((region.tid, region.index))
         if ordinal is None:
             return []
         start, end = self._slices[ordinal]
-        return self._objects[start:end]
+        return self._materialize_range(start, end)
 
     def addresses_of(self, ordinal: int) -> Tuple[int, ...]:
         """Distinct addresses a region touches, in first-touch order."""
@@ -205,13 +240,11 @@ class AccessIndex:
         grouped = self._by_address[ordinal]
         if grouped is None:
             start, end = self._slices[ordinal]
+            objects = self._materialize_range(start, end)
             grouped = {}
             addresses = self.addresses
-            objects = self._objects
-            for position in range(start, end):
-                grouped.setdefault(addresses[position], []).append(
-                    objects[position]
-                )
+            for offset, position in enumerate(range(start, end)):
+                grouped.setdefault(addresses[position], []).append(objects[offset])
             self._by_address[ordinal] = grouped
         return grouped
 

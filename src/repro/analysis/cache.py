@@ -148,8 +148,13 @@ class SuiteCache:
         return result, log
 
     def store(self, key: str, result: MachineResult, log: ReplayLog) -> None:
-        """Persist one recorded execution under ``key`` (atomic replace)."""
-        self._write_atomic(self._log_path(key), encode_log(log))
+        """Persist one recorded execution under ``key`` (atomic replace).
+
+        Captured columns are deliberately omitted: cache hits keep
+        exercising the replay-derived fallback path, and the entries
+        stay as small as the v2 layout.
+        """
+        self._write_atomic(self._log_path(key), encode_log(log, include_captured=False))
         self._write_atomic(
             self._meta_path(key),
             json.dumps(_machine_result_to_json(result)).encode("utf-8"),

@@ -303,6 +303,9 @@ class EngineConfig:
     #: Directory of the content-addressed record cache (None = no cache).
     #: A string (not a Path) so the config pickles cheaply to pool workers.
     cache_dir: Optional[str] = None
+    #: Replay threads through the predecoded fast path (False forces the
+    #: generic reference replayer; equivalence tests compare both).
+    replay_fast_path: bool = True
 
 
 class ClassificationEngine:
@@ -357,6 +360,7 @@ class ClassificationEngine:
             classifier_factory=self._classifier_factory,
             perf=stats,
             cache=self._record_cache,
+            replay_fast_path=self.config.replay_fast_path,
         )
         stats.cache_hits += self.cache.hits - hits_before
         stats.cache_misses += self.cache.misses - misses_before

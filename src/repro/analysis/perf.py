@@ -59,6 +59,18 @@ class PerfStats:
     record_cache_hits: int = 0
     #: Executions that had to be recorded (cache enabled but cold/stale).
     record_cache_misses: int = 0
+    #: Threads replayed through the predecoded fast path.
+    replay_threads_fast: int = 0
+    #: Threads replayed through the generic reference interpreter.
+    replay_threads_generic: int = 0
+    #: ReplayedAccess objects materialized from columnar rows on demand.
+    replay_accesses_materialized: int = 0
+    #: Register snapshots reconstructed lazily (fast path, on first query).
+    replay_snapshots_lazy: int = 0
+    #: Register snapshots taken eagerly (generic path, every region/step).
+    replay_snapshots_eager: int = 0
+    #: Ordered replays whose walk + index ran entirely off captured columns.
+    replay_captured_handoffs: int = 0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -95,6 +107,12 @@ class PerfStats:
         self.record_predicted_loads += other.record_predicted_loads
         self.record_cache_hits += other.record_cache_hits
         self.record_cache_misses += other.record_cache_misses
+        self.replay_threads_fast += other.replay_threads_fast
+        self.replay_threads_generic += other.replay_threads_generic
+        self.replay_accesses_materialized += other.replay_accesses_materialized
+        self.replay_snapshots_lazy += other.replay_snapshots_lazy
+        self.replay_snapshots_eager += other.replay_snapshots_eager
+        self.replay_captured_handoffs += other.replay_captured_handoffs
 
     @property
     def cache_hit_rate(self) -> float:
@@ -150,6 +168,12 @@ class PerfStats:
             "record_cache_hits": self.record_cache_hits,
             "record_cache_misses": self.record_cache_misses,
             "record_cache_hit_rate": round(self.record_cache_hit_rate, 4),
+            "replay_threads_fast": self.replay_threads_fast,
+            "replay_threads_generic": self.replay_threads_generic,
+            "replay_accesses_materialized": self.replay_accesses_materialized,
+            "replay_snapshots_lazy": self.replay_snapshots_lazy,
+            "replay_snapshots_eager": self.replay_snapshots_eager,
+            "replay_captured_handoffs": self.replay_captured_handoffs,
         }
 
     def render(self) -> str:
@@ -179,6 +203,27 @@ class PerfStats:
                     self.record_cache_hits,
                     self.record_cache_misses,
                     100.0 * self.record_cache_hit_rate,
+                )
+            )
+        if (
+            self.replay_threads_fast
+            or self.replay_threads_generic
+            or self.replay_captured_handoffs
+        ):
+            lines.append(
+                "  replay: %d threads fast / %d generic, %d captured handoffs"
+                % (
+                    self.replay_threads_fast,
+                    self.replay_threads_generic,
+                    self.replay_captured_handoffs,
+                )
+            )
+            lines.append(
+                "  replay lazy: %d accesses materialized, %d snapshots lazy / %d eager"
+                % (
+                    self.replay_accesses_materialized,
+                    self.replay_snapshots_lazy,
+                    self.replay_snapshots_eager,
                 )
             )
         if self.detect_regions:

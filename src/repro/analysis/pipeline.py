@@ -85,6 +85,7 @@ def analyze_execution(
     detector_factory=None,
     perf: Optional[PerfStats] = None,
     cache=None,
+    replay_fast_path: bool = True,
 ) -> ExecutionAnalysis:
     """Record and fully analyse one execution of a workload.
 
@@ -95,7 +96,8 @@ def analyze_execution(
     reference); ``perf`` accumulates per-stage wall time and work
     counters; ``cache`` (a :class:`repro.analysis.cache.SuiteCache`)
     serves the record stage by content address when the same execution
-    was recorded before.
+    was recorded before; ``replay_fast_path=False`` forces the generic
+    reference replayer (equivalence tests compare both).
     """
     workload = execution.workload
     program = workload.program()
@@ -129,7 +131,9 @@ def analyze_execution(
             stats.record_events += log.captured.total_events
             stats.record_predicted_loads += log.captured.predicted_loads
     with stats.stage("replay"):
-        ordered = OrderedReplay(log, program)
+        ordered = OrderedReplay(
+            log, program, fast_path=replay_fast_path, perf=stats
+        )
     with stats.stage("detect"):
         if detector_factory is None:
             detector = HappensBeforeDetector(
@@ -186,6 +190,7 @@ def analyze_suite(
     memoize: bool = False,
     perf: Optional[PerfStats] = None,
     cache_dir=None,
+    replay_fast_path: bool = True,
 ) -> SuiteAnalysis:
     """Analyse a corpus and merge per-static-race results across executions.
 
@@ -207,6 +212,7 @@ def analyze_suite(
                 classifier_config=classifier_config,
                 max_pairs_per_location=max_pairs_per_location,
                 cache_dir=str(cache_dir) if cache_dir is not None else None,
+                replay_fast_path=replay_fast_path,
             )
         )
         analyses = engine.analyze_executions(list(executions), perf=perf)
@@ -223,6 +229,7 @@ def analyze_suite(
                 max_pairs_per_location=max_pairs_per_location,
                 perf=perf,
                 cache=cache,
+                replay_fast_path=replay_fast_path,
             )
             for execution in executions
         ]

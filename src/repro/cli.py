@@ -87,6 +87,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     replay = sub.add_parser("replay", help="replay a log and verify it")
     replay.add_argument("log", type=Path, help="replay log file")
+    replay.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the replay-stage breakdown (fast/generic threads, laziness)",
+    )
+    replay.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help="replay through the generic reference interpreter",
+    )
 
     detect = sub.add_parser("detect", help="happens-before race detection")
     detect.add_argument("log", type=Path, help="replay log file")
@@ -282,15 +292,27 @@ def _cmd_record(args, out) -> int:
 
 
 def _cmd_replay(args, out) -> int:
+    from .analysis.perf import PerfStats
+
     log = load_log(args.log)
-    ordered = OrderedReplay(log)
+    perf = PerfStats()
+    with perf.stage("replay"):
+        ordered = OrderedReplay(
+            log, fast_path=not args.no_fast_path, perf=perf
+        )
+        replayed = {
+            name: ordered.thread_replays[name] for name in log.threads
+        }
     metrics = log_metrics(log)
     print("replayed %s: %s" % (log.program_name, metrics.describe()), file=out)
-    for name, replay in ordered.thread_replays.items():
+    for name, replay in replayed.items():
         print("  thread %-16s %d steps replayed" % (name, replay.steps), file=out)
     output = ordered.output()
     if output:
         print("  output: %r" % output, file=out)
+    if args.perf:
+        print("", file=out)
+        print(perf.render(), file=out)
     return 0
 
 

@@ -51,6 +51,13 @@ K_HALT = 17  # (kind, sid)
 #: One predecoded instruction; slot 0 is the kind, slot 1 the static id.
 DecodedRecord = Tuple
 
+#: Kinds whose instructions touch memory (``spec.touches_memory``).  The
+#: replay fast path keys its lazy per-step register snapshots on this:
+#: the generic replayer snapshots registers exactly before these kinds.
+MEMORY_TOUCHING_KINDS = frozenset(
+    (K_LOAD, K_STORE, K_LOCK, K_UNLOCK, K_ATOM_ADD, K_ATOM_XCHG, K_CAS)
+)
+
 
 def _alu_fn(opcode: str) -> Callable[[int, int], int]:
     """The raw two-word ALU callable for a (possibly immediate-form) opcode.
@@ -198,5 +205,6 @@ def predecode_block(block) -> List[DecodedRecord]:
 
 __all__ = [name for name in list(globals()) if name.startswith("K_")] + [
     "DecodedRecord",
+    "MEMORY_TOUCHING_KINDS",
     "predecode_block",
 ]

@@ -31,6 +31,16 @@ the recorder's load-based checkpointing: values the reader can already
 predict never hit the wire.  Elision is a binary-only feature; the JSON
 document always spells every value out.
 
+Version 3 adds an optional **captured-columns section** after the thread
+records: the recorder's full per-thread access columns (step/flag/
+address/value/static-id rows plus heap lifecycle rows), delta-encoded
+like everything else.  A v3 log loaded from disk therefore still carries
+``ReplayLog.captured``, so the ordered replay and the access index feed
+straight off the recorded arrays with no re-interpretation — the same
+handoff fresh recordings get.  ``encode_log(..., include_captured=False)``
+omits the section (the suite cache does this: cache hits deliberately
+exercise the replay-derived fallback).
+
 ``save_log``/``load_log`` in :mod:`.serialization` route through this
 module: saving is binary-first (JSON retained for ``.json`` paths and old
 fixtures) and loading sniffs the magic bytes.
@@ -44,10 +54,12 @@ from typing import List, Optional, Tuple
 from ..isa.program import StaticInstructionId
 from .compression import decode_varint, encode_varint, unzigzag, zigzag
 from .log import (
+    CapturedAccessColumns,
     LoadRecord,
     ReplayLog,
     SequencerRecord,
     SyscallRecord,
+    ThreadAccessColumns,
     ThreadEnd,
     ThreadLog,
 )
@@ -55,9 +67,9 @@ from .log import (
 #: First bytes of every binary replay log.
 MAGIC = b"RPRB"
 #: Current container format version (bumped on any layout change).
-BINARY_FORMAT_VERSION = 2
+BINARY_FORMAT_VERSION = 3
 #: Every version this reader can decode.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: zlib level: 6 is the historical "zip utility" analog used by
 #: :func:`repro.record.compression.compression_stats`.
@@ -201,18 +213,63 @@ def _write_thread(
     return elided
 
 
+def _write_captured(writer: _Writer, captured: CapturedAccessColumns) -> None:
+    """Write the v3 captured-columns section.
+
+    Access rows are delta-encoded on step (non-decreasing by
+    construction) and address; the static id stores only the instruction
+    *index* — every access of a thread belongs to that thread's own
+    block, so the decoder rebinds the block name from the thread record.
+    """
+    writer.uint(captured.predicted_loads)
+    writer.uint(len(captured.threads))
+    for name, columns in captured.threads.items():
+        writer.text(name)
+        steps = columns.steps
+        addresses = columns.addresses
+        values = columns.values
+        flags = columns.flags
+        static_ids = columns.static_ids
+        writer.uint(len(steps))
+        previous_step = 0
+        previous_address = 0
+        for row in range(len(steps)):
+            step = steps[row]
+            address = addresses[row]
+            writer.uint(step - previous_step)
+            writer.uint(flags[row])
+            writer.sint(address - previous_address)
+            writer.uint(values[row])
+            writer.uint(static_ids[row].index)
+            previous_step = step
+            previous_address = address
+        writer.uint(len(columns.heap_steps))
+        previous_step = 0
+        for row in range(len(columns.heap_steps)):
+            step = columns.heap_steps[row]
+            writer.uint(step - previous_step)
+            writer.uint(0 if columns.heap_kinds[row] == "alloc" else 1)
+            writer.uint(columns.heap_bases[row])
+            writer.uint(columns.heap_sizes[row])
+            previous_step = step
+
+
 def encode_log(
     log: ReplayLog,
     version: int = BINARY_FORMAT_VERSION,
     elide_predicted_loads: bool = True,
     stats: Optional[dict] = None,
+    include_captured: bool = True,
 ) -> bytes:
     """Serialize ``log`` into the versioned binary container.
 
-    ``version`` selects the container layout (v1 kept for compatibility
-    fixtures); ``elide_predicted_loads`` toggles the v2 value elision
-    (ignored for v1).  When ``stats`` is given, ``stats["elided_load_values"]``
-    receives the number of load values the predictor kept off the wire.
+    ``version`` selects the container layout (v1/v2 kept for
+    compatibility fixtures); ``elide_predicted_loads`` toggles the v2+
+    value elision (ignored for v1).  ``include_captured`` controls the v3
+    captured-columns section (ignored below v3; the suite cache disables
+    it so cache hits keep exercising the replay-derived fallback).  When
+    ``stats`` is given, ``stats["elided_load_values"]`` receives the
+    number of load values the predictor kept off the wire.
     """
     if version not in SUPPORTED_VERSIONS:
         raise ValueError("unsupported binary replay-log format version: %d" % version)
@@ -231,6 +288,11 @@ def encode_log(
     elided = 0
     for thread in log.threads.values():
         elided += _write_thread(writer, thread, version, elide_predicted_loads)
+    if version >= 3:
+        has_captured = include_captured and log.captured is not None
+        writer.flag(has_captured)
+        if has_captured:
+            _write_captured(writer, log.captured)
     if stats is not None:
         stats["elided_load_values"] = elided
     body = zlib.compress(bytes(writer.out), _COMPRESSION_LEVEL)
@@ -323,6 +385,37 @@ def _read_thread(reader: _Reader, version: int) -> ThreadLog:
     return log
 
 
+def _read_captured(reader: _Reader, threads: dict) -> CapturedAccessColumns:
+    """Read the v3 captured-columns section (inverse of ``_write_captured``)."""
+    captured = CapturedAccessColumns(predicted_loads=reader.uint())
+    for _ in range(reader.uint()):
+        name = reader.text()
+        block = threads[name].block
+        columns = ThreadAccessColumns()
+        step = 0
+        address = 0
+        for _ in range(reader.uint()):
+            step += reader.uint()
+            flag = reader.uint()
+            address += reader.sint()
+            columns.steps.append(step)
+            columns.flags.append(flag)
+            columns.addresses.append(address)
+            columns.values.append(reader.uint())
+            columns.static_ids.append(
+                StaticInstructionId(block=block, index=reader.uint())
+            )
+        step = 0
+        for _ in range(reader.uint()):
+            step += reader.uint()
+            columns.heap_steps.append(step)
+            columns.heap_kinds.append("alloc" if reader.uint() == 0 else "free")
+            columns.heap_bases.append(reader.uint())
+            columns.heap_sizes.append(reader.uint())
+        captured.threads[name] = columns
+    return captured
+
+
 def decode_log(data: bytes) -> ReplayLog:
     """Rebuild a :class:`ReplayLog` from :func:`encode_log` output."""
     if not data.startswith(MAGIC):
@@ -346,6 +439,9 @@ def decode_log(data: bytes) -> ReplayLog:
     for _ in range(reader.uint()):
         thread = _read_thread(reader, version)
         threads[thread.name] = thread
+    captured: Optional[CapturedAccessColumns] = None
+    if version >= 3 and reader.flag():
+        captured = _read_captured(reader, threads)
     return ReplayLog(
         program_name=program_name,
         program_source=program_source,
@@ -353,6 +449,7 @@ def decode_log(data: bytes) -> ReplayLog:
         seed=seed,
         scheduler=scheduler,
         global_order=global_order,
+        captured=captured,
     )
 
 

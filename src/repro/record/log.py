@@ -73,6 +73,12 @@ class ThreadAccessColumns:
     write, bit 1 = synchronization access.  Store rows carry the *new*
     value — the value the location holds after the access, matching what
     replay reconstructs.
+
+    ``heap_*`` are a second set of parallel arrays recording heap
+    lifecycle syscalls (``heap_kinds`` holds ``"alloc"`` or ``"free"``),
+    mirroring the :class:`~repro.replay.events.HeapEvent` stream the
+    generic replayer derives — the ordered-replay walk needs them to
+    zero fresh allocations and track freed ranges without replaying.
     """
 
     steps: List[int] = field(default_factory=list)
@@ -80,6 +86,10 @@ class ThreadAccessColumns:
     values: List[int] = field(default_factory=list)
     flags: List[int] = field(default_factory=list)
     static_ids: List[StaticInstructionId] = field(default_factory=list)
+    heap_steps: List[int] = field(default_factory=list)
+    heap_kinds: List[str] = field(default_factory=list)
+    heap_bases: List[int] = field(default_factory=list)
+    heap_sizes: List[int] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -90,10 +100,12 @@ class CapturedAccessColumns:
     """All access columns of one recorded run, keyed by thread name.
 
     Built by the recorder at :meth:`Recorder.finish`; lets
-    :class:`~repro.analysis.access_index.AccessIndex` come straight from
-    the recording instead of re-deriving every access by replaying.  This
-    is in-memory capture only — never serialized, and absent (``None``)
-    on logs loaded from disk, which fall back to the replay-derived path.
+    :class:`~repro.analysis.access_index.AccessIndex` and the ordered
+    replay come straight from the recording instead of re-deriving every
+    access by replaying.  Binary containers (format v3+) carry these
+    columns, so logs round-tripped through ``save_log``/``load_log`` keep
+    them; JSON logs and suite-cache entries do not — those fall back to
+    the replay-derived path.
     """
 
     threads: Dict[str, ThreadAccessColumns] = field(default_factory=dict)
@@ -156,7 +168,8 @@ class ReplayLog:
     scheduler: str = ""
     global_order: Optional[List[Tuple[int, int]]] = None
     #: Columnar access capture from the recording machine, when this log
-    #: came from a live :class:`Recorder` (``None`` after deserialization).
+    #: came from a live :class:`Recorder` or a binary container (format
+    #: v3+ persists the columns; JSON and older containers drop them).
     #: Excluded from equality: a round-tripped log equals its original.
     captured: Optional[CapturedAccessColumns] = field(
         default=None, compare=False, repr=False

@@ -66,6 +66,10 @@ class _ThreadCapture:
         "access_values",
         "access_flags",
         "access_static_ids",
+        "heap_steps",
+        "heap_kinds",
+        "heap_bases",
+        "heap_sizes",
         "pc_footprint",
         "steps",
         "end",
@@ -92,6 +96,10 @@ class _ThreadCapture:
         self.access_values: List[int] = []
         self.access_flags: List[int] = []
         self.access_static_ids: List[object] = []
+        self.heap_steps: List[int] = []
+        self.heap_kinds: List[str] = []
+        self.heap_bases: List[int] = []
+        self.heap_sizes: List[int] = []
         self.pc_footprint = set()
         self.steps = 0
         self.end: Optional[ThreadEnd] = None
@@ -138,6 +146,10 @@ class _ThreadCapture:
             values=self.access_values,
             flags=self.access_flags,
             static_ids=self.access_static_ids,
+            heap_steps=self.heap_steps,
+            heap_kinds=self.heap_kinds,
+            heap_bases=self.heap_bases,
+            heap_sizes=self.heap_sizes,
         )
 
 
@@ -201,11 +213,23 @@ class Recorder(Observer):
         capture.access_flags.append(3 if is_sync else 1)
         capture.access_static_ids.append(static_id)
 
-    def on_syscall(self, tid, thread_step, static_id, name, result) -> None:
+    def on_syscall(self, tid, thread_step, static_id, name, result, arg=None) -> None:
         capture = self._captures[tid]
         capture.syscall_steps.append(thread_step)
         capture.syscall_names.append(name)
         capture.syscall_results.append(result)
+        # Heap lifecycle mirrors the HeapEvent stream replay would derive:
+        # alloc rows carry (base=result, size=arg), free rows (base=arg, 0).
+        if name == "sys_alloc":
+            capture.heap_steps.append(thread_step)
+            capture.heap_kinds.append("alloc")
+            capture.heap_bases.append(result)
+            capture.heap_sizes.append(arg if arg is not None else 0)
+        elif name == "sys_free":
+            capture.heap_steps.append(thread_step)
+            capture.heap_kinds.append("free")
+            capture.heap_bases.append(arg if arg is not None else 0)
+            capture.heap_sizes.append(0)
 
     def on_step(self, global_step, tid, thread_step, static_id) -> None:
         capture = self._captures[tid]

@@ -27,13 +27,14 @@ re-walk per racing pair.
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import Dict, List, Optional, Set, Tuple
+from bisect import bisect_left, bisect_right
+from collections.abc import Mapping
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..isa.program import Program
 from ..record.log import ReplayLog, SequencerRecord
 from .errors import ReplayDivergence
-from .events import ReplayedAccess, ThreadReplay
+from .events import LazyAccessList, ReplayedAccess, ThreadReplay
 from .regions import SequencingRegion, regions_of_thread
 from .thread_replayer import ThreadReplayer
 
@@ -43,6 +44,111 @@ RegionKey = Tuple[int, int]
 
 def region_key(region: SequencingRegion) -> RegionKey:
     return (region.tid, region.index)
+
+
+class _LazyThreadReplays(Mapping):
+    """``thread name -> ThreadReplay``, replaying each thread on first access.
+
+    The walk and the access index can usually be fed straight from
+    ``log.captured`` columns, so replay interpretation is deferred until a
+    consumer (classifier, inspector, CLI) actually asks for a thread.
+    Membership and iteration come from the log, so neither materializes
+    anything.
+    """
+
+    def __init__(self, ordered: "OrderedReplay"):
+        self._ordered = ordered
+        self._replays: Dict[str, ThreadReplay] = {}
+
+    def __getitem__(self, name: str) -> ThreadReplay:
+        replay = self._replays.get(name)
+        if replay is None:
+            if name not in self._ordered.log.threads:
+                raise KeyError(name)
+            replay = self._ordered._replay_thread(name)
+            self._replays[name] = replay
+        return replay
+
+    def __contains__(self, name) -> bool:
+        return name in self._ordered.log.threads
+
+    def __iter__(self):
+        return iter(self._ordered.log.threads)
+
+    def __len__(self) -> int:
+        return len(self._ordered.log.threads)
+
+
+class _ColumnarWalkSource:
+    """Feeds the ordered walk from columnar access rows — either the
+    recorder's :class:`~repro.record.log.ThreadAccessColumns` (captured
+    handoff: no instruction is re-interpreted) or a fast replay's access
+    columns.  ``steps`` is non-decreasing, so row ranges are bisects."""
+
+    __slots__ = ("_steps", "_addresses", "_values", "_flags", "_heap_by_step")
+
+    def __init__(
+        self,
+        steps: List[int],
+        addresses: List[int],
+        values: List[int],
+        flags: List[int],
+        heap_events: Iterable[Tuple[int, str, int, int]],
+    ):
+        self._steps = steps
+        self._addresses = addresses
+        self._values = values
+        self._flags = flags
+        heap_by_step: Dict[int, List[Tuple[str, int, int]]] = {}
+        for step, kind, base, size in heap_events:
+            heap_by_step.setdefault(step, []).append((kind, base, size))
+        self._heap_by_step = heap_by_step
+
+    def writes_in_steps(self, start_step: int, end_step: int):
+        steps = self._steps
+        lo = bisect_left(steps, start_step)
+        hi = bisect_left(steps, end_step, lo)
+        addresses, values, flags = self._addresses, self._values, self._flags
+        return [
+            (addresses[row], values[row])
+            for row in range(lo, hi)
+            if flags[row] & 1
+        ]
+
+    def writes_at(self, step: int):
+        return self.writes_in_steps(step, step + 1)
+
+    def heap_events_at(self, step: int):
+        return self._heap_by_step.get(step, ())
+
+
+class _ReplayWalkSource:
+    """Feeds the ordered walk from a materialized thread replay (the
+    generic path, and the fallback when no columns are available)."""
+
+    __slots__ = ("_replay",)
+
+    def __init__(self, replay: ThreadReplay):
+        self._replay = replay
+
+    def writes_in_steps(self, start_step: int, end_step: int):
+        return [
+            (access.address, access.value)
+            for access in self._replay.accesses_in_steps(start_step, end_step)
+            if access.is_write
+        ]
+
+    def writes_at(self, step: int):
+        return [
+            (access.address, access.value)
+            for access in self._replay.writes_at_step(step)
+        ]
+
+    def heap_events_at(self, step: int):
+        return [
+            (event.kind, event.base, event.size)
+            for event in self._replay.heap_events_at_step(step)
+        ]
 
 
 class VersionedImage:
@@ -93,16 +199,34 @@ class VersionedImage:
 class OrderedReplay:
     """Replays a whole log in sequencer order, snapshotting region live-ins."""
 
-    def __init__(self, log: ReplayLog, program: Optional[Program] = None):
+    def __init__(
+        self,
+        log: ReplayLog,
+        program: Optional[Program] = None,
+        *,
+        fast_path: bool = True,
+        perf=None,
+    ):
         self.log = log
         self.program = program if program is not None else log.reassemble_program()
-        self.thread_replays: Dict[str, ThreadReplay] = {
-            name: ThreadReplayer(self.program, log, name).run() for name in log.threads
-        }
+        self._fast_path = fast_path
+        self._perf = perf
+        #: Lazy mapping: each thread is replayed on first access (the walk
+        #: and index usually run off ``log.captured`` columns instead).
+        self.thread_replays: Mapping[str, ThreadReplay] = _LazyThreadReplays(self)
         self.regions: Dict[str, List[SequencingRegion]] = {
             name: regions_of_thread(thread_log)
             for name, thread_log in log.threads.items()
         }
+        #: Per-thread region start steps, for the bisect in
+        #: :meth:`region_for_step`.
+        self._region_starts: Dict[str, List[int]] = {
+            name: [region.start_step for region in thread_regions]
+            for name, thread_regions in self.regions.items()
+        }
+        self._sequencer_entries: Optional[
+            List[Tuple[SequencerRecord, str, Optional[SequencingRegion]]]
+        ] = None
         #: Version of the memory/freed history at each region's open (after
         #: the opening sequencer's boundary effects, before the region's
         #: own stores) — the delta-snapshot replacement for eager copies.
@@ -121,6 +245,25 @@ class OrderedReplay:
         self._walk()
 
     # ------------------------------------------------------------------
+    # Thread replay materialization.
+    # ------------------------------------------------------------------
+
+    def _replay_thread(self, name: str) -> ThreadReplay:
+        """Replay one thread (fast or generic path), with perf accounting."""
+        replayer = ThreadReplayer(self.program, self.log, name)
+        if self._fast_path:
+            return replayer.run_fast(self._perf)
+        replay = replayer.run()
+        if self._perf is not None:
+            self._perf.replay_threads_generic += 1
+            self._perf.replay_snapshots_eager += (
+                len(replay.region_start_registers)
+                + len(replay.region_end_registers)
+                + len(replay.registers_at_step)
+            )
+        return replay
+
+    # ------------------------------------------------------------------
     # The region-ordered walk.
     # ------------------------------------------------------------------
 
@@ -130,65 +273,121 @@ class OrderedReplay:
         """Every sequencer in global timestamp order, paired with its thread
         name and the region it opens (``None`` for thread-end sequencers).
         The canonical linearization both the internal walk and the baseline
-        detectors iterate."""
-        entries: List[Tuple[SequencerRecord, str, Optional[SequencingRegion]]] = []
-        for name, thread_log in self.log.threads.items():
-            ordered = sorted(thread_log.sequencers, key=lambda s: s.timestamp)
-            thread_regions = self.regions[name]
-            for index, sequencer in enumerate(ordered):
-                following = thread_regions[index] if index < len(thread_regions) else None
-                entries.append((sequencer, name, following))
-        entries.sort(key=lambda entry: entry[0].timestamp)
-        return entries
+        detectors iterate.  Computed once and cached — the walk, the naive
+        reference detector and the linearizer all consume it."""
+        if self._sequencer_entries is None:
+            entries: List[Tuple[SequencerRecord, str, Optional[SequencingRegion]]] = []
+            for name, thread_log in self.log.threads.items():
+                ordered = sorted(thread_log.sequencers, key=lambda s: s.timestamp)
+                thread_regions = self.regions[name]
+                for index, sequencer in enumerate(ordered):
+                    following = (
+                        thread_regions[index] if index < len(thread_regions) else None
+                    )
+                    entries.append((sequencer, name, following))
+            entries.sort(key=lambda entry: entry[0].timestamp)
+            self._sequencer_entries = entries
+        return self._sequencer_entries
+
+    def _walk_source(self, name: str):
+        """The cheapest equivalent row source for one thread's walk events.
+
+        Captured recorder columns when present (no re-interpretation at
+        all), a fast replay's access columns otherwise, and the
+        materialized replay object as the final (generic-path) fallback.
+        Returns ``(source, served_from_capture)``.
+        """
+        captured = self.log.captured
+        if self._fast_path and captured is not None:
+            columns = captured.threads.get(name)
+            if columns is not None:
+                return (
+                    _ColumnarWalkSource(
+                        columns.steps,
+                        columns.addresses,
+                        columns.values,
+                        columns.flags,
+                        zip(
+                            columns.heap_steps,
+                            columns.heap_kinds,
+                            columns.heap_bases,
+                            columns.heap_sizes,
+                        ),
+                    ),
+                    True,
+                )
+        replay = self.thread_replays[name]
+        accesses = replay.accesses
+        if isinstance(accesses, LazyAccessList):
+            return (
+                _ColumnarWalkSource(
+                    accesses._steps,
+                    accesses._addresses,
+                    accesses._values,
+                    accesses._flags,
+                    (
+                        (event.thread_step, event.kind, event.base, event.size)
+                        for event in replay.heap_events
+                    ),
+                ),
+                False,
+            )
+        return _ReplayWalkSource(replay), False
 
     def _walk(self) -> None:
         image: Dict[int, int] = dict(self.program.initial_memory())
         freed: Dict[int, int] = {}
         live_allocations: Dict[int, int] = {}
+        sources = {}
+        from_capture = bool(self.log.threads)
+        for name in self.log.threads:
+            sources[name], captured = self._walk_source(name)
+            from_capture = from_capture and captured
+        if from_capture and self._perf is not None:
+            self._perf.replay_captured_handoffs += 1
         for sequencer, thread_name, following in self.sequencers_with_regions():
-            replay = self.thread_replays[thread_name]
+            source = sources[thread_name]
             if sequencer.thread_step >= 0 and sequencer.kind not in (
                 "thread_start",
                 "thread_end",
             ):
                 self._apply_boundary_effects(
-                    replay, sequencer.thread_step, image, freed, live_allocations
+                    source, sequencer.thread_step, image, freed, live_allocations
                 )
             if following is not None:
                 key = region_key(following)
                 self._region_versions[key] = self._image.version
                 if not following.is_empty:
-                    for access in replay.accesses_in_steps(
+                    for address, value in source.writes_in_steps(
                         following.start_step, following.end_step
                     ):
-                        if access.is_write:
-                            image[access.address] = access.value
-                            self._image.write(access.address, access.value, key)
+                        image[address] = value
+                        self._image.write(address, value, key)
         self._final_image = image
         self._final_freed = freed
 
     def _apply_boundary_effects(
         self,
-        replay: ThreadReplay,
+        source,
         thread_step: int,
         image: Dict[int, int],
         freed: Dict[int, int],
         live_allocations: Dict[int, int],
     ) -> None:
         """Apply a boundary sync/syscall instruction's memory+heap effects."""
-        for access in replay.writes_at_step(thread_step):
-            image[access.address] = access.value
-            self._image.write(access.address, access.value, None)
-        for event in replay.heap_events_at_step(thread_step):
-            if event.kind == "alloc":
-                live_allocations[event.base] = event.size
-                for offset in range(event.size):
-                    image[event.base + offset] = 0
-                    self._image.write(event.base + offset, 0, None)
+        for address, value in source.writes_at(thread_step):
+            image[address] = value
+            self._image.write(address, value, None)
+        for kind, base, size in source.heap_events_at(thread_step):
+            if kind == "alloc":
+                live_allocations[base] = size
+                for offset in range(size):
+                    image[base + offset] = 0
+                    self._image.write(base + offset, 0, None)
             else:
-                size = live_allocations.pop(event.base, 0)
-                freed[event.base] = size
-                self._freed_history.append((self._image.version, event.base, size))
+                freed_size = live_allocations.pop(base, 0)
+                freed[base] = freed_size
+                self._freed_history.append((self._image.version, base, freed_size))
 
     def _freed_at(self, version: int) -> Dict[int, int]:
         freed: Dict[int, int] = {}
@@ -213,6 +412,21 @@ class OrderedReplay:
     def region_for_step(
         self, thread_name: str, thread_step: int
     ) -> Optional[SequencingRegion]:
+        """The region containing ``thread_step``, by bisect over region
+        start steps (starts are strictly increasing per thread, and regions
+        are disjoint, so the last region starting at or before the step is
+        the only candidate).  Equivalent to the linear scan
+        :meth:`_region_for_step_scan`, which a unit test asserts."""
+        regions = self.regions[thread_name]
+        index = bisect_right(self._region_starts[thread_name], thread_step) - 1
+        if index >= 0 and regions[index].contains_step(thread_step):
+            return regions[index]
+        return None
+
+    def _region_for_step_scan(
+        self, thread_name: str, thread_step: int
+    ) -> Optional[SequencingRegion]:
+        """Reference linear scan kept for the equivalence unit test."""
         for region in self.regions[thread_name]:
             if region.contains_step(thread_step):
                 return region
@@ -328,20 +542,29 @@ class OrderedReplay:
         return dict(self._final_image)
 
     def output(self) -> List[Tuple[str, int]]:
-        """Program output merged into global (sequencer) order."""
+        """Program output merged into global (sequencer) order.
+
+        Served straight from the logged ``sys_print`` syscall records (the
+        same records thread replay would copy into ``replay.output``), so
+        no thread needs materializing.  A ``sys_print`` sequencer without
+        a matching logged result is a divergence — a truncated or
+        tampered log — and raises :class:`ReplayDivergence` instead of
+        silently dropping trailing output.
+        """
         entries: List[Tuple[int, str, int]] = []
         for name, thread_log in self.log.threads.items():
-            replay = self.thread_replays[name]
-            output_cursor = 0
             step_to_ts = {
                 sequencer.thread_step: sequencer.timestamp
                 for sequencer in thread_log.sequencers
                 if sequencer.kind == "sys_print"
             }
             for step in sorted(step_to_ts):
-                if output_cursor < len(replay.output):
-                    _, value = replay.output[output_cursor]
-                    entries.append((step_to_ts[step], name, value))
-                    output_cursor += 1
+                record = thread_log.syscalls.get(step)
+                if record is None or record.name != "sys_print":
+                    raise ReplayDivergence(
+                        "thread %r: sys_print sequencer at step %d has no logged "
+                        "print result" % (name, step)
+                    )
+                entries.append((step_to_ts[step], name, record.result))
         entries.sort()
         return [(name, value) for _, name, value in entries]

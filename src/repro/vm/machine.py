@@ -154,9 +154,12 @@ class Machine:
         static_id: StaticInstructionId,
         name: str,
         result: int,
+        arg: Optional[int] = None,
     ) -> None:
         for observer in self.observers:
-            observer.on_syscall(thread.tid, thread.steps, static_id, name, result)
+            observer.on_syscall(
+                thread.tid, thread.steps, static_id, name, result, arg
+            )
 
     def retire(self, thread: ThreadState, static_id: StaticInstructionId) -> None:
         for observer in self.observers:

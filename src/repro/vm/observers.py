@@ -63,8 +63,11 @@ class Observer:
         static_id: StaticInstructionId,
         name: str,
         result: int,
+        arg: Optional[int] = None,
     ) -> None:
-        """A syscall completed with ``result``."""
+        """A syscall completed with ``result`` (``arg`` is its input operand,
+        when the syscall takes one — e.g. the requested size of ``sys_alloc``
+        or the base passed to ``sys_free``)."""
 
     def on_step(
         self,

@@ -341,7 +341,7 @@ class ThreadState:
         result = machine.syscalls.execute(
             opcode, self.tid, self.name, machine.global_step, arg
         )
-        machine.notify_syscall(self, static_id, opcode, result)
+        machine.notify_syscall(self, static_id, opcode, result, arg)
         if dest is not None:
             self.registers.write(dest, result)
         if record[6]:
@@ -435,7 +435,7 @@ class ThreadState:
         result = machine.syscalls.execute(
             opcode, self.tid, self.name, machine.global_step, arg
         )
-        machine.notify_syscall(self, static_id, opcode, result)
+        machine.notify_syscall(self, static_id, opcode, result, arg)
         if dest is not None:
             self.registers.write(dest, result)
         if opcode == "sys_yield":

@@ -129,10 +129,10 @@ class TestCapturedAccessIndex:
         assert from_capture.postings == from_replay.postings
         assert [
             (a.thread_step, a.static_id, a.address, a.value, a.is_write)
-            for a in from_capture._objects
+            for a in from_capture.materialized_objects()
         ] == [
             (a.thread_step, a.static_id, a.address, a.value, a.is_write)
-            for a in from_replay._objects
+            for a in from_replay.materialized_objects()
         ]
 
 
