@@ -26,10 +26,13 @@ the equivalence tests assert.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
+import zlib
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Optional, Set, Tuple, Union
 
 from ..record.binary_format import BINARY_FORMAT_VERSION, decode_log, encode_log
 from ..record.log import ReplayLog
@@ -117,18 +120,62 @@ def _machine_result_from_json(data: dict) -> MachineResult:
     )
 
 
+#: Everything a torn, truncated or otherwise corrupt entry can raise
+#: while being decoded.  A partial ``os.replace`` survivor, a file cut
+#: short by a crash mid-``write_bytes`` on a non-atomic filesystem, or a
+#: concurrent writer's schema drift must all degrade to a cache miss —
+#: never to an exception that kills the analysis.
+_MISS_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    TypeError,
+    IndexError,
+    EOFError,
+    UnicodeDecodeError,
+    zlib.error,
+)
+
+_TMP_COUNTER = itertools.count()
+
+
 class SuiteCache:
-    """Disk cache mapping execution content addresses to recorded runs."""
+    """Disk cache mapping execution content addresses to recorded runs.
+
+    Safe under concurrent readers and writers, in-process and across
+    processes: the in-memory key index only mutates under a lock, writes
+    land via per-writer-unique temp files plus ``os.replace`` (readers
+    never observe a half-written entry on POSIX filesystems), and any
+    torn or partial file that does surface is treated as a miss rather
+    than raised (see ``_MISS_ERRORS``).  The analysis service shares one
+    cache directory between its HTTP threads and pool workers.
+    """
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        #: Keys this process has stored or successfully loaded; purely an
+        #: optimization for ``known_keys``/``__contains__`` — a key absent
+        #: here may still be on disk (written by another process).
+        self._index: Set[str] = set()
 
     def _log_path(self, key: str) -> Path:
         return self.directory / ("%s.replay.bin" % key)
 
     def _meta_path(self, key: str) -> Path:
         return self.directory / ("%s.meta.json" % key)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._index:
+                return True
+        return self._log_path(key).exists() and self._meta_path(key).exists()
+
+    def known_keys(self) -> Set[str]:
+        """Keys this process has stored or served (snapshot copy)."""
+        with self._lock:
+            return set(self._index)
 
     def load(self, key: str) -> Optional[Tuple[MachineResult, ReplayLog]]:
         """The cached ``(machine result, log)`` for ``key``, or ``None``.
@@ -143,8 +190,10 @@ class SuiteCache:
             result = _machine_result_from_json(
                 json.loads(meta_path.read_text(encoding="utf-8"))
             )
-        except (OSError, ValueError, KeyError, TypeError):
+        except _MISS_ERRORS:
             return None
+        with self._lock:
+            self._index.add(key)
         return result, log
 
     def store(self, key: str, result: MachineResult, log: ReplayLog) -> None:
@@ -152,15 +201,22 @@ class SuiteCache:
 
         Captured columns are deliberately omitted: cache hits keep
         exercising the replay-derived fallback path, and the entries
-        stay as small as the v2 layout.
+        stay as small as the v2 layout.  Concurrent stores of the same
+        key are harmless — recording is deterministic, so both writers
+        replace the entry with identical bytes.
         """
-        self._write_atomic(self._log_path(key), encode_log(log, include_captured=False))
-        self._write_atomic(
-            self._meta_path(key),
-            json.dumps(_machine_result_to_json(result)).encode("utf-8"),
-        )
+        encoded = encode_log(log, include_captured=False)
+        meta = json.dumps(_machine_result_to_json(result)).encode("utf-8")
+        with self._lock:
+            self._write_atomic(self._log_path(key), encoded)
+            self._write_atomic(self._meta_path(key), meta)
+            self._index.add(key)
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
-        temporary = path.with_name(path.name + ".tmp.%d" % os.getpid())
+        temporary = path.with_name(
+            path.name
+            + ".tmp.%d.%d.%d"
+            % (os.getpid(), threading.get_ident(), next(_TMP_COUNTER))
+        )
         temporary.write_bytes(data)
         os.replace(temporary, path)

@@ -114,6 +114,38 @@ class PerfStats:
         self.replay_snapshots_eager += other.replay_snapshots_eager
         self.replay_captured_handoffs += other.replay_captured_handoffs
 
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "PerfStats":
+        """Rebuild an accumulator from :meth:`to_json` output.
+
+        The inverse of :meth:`to_json` for every raw counter (derived
+        rates are recomputed, not read back), so stats can cross process
+        or HTTP boundaries as plain JSON and still :meth:`merge`
+        losslessly — the analysis service's workers return their stats
+        this way.  Unknown keys are ignored for forward compatibility;
+        ``pool_workers`` is rebuilt from ``pool_worker_ids`` (the
+        ``pool_workers`` key itself is the derived count).
+        """
+        stats = cls()
+        derived = {
+            "cache_hit_rate",
+            "detect_prune_rate",
+            "record_cache_hit_rate",
+            "pool_workers",
+            "pool_worker_ids",
+            "stage_seconds",
+        }
+        for name, value in payload.items():
+            if name in derived or not hasattr(stats, name):
+                continue
+            setattr(stats, name, value)
+        stats.stage_seconds = {
+            str(name): float(seconds)
+            for name, seconds in dict(payload.get("stage_seconds") or {}).items()
+        }
+        stats.pool_workers = set(payload.get("pool_worker_ids") or ())
+        return stats
+
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of classified instances served from the verdict cache."""
@@ -144,6 +176,7 @@ class PerfStats:
     def to_json(self) -> Dict[str, object]:
         return {
             "jobs": self.jobs,
+            "pool_worker_ids": sorted(self.pool_workers),
             "stage_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.stage_seconds.items())

@@ -3,10 +3,19 @@
 One :func:`analyze_execution` call is the paper's full per-execution flow;
 :func:`analyze_suite` runs a whole corpus and merges per-static-race
 results across executions, attaching ground truth from the workloads.
+
+The service-callable entry points — :func:`analyze_log` (replay → detect
+→ classify for an already-recorded log, e.g. one uploaded over HTTP),
+:func:`execution_report` and :func:`render_report` (the canonical
+machine-readable race report and its canonical byte rendering) — are
+reentrant and share no mutable module state, so the analysis service's
+pool workers and the in-process CLI produce byte-identical reports from
+the same inputs.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,11 +38,15 @@ from .perf import PerfStats
 
 @dataclass
 class ExecutionAnalysis:
-    """Everything produced by analysing one recorded execution."""
+    """Everything produced by analysing one recorded execution.
+
+    ``machine_result`` is ``None`` when the analysis started from a bare
+    log (:func:`analyze_log`) rather than a live recording.
+    """
 
     execution_id: str
     workload: Workload
-    machine_result: MachineResult
+    machine_result: Optional[MachineResult]
     log: ReplayLog
     ordered: OrderedReplay
     instances: List[RaceInstance]
@@ -167,6 +180,109 @@ def analyze_execution(
         classified=classified,
         perf=perf,
     )
+
+
+def default_execution_id(log: ReplayLog) -> str:
+    """The canonical execution id for a bare log: ``<program>#s<seed>``.
+
+    Matches the id :func:`repro.workloads.suite.paper_suite` assigns to
+    live executions, so a suite recording saved to disk and analysed
+    through :func:`analyze_log` reports under the same id (and hence
+    byte-identically) as the in-process :func:`analyze_execution` path.
+    """
+    return "%s#s%d" % (log.program_name, log.seed)
+
+
+def analyze_log(
+    log: ReplayLog,
+    execution_id: Optional[str] = None,
+    classifier_config: Optional[ClassifierConfig] = None,
+    max_pairs_per_location: Optional[int] = 256,
+    classifier_factory=None,
+    detector_factory=None,
+    perf: Optional[PerfStats] = None,
+    replay_fast_path: bool = True,
+) -> ExecutionAnalysis:
+    """Fully analyse an already-recorded log: replay → detect → classify.
+
+    The record stage is skipped (the log *is* the recording); everything
+    downstream — ordered replay, happens-before detection, both-orders
+    classification — is identical to :func:`analyze_execution`, so the
+    resulting report is too.  The workload is synthesized from the log's
+    embedded program source (logs are self-contained), which means no
+    ground-truth expectations attach — exactly right for logs uploaded
+    to the analysis service from outside the labelled corpus.
+    """
+    workload = Workload(
+        name=log.program_name,
+        source=log.program_source,
+        description="recorded log (analysed via analyze_log)",
+    )
+    if execution_id is None:
+        execution_id = default_execution_id(log)
+    stats = perf if perf is not None else PerfStats()
+    program = workload.program()
+    with stats.stage("replay"):
+        ordered = OrderedReplay(log, program, fast_path=replay_fast_path, perf=stats)
+    with stats.stage("detect"):
+        if detector_factory is None:
+            detector = HappensBeforeDetector(
+                ordered, max_pairs_per_location=max_pairs_per_location, perf=stats
+            )
+        else:
+            detector = detector_factory(ordered, max_pairs_per_location)
+        instances = detector.detect()
+    if classifier_factory is None:
+        classifier = RaceClassifier(
+            ordered, config=classifier_config, execution_id=execution_id
+        )
+    else:
+        classifier = classifier_factory(ordered, classifier_config, execution_id)
+    with stats.stage("classify"):
+        classified = classifier.classify_all(instances)
+    stats.executions += 1
+    stats.instances += len(instances)
+    stats.vp_runs += classifier.vp_runs
+    stats.originals_synthesized += classifier.originals_synthesized
+    stats.prefixes_fast_forwarded += classifier.prefixes_fast_forwarded
+    return ExecutionAnalysis(
+        execution_id=execution_id,
+        workload=workload,
+        machine_result=None,
+        log=log,
+        ordered=ordered,
+        instances=instances,
+        classified=classified,
+        perf=perf,
+    )
+
+
+def execution_report(analysis: ExecutionAnalysis, suppressions=None) -> Dict:
+    """The canonical machine-readable race report of one analysis.
+
+    A deterministic function of the analysis alone (races sorted by key,
+    no timestamps), built on :func:`repro.race.exporter.results_to_json`
+    — the same schema ``repro classify --json`` writes.  The analysis
+    service serves exactly this document per job, and the end-to-end
+    tests assert its :func:`render_report` bytes match the in-process
+    path's.
+    """
+    results = aggregate_instances(analysis.classified)
+    from ..race.exporter import results_to_json
+
+    return results_to_json(
+        results, analysis.program, log=analysis.log, suppressions=suppressions
+    )
+
+
+def render_report(document: Dict) -> bytes:
+    """Canonical byte rendering of a report document.
+
+    Sorted keys, two-space indent, trailing newline, UTF-8: every
+    producer (service worker, CLI, tests) renders through here so
+    "byte-identical reports" is a meaningful equality.
+    """
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
 
 
 def _ground_truth_for(

@@ -9,6 +9,8 @@ Mirrors the paper's usage model as subcommands::
     python -m repro mark-benign run.replay.bin --race 'blk:3|blk:5' ...
     python -m repro suite                       # the paper-suite tables
     python -m repro experiment table1           # one experiment by id
+    python -m repro serve --port 8422           # long-lived analysis service
+    python -m repro submit run.replay.bin       # ship a log to the service
 
 ``record`` runs an assembly program under a seeded scheduler and writes a
 self-contained replay log — the versioned binary container by default, or
@@ -243,6 +245,87 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="content-addressed record cache directory (skips re-recording)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived analysis service (HTTP API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8422, help="bind port (0 = any)")
+    serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=2,
+        help="worker processes (0 = run jobs inline in the dispatch threads)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="queue shards (0 = one per worker); content-hash routed",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="bounded queue size; beyond this, submissions get 429",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=120.0,
+        help="seconds one attempt may run before the worker is recycled",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-addressed record cache shared by all workers",
+    )
+    serve.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="job journal (JSON lines); enables crash recovery on restart",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running analysis service"
+    )
+    submit.add_argument(
+        "--server",
+        default="http://127.0.0.1:8422",
+        help="service base URL (default http://127.0.0.1:8422)",
+    )
+    group = submit.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", help="suite workload name to record+analyse")
+    group.add_argument(
+        "log", nargs="?", type=Path, default=None, help="replay log file to upload"
+    )
+    submit.add_argument("--seed", type=int, default=0, help="workload seed")
+    submit.add_argument(
+        "--switch-probability",
+        type=float,
+        default=0.3,
+        help="preemption probability for workload jobs",
+    )
+    submit.add_argument("--priority", type=int, default=0, help="queue priority")
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without polling for the report",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for completion (with polling)",
+    )
+    submit.add_argument(
+        "--json",
+        type=Path,
+        dest="json_output",
+        help="write the canonical report to this file instead of stdout",
     )
 
     return parser
@@ -549,6 +632,61 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from .service import ServiceConfig
+    from .service.http import serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        job_timeout_s=args.job_timeout,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        journal_path=str(args.journal) if args.journal else None,
+    )
+    return serve_forever(config, out=out)
+
+
+def _cmd_submit(args, out) -> int:
+    from .service.client import QueueFullError, ServiceClient
+
+    client = ServiceClient(args.server)
+    try:
+        if args.workload:
+            job = client.submit_workload(
+                args.workload,
+                seed=args.seed,
+                switch_probability=args.switch_probability,
+                priority=args.priority,
+            )
+        else:
+            job = client.submit_log_file(args.log, priority=args.priority)
+    except QueueFullError as error:
+        print("error: service overloaded (429): %s" % error, file=sys.stderr)
+        return 2
+    print(
+        "job %s %s%s"
+        % (job.job_id, job.state, "" if job.created else " (already submitted)"),
+        file=out,
+    )
+    if args.no_wait:
+        return 0
+    done = client.wait(job.job_id, timeout_s=args.timeout)
+    report = client.report_bytes(job.job_id)
+    if args.json_output:
+        args.json_output.write_bytes(report)
+        print(
+            "report (%.3fs analysis): %s"
+            % (done.elapsed_s or 0.0, args.json_output),
+            file=out,
+        )
+    else:
+        out.write(report.decode("utf-8"))
+    return 0
+
+
 _COMMANDS = {
     "record": _cmd_record,
     "replay": _cmd_replay,
@@ -561,14 +699,35 @@ _COMMANDS = {
     "report": _cmd_report,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Pipeline errors (bad source, corrupt or missing logs, VM faults,
+    service failures) exit nonzero with a one-line message rather than a
+    traceback, and ``KeyboardInterrupt`` exits with the conventional
+    ``128 + SIGINT`` — both matter once ``repro serve`` runs under a
+    supervisor that restarts on crash and signals on shutdown.
+    """
+    from .isa.errors import IsaError
+    from .record.validation import InvalidLogError
+    from .replay.errors import ReplayError
+    from .vm.errors import VMError
+
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (IsaError, VMError, ReplayError, InvalidLogError, OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

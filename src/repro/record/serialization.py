@@ -179,9 +179,17 @@ def save_log(
 
 def load_log(path: Union[str, Path]) -> ReplayLog:
     """Read a replay log, auto-detecting binary container vs JSON."""
+    return load_log_bytes(Path(path).read_bytes())
+
+
+def load_log_bytes(data: bytes) -> ReplayLog:
+    """Decode replay-log bytes, auto-detecting binary container vs JSON.
+
+    The in-memory sibling of :func:`load_log`, for logs that never touch
+    the filesystem — e.g. uploads to the analysis service.
+    """
     from .binary_format import decode_log, is_binary_log
 
-    data = Path(path).read_bytes()
     if is_binary_log(data):
         return decode_log(data)
     return log_from_json(json.loads(data.decode("utf-8")))

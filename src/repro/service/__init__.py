@@ -1,0 +1,48 @@
+"""Long-running analysis service: job store, queue, worker pool, HTTP API.
+
+The record → replay → detect → classify pipeline, packaged as a server:
+submit replay logs (or suite workloads by name) over HTTP, poll job
+status, fetch the canonical race report.  Reports are byte-identical to
+the in-process ``analyze_execution`` path — the service is a deployment
+shape, not a different analysis.
+"""
+
+from .config import RetryPolicy, ServiceConfig
+from .client import (
+    JobFailedError,
+    JobStatus,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+)
+from .http import AnalysisHTTPServer, make_server, serve_forever
+from .jobs import Job, JobSpec, JobState, JobStore, content_key_for
+from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .service import AnalysisService, BadLogError, UnknownWorkloadError
+from .workers import LatencyHistograms, ShardedWorkerPool
+
+__all__ = [
+    "AnalysisHTTPServer",
+    "AnalysisService",
+    "BadLogError",
+    "BoundedJobQueue",
+    "Job",
+    "JobFailedError",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "JobStore",
+    "LatencyHistograms",
+    "QueueClosed",
+    "QueueFull",
+    "QueueFullError",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ShardedWorkerPool",
+    "UnknownWorkloadError",
+    "content_key_for",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,247 @@
+"""Typed client for the analysis service HTTP API.
+
+Used by the ``repro submit`` CLI verb and by the integration tests; it
+speaks exactly the protocol :mod:`repro.service.http` serves, over
+stdlib :mod:`urllib` — no third-party HTTP stack.
+
+Errors surface as :class:`ServiceError` (an :class:`OSError` subclass,
+so the CLI's existing error handling converts it into a nonzero exit
+code) with :class:`QueueFullError` carved out for 429 backpressure so
+callers can distinguish "retry later" from "request is wrong".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .jobs import JobState
+
+
+class ServiceError(OSError):
+    """The service replied with an error, or could not be reached."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class QueueFullError(ServiceError):
+    """429: the bounded queue rejected the submission — retry later."""
+
+
+class JobFailedError(ServiceError):
+    """The awaited job finished in a failed/cancelled state."""
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One ``GET /jobs/<id>`` document, typed."""
+
+    job_id: str
+    state: JobState
+    kind: str
+    attempts: int
+    created: bool = False
+    error: Optional[str] = None
+    elapsed_s: Optional[float] = None
+    recovered: bool = False
+
+    @property
+    def is_final(self) -> bool:
+        return self.state.is_final
+
+    @classmethod
+    def from_json(cls, document: Dict, created: bool = False) -> "JobStatus":
+        return cls(
+            job_id=document["job_id"],
+            state=JobState(document["state"]),
+            kind=document.get("kind", ""),
+            attempts=int(document.get("attempts", 0)),
+            created=bool(document.get("created", created)),
+            error=document.get("error"),
+            elapsed_s=document.get("elapsed_s"),
+            recovered=bool(document.get("recovered", False)),
+        )
+
+
+class ServiceClient:
+    """Client for one analysis-service base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> tuple:
+        """Return ``(status, body_bytes)``; raises :class:`ServiceError`."""
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers=headers or {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as error:
+            # Non-2xx replies still carry a JSON body we want to surface.
+            return error.code, error.read()
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                "cannot reach %s: %s" % (self.base_url, error.reason)
+            ) from error
+
+    def _json(self, status: int, body: bytes) -> Dict:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except ValueError:
+            document = {"error": body.decode("utf-8", "replace").strip()}
+        if status == 429:
+            raise QueueFullError(
+                document.get("error", "queue full"), status=status
+            )
+        if status >= 400:
+            raise ServiceError(
+                document.get("error", "HTTP %d" % status), status=status
+            )
+        return document
+
+    # -- submission ------------------------------------------------------
+
+    def submit_workload(
+        self,
+        workload: str,
+        seed: int = 0,
+        switch_probability: float = 0.3,
+        priority: int = 0,
+    ) -> JobStatus:
+        status, body = self._request(
+            "POST",
+            "/jobs",
+            json.dumps(
+                {
+                    "workload": workload,
+                    "seed": seed,
+                    "switch_probability": switch_probability,
+                    "priority": priority,
+                }
+            ).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+        return JobStatus.from_json(self._json(status, body))
+
+    def submit_log(self, data: bytes, priority: int = 0) -> JobStatus:
+        status, body = self._request(
+            "POST",
+            "/jobs",
+            data,
+            {
+                "Content-Type": "application/octet-stream",
+                "X-Repro-Priority": str(priority),
+            },
+        )
+        return JobStatus.from_json(self._json(status, body))
+
+    def submit_log_file(
+        self, path: Union[str, Path], priority: int = 0
+    ) -> JobStatus:
+        """Upload a log file as multipart/form-data (the curl-like path)."""
+        data = Path(path).read_bytes()
+        boundary = "repro-boundary-7c4a1f9e2b"
+        parts = [
+            b"--" + boundary.encode("ascii"),
+            b'Content-Disposition: form-data; name="priority"',
+            b"",
+            str(priority).encode("ascii"),
+            b"--" + boundary.encode("ascii"),
+            b'Content-Disposition: form-data; name="log"; filename="%s"'
+            % Path(path).name.encode("utf-8"),
+            b"Content-Type: application/octet-stream",
+            b"",
+            data,
+            b"--" + boundary.encode("ascii") + b"--",
+            b"",
+        ]
+        status, body = self._request(
+            "POST",
+            "/jobs",
+            b"\r\n".join(parts),
+            {"Content-Type": "multipart/form-data; boundary=%s" % boundary},
+        )
+        return JobStatus.from_json(self._json(status, body))
+
+    # -- queries ---------------------------------------------------------
+
+    def job(self, job_id: str) -> JobStatus:
+        status, body = self._request("GET", "/jobs/%s" % job_id)
+        return JobStatus.from_json(self._json(status, body))
+
+    def report_bytes(self, job_id: str) -> bytes:
+        """The canonical report bytes; raises unless the job is done."""
+        status, body = self._request("GET", "/jobs/%s/report" % job_id)
+        if status == 200:
+            return body
+        document = self._json(status, body)  # raises for >= 400
+        raise ServiceError(
+            "job %s not finished (state %s)"
+            % (job_id, document.get("state", "?")),
+            status=status,
+        )
+
+    def report(self, job_id: str) -> Dict:
+        return json.loads(self.report_bytes(job_id).decode("utf-8"))
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 60.0,
+        poll_interval_s: float = 0.05,
+    ) -> JobStatus:
+        """Poll until the job reaches a final state.
+
+        Raises :class:`JobFailedError` for failed/cancelled jobs and
+        :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job.state is JobState.DONE:
+                return job
+            if job.is_final:
+                raise JobFailedError(
+                    "job %s %s: %s" % (job_id, job.state, job.error or "no detail")
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "timed out after %.1fs waiting for job %s (state %s)"
+                    % (timeout_s, job_id, job.state)
+                )
+            time.sleep(poll_interval_s)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        status, body = self._request("DELETE", "/jobs/%s" % job_id)
+        if status == 409:
+            # Not cancellable (already running/finished): report the state.
+            return JobStatus.from_json(json.loads(body.decode("utf-8")))
+        return JobStatus.from_json(self._json(status, body))
+
+    def metrics(self) -> Dict:
+        status, body = self._request("GET", "/metrics")
+        return self._json(status, body)
+
+    def health(self) -> Dict:
+        status, body = self._request("GET", "/healthz")
+        return self._json(status, body)

@@ -1,0 +1,163 @@
+"""Bounded, sharded priority queue with backpressure and delayed retries.
+
+The admission queue between the HTTP layer and the worker pool.  Three
+properties matter:
+
+* **bounded** — ``put`` never blocks and never buffers beyond
+  ``capacity``; an overfull queue raises :class:`QueueFull`, which the
+  HTTP layer maps to ``429 Too Many Requests``.  Overload sheds load at
+  the edge instead of growing an invisible backlog.
+* **sharded** — every entry carries a shard id (derived from the job's
+  content hash) and each shard thread pops only its own entries, so
+  related work keeps landing on the same worker process and reuses its
+  verdict/record caches.  Priority order holds *within* a shard:
+  higher ``priority`` first, FIFO among equals.
+* **delayed re-entry** — retry-with-backoff re-inserts an entry with a
+  ``not_before`` monotonic deadline; it stays invisible to ``get`` until
+  the deadline passes.  Delayed entries count against capacity (a
+  retrying job still occupies its slot).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import List, Optional, Tuple
+
+
+class QueueFull(Exception):
+    """The bounded queue is at capacity; the submission was rejected."""
+
+
+class QueueClosed(Exception):
+    """The queue was shut down; no further entries will be served."""
+
+
+#: (negative priority, sequence, job_id) — heapq pops highest priority,
+#: FIFO among equals.
+_ReadyEntry = Tuple[int, int, str]
+#: (not_before, sequence, shard, priority, job_id)
+_DelayedEntry = Tuple[float, int, int, int, str]
+
+
+class BoundedJobQueue:
+    """The bounded sharded priority queue described in the module doc."""
+
+    def __init__(self, capacity: int, shards: int = 1):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.capacity = capacity
+        self.shards = shards
+        self._lock = threading.Lock()
+        self._ready_cv = threading.Condition(self._lock)
+        self._ready: List[List[_ReadyEntry]] = [[] for _ in range(shards)]
+        self._delayed: List[_DelayedEntry] = []
+        self._size = 0
+        self._seq = itertools.count()
+        self._closed = False
+        #: Submissions rejected for capacity (exposed via /metrics).
+        self.rejections = 0
+
+    # -- producers ------------------------------------------------------
+
+    def put(
+        self,
+        job_id: str,
+        shard: int,
+        priority: int = 0,
+        not_before: Optional[float] = None,
+        force: bool = False,
+    ) -> None:
+        """Admit one entry or raise :class:`QueueFull` immediately.
+
+        ``force`` bypasses the capacity check — used only when
+        re-enqueueing journal-recovered jobs at startup, which were
+        admitted (and counted against capacity) before the crash.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed()
+            if not force and self._size >= self.capacity:
+                self.rejections += 1
+                raise QueueFull(
+                    "queue full (%d entries, capacity %d)"
+                    % (self._size, self.capacity)
+                )
+            seq = next(self._seq)
+            if not_before is not None and not_before > time.monotonic():
+                heapq.heappush(
+                    self._delayed, (not_before, seq, shard % self.shards, priority, job_id)
+                )
+            else:
+                heapq.heappush(
+                    self._ready[shard % self.shards], (-priority, seq, job_id)
+                )
+            self._size += 1
+            self._ready_cv.notify_all()
+
+    # -- consumers ------------------------------------------------------
+
+    def _promote_matured(self) -> None:
+        """Move delayed entries whose deadline passed into ready heaps."""
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, seq, shard, priority, job_id = heapq.heappop(self._delayed)
+            heapq.heappush(self._ready[shard], (-priority, seq, job_id))
+
+    def get(self, shard: int, timeout: Optional[float] = None) -> Optional[str]:
+        """Pop the next ready job id for ``shard``.
+
+        Blocks up to ``timeout`` seconds (None = until available or
+        closed).  Returns ``None`` on timeout; raises
+        :class:`QueueClosed` once the queue is closed *and* drained for
+        this shard.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                self._promote_matured()
+                heap = self._ready[shard % self.shards]
+                if heap:
+                    _, _, job_id = heapq.heappop(heap)
+                    self._size -= 1
+                    return job_id
+                if self._closed and not self._shard_has_delayed(shard):
+                    raise QueueClosed()
+                wait = None
+                if self._delayed:
+                    wait = max(self._delayed[0][0] - time.monotonic(), 0.0)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._ready_cv.wait(wait)
+
+    def _shard_has_delayed(self, shard: int) -> bool:
+        shard %= self.shards
+        return any(entry[2] == shard for entry in self._delayed)
+
+    # -- lifecycle / introspection --------------------------------------
+
+    def close(self) -> None:
+        """Stop admissions and wake all waiting consumers."""
+        with self._lock:
+            self._closed = True
+            self._ready_cv.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def depth(self) -> int:
+        """Entries currently queued (ready + delayed)."""
+        with self._lock:
+            return self._size
+
+    def is_empty(self) -> bool:
+        return self.depth() == 0

@@ -1,0 +1,215 @@
+"""The analysis service facade: store + queue + pool behind one object.
+
+:class:`AnalysisService` is what the HTTP layer (and tests) talk to.  It
+owns the journaled :class:`~repro.service.jobs.JobStore`, the bounded
+sharded :class:`~repro.service.queue.BoundedJobQueue` and the
+:class:`~repro.service.workers.ShardedWorkerPool`, and implements the
+admission protocol:
+
+1. compute the job's content key (the SuiteCache content hash for
+   workload jobs);
+2. if a live job with that key exists — queued, running, or done —
+   return it (idempotent submission, no queue slot consumed);
+3. otherwise reserve a queue slot (*this* is where backpressure
+   rejects), then journal the job.
+
+On :meth:`start`, jobs recovered from the journal (queued at crash time,
+or running — re-queued by the store) are re-enqueued before workers
+begin, so a restarted server picks up exactly where it died without
+duplicating finished work.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..record.serialization import load_log_bytes
+from ..workloads.suite import all_workloads
+from .config import ServiceConfig
+from .jobs import Job, JobSpec, JobState, JobStore, content_key_for
+from .queue import BoundedJobQueue
+from .workers import ShardedWorkerPool
+
+
+class UnknownWorkloadError(ValueError):
+    """The submitted workload name is not in the suite registry."""
+
+
+class BadLogError(ValueError):
+    """The uploaded bytes do not decode as a replay log."""
+
+
+class AnalysisService:
+    """One deployment of the replay-analysis service."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        runner: Optional[Callable[[dict], dict]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        if self.config.journal_path:
+            self.store = JobStore.open(self.config.journal_path)
+        else:
+            self.store = JobStore()
+        self.queue = BoundedJobQueue(
+            self.config.queue_capacity, self.config.effective_shards()
+        )
+        self.pool = ShardedWorkerPool(
+            self.config, self.store, self.queue, runner=runner
+        )
+        self.workloads = all_workloads()
+        self.started_at = time.monotonic()
+        self.recovered_jobs = 0
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, workers: bool = True) -> "AnalysisService":
+        """Re-enqueue journal-recovered jobs, then start the pool.
+
+        ``workers=False`` brings the service up without dispatch threads
+        — submissions queue but nothing runs (tests use this to pin jobs
+        in the queue; a later ``start()`` call can attach workers).
+        """
+        if not self._started:
+            for job in self.store.pending():
+                self.queue.put(
+                    job.job_id,
+                    self.shard_for(job.content_key),
+                    priority=job.priority,
+                    force=True,
+                )
+                if job.recovered:
+                    self.recovered_jobs += 1
+            self._started = True
+        if workers:
+            self.pool.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        self.pool.shutdown(drain=drain, timeout=timeout)
+        self.store.close()
+
+    # -- submission ------------------------------------------------------
+
+    def shard_for(self, content_key: str) -> int:
+        return int(content_key[:8], 16) % self.config.effective_shards()
+
+    def _admit(self, spec: JobSpec, content_key: str, priority: int) -> Tuple[Job, bool]:
+        existing = self.store.by_content_key(content_key)
+        if existing is not None and existing.state not in (
+            JobState.FAILED,
+            JobState.CANCELLED,
+        ):
+            return existing, False
+        # Reserve the queue slot first: if the queue rejects, no job is
+        # journaled and the client sees pure backpressure (429).
+        self.queue.put(
+            "j-%s" % content_key[:16],
+            self.shard_for(content_key),
+            priority=priority,
+        )
+        return self.store.submit(spec, content_key, priority=priority)
+
+    def submit_workload(
+        self,
+        name: str,
+        seed: int = 0,
+        switch_probability: float = 0.3,
+        priority: int = 0,
+    ) -> Tuple[Job, bool]:
+        """Submit a record-and-analyse job for a named suite workload."""
+        workload = self.workloads.get(name)
+        if workload is None:
+            raise UnknownWorkloadError(
+                "unknown workload %r (have: %s)"
+                % (name, ", ".join(sorted(self.workloads)))
+            )
+        spec = JobSpec.for_workload(
+            name, seed=seed, switch_probability=switch_probability
+        )
+        key = content_key_for(
+            spec,
+            workload,
+            self.config.max_steps,
+            self.config.capture_global_order,
+            self.config.max_pairs_per_location,
+        )
+        return self._admit(spec, key, priority)
+
+    def submit_log(self, data: bytes, priority: int = 0) -> Tuple[Job, bool]:
+        """Submit an uploaded replay log (binary container or JSON)."""
+        try:
+            load_log_bytes(data)
+        except Exception as error:  # noqa: BLE001 - any decode failure
+            raise BadLogError("undecodable replay log: %s" % error)
+        spec = JobSpec.for_log(data)
+        key = content_key_for(
+            spec,
+            None,
+            self.config.max_steps,
+            self.config.capture_global_order,
+            self.config.max_pairs_per_location,
+        )
+        return self._admit(spec, key, priority)
+
+    # -- queries ---------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.store.get(job_id)
+
+    def report_bytes(self, job_id: str) -> Optional[bytes]:
+        """The canonical rendering of a finished job's report."""
+        from ..analysis.pipeline import render_report
+
+        job = self.store.get(job_id)
+        if job is None or job.report is None:
+            return None
+        return render_report(job.report)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a queued job; running/finished jobs are left alone.
+
+        Returns the job (whatever its state), or None if unknown.  The
+        queue entry is lazily discarded: the shard loop skips any popped
+        job whose state is no longer ``queued``.
+        """
+        with self.store._lock:
+            job = self.store.get(job_id)
+            if job is None:
+                return None
+            if job.state is JobState.QUEUED:
+                self.store.mark_cancelled(job_id)
+            return job
+
+    def metrics(self) -> Dict:
+        """The ``GET /metrics`` document (field reference in docs)."""
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        completed = self.pool.completed
+        perf = self.pool.perf
+        return {
+            "uptime_s": round(uptime, 3),
+            "queue": {
+                "depth": self.queue.depth(),
+                "capacity": self.queue.capacity,
+                "rejections": self.queue.rejections,
+            },
+            "jobs": self.store.counts(),
+            "recovered_jobs": self.recovered_jobs,
+            "throughput_jobs_per_s": round(completed / uptime, 4),
+            "pool": self.pool.metrics_json(),
+            "verdict_cache_hit_rate": round(perf.cache_hit_rate, 4),
+            "record_cache_hit_rate": round(perf.record_cache_hit_rate, 4),
+            "perf": perf.to_json(),
+            "latency_histograms_s": self.pool.histograms.to_json(),
+        }
+
+    def health(self) -> Dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(max(time.monotonic() - self.started_at, 0.0), 3),
+            "shards": self.config.effective_shards(),
+            "mode": self.pool.mode,
+        }

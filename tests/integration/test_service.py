@@ -1,0 +1,309 @@
+"""Integration tests: the analysis service end to end over HTTP.
+
+Most tests share one inline-mode (no worker processes) service on an
+ephemeral port — the full HTTP surface with fast, deterministic jobs.
+One test boots the real process pool to cover the executor path, and the
+restart test exercises journal recovery across two service instances
+sharing a journal file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis.engine import ClassificationEngine, EngineConfig
+from repro.analysis.pipeline import analyze_log, execution_report, render_report
+from repro.record.binary_format import encode_log
+from repro.service import (
+    AnalysisService,
+    JobState,
+    QueueFullError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    make_server,
+)
+from repro.workloads.suite import Execution, all_workloads
+
+WORKLOAD = "lost_update_lu0"
+SEED = 11
+
+
+def _direct_report_bytes(workload_name=WORKLOAD, seed=SEED):
+    """The in-process analyze_execution path, canonically rendered."""
+    workload = all_workloads()[workload_name]
+    execution = Execution(
+        workload=workload,
+        seed=seed,
+        switch_probability=0.3,
+        execution_id="%s#s%d" % (workload_name, seed),
+    )
+    engine = ClassificationEngine(EngineConfig(jobs=1))
+    analysis = engine.analyze_execution(execution)
+    return render_report(execution_report(analysis)), analysis
+
+
+@pytest.fixture(scope="module")
+def direct():
+    report, analysis = _direct_report_bytes()
+    return {"report": report, "log": analysis.log}
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """(service, server, client) — inline mode, ephemeral port."""
+    service = AnalysisService(
+        ServiceConfig(pool_size=0, queue_capacity=32, port=0)
+    ).start()
+    server = make_server(service)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    client = ServiceClient(server.url)
+    yield service, server, client
+    server.shutdown()
+    service.shutdown()
+
+
+class TestReportParity:
+    def test_workload_submission_is_byte_identical(self, deployment, direct):
+        _, _, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        assert client.report_bytes(job.job_id) == direct["report"]
+
+    def test_uploaded_log_is_byte_identical(self, deployment, direct):
+        _, _, client = deployment
+        job = client.submit_log(encode_log(direct["log"]))
+        client.wait(job.job_id, timeout_s=60)
+        assert client.report_bytes(job.job_id) == direct["report"]
+
+    def test_multipart_upload_is_byte_identical(
+        self, deployment, direct, tmp_path
+    ):
+        _, _, client = deployment
+        path = tmp_path / "run.replay.bin"
+        path.write_bytes(encode_log(direct["log"]))
+        job = client.submit_log_file(path)
+        client.wait(job.job_id, timeout_s=60)
+        assert client.report_bytes(job.job_id) == direct["report"]
+
+    def test_report_parses_as_canonical_json(self, deployment, direct):
+        _, _, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        document = client.report(job.job_id)
+        assert document == json.loads(direct["report"].decode("utf-8"))
+
+
+class TestIdempotency:
+    def test_resubmission_returns_same_job(self, deployment):
+        _, _, client = deployment
+        first = client.submit_workload(WORKLOAD, seed=SEED + 1)
+        second = client.submit_workload(WORKLOAD, seed=SEED + 1)
+        assert first.job_id == second.job_id
+        assert not second.created
+        # A different seed is different work.
+        other = client.submit_workload(WORKLOAD, seed=SEED + 2)
+        assert other.job_id != first.job_id
+        client.wait(first.job_id, timeout_s=60)
+        client.wait(other.job_id, timeout_s=60)
+
+    def test_same_log_bytes_deduplicate(self, deployment, direct):
+        _, _, client = deployment
+        data = encode_log(direct["log"])
+        first = client.submit_log(data)
+        second = client.submit_log(data)
+        assert first.job_id == second.job_id and not second.created
+
+
+class TestErrors:
+    def test_unknown_workload_is_400(self, deployment):
+        _, _, client = deployment
+        with pytest.raises(ServiceError) as caught:
+            client.submit_workload("no_such_workload")
+        assert caught.value.status == 400
+
+    def test_bad_log_bytes_are_400(self, deployment):
+        _, _, client = deployment
+        with pytest.raises(ServiceError) as caught:
+            client.submit_log(b"\x00\x01 definitely not a replay log")
+        assert caught.value.status == 400
+
+    def test_unknown_job_is_404(self, deployment):
+        _, _, client = deployment
+        with pytest.raises(ServiceError) as caught:
+            client.job("j-doesnotexist0000")
+        assert caught.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, deployment):
+        _, _, client = deployment
+        with pytest.raises(ServiceError) as caught:
+            client._json(*client._request("GET", "/nope"))
+        assert caught.value.status == 404
+
+
+class TestObservability:
+    def test_healthz(self, deployment):
+        _, _, client = deployment
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["mode"] == "inline"
+        assert health["uptime_s"] >= 0
+
+    def test_metrics_document(self, deployment):
+        _, _, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        metrics = client.metrics()
+        queue = metrics["queue"]
+        assert queue["capacity"] == 32 and queue["depth"] >= 0
+        assert metrics["jobs"]["done"] >= 1
+        assert metrics["throughput_jobs_per_s"] > 0
+        assert 0.0 <= metrics["verdict_cache_hit_rate"] <= 1.0
+        assert metrics["pool"]["completed"] >= 1
+        histograms = metrics["latency_histograms_s"]
+        assert "total" in histograms
+        assert histograms["total"]["observations"] >= 1
+        assert len(histograms["total"]["counts"]) == len(
+            histograms["total"]["bounds_s"]
+        ) + 1
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_429(self):
+        # workers=False pins every submission in the queue.
+        service = AnalysisService(
+            ServiceConfig(pool_size=0, queue_capacity=2, port=0)
+        ).start(workers=False)
+        server = make_server(service)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        client = ServiceClient(server.url)
+        try:
+            client.submit_workload(WORKLOAD, seed=100)
+            client.submit_workload(WORKLOAD, seed=101)
+            with pytest.raises(QueueFullError) as caught:
+                client.submit_workload(WORKLOAD, seed=102)
+            assert caught.value.status == 429
+            # Resubmitting existing work still deduplicates — no slot
+            # needed, so no 429.
+            again = client.submit_workload(WORKLOAD, seed=100)
+            assert not again.created
+            assert client.metrics()["queue"]["rejections"] == 1
+        finally:
+            server.shutdown()
+            service.shutdown(drain=False)
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        service = AnalysisService(
+            ServiceConfig(pool_size=0, queue_capacity=8, port=0)
+        ).start(workers=False)
+        server = make_server(service)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        client = ServiceClient(server.url)
+        try:
+            job = client.submit_workload(WORKLOAD, seed=200)
+            cancelled = client.cancel(job.job_id)
+            assert cancelled.state is JobState.CANCELLED
+            assert client.job(job.job_id).state is JobState.CANCELLED
+        finally:
+            server.shutdown()
+            service.shutdown(drain=False)
+
+    def test_cancel_done_job_is_conflict(self, deployment):
+        _, _, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        outcome = client.cancel(job.job_id)
+        assert outcome.state is JobState.DONE  # 409: too late to cancel
+
+
+class TestRestartRecovery:
+    def test_journaled_jobs_survive_restart_without_duplicate_work(
+        self, tmp_path, direct
+    ):
+        config = ServiceConfig(
+            pool_size=0,
+            queue_capacity=16,
+            port=0,
+            journal_path=str(tmp_path / "journal.jsonl"),
+            cache_dir=str(tmp_path / "cache"),
+        )
+        # First life: one job finishes, one stays pinned in the queue.
+        first = AnalysisService(config).start(workers=False)
+        pinned, _ = first.submit_workload(WORKLOAD, seed=301)
+        first.pool.start()
+        deadline = time.monotonic() + 60
+        while first.job(pinned.job_id).state is not JobState.DONE:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        done_report = first.report_bytes(pinned.job_id)
+        first.shutdown(drain=False)
+        queued, _ = AnalysisService(config).start(workers=False).submit_workload(
+            WORKLOAD, seed=302
+        )
+        # (that second instance "crashed" without running its job)
+
+        # Second life: recovery re-enqueues the queued job, keeps the
+        # finished one, and runs only what was unfinished.
+        revived = AnalysisService(config).start()
+        assert revived.job(pinned.job_id).state is JobState.DONE
+        assert revived.report_bytes(pinned.job_id) == done_report
+        assert revived.metrics()["recovered_jobs"] >= 1
+        deadline = time.monotonic() + 60
+        while revived.job(queued.job_id).state is not JobState.DONE:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        recovered_job = revived.job(queued.job_id)
+        assert recovered_job.recovered
+        # Identical direct-path analysis — recovery changed nothing.
+        expected, _ = _direct_report_bytes(seed=302)
+        assert revived.report_bytes(queued.job_id) == expected
+        # Idempotency across the restart: same submission, same job.
+        resubmitted, created = revived.submit_workload(WORKLOAD, seed=301)
+        assert not created and resubmitted.job_id == pinned.job_id
+        revived.shutdown()
+
+
+class TestProcessPool:
+    def test_process_pool_end_to_end(self, tmp_path, direct):
+        """One real ProcessPoolExecutor deployment: spawn, run, drain."""
+        service = AnalysisService(
+            ServiceConfig(
+                pool_size=1,
+                queue_capacity=8,
+                port=0,
+                cache_dir=str(tmp_path / "cache"),
+            )
+        ).start()
+        server = make_server(service)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        client = ServiceClient(server.url)
+        try:
+            assert client.health()["mode"] == "process"
+            job = client.submit_workload(WORKLOAD, seed=SEED)
+            client.wait(job.job_id, timeout_s=120)
+            assert client.report_bytes(job.job_id) == direct["report"]
+            # The worker ran in another process and its stats crossed
+            # the boundary: the merged perf names a foreign pid.
+            metrics = client.metrics()
+            assert metrics["perf"]["pool_workers"] >= 1
+        finally:
+            server.shutdown()
+            service.shutdown()

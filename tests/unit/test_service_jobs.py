@@ -1,0 +1,192 @@
+"""Unit tests for the service job store: idempotency, transitions, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cache import execution_cache_key
+from repro.service.jobs import (
+    JobSpec,
+    JobState,
+    JobStore,
+    content_key_for,
+)
+from repro.workloads.suite import all_workloads
+
+
+def _key(spec, workload=None):
+    return content_key_for(spec, workload, 200_000, True, 256)
+
+
+def _log_spec(data=b"not-a-real-log"):
+    return JobSpec.for_log(data)
+
+
+class TestContentKey:
+    def test_workload_key_reuses_suite_cache_hash(self):
+        workload = all_workloads()["lost_update_lu0"]
+        spec = JobSpec.for_workload("lost_update_lu0", seed=3)
+        cache_key = execution_cache_key(spec.execution(workload), 200_000, True)
+        key = _key(spec, workload)
+        other = content_key_for(spec, workload, 200_000, True, 128)
+        # Same recording, different analysis parameter -> different job.
+        assert key != other
+        # Same everything -> same job key, and it derives from the
+        # suite-cache content hash (changing the seed changes both).
+        respec = JobSpec.for_workload("lost_update_lu0", seed=4)
+        assert execution_cache_key(respec.execution(workload), 200_000, True) != cache_key
+        assert _key(respec, workload) != key
+
+    def test_log_key_is_content_addressed(self):
+        assert _key(_log_spec(b"aa")) == _key(_log_spec(b"aa"))
+        assert _key(_log_spec(b"aa")) != _key(_log_spec(b"ab"))
+
+    def test_kind_disambiguates(self):
+        workload = all_workloads()["lost_update_lu0"]
+        workload_key = _key(JobSpec.for_workload("lost_update_lu0"), workload)
+        assert workload_key != _key(_log_spec())
+
+
+class TestSubmission:
+    def test_submit_is_idempotent(self):
+        store = JobStore()
+        spec = _log_spec()
+        job, created = store.submit(spec, _key(spec))
+        again, recreated = store.submit(spec, _key(spec))
+        assert created and not recreated
+        assert again is job
+        assert len(store) == 1
+
+    def test_done_job_still_deduplicates(self):
+        store = JobStore()
+        spec = _log_spec()
+        job, _ = store.submit(spec, _key(spec))
+        store.mark_running(job.job_id)
+        store.mark_done(job.job_id, {"races": []})
+        again, created = store.submit(spec, _key(spec))
+        assert not created
+        assert again.state is JobState.DONE
+        assert again.report == {"races": []}
+
+    def test_failed_job_is_revived(self):
+        store = JobStore()
+        spec = _log_spec()
+        job, _ = store.submit(spec, _key(spec))
+        store.mark_running(job.job_id)
+        store.mark_failed(job.job_id, "boom")
+        revived, created = store.submit(spec, _key(spec))
+        assert created
+        assert revived.job_id == job.job_id
+        assert revived.state is JobState.QUEUED
+        assert revived.attempts == 0
+        assert revived.error is None
+
+    def test_transitions_and_counts(self):
+        store = JobStore()
+        spec = _log_spec()
+        job, _ = store.submit(spec, _key(spec))
+        assert store.counts()["queued"] == 1
+        store.mark_running(job.job_id)
+        assert job.attempts == 1
+        store.mark_requeued(job.job_id, error="transient")
+        assert job.state is JobState.QUEUED
+        assert job.error == "transient"
+        store.mark_running(job.job_id)
+        assert job.attempts == 2
+        store.mark_done(job.job_id, {"ok": True}, elapsed_s=0.5)
+        counts = store.counts()
+        assert counts["done"] == 1 and counts["queued"] == 0
+        assert job.error is None and job.elapsed_s == 0.5
+
+
+class TestJournalRecovery:
+    def _journaled(self, tmp_path):
+        return tmp_path / "journal.jsonl"
+
+    def test_queued_and_running_jobs_recover(self, tmp_path):
+        path = self._journaled(tmp_path)
+        store = JobStore(path)
+        queued, _ = store.submit(_log_spec(b"q"), _key(_log_spec(b"q")))
+        running, _ = store.submit(_log_spec(b"r"), _key(_log_spec(b"r")))
+        store.mark_running(running.job_id)
+        store.close()  # crash: no drain, no final states
+
+        recovered = JobStore.open(path)
+        q = recovered.get(queued.job_id)
+        r = recovered.get(running.job_id)
+        assert q.state is JobState.QUEUED and q.recovered
+        assert r.state is JobState.QUEUED and r.recovered
+        # The interrupted attempt stays on the counter.
+        assert r.attempts == 1
+        assert [job.job_id for job in recovered.pending()] == [
+            queued.job_id,
+            running.job_id,
+        ]
+
+    def test_done_jobs_recover_with_reports(self, tmp_path):
+        path = self._journaled(tmp_path)
+        store = JobStore(path)
+        job, _ = store.submit(_log_spec(), _key(_log_spec()))
+        store.mark_running(job.job_id)
+        store.mark_done(job.job_id, {"races": [1, 2]}, perf={"jobs": 1}, elapsed_s=1.5)
+        store.close()
+
+        recovered = JobStore.open(path)
+        back = recovered.get(job.job_id)
+        assert back.state is JobState.DONE and not back.recovered
+        assert back.report == {"races": [1, 2]}
+        assert back.perf == {"jobs": 1}
+        assert back.elapsed_s == 1.5
+        assert recovered.pending() == []
+        # Idempotency map survives: resubmitting finds the done job.
+        again, created = recovered.submit(_log_spec(), _key(_log_spec()))
+        assert not created and again.job_id == job.job_id
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = self._journaled(tmp_path)
+        store = JobStore(path)
+        job, _ = store.submit(_log_spec(), _key(_log_spec()))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "state", "job_id": "%s", "sta' % job.job_id)
+
+        recovered = JobStore.open(path)
+        assert recovered.get(job.job_id).state is JobState.QUEUED
+
+    def test_double_crash_still_recovers(self, tmp_path):
+        path = self._journaled(tmp_path)
+        store = JobStore(path)
+        job, _ = store.submit(_log_spec(), _key(_log_spec()))
+        store.mark_running(job.job_id)
+        store.close()
+        # First recovery re-journals running -> queued, then crashes too.
+        JobStore.open(path).close()
+        recovered = JobStore.open(path)
+        assert recovered.get(job.job_id).state is JobState.QUEUED
+        assert recovered.get(job.job_id).attempts == 1
+
+    def test_journal_lines_are_json(self, tmp_path):
+        path = self._journaled(tmp_path)
+        store = JobStore(path)
+        job, _ = store.submit(_log_spec(), _key(_log_spec()))
+        store.mark_running(job.job_id)
+        store.close()
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["event"] in ("submit", "state", "done")
+
+
+class TestStatusJson:
+    def test_status_document_fields(self):
+        store = JobStore()
+        workload = all_workloads()["lost_update_lu0"]
+        spec = JobSpec.for_workload("lost_update_lu0", seed=2)
+        job, _ = store.submit(spec, _key(spec, workload))
+        status = job.status_json()
+        assert status["kind"] == "workload"
+        assert status["workload"] == "lost_update_lu0"
+        assert status["seed"] == 2
+        assert status["state"] == "queued"
+        assert status["has_report"] is False
+        assert job.job_id.startswith("j-")

@@ -1,0 +1,119 @@
+"""Unit tests for the bounded sharded priority queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.queue import BoundedJobQueue, QueueClosed, QueueFull
+
+
+class TestBounds:
+    def test_rejects_beyond_capacity(self):
+        queue = BoundedJobQueue(capacity=2)
+        queue.put("a", 0)
+        queue.put("b", 0)
+        with pytest.raises(QueueFull):
+            queue.put("c", 0)
+        assert queue.rejections == 1
+        assert queue.depth() == 2
+
+    def test_force_bypasses_capacity(self):
+        queue = BoundedJobQueue(capacity=1)
+        queue.put("a", 0)
+        queue.put("recovered", 0, force=True)
+        assert queue.depth() == 2
+
+    def test_pop_frees_capacity(self):
+        queue = BoundedJobQueue(capacity=1)
+        queue.put("a", 0)
+        assert queue.get(0, timeout=0.1) == "a"
+        queue.put("b", 0)  # no QueueFull
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedJobQueue(capacity=1, shards=0)
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.put("low-1", 0, priority=0)
+        queue.put("high", 0, priority=5)
+        queue.put("low-2", 0, priority=0)
+        order = [queue.get(0, timeout=0.1) for _ in range(3)]
+        assert order == ["high", "low-1", "low-2"]
+
+    def test_shards_are_isolated(self):
+        queue = BoundedJobQueue(capacity=8, shards=2)
+        queue.put("zero", 0)
+        queue.put("one", 1)
+        assert queue.get(1, timeout=0.1) == "one"
+        assert queue.get(0, timeout=0.1) == "zero"
+        assert queue.get(1, timeout=0.05) is None
+
+
+class TestDelayed:
+    def test_not_before_hides_entry_until_deadline(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.put("later", 0, not_before=time.monotonic() + 0.15)
+        assert queue.depth() == 1  # still occupies its slot
+        assert queue.get(0, timeout=0.01) is None
+        assert queue.get(0, timeout=2.0) == "later"
+
+    def test_delayed_respects_priority_on_maturity(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.put("delayed-high", 0, priority=9, not_before=time.monotonic() + 0.05)
+        time.sleep(0.08)
+        queue.put("fresh-low", 0, priority=0)
+        assert queue.get(0, timeout=0.5) == "delayed-high"
+
+
+class TestLifecycle:
+    def test_get_timeout_returns_none(self):
+        queue = BoundedJobQueue(capacity=2)
+        started = time.monotonic()
+        assert queue.get(0, timeout=0.05) is None
+        assert time.monotonic() - started < 1.0
+
+    def test_close_drains_then_raises(self):
+        queue = BoundedJobQueue(capacity=4)
+        queue.put("a", 0)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("b", 0)
+        # Entries queued before close are still served...
+        assert queue.get(0, timeout=0.1) == "a"
+        # ...then the consumer learns the queue is finished.
+        with pytest.raises(QueueClosed):
+            queue.get(0, timeout=0.1)
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = BoundedJobQueue(capacity=2)
+        outcome = {}
+
+        def consume():
+            try:
+                queue.get(0, timeout=5.0)
+            except QueueClosed:
+                outcome["closed"] = True
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert outcome.get("closed") is True
+
+    def test_close_waits_for_delayed_entries(self):
+        queue = BoundedJobQueue(capacity=4)
+        queue.put("retry", 0, not_before=time.monotonic() + 0.1)
+        queue.close()
+        # A delayed retry queued before close must still be delivered.
+        assert queue.get(0, timeout=2.0) == "retry"
+        with pytest.raises(QueueClosed):
+            queue.get(0, timeout=0.1)

@@ -1,0 +1,196 @@
+"""Unit tests for the sharded worker pool (injected-runner mode)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.config import RetryPolicy, ServiceConfig
+from repro.service.jobs import JobSpec, JobState, JobStore, content_key_for
+from repro.service.queue import BoundedJobQueue
+from repro.service.workers import (
+    HISTOGRAM_BOUNDS_S,
+    LatencyHistograms,
+    ShardedWorkerPool,
+)
+
+
+def _submit(store, queue, data=b"payload", priority=0, shard=0):
+    spec = JobSpec.for_log(data)
+    key = content_key_for(spec, None, 200_000, True, 256)
+    job, _ = store.submit(spec, key, priority=priority)
+    queue.put(job.job_id, shard, priority=priority)
+    return job
+
+
+def _pool(runner, retry=None, shards=1):
+    config = ServiceConfig(
+        pool_size=0,
+        shards=shards,
+        queue_capacity=16,
+        retry=retry or RetryPolicy(max_attempts=2, backoff_base_s=0.01),
+    )
+    store = JobStore()
+    queue = BoundedJobQueue(config.queue_capacity, shards)
+    pool = ShardedWorkerPool(config, store, queue, runner=runner)
+    return pool, store, queue
+
+
+def _wait_final(store, job, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not job.state.is_final:
+        assert time.monotonic() < deadline, "job never finished: %s" % job.state
+        time.sleep(0.01)
+    return job
+
+
+class TestLatencyHistograms:
+    def test_bucketing(self):
+        histograms = LatencyHistograms()
+        histograms.observe("replay", 0.0008)   # first bucket (<= 1ms)
+        histograms.observe("replay", 0.3)      # the 0.5s bucket
+        histograms.observe("replay", 1000.0)   # unbounded last bucket
+        document = histograms.to_json()["replay"]
+        assert document["observations"] == 3
+        assert document["counts"][0] == 1
+        assert document["counts"][HISTOGRAM_BOUNDS_S.index(0.5)] == 1
+        assert document["counts"][-1] == 1
+        assert document["total_s"] == pytest.approx(1000.3008)
+
+
+class TestSuccessPath:
+    def test_job_runs_and_merges_metrics(self):
+        def runner(payload):
+            assert payload["kind"] == "log"
+            return {
+                "report": {"races": []},
+                "perf": {"stage_seconds": {"replay": 0.02}, "cache_hits": 3},
+                "elapsed_s": 0.05,
+            }
+
+        pool, store, queue = _pool(runner)
+        job = _submit(store, queue)
+        pool.start()
+        _wait_final(store, job)
+        pool.shutdown()
+
+        assert job.state is JobState.DONE
+        assert job.report == {"races": []}
+        assert job.elapsed_s == 0.05
+        assert pool.completed == 1 and pool.failed == 0
+        assert pool.perf.cache_hits == 3
+        histograms = pool.histograms.to_json()
+        assert histograms["replay"]["observations"] == 1
+        assert histograms["total"]["observations"] == 1
+        assert pool.metrics_json()["mode"] == "injected"
+
+    def test_drain_finishes_queued_work(self):
+        def runner(payload):
+            time.sleep(0.02)
+            return {"report": {}, "perf": {}, "elapsed_s": 0.02}
+
+        pool, store, queue = _pool(runner)
+        jobs = [_submit(store, queue, b"job-%d" % index) for index in range(5)]
+        pool.start()
+        assert pool.drain(timeout=10.0)
+        pool.shutdown()
+        assert all(job.state is JobState.DONE for job in jobs)
+        assert pool.completed == 5
+
+
+class TestFailurePath:
+    def test_retry_then_success(self):
+        attempts = []
+
+        def runner(payload):
+            attempts.append(time.monotonic())
+            if len(attempts) == 1:
+                raise RuntimeError("transient failure")
+            return {"report": {"ok": True}, "perf": {}, "elapsed_s": 0.01}
+
+        pool, store, queue = _pool(runner)
+        job = _submit(store, queue)
+        pool.start()
+        _wait_final(store, job)
+        pool.shutdown()
+
+        assert job.state is JobState.DONE
+        assert job.attempts == 2
+        assert pool.retries == 1 and pool.failed == 0
+        # The retry waited out its backoff delay.
+        assert attempts[1] - attempts[0] >= 0.005
+
+    def test_exhausted_retries_fail_with_error(self):
+        def runner(payload):
+            raise RuntimeError("permanent failure")
+
+        pool, store, queue = _pool(runner)
+        job = _submit(store, queue)
+        pool.start()
+        _wait_final(store, job)
+        pool.shutdown()
+
+        assert job.state is JobState.FAILED
+        assert job.attempts == 2
+        assert "permanent failure" in job.error
+        assert pool.failed == 1 and pool.retries == 1
+
+    def test_no_retry_policy_fails_immediately(self):
+        def runner(payload):
+            raise ValueError("bad input")
+
+        pool, store, queue = _pool(runner, retry=RetryPolicy(max_attempts=1))
+        job = _submit(store, queue)
+        pool.start()
+        _wait_final(store, job)
+        pool.shutdown()
+        assert job.state is JobState.FAILED
+        assert job.attempts == 1
+        assert pool.retries == 0
+
+    def test_timeout_counts_separately(self):
+        def runner(payload):
+            raise TimeoutError("job exceeded 0.1s timeout")
+
+        pool, store, queue = _pool(runner, retry=RetryPolicy(max_attempts=1))
+        job = _submit(store, queue)
+        pool.start()
+        _wait_final(store, job)
+        pool.shutdown()
+        assert pool.timeouts == 1
+        assert job.state is JobState.FAILED
+
+
+class TestDispatch:
+    def test_cancelled_jobs_are_skipped(self):
+        ran = []
+
+        def runner(payload):
+            ran.append(payload)
+            return {"report": {}, "perf": {}, "elapsed_s": 0.0}
+
+        pool, store, queue = _pool(runner)
+        job = _submit(store, queue)
+        store.mark_cancelled(job.job_id)
+        pool.start()
+        time.sleep(0.2)
+        pool.shutdown()
+        assert ran == []
+        assert job.state is JobState.CANCELLED
+
+    def test_sharded_dispatch_routes_by_shard(self):
+        seen = []
+
+        def runner(payload):
+            seen.append(payload["log_data"])
+            return {"report": {}, "perf": {}, "elapsed_s": 0.0}
+
+        pool, store, queue = _pool(runner, shards=2)
+        first = _submit(store, queue, b"shard-zero", shard=0)
+        second = _submit(store, queue, b"shard-one", shard=1)
+        pool.start()
+        assert pool.drain(timeout=5.0)
+        pool.shutdown()
+        assert {first.state, second.state} == {JobState.DONE}
+        assert sorted(seen) == [b"shard-one", b"shard-zero"]
