@@ -282,6 +282,10 @@ class JobStore:
                 job.perf = event.get("perf")
                 job.elapsed_s = event.get("elapsed_s")
                 job.error = None
+            elif kind == "discard":
+                job = self._jobs.pop(event.get("job_id"), None)
+                if job is not None:
+                    self._by_key.pop(job.content_key, None)
         for job in self._jobs.values():
             # Anything non-final at crash time is recovered work: jobs
             # caught mid-run go back to the queue (attempts preserved),
@@ -356,6 +360,30 @@ class JobStore:
             )
             return job, True
 
+    def rollback_submit(
+        self,
+        job_id: str,
+        prior_state: Optional[JobState] = None,
+        prior_error: Optional[str] = None,
+    ) -> None:
+        """Undo a :meth:`submit` whose queue admission was rejected.
+
+        A brand-new job (``prior_state=None``) is discarded outright —
+        journaled, so a restart does not revive work the client was told
+        was rejected.  A revived failed/cancelled job is put back in the
+        prior state the caller captured before resubmitting.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            if prior_state is None:
+                del self._jobs[job_id]
+                self._by_key.pop(job.content_key, None)
+                self._append({"event": "discard", "job_id": job_id})
+            else:
+                self._transition(job_id, prior_state, error=prior_error)
+
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
             return self._jobs.get(job_id)
@@ -427,11 +455,13 @@ class JobStore:
     ) -> Job:
         with self._lock:
             job = self._jobs[job_id]
-            job.state = JobState.DONE
             job.report = report
             job.perf = perf
             job.elapsed_s = elapsed_s
             job.error = None
+            # State last: HTTP handlers read state/report without the
+            # lock, and an observed DONE must imply a visible report.
+            job.state = JobState.DONE
             self._append(
                 {
                     "event": "done",

@@ -159,5 +159,14 @@ class BoundedJobQueue:
         with self._lock:
             return self._size
 
+    def stats(self) -> dict:
+        """Depth, capacity and rejections under one lock acquisition."""
+        with self._lock:
+            return {
+                "depth": self._size,
+                "capacity": self.capacity,
+                "rejections": self.rejections,
+            }
+
     def is_empty(self) -> bool:
         return self.depth() == 0

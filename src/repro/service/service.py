@@ -10,8 +10,10 @@ admission protocol:
    workload jobs);
 2. if a live job with that key exists — queued, running, or done —
    return it (idempotent submission, no queue slot consumed);
-3. otherwise reserve a queue slot (*this* is where backpressure
-   rejects), then journal the job.
+3. otherwise journal the job (state queued) and only then publish its
+   queue entry, so a shard that pops the id always finds a runnable
+   job; if the bounded queue rejects, the journaled admission is
+   rolled back and the client sees pure backpressure (429).
 
 On :meth:`start`, jobs recovered from the journal (queued at crash time,
 or running — re-queued by the store) are re-enqueued before workers
@@ -28,7 +30,7 @@ from ..record.serialization import load_log_bytes
 from ..workloads.suite import all_workloads
 from .config import ServiceConfig
 from .jobs import Job, JobSpec, JobState, JobStore, content_key_for
-from .queue import BoundedJobQueue
+from .queue import BoundedJobQueue, QueueClosed, QueueFull
 from .workers import ShardedWorkerPool
 
 
@@ -98,20 +100,29 @@ class AnalysisService:
         return int(content_key[:8], 16) % self.config.effective_shards()
 
     def _admit(self, spec: JobSpec, content_key: str, priority: int) -> Tuple[Job, bool]:
-        existing = self.store.by_content_key(content_key)
-        if existing is not None and existing.state not in (
-            JobState.FAILED,
-            JobState.CANCELLED,
-        ):
-            return existing, False
-        # Reserve the queue slot first: if the queue rejects, no job is
-        # journaled and the client sees pure backpressure (429).
-        self.queue.put(
-            "j-%s" % content_key[:16],
-            self.shard_for(content_key),
-            priority=priority,
-        )
-        return self.store.submit(spec, content_key, priority=priority)
+        # Journal first, enqueue second: the queue entry is published
+        # only once the job exists in the store (state QUEUED), so a
+        # shard thread that pops the id always resolves it to runnable
+        # work.  The store lock is held across the non-blocking put so
+        # concurrent duplicate submissions stay idempotent; a queue
+        # rejection rolls the journaled admission back before the
+        # client sees the 429.
+        with self.store._lock:
+            existing = self.store.by_content_key(content_key)
+            prior_state = prior_error = None
+            if existing is not None:
+                if existing.state not in (JobState.FAILED, JobState.CANCELLED):
+                    return existing, False
+                prior_state, prior_error = existing.state, existing.error
+            job, created = self.store.submit(spec, content_key, priority=priority)
+            try:
+                self.queue.put(
+                    job.job_id, self.shard_for(content_key), priority=priority
+                )
+            except (QueueFull, QueueClosed):
+                self.store.rollback_submit(job.job_id, prior_state, prior_error)
+                raise
+            return job, created
 
     def submit_workload(
         self,
@@ -185,24 +196,24 @@ class AnalysisService:
             return job
 
     def metrics(self) -> Dict:
-        """The ``GET /metrics`` document (field reference in docs)."""
+        """The ``GET /metrics`` document (field reference in docs).
+
+        Perf and counters are snapshotted under the pool's metrics lock
+        (and queue stats under the queue lock) so a concurrent
+        ``_merge_result`` cannot mutate them mid-serialization.
+        """
         uptime = max(time.monotonic() - self.started_at, 1e-9)
-        completed = self.pool.completed
-        perf = self.pool.perf
+        pool = self.pool.perf_snapshot()
         return {
             "uptime_s": round(uptime, 3),
-            "queue": {
-                "depth": self.queue.depth(),
-                "capacity": self.queue.capacity,
-                "rejections": self.queue.rejections,
-            },
+            "queue": self.queue.stats(),
             "jobs": self.store.counts(),
             "recovered_jobs": self.recovered_jobs,
-            "throughput_jobs_per_s": round(completed / uptime, 4),
+            "throughput_jobs_per_s": round(pool["completed"] / uptime, 4),
             "pool": self.pool.metrics_json(),
-            "verdict_cache_hit_rate": round(perf.cache_hit_rate, 4),
-            "record_cache_hit_rate": round(perf.record_cache_hit_rate, 4),
-            "perf": perf.to_json(),
+            "verdict_cache_hit_rate": round(pool["verdict_cache_hit_rate"], 4),
+            "record_cache_hit_rate": round(pool["record_cache_hit_rate"], 4),
+            "perf": pool["perf"],
             "latency_histograms_s": self.pool.histograms.to_json(),
         }
 

@@ -88,7 +88,11 @@ class LatencyHistograms:
 # lifetime; jobs arrive as plain dicts and results leave as plain dicts.
 # ----------------------------------------------------------------------
 
-_WORKER_CONTEXT: Optional[dict] = None
+#: Per-thread worker context.  In a pool worker process the initializer
+#: and every task run on the same (main) thread, so this is effectively
+#: process-global there; in inline mode each shard thread lazily builds
+#: its own engine, so shards never share an unsynchronized engine.
+_WORKER_TLS = threading.local()
 
 
 def _worker_init(config_dict: dict) -> None:
@@ -106,8 +110,7 @@ def _worker_init(config_dict: dict) -> None:
             replay_fast_path=config.replay_fast_path,
         )
     )
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = {"config": config, "engine": engine}
+    _WORKER_TLS.context = {"config": config, "engine": engine}
 
 
 def run_job_payload(payload: dict) -> dict:
@@ -115,16 +118,16 @@ def run_job_payload(payload: dict) -> dict:
 
     The single entry point both execution modes share: pool workers call
     it via :func:`_pooled_run` after :func:`_worker_init`; inline mode
-    calls it directly (initializing a private context on first use).
+    calls it directly (initializing a per-thread context on first use).
     Returns ``{"report", "perf", "elapsed_s"}``; analysis failures
     propagate as exceptions (picklable — they carry only the message).
     """
-    global _WORKER_CONTEXT
-    if _WORKER_CONTEXT is None:
+    context = getattr(_WORKER_TLS, "context", None)
+    if context is None:
         _worker_init(payload.get("config", ServiceConfig().to_dict()))
-    assert _WORKER_CONTEXT is not None
-    config: ServiceConfig = _WORKER_CONTEXT["config"]
-    engine = _WORKER_CONTEXT["engine"]
+        context = _WORKER_TLS.context
+    config: ServiceConfig = context["config"]
+    engine = context["engine"]
 
     from ..analysis.pipeline import analyze_log, execution_report
     from ..workloads.suite import all_workloads
@@ -132,7 +135,7 @@ def run_job_payload(payload: dict) -> dict:
     stats = PerfStats()
     started = time.monotonic()
     if payload["kind"] == "workload":
-        registry = _WORKER_CONTEXT.setdefault("workloads", all_workloads())
+        registry = context.setdefault("workloads", all_workloads())
         workload = registry.get(payload["workload"])
         if workload is None:
             raise ValueError("unknown workload: %r" % payload["workload"])
@@ -324,21 +327,25 @@ class ShardedWorkerPool:
         self.store.mark_running(job.job_id)
         with self._metrics_lock:
             self._running_jobs += 1
+        # The running count drops only after the terminal transition
+        # (mark_done / mark_failed / requeue) is journaled, so drain()
+        # returning True means every finished job's report is visible.
         try:
-            result = self._execute(shard, self._payload_for(job))
-        except Exception as error:  # noqa: BLE001 - any failure is the job's
-            self._handle_failure(shard, job, error)
-            return
+            try:
+                result = self._execute(shard, self._payload_for(job))
+            except Exception as error:  # noqa: BLE001 - any failure is the job's
+                self._handle_failure(shard, job, error)
+                return
+            self.store.mark_done(
+                job.job_id,
+                result["report"],
+                perf=result.get("perf"),
+                elapsed_s=result.get("elapsed_s"),
+            )
+            self._merge_result(result)
         finally:
             with self._metrics_lock:
                 self._running_jobs -= 1
-        self.store.mark_done(
-            job.job_id,
-            result["report"],
-            perf=result.get("perf"),
-            elapsed_s=result.get("elapsed_s"),
-        )
-        self._merge_result(result)
 
     def _handle_failure(self, shard: int, job: Job, error: Exception) -> None:
         message = "%s: %s" % (type(error).__name__, error)
@@ -383,6 +390,21 @@ class ShardedWorkerPool:
             self.histograms.observe(stage, float(seconds))
         if result.get("elapsed_s") is not None:
             self.histograms.observe("total", float(result["elapsed_s"]))
+
+    def perf_snapshot(self) -> dict:
+        """A consistent copy of pool-wide perf for ``/metrics``.
+
+        Serialized under the metrics lock so a concurrent
+        :meth:`_merge_result` cannot mutate the stats dicts while they
+        are being iterated.
+        """
+        with self._metrics_lock:
+            return {
+                "completed": self.completed,
+                "perf": self.perf.to_json(),
+                "verdict_cache_hit_rate": self.perf.cache_hit_rate,
+                "record_cache_hit_rate": self.perf.record_cache_hit_rate,
+            }
 
     def metrics_json(self) -> dict:
         with self._metrics_lock:

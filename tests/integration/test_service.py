@@ -27,6 +27,7 @@ from repro.service import (
     ServiceError,
     make_server,
 )
+from repro.service.queue import QueueFull
 from repro.workloads.suite import Execution, all_workloads
 
 WORKLOAD = "lost_update_lu0"
@@ -198,9 +199,84 @@ class TestBackpressure:
             again = client.submit_workload(WORKLOAD, seed=100)
             assert not again.created
             assert client.metrics()["queue"]["rejections"] == 1
+            # The rejected submission left no journaled job behind:
+            # only the two admitted jobs exist, both still queued.
+            assert client.metrics()["jobs"]["queued"] == 2
+            assert len(service.store) == 2
         finally:
             server.shutdown()
             service.shutdown(drain=False)
+
+    def test_rejected_submission_is_not_recovered_on_restart(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        config = ServiceConfig(
+            pool_size=0, queue_capacity=1, port=0, journal_path=str(journal)
+        )
+        service = AnalysisService(config).start(workers=False)
+        admitted, created = service.submit_workload(WORKLOAD, seed=300)
+        assert created
+        with pytest.raises(QueueFull):
+            service.submit_workload(WORKLOAD, seed=301)
+        service.shutdown(drain=False)
+
+        # Restart from the journal: only the admitted job comes back,
+        # and the rejected one can be submitted again as new work.
+        restarted = AnalysisService(config).start(workers=False)
+        try:
+            assert [job.job_id for job in restarted.store.pending()] == [
+                admitted.job_id
+            ]
+            assert restarted.queue.depth() == 1
+        finally:
+            restarted.shutdown(drain=False)
+
+
+class TestAdmissionDispatchRace:
+    def test_concurrent_submissions_never_lose_jobs(self):
+        """Submissions racing the shard loops all reach a final state.
+
+        Regression test: the queue entry used to be published before
+        the job was journaled, so an idle shard could pop the id, find
+        no job in the store, and silently drop the entry — leaving the
+        job 'queued' forever with no queue entry.
+        """
+        def runner(payload):
+            return {"report": {"ok": True}, "perf": {}, "elapsed_s": 0.0}
+
+        service = AnalysisService(
+            ServiceConfig(pool_size=0, shards=4, queue_capacity=256, port=0),
+            runner=runner,
+        ).start()
+        try:
+            jobs, errors = [], []
+            lock = threading.Lock()
+
+            def submit(base):
+                try:
+                    for offset in range(16):
+                        job, _ = service.submit_workload(
+                            WORKLOAD, seed=base * 100 + offset
+                        )
+                        with lock:
+                            jobs.append(job)
+                except Exception as error:  # noqa: BLE001 - the assertion
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=submit, args=(base,)) for base in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert errors == []
+            assert len(jobs) == 64
+            assert service.pool.drain(timeout=30.0)
+            stuck = [job for job in jobs if not job.state.is_final]
+            assert stuck == [], "lost jobs: %s" % [j.job_id for j in stuck]
+            assert all(job.state is JobState.DONE for job in jobs)
+        finally:
+            service.shutdown()
 
 
 class TestCancellation:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -99,6 +100,71 @@ class TestSubmission:
         counts = store.counts()
         assert counts["done"] == 1 and counts["queued"] == 0
         assert job.error is None and job.elapsed_s == 0.5
+
+    def test_done_state_never_visible_before_report(self):
+        # HTTP handlers read job.state/job.report without the store
+        # lock: DONE must imply the report is already assigned.
+        store = JobStore()
+        specs = [_log_spec(b"ordering-%d" % index) for index in range(50)]
+        jobs = [store.submit(spec, _key(spec))[0] for spec in specs]
+        torn = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for job in jobs:
+                    if job.state is JobState.DONE and job.report is None:
+                        torn.append(job.job_id)
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        for job in jobs:
+            store.mark_running(job.job_id)
+            store.mark_done(job.job_id, {"races": []})
+        stop.set()
+        thread.join(5.0)
+        assert torn == []
+
+
+class TestRollback:
+    def test_rollback_new_job_discards_it(self):
+        store = JobStore()
+        spec = _log_spec()
+        job, created = store.submit(spec, _key(spec))
+        assert created
+        store.rollback_submit(job.job_id)
+        assert store.get(job.job_id) is None
+        assert store.by_content_key(_key(spec)) is None
+        assert len(store) == 0
+        # The key is free again: the next submission is a fresh admit.
+        again, recreated = store.submit(spec, _key(spec))
+        assert recreated and again.state is JobState.QUEUED
+
+    def test_rollback_revived_job_restores_prior_state(self):
+        store = JobStore()
+        spec = _log_spec()
+        job, _ = store.submit(spec, _key(spec))
+        store.mark_running(job.job_id)
+        store.mark_failed(job.job_id, "boom")
+        revived, created = store.submit(spec, _key(spec))
+        assert created and revived.job_id == job.job_id
+        store.rollback_submit(job.job_id, JobState.FAILED, "boom")
+        assert job.state is JobState.FAILED
+        assert job.error == "boom"
+
+    def test_rollback_is_journaled(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        store = JobStore(path)
+        kept, _ = store.submit(_log_spec(b"kept"), _key(_log_spec(b"kept")))
+        rejected, _ = store.submit(
+            _log_spec(b"rejected"), _key(_log_spec(b"rejected"))
+        )
+        store.rollback_submit(rejected.job_id)
+        store.close()
+
+        recovered = JobStore.open(path)
+        assert recovered.get(rejected.job_id) is None
+        assert [job.job_id for job in recovered.pending()] == [kept.job_id]
 
 
 class TestJournalRecovery:

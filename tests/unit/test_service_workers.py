@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -97,6 +98,22 @@ class TestSuccessPath:
         pool.shutdown()
         assert all(job.state is JobState.DONE for job in jobs)
         assert pool.completed == 5
+
+    def test_drain_true_implies_reports_stored(self):
+        # drain() may only report success once the last job's terminal
+        # transition has landed — never "queue empty" with a job still
+        # RUNNING and its report unset.
+        def runner(payload):
+            return {"report": {"ok": True}, "perf": {}, "elapsed_s": 0.0}
+
+        for _ in range(20):
+            pool, store, queue = _pool(runner)
+            job = _submit(store, queue)
+            pool.start()
+            assert pool.drain(timeout=10.0)
+            assert job.state.is_final, "drain returned with job %s" % job.state
+            assert job.report == {"ok": True}
+            pool.shutdown()
 
 
 class TestFailurePath:
@@ -194,3 +211,75 @@ class TestDispatch:
         pool.shutdown()
         assert {first.state, second.state} == {JobState.DONE}
         assert sorted(seen) == [b"shard-one", b"shard-zero"]
+
+
+class TestInlineContextIsolation:
+    def test_worker_context_is_per_thread(self):
+        # Inline mode with shards > 1 runs run_job_payload on multiple
+        # shard threads concurrently; each thread must build and keep
+        # its own engine rather than racing on one shared context.
+        from repro.service import workers
+
+        config = ServiceConfig(pool_size=0, shards=2).to_dict()
+        main_context = getattr(workers._WORKER_TLS, "context", None)
+        engines = [None, None]
+
+        def build(index):
+            workers._worker_init(config)
+            engines[index] = workers._WORKER_TLS.context["engine"]
+
+        threads = [
+            threading.Thread(target=build, args=(index,)) for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        first, second = engines
+        assert first is not None and second is not None
+        assert first is not second
+        # Other threads' initialization never leaks into this thread.
+        assert getattr(workers._WORKER_TLS, "context", None) is main_context
+
+
+class TestMetricsSnapshot:
+    def test_perf_snapshot_during_concurrent_merges(self):
+        # /metrics serializes pool perf while workers merge results;
+        # the snapshot must be taken under the metrics lock so dict
+        # iteration never races a concurrent merge.
+        def runner(payload):
+            index = int(payload["log_data"].split(b"-")[1])
+            return {
+                "report": {},
+                "perf": {"stage_seconds": {"stage-%d" % index: 0.001}},
+                "elapsed_s": 0.001,
+            }
+
+        pool, store, queue = _pool(runner, shards=2)
+        jobs = [
+            _submit(store, queue, b"metrics-%d" % index, shard=index % 2)
+            for index in range(16)
+        ]
+        errors = []
+        stop = threading.Event()
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    snapshot = pool.perf_snapshot()
+                    assert snapshot["completed"] >= 0
+                    pool.metrics_json()
+                except Exception as error:  # noqa: BLE001 - the assertion
+                    errors.append(error)
+                    return
+
+        scraper = threading.Thread(target=scrape, daemon=True)
+        scraper.start()
+        pool.start()
+        assert pool.drain(timeout=10.0)
+        stop.set()
+        scraper.join(5.0)
+        pool.shutdown()
+        assert errors == []
+        assert all(job.state is JobState.DONE for job in jobs)
+        assert pool.perf_snapshot()["completed"] == 16
