@@ -1,0 +1,265 @@
+"""Detect-stage cost: full replay vs the zero-replay from-log path.
+
+Both paths run the *same* sweep-line detector; what differs is how its
+input is materialized from RPRB container bytes:
+
+* **replay** — decode the whole container, replay every thread through
+  the interpreter (``OrderedReplay``), then build the ``AccessIndex``
+  from the replayed accesses.  Work and peak memory scale with the
+  *execution* (every instruction re-executes, every register state is
+  materialized).
+* **from-log** — ``LogView.from_bytes``: a sectioned read that decodes
+  only the header, sequencer and captured-columns sections (seeking past
+  register/load/syscall payloads), then fills the ``AccessIndex``
+  columns straight from the captured arrays.  Work and peak memory
+  scale with the *log*.
+
+The benchmark scales the same racy loop workloads as
+``bench_detect_scaling.py``, times both paths end to end (container
+bytes in, canonically ordered race instances out), tracks peak memory
+via ``tracemalloc``, and asserts along the way that the two paths'
+instance lists — ordering included — and truncation counters are
+identical.
+
+Runs both under pytest (``pytest benchmarks/bench_detect_fromlog.py``)
+and as a script::
+
+    PYTHONPATH=src python benchmarks/bench_detect_fromlog.py --quick
+
+Either way the measured numbers land in
+``benchmarks/results/BENCH_detect_fromlog.json``.  ``--quick`` (used by
+CI) keeps the equality assertions but runs single repeats on the
+smaller sizes — the race-set equivalence gate, not the timing gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.isa import assemble
+from repro.race.happens_before import HappensBeforeDetector
+from repro.record import record_run
+from repro.record.binary_format import encode_log
+from repro.record.serialization import load_log_bytes
+from repro.replay import LogView, OrderedReplay
+from repro.vm import RandomScheduler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-thread body: same racy-pair shape as bench_detect_scaling (one
+#: region per sequencer), but only every fourth region touches the
+#: shared variable — the other three increment a thread-private word —
+#: and every region runs a register-only compute kernel.  Both tweaks
+#: model real programs, where racing accesses are a sliver of the work
+#: between synchronization events: the replay path re-executes every
+#: kernel instruction and private access, while the from-log path seeks
+#: past the kernels entirely (register ops produce no captured rows)
+#: and the private accesses never produce conflicts.  Threads ``a``/``b``
+#: race on ``x``, ``c``/``d`` on ``y``, so both pruning dimensions
+#: (temporal overlap *and* address postings) stay exercised.
+THREAD_TEMPLATE = """
+.thread {t}
+    li r1, {{outer}}
+{t}o:
+    load r2, [{shared}]
+    addi r2, r2, 1
+    store r2, [{shared}]
+    li r4, 12
+{t}k:
+    addi r5, r5, 3
+    subi r4, r4, 1
+    bnez r4, {t}k
+    sys_rand r3, 3
+    li r6, 3
+{t}i:
+    load r2, [p{t}]
+    addi r2, r2, 1
+    store r2, [p{t}]
+    li r4, 12
+{t}j:
+    addi r5, r5, 3
+    subi r4, r4, 1
+    bnez r4, {t}j
+    sys_rand r3, 3
+    subi r6, r6, 1
+    bnez r6, {t}i
+    subi r1, r1, 1
+    bnez r1, {t}o
+    halt
+"""
+
+SOURCE_TEMPLATE = (
+    """
+.data
+x: .word 0
+y: .word 0
+pa: .word 0
+pb: .word 0
+pc: .word 0
+pd: .word 0
+"""
+    + THREAD_TEMPLATE.format(t="a", shared="x")
+    + THREAD_TEMPLATE.format(t="b", shared="x")
+    + THREAD_TEMPLATE.format(t="c", shared="y")
+    + THREAD_TEMPLATE.format(t="d", shared="y")
+)
+
+#: ``iters`` is the region count per thread; one region in four races.
+SIZES = (20, 60, 200)
+QUICK_SIZES = (12, 32)
+SEED = 15
+
+
+def _container_bytes(iters: int, seed: int = SEED) -> bytes:
+    program = assemble(
+        SOURCE_TEMPLATE.format(outer=max(iters // 4, 1)),
+        name="fromlog%d" % iters,
+    )
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=0.3),
+        seed=seed,
+        max_steps=400_000,
+    )
+    return encode_log(log)
+
+
+def _detect_replay(data: bytes):
+    log = load_log_bytes(data)
+    detector = HappensBeforeDetector(OrderedReplay(log))
+    return detector.detect(), detector
+
+
+def _detect_fromlog(data: bytes):
+    detector = HappensBeforeDetector(LogView.from_bytes(data))
+    return detector.detect(), detector
+
+
+def _time_path(run, data: bytes, repeats: int):
+    """Min wall time over ``repeats`` plus peak bytes and the last result.
+
+    Each repeat starts from the raw container bytes, so the measured
+    time is the honest end-to-end detect cost: decode/replay/view build
+    plus index build plus sweep.  Peak memory is tracemalloc's high-water
+    mark over one traced run (tracing slows execution, so timing and
+    memory use separate runs).
+    """
+    best = None
+    instances = None
+    detector = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        instances, detector = run(data)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    tracemalloc.start()
+    run(data)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return best, peak, instances, detector
+
+
+def run_benchmark(sizes=SIZES, repeats: int = 3) -> dict:
+    """Time replay vs from-log per size; assert byte-identical race sets."""
+    rows = []
+    for iters in sizes:
+        data = _container_bytes(iters)
+        replay_s, replay_peak, replay_instances, replay_det = _time_path(
+            _detect_replay, data, repeats
+        )
+        fromlog_s, fromlog_peak, fromlog_instances, fromlog_det = _time_path(
+            _detect_fromlog, data, repeats
+        )
+        if fromlog_instances != replay_instances:
+            raise AssertionError(
+                "from-log race set diverges from the replay path at iters=%d "
+                "(%d vs %d instances)"
+                % (iters, len(fromlog_instances), len(replay_instances))
+            )
+        if fromlog_det.truncated_locations != replay_det.truncated_locations:
+            raise AssertionError(
+                "truncation counters diverge at iters=%d (%d vs %d)"
+                % (
+                    iters,
+                    fromlog_det.truncated_locations,
+                    replay_det.truncated_locations,
+                )
+            )
+        rows.append(
+            {
+                "iters": iters,
+                "log_bytes": len(data),
+                "instances": len(fromlog_instances),
+                "replay_s": round(replay_s, 4),
+                "fromlog_s": round(fromlog_s, 4),
+                "speedup": round(replay_s / fromlog_s, 2) if fromlog_s else 0.0,
+                "replay_peak_kib": round(replay_peak / 1024, 1),
+                "fromlog_peak_kib": round(fromlog_peak / 1024, 1),
+                "peak_ratio": round(replay_peak / fromlog_peak, 2)
+                if fromlog_peak
+                else 0.0,
+                "races_identical": True,
+            }
+        )
+    largest = rows[-1]
+    return {
+        "workloads": rows,
+        "seed": SEED,
+        "largest_iters": largest["iters"],
+        "speedup": largest["speedup"],
+        "peak_ratio": largest["peak_ratio"],
+        "races_identical": all(row["races_identical"] for row in rows),
+    }
+
+
+def write_result(result: dict, output: Path) -> None:
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_fromlog_beats_replay_path(results_dir):
+    result = run_benchmark(sizes=SIZES, repeats=3)
+    write_result(result, results_dir / "BENCH_detect_fromlog.json")
+    assert result["races_identical"]
+    assert result["speedup"] >= 2.0, (
+        "from-log detect must be >=2x over the replay path on the largest "
+        "workload (got %.2fx)" % result["speedup"]
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes, single repeat: equivalence check, not a timing gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_detect_fromlog.json",
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args()
+    result = run_benchmark(
+        sizes=QUICK_SIZES if args.quick else SIZES,
+        repeats=1 if args.quick else 3,
+    )
+    if args.quick:
+        result["quick"] = True  # mark CI-noise numbers as non-authoritative
+    write_result(result, args.output)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        "race sets identical across %d workloads; largest speedup %.2fx, "
+        "peak memory ratio %.2fx"
+        % (len(result["workloads"]), result["speedup"], result["peak_ratio"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

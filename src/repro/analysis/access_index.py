@@ -41,10 +41,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay builds us)
 class AccessIndex:
     """Columnar index of every plain memory access of one execution.
 
-    Built once from an :class:`OrderedReplay`; regions are keyed by their
-    *ordinal* — the position in the opening-timestamp order over all
-    non-empty regions.  Step-empty regions are not indexed (they contain
-    no accesses by construction) and map to the empty slice.
+    Built from an :class:`OrderedReplay` (the historical constructor) or
+    straight from captured log columns via :meth:`from_captured` — the
+    zero-replay detect path.  Regions are keyed by their *ordinal* — the
+    position in the opening-timestamp order over all non-empty regions.
+    Step-empty regions are not indexed (they contain no accesses by
+    construction) and map to the empty slice.
     """
 
     __slots__ = (
@@ -62,13 +64,69 @@ class AccessIndex:
         "postings",
         "_by_address",
         "_perf",
+        "_write_count",
     )
 
     def __init__(self, ordered: "OrderedReplay"):
+        # Prefer the recorder's columnar capture when the log still carries
+        # it: region slicing becomes a bisect over the recorded step column,
+        # with no second walk over replay-materialized access objects.  The
+        # constructed records are value-identical to the replay-derived ones
+        # (the equivalence tests compare both paths), so every downstream
+        # analysis is oblivious to the source.
+        captured = getattr(ordered.log, "captured", None)
+        if not getattr(ordered, "_fast_path", True):
+            captured = None  # generic reference path: no columnar shortcuts
+        self._build(
+            regions=[
+                region for region in ordered.all_regions() if not region.is_empty
+            ],
+            columns_by_thread=(
+                captured.threads if captured is not None else None
+            ),
+            ordered=ordered,
+            perf=getattr(ordered, "_perf", None),
+        )
+
+    @classmethod
+    def from_captured(
+        cls,
+        regions: List[SequencingRegion],
+        columns_by_thread: Dict[str, object],
+        perf=None,
+    ) -> "AccessIndex":
+        """Build the index straight from captured columns — zero replay.
+
+        ``regions`` is every region of the execution in opening-timestamp
+        (sweep) order — empty regions are filtered here, mirroring the
+        replay constructor; ``columns_by_thread`` maps each thread name to
+        any step-sorted column carrier exposing
+        ``steps``/``flags``/``addresses``/``values``/``static_ids``
+        parallel sequences (the recorder's
+        :class:`~repro.record.log.ThreadAccessColumns` or the sectioned
+        reader's :class:`~repro.record.binary_format.CapturedColumnView`).
+        Every non-empty region's thread must have columns: there is no
+        replay to fall back to here, so a missing thread raises
+        :class:`ValueError`.
+        """
+        index = cls.__new__(cls)
+        index._build(
+            regions=[region for region in regions if not region.is_empty],
+            columns_by_thread=columns_by_thread,
+            ordered=None,
+            perf=perf,
+        )
+        return index
+
+    def _build(
+        self,
+        regions: List[SequencingRegion],
+        columns_by_thread: Optional[Dict[str, object]],
+        ordered: Optional["OrderedReplay"],
+        perf,
+    ) -> None:
         #: Non-empty regions in opening-timestamp (sweep) order.
-        self.regions: List[SequencingRegion] = [
-            region for region in ordered.all_regions() if not region.is_empty
-        ]
+        self.regions: List[SequencingRegion] = regions
         self._ordinals: Dict[Tuple[int, int], int] = {
             (region.tid, region.index): ordinal
             for ordinal, region in enumerate(self.regions)
@@ -92,66 +150,86 @@ class AccessIndex:
         self.postings: Dict[int, List[int]] = {}
         #: Per-ordinal address -> accesses grouping, built lazily.
         self._by_address: List[Optional[Dict[int, List[ReplayedAccess]]]] = []
-
-        # Prefer the recorder's columnar capture when the log still carries
-        # it: region slicing becomes a bisect over the recorded step column,
-        # with no second walk over replay-materialized access objects.  The
-        # constructed records are value-identical to the replay-derived ones
-        # (the equivalence tests compare both paths), so every downstream
-        # analysis is oblivious to the source.
-        captured = getattr(ordered.log, "captured", None)
-        if not getattr(ordered, "_fast_path", True):
-            captured = None  # generic reference path: no columnar shortcuts
-        self._perf = getattr(ordered, "_perf", None)
+        self._perf = perf
+        self._write_count: Optional[int] = None
         for ordinal, region in enumerate(self.regions):
             columns = (
-                captured.threads.get(region.thread_name)
-                if captured is not None
+                columns_by_thread.get(region.thread_name)
+                if columns_by_thread is not None
                 else None
             )
             start = len(self._objects)
             seen: Dict[int, None] = {}
             if columns is not None:
-                column_steps = columns.steps
-                lo = bisect_left(column_steps, region.start_step)
-                hi = bisect_left(column_steps, region.end_step, lo)
-                for position in range(lo, hi):
-                    flag = columns.flags[position]
-                    if flag & 2:  # synchronization access
-                        continue
-                    address = columns.addresses[position]
-                    value = columns.values[position]
-                    step = column_steps[position]
-                    self._objects.append(None)
-                    self._static_id_col.append(columns.static_ids[position])
-                    self.steps.append(step)
-                    self.addresses.append(address)
-                    self.values.append(value)
-                    self.write_flags.append(flag & 1)
-                    self.region_of.append(ordinal)
-                    if address not in seen:
-                        seen[address] = None
-                        self.postings.setdefault(address, []).append(ordinal)
+                self._fill_region_from_columns(ordinal, region, columns, seen)
+            elif ordered is not None:
+                self._fill_region_from_replay(ordinal, region, ordered, seen)
             else:
-                replay = ordered.thread_replays[region.thread_name]
-                for access in replay.accesses_in_steps(
-                    region.start_step, region.end_step
-                ):
-                    if access.is_sync:
-                        continue
-                    self._objects.append(access)
-                    self._static_id_col.append(access.static_id)
-                    self.steps.append(access.thread_step)
-                    self.addresses.append(access.address)
-                    self.values.append(access.value)
-                    self.write_flags.append(1 if access.is_write else 0)
-                    self.region_of.append(ordinal)
-                    if access.address not in seen:
-                        seen[access.address] = None
-                        self.postings.setdefault(access.address, []).append(ordinal)
+                raise ValueError(
+                    "no captured columns for thread %r and no replay to "
+                    "fall back to" % region.thread_name
+                )
             self._slices.append((start, len(self._objects)))
             self._address_tuples.append(tuple(seen))
         self._by_address = [None] * len(self.regions)
+
+    def _fill_region_from_columns(
+        self,
+        ordinal: int,
+        region: SequencingRegion,
+        columns,
+        seen: Dict[int, None],
+    ) -> None:
+        """Append one region's rows from step-sorted captured columns.
+
+        Shared by both construction paths: the replay constructor hands
+        recorder columns here, :meth:`from_captured` hands the sectioned
+        reader's views — identical parallel-sequence shape either way.
+        """
+        column_steps = columns.steps
+        column_flags = columns.flags
+        lo = bisect_left(column_steps, region.start_step)
+        hi = bisect_left(column_steps, region.end_step, lo)
+        for position in range(lo, hi):
+            flag = column_flags[position]
+            if flag & 2:  # synchronization access
+                continue
+            address = columns.addresses[position]
+            self._objects.append(None)
+            self._static_id_col.append(columns.static_ids[position])
+            self.steps.append(column_steps[position])
+            self.addresses.append(address)
+            self.values.append(columns.values[position])
+            self.write_flags.append(flag & 1)
+            self.region_of.append(ordinal)
+            if address not in seen:
+                seen[address] = None
+                self.postings.setdefault(address, []).append(ordinal)
+
+    def _fill_region_from_replay(
+        self,
+        ordinal: int,
+        region: SequencingRegion,
+        ordered: "OrderedReplay",
+        seen: Dict[int, None],
+    ) -> None:
+        """Append one region's rows from a materialized thread replay."""
+        replay = ordered.thread_replays[region.thread_name]
+        for access in replay.accesses_in_steps(
+            region.start_step, region.end_step
+        ):
+            if access.is_sync:
+                continue
+            self._objects.append(access)
+            self._static_id_col.append(access.static_id)
+            self.steps.append(access.thread_step)
+            self.addresses.append(access.address)
+            self.values.append(access.value)
+            self.write_flags.append(1 if access.is_write else 0)
+            self.region_of.append(ordinal)
+            if access.address not in seen:
+                seen[access.address] = None
+                self.postings.setdefault(access.address, []).append(ordinal)
 
     # ------------------------------------------------------------------
     # Sizes.
@@ -172,7 +250,12 @@ class AccessIndex:
 
     @property
     def write_count(self) -> int:
-        return sum(self.write_flags)
+        """Total write accesses — summed once and cached (the columns are
+        immutable after construction; ``stats()`` reads this per ``--perf``
+        dump)."""
+        if self._write_count is None:
+            self._write_count = sum(self.write_flags)
+        return self._write_count
 
     # ------------------------------------------------------------------
     # Queries.

@@ -71,6 +71,9 @@ class PerfStats:
     replay_snapshots_eager: int = 0
     #: Ordered replays whose walk + index ran entirely off captured columns.
     replay_captured_handoffs: int = 0
+    #: Detect passes served by the zero-replay log view (no thread replay,
+    #: no ordered walk — regions and index straight from the log).
+    detect_log_native: int = 0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -113,6 +116,7 @@ class PerfStats:
         self.replay_snapshots_lazy += other.replay_snapshots_lazy
         self.replay_snapshots_eager += other.replay_snapshots_eager
         self.replay_captured_handoffs += other.replay_captured_handoffs
+        self.detect_log_native += other.detect_log_native
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "PerfStats":
@@ -207,6 +211,7 @@ class PerfStats:
             "replay_snapshots_lazy": self.replay_snapshots_lazy,
             "replay_snapshots_eager": self.replay_snapshots_eager,
             "replay_captured_handoffs": self.replay_captured_handoffs,
+            "detect_log_native": self.detect_log_native,
         }
 
     def render(self) -> str:
@@ -258,6 +263,10 @@ class PerfStats:
                     self.replay_snapshots_lazy,
                     self.replay_snapshots_eager,
                 )
+            )
+        if self.detect_log_native:
+            lines.append(
+                "  detect: %d zero-replay (log-native) passes" % self.detect_log_native
             )
         if self.detect_regions:
             lines.append(

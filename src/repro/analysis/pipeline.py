@@ -257,6 +257,168 @@ def analyze_log(
     )
 
 
+@dataclass
+class DetectionAnalysis:
+    """Everything produced by a detect-only pass over one log.
+
+    ``source`` is whatever object fed the detector — a zero-replay
+    :class:`~repro.replay.log_view.LogView` (``path == "from-log"``) or a
+    full :class:`OrderedReplay` (``path == "replay"``).  Both expose
+    ``program`` (lazily assembled on the view), so race presentation
+    works identically downstream.
+    """
+
+    execution_id: str
+    program_name: str
+    seed: int
+    scheduler: str
+    #: Which detect path ran: ``"from-log"`` or ``"replay"``.
+    path: str
+    source: object
+    instances: List[RaceInstance]
+    truncated_locations: int
+    perf: Optional[PerfStats] = None
+
+    @property
+    def instance_count(self) -> int:
+        return len(self.instances)
+
+    @property
+    def unique_keys(self) -> List[StaticRaceKey]:
+        return sorted(
+            {instance.static_key for instance in self.instances},
+            key=lambda key: (key[0].sort_key(), key[1].sort_key()),
+        )
+
+
+def detect_only(
+    source,
+    mode: str = "auto",
+    execution_id: Optional[str] = None,
+    max_pairs_per_location: Optional[int] = 256,
+    perf: Optional[PerfStats] = None,
+) -> DetectionAnalysis:
+    """Run only the detect stage of the funnel — no classification.
+
+    ``source`` is RPRB container bytes or a decoded :class:`ReplayLog`.
+    ``mode`` picks the path:
+
+    * ``"from-log"`` — the zero-replay :class:`LogView` path; raises
+      :class:`~repro.replay.log_view.LogViewUnavailable` when the log has
+      no captured columns (v1/v2, or v3 without capture).
+    * ``"replay"`` — the historical :class:`OrderedReplay` path.
+    * ``"auto"`` (default) — from-log when the log supports it, replay
+      otherwise.
+
+    Race sets are byte-identical between the two paths (the equivalence
+    suite enforces it); from-log differs only in cost.
+    """
+    from ..replay.log_view import LogView, LogViewUnavailable
+
+    if mode not in ("auto", "from-log", "replay"):
+        raise ValueError(
+            "unknown detect mode %r (expected auto, from-log or replay)" % mode
+        )
+    stats = perf if perf is not None else PerfStats()
+    detect_source = None
+    path = "replay"
+    if mode in ("auto", "from-log"):
+        try:
+            with stats.stage("detect.view"):
+                if isinstance(source, (bytes, bytearray, memoryview)):
+                    detect_source = LogView.from_bytes(bytes(source), perf=stats)
+                else:
+                    detect_source = LogView.from_log(source, perf=stats)
+            path = "from-log"
+        except LogViewUnavailable:
+            if mode == "from-log":
+                raise
+    if detect_source is None:
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            from ..record.serialization import load_log_bytes
+
+            log = load_log_bytes(bytes(source))
+        else:
+            log = source
+        with stats.stage("replay"):
+            detect_source = OrderedReplay(log, perf=stats)
+    with stats.stage("detect"):
+        detector = HappensBeforeDetector(
+            detect_source,
+            max_pairs_per_location=max_pairs_per_location,
+            perf=stats,
+        )
+        instances = detector.detect()
+    stats.executions += 1
+    stats.instances += len(instances)
+    program_name = (
+        detect_source.program_name
+        if path == "from-log"
+        else detect_source.log.program_name
+    )
+    seed = detect_source.seed if path == "from-log" else detect_source.log.seed
+    scheduler = (
+        detect_source.scheduler
+        if path == "from-log"
+        else detect_source.log.scheduler
+    )
+    if execution_id is None:
+        execution_id = "%s#s%d" % (program_name, seed)
+    return DetectionAnalysis(
+        execution_id=execution_id,
+        program_name=program_name,
+        seed=seed,
+        scheduler=scheduler,
+        path=path,
+        source=detect_source,
+        instances=instances,
+        truncated_locations=detector.truncated_locations,
+        perf=perf,
+    )
+
+
+def detection_report(analysis: DetectionAnalysis) -> Dict:
+    """The canonical machine-readable document of a detect-only pass.
+
+    A deterministic function of the detected race set alone — the
+    ``path`` that produced it is deliberately **excluded**, so the CI
+    equivalence job can diff the rendered bytes of a from-log pass
+    against a replay pass and "byte-identical race sets" is literal.
+    Every instance is listed (canonical detector order), not just
+    exemplars: detect-only output feeds triage queues that need the full
+    set.
+    """
+    per_key: Dict[str, int] = {}
+    for instance in analysis.instances:
+        text = "%s|%s" % instance.static_key
+        per_key[text] = per_key.get(text, 0) + 1
+    return {
+        "detect_version": 1,
+        "program": analysis.program_name,
+        "execution": analysis.execution_id,
+        "recording": {"seed": analysis.seed, "scheduler": analysis.scheduler},
+        "summary": {
+            "instances": analysis.instance_count,
+            "unique_races": len(per_key),
+            "truncated_locations": analysis.truncated_locations,
+        },
+        "unique_races": [
+            {"race": text, "instances": count}
+            for text, count in sorted(per_key.items())
+        ],
+        "instances": [
+            {
+                "address": instance.address,
+                "access_a": str(instance.access_a),
+                "access_b": str(instance.access_b),
+                "region_a": str(instance.region_a),
+                "region_b": str(instance.region_b),
+            }
+            for instance in analysis.instances
+        ],
+    }
+
+
 def execution_report(analysis: ExecutionAnalysis, suppressions=None) -> Dict:
     """The canonical machine-readable race report of one analysis.
 

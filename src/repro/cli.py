@@ -112,11 +112,29 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the retained quadratic reference detector instead of the sweep line",
     )
+    detect_path = detect.add_mutually_exclusive_group()
+    detect_path.add_argument(
+        "--from-log",
+        action="store_true",
+        help="require the zero-replay path (error if the log has no "
+        "captured columns; default picks it automatically when available)",
+    )
+    detect_path.add_argument(
+        "--full-replay",
+        action="store_true",
+        help="force the historical ordered-replay path",
+    )
 
     classify = sub.add_parser(
         "classify", help="detect + classify races, print the triage report"
     )
     classify.add_argument("log", type=Path, help="replay log file")
+    classify.add_argument(
+        "--from-log",
+        action="store_true",
+        help="require the zero-replay detect stage (classification still "
+        "replays; error if the log has no captured columns)",
+    )
     classify.add_argument(
         "--suppressions", type=Path, help="suppression database (JSON)"
     )
@@ -311,6 +329,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--priority", type=int, default=0, help="queue priority")
     submit.add_argument(
+        "--detect-only",
+        action="store_true",
+        help="stop after detection (no classification); v3 logs with "
+        "captured columns run the zero-replay from-log detect path",
+    )
+    submit.add_argument(
         "--no-wait",
         action="store_true",
         help="print the job id and return without polling for the report",
@@ -401,17 +425,33 @@ def _cmd_replay(args, out) -> int:
 
 def _cmd_detect(args, out) -> int:
     from .analysis.perf import PerfStats
-    from .race.happens_before import HappensBeforeDetector, NaiveHappensBeforeDetector
+    from .analysis.pipeline import detect_only
+    from .race.happens_before import NaiveHappensBeforeDetector
 
-    log = load_log(args.log)
-    ordered = OrderedReplay(log)
+    if args.naive and args.from_log:
+        raise ValueError(
+            "--naive needs thread replays and cannot run on the zero-replay "
+            "path; drop one of --naive / --from-log"
+        )
     perf = PerfStats()
-    with perf.stage("detect"):
-        if args.naive:
+    if args.naive:
+        log = load_log(args.log)
+        ordered = OrderedReplay(log)
+        with perf.stage("detect"):
             detector = NaiveHappensBeforeDetector(ordered)
-        else:
-            detector = HappensBeforeDetector(ordered, perf=perf)
-        instances = detector.detect()
+            instances = detector.detect()
+        source = ordered
+        path = "replay (naive reference)"
+    else:
+        mode = (
+            "from-log"
+            if args.from_log
+            else ("replay" if args.full_replay else "auto")
+        )
+        analysis = detect_only(args.log.read_bytes(), mode=mode, perf=perf)
+        instances = analysis.instances
+        source = analysis.source
+        path = analysis.path
     unique = {instance.static_key for instance in instances}
     print(
         "%d race instance(s), %d unique static race(s)"
@@ -422,13 +462,14 @@ def _cmd_detect(args, out) -> int:
         print(
             "  %s  <->  %s"
             % (
-                ordered.program.describe_instruction(key[0]),
-                ordered.program.describe_instruction(key[1]),
+                source.program.describe_instruction(key[0]),
+                source.program.describe_instruction(key[1]),
             ),
             file=out,
         )
     if args.perf:
-        index_stats = ordered.access_index().stats()
+        print("detect path: %s" % path, file=out)
+        index_stats = source.access_index().stats()
         print(
             "access index: %d regions, %d accesses, %d addresses, %d writes"
             % (
@@ -449,7 +490,16 @@ def _cmd_classify(args, out) -> int:
 
     log = load_log(args.log)
     ordered = OrderedReplay(log)
-    instances = find_races(ordered)
+    if args.from_log:
+        # Detect on the zero-replay view (errors cleanly when the log has
+        # no captured columns); classification below still replays — the
+        # both-orders virtual processor needs machine state.  Instances
+        # are value-identical between the paths, so the verdicts are too.
+        from .replay.log_view import LogView
+
+        instances = find_races(LogView.from_log(log))
+    else:
+        instances = find_races(ordered)
     config = ClassifierConfig(
         allow_unrecorded_control_flow=args.continue_through_control_flow
     )
@@ -653,6 +703,7 @@ def _cmd_submit(args, out) -> int:
     from .service.client import QueueFullError, ServiceClient
 
     client = ServiceClient(args.server)
+    mode = "detect" if args.detect_only else "full"
     try:
         if args.workload:
             job = client.submit_workload(
@@ -660,9 +711,12 @@ def _cmd_submit(args, out) -> int:
                 seed=args.seed,
                 switch_probability=args.switch_probability,
                 priority=args.priority,
+                mode=mode,
             )
         else:
-            job = client.submit_log_file(args.log, priority=args.priority)
+            job = client.submit_log_file(
+                args.log, priority=args.priority, mode=mode
+            )
     except QueueFullError as error:
         print("error: service overloaded (429): %s" % error, file=sys.stderr)
         return 2

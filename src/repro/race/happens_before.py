@@ -24,8 +24,13 @@ Two detectors implement the same definition:
   byte-identical output (instances, ordering, truncation counters)
   against it.
 
-Both run entirely off the :class:`OrderedReplay` (logs only); the test
-suite cross-validates their output against the full machine trace.
+The sweep-line detector consumes only ``ordered.access_index()``, so its
+``ordered`` argument may be a full :class:`OrderedReplay` *or* the
+zero-replay :class:`~repro.replay.log_view.LogView` — race sets are
+byte-identical either way (the equivalence suite enforces it).  The
+naive reference additionally needs ``thread_replays`` and therefore
+always takes a real :class:`OrderedReplay`; the test suite
+cross-validates both against the full machine trace.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..replay.events import ReplayedAccess
+from ..replay.log_view import LogView
 from ..replay.ordered_replay import OrderedReplay
 from ..replay.regions import SequencingRegion, overlaps
 from .model import RaceAccess, RaceInstance
@@ -52,7 +58,7 @@ class _DetectorBase:
 
     def __init__(
         self,
-        ordered: OrderedReplay,
+        ordered: "OrderedReplay | LogView",
         max_pairs_per_location: Optional[int] = 256,
     ):
         self.ordered = ordered
@@ -148,7 +154,7 @@ class HappensBeforeDetector(_DetectorBase):
 
     def __init__(
         self,
-        ordered: OrderedReplay,
+        ordered: "OrderedReplay | LogView",
         max_pairs_per_location: Optional[int] = 256,
         perf=None,
     ):
@@ -263,7 +269,8 @@ class NaiveHappensBeforeDetector(_DetectorBase):
 
 
 def find_races(
-    ordered: OrderedReplay, max_pairs_per_location: Optional[int] = 256
+    ordered: "OrderedReplay | LogView",
+    max_pairs_per_location: Optional[int] = 256,
 ) -> List[RaceInstance]:
     """Convenience wrapper around :class:`HappensBeforeDetector`."""
     return HappensBeforeDetector(

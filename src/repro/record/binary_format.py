@@ -44,12 +44,29 @@ exercise the replay-derived fallback).
 ``save_log``/``load_log`` in :mod:`.serialization` route through this
 module: saving is binary-first (JSON retained for ``.json`` paths and old
 fixtures) and loading sniffs the magic bytes.
+
+**Sectioned reading.**  The body is a record stream, not an offset table,
+but every section is length-prefixed by its record count, so a reader
+that knows the shapes can *seek past* sections it does not need by
+skipping varints instead of decoding them.  The decoder is therefore
+split into per-section readers (``_read_loads``/``_read_syscalls``/
+``_read_sequencers``/…) with skip-siblings (``_skip_loads``/…):
+:func:`decode_log` composes the readers into a full :class:`ReplayLog`,
+while :func:`decode_log_sections` composes readers for the sequencer and
+captured-columns sections with skips for everything else — the
+zero-replay detect path's entry point.  Skipping a varint is a byte scan
+(no shifts, no object construction), and skipping the per-thread load
+payload in particular never touches the v2 value predictor: the
+predicted bit alone says whether a value field is present.
 """
 
 from __future__ import annotations
 
+import re
 import zlib
-from typing import List, Optional, Tuple
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..isa.program import StaticInstructionId
 from .compression import decode_varint, encode_varint, unzigzag, zigzag
@@ -74,6 +91,15 @@ SUPPORTED_VERSIONS = (1, 2, 3)
 #: zlib level: 6 is the historical "zip utility" analog used by
 #: :func:`repro.record.compression.compression_stats`.
 _COMPRESSION_LEVEL = 6
+
+#: Varints skipped per regex step in :meth:`_Reader.skip_uints`.  One
+#: varint is ``[\x80-\xff]*`` continuation bytes then a terminator with
+#: the high bit clear; the counted repetition lets the regex engine scan
+#: a whole block of them in C.
+_SKIP_CHUNK_SIZE = 512
+_SKIP_CHUNK = re.compile(
+    rb"(?:[\x80-\xff]*[\x00-\x7f]){%d}" % _SKIP_CHUNK_SIZE
+)
 
 
 class _Writer:
@@ -123,6 +149,39 @@ class _Reader:
 
     def flag(self) -> bool:
         return bool(self.uint())
+
+    # -- seek-past primitives (the sectioned reader's skip side) -------
+
+    def skip_uints(self, count: int) -> None:
+        """Advance past ``count`` varints without decoding them.
+
+        A varint ends at its first byte with the continuation bit clear,
+        so skipping is a byte scan — no shifts, no int assembly.  The
+        scan runs in the regex engine (:data:`_SKIP_CHUNK` matches a
+        fixed block of varints at C speed), so seeking past a large
+        section — the global-order stream is two varints *per executed
+        step* — costs microseconds, not a Python loop per byte.  Signed
+        (zigzag) fields occupy exactly one varint, so this skips them
+        too.
+        """
+        data = self.data
+        offset = self.offset
+        while count >= _SKIP_CHUNK_SIZE:
+            match = _SKIP_CHUNK.match(data, offset)
+            if match is None:
+                break  # truncated stream: the loop below pinpoints it
+            offset = match.end()
+            count -= _SKIP_CHUNK_SIZE
+        for _ in range(count):
+            while data[offset] & 0x80:
+                offset += 1
+            offset += 1
+        self.offset = offset
+
+    def skip_text(self) -> None:
+        """Advance past one length-prefixed string without decoding it."""
+        length = self.uint()
+        self.offset += length
 
 
 # ----------------------------------------------------------------------
@@ -312,13 +371,8 @@ def _read_static_id(reader: _Reader) -> Optional[StaticInstructionId]:
     return StaticInstructionId(block=block, index=index)
 
 
-def _read_thread(reader: _Reader, version: int) -> ThreadLog:
-    name = reader.text()
-    tid = reader.uint()
-    block = reader.text()
-    registers = tuple(reader.uint() for _ in range(reader.uint()))
-    log = ThreadLog(name=name, tid=tid, block=block, initial_registers=registers)
-
+def _read_loads(reader: _Reader, version: int, log: ThreadLog) -> None:
+    """Decode the load-record section into ``log.loads`` (predictor replay)."""
     step = 0
     address = 0
     predictor: dict = {}
@@ -344,6 +398,26 @@ def _read_thread(reader: _Reader, version: int) -> ThreadLog:
             value = reader.uint()
         log.loads[step] = LoadRecord(thread_step=step, address=address, value=value)
 
+
+def _skip_loads(reader: _Reader, version: int) -> int:
+    """Seek past the load-record section; returns the record count.
+
+    Never touches the v2 value predictor: the packed step delta's low
+    bit alone says whether a value field follows, so elided loads cost
+    two varint skips and logged ones three.
+    """
+    count = reader.uint()
+    if version >= 2:
+        for _ in range(count):
+            packed = reader.uint()
+            # address delta, then the value unless the predicted bit is set.
+            reader.skip_uints(1 if packed & 1 else 2)
+    else:
+        reader.skip_uints(3 * count)
+    return count
+
+
+def _read_syscalls(reader: _Reader, log: ThreadLog) -> None:
     step = 0
     for _ in range(reader.uint()):
         step += reader.uint()
@@ -353,14 +427,46 @@ def _read_thread(reader: _Reader, version: int) -> ThreadLog:
             thread_step=step, name=syscall_name, result=result
         )
 
+
+def _skip_syscalls(reader: _Reader) -> int:
+    count = reader.uint()
+    for _ in range(count):
+        reader.skip_uints(1)  # step delta
+        reader.skip_text()  # syscall name
+        reader.skip_uints(1)  # result
+    return count
+
+
+def _read_sequencers(reader: _Reader) -> List[SequencerRecord]:
+    """Decode the sequencer section — the happens-before skeleton every
+    analysis needs, so it has no skip sibling.
+
+    Loops emit the same sequencer site over and over, so kind strings
+    and static ids are interned per section: one object per distinct
+    site instead of one per record (they are value-equal either way).
+    """
+    sequencers: List[SequencerRecord] = []
+    append = sequencers.append
     step = 0
     timestamp = 0
+    kinds: Dict[str, str] = {}
+    interned: Dict[Tuple[str, int], StaticInstructionId] = {}
     for _ in range(reader.uint()):
         step += reader.sint()
         timestamp += reader.sint()
         kind = reader.text()
-        static_id = _read_static_id(reader)
-        log.sequencers.append(
+        kind = kinds.setdefault(kind, kind)
+        if reader.uint():
+            block = reader.text()
+            index = reader.uint()
+            static_id = interned.get((block, index))
+            if static_id is None:
+                static_id = interned[(block, index)] = StaticInstructionId(
+                    block=block, index=index
+                )
+        else:
+            static_id = None
+        append(
             SequencerRecord(
                 thread_step=step,
                 timestamp=timestamp,
@@ -368,20 +474,51 @@ def _read_thread(reader: _Reader, version: int) -> ThreadLog:
                 static_id=static_id,
             )
         )
+    return sequencers
 
+
+def _read_footprint(reader: _Reader) -> set:
     pc = 0
     footprint = set()
     for _ in range(reader.uint()):
         pc += reader.uint()
         footprint.add(pc)
-    log.pc_footprint = footprint
+    return footprint
 
-    log.steps = reader.uint()
+
+def _skip_footprint(reader: _Reader) -> None:
+    reader.skip_uints(reader.uint())
+
+
+def _read_end(reader: _Reader) -> Optional[ThreadEnd]:
+    if not reader.flag():
+        return None
+    end_step = reader.sint()
+    reason = reader.text()
+    fault_kind = reader.text() if reader.flag() else None
+    return ThreadEnd(thread_step=end_step, reason=reason, fault_kind=fault_kind)
+
+
+def _skip_end(reader: _Reader) -> None:
     if reader.flag():
-        end_step = reader.sint()
-        reason = reader.text()
-        fault_kind = reader.text() if reader.flag() else None
-        log.end = ThreadEnd(thread_step=end_step, reason=reason, fault_kind=fault_kind)
+        reader.skip_uints(1)  # end step
+        reader.skip_text()  # reason
+        if reader.flag():
+            reader.skip_text()  # fault kind
+
+
+def _read_thread(reader: _Reader, version: int) -> ThreadLog:
+    name = reader.text()
+    tid = reader.uint()
+    block = reader.text()
+    registers = tuple(reader.uint() for _ in range(reader.uint()))
+    log = ThreadLog(name=name, tid=tid, block=block, initial_registers=registers)
+    _read_loads(reader, version, log)
+    _read_syscalls(reader, log)
+    log.sequencers.extend(_read_sequencers(reader))
+    log.pc_footprint = _read_footprint(reader)
+    log.steps = reader.uint()
+    log.end = _read_end(reader)
     return log
 
 
@@ -394,6 +531,11 @@ def _read_captured(reader: _Reader, threads: dict) -> CapturedAccessColumns:
         columns = ThreadAccessColumns()
         step = 0
         address = 0
+        # Static-id indices repeat massively (loops revisit the same
+        # instructions), so intern the frozen dataclass per index instead
+        # of constructing one per row; equality is by value, identity is
+        # irrelevant downstream.
+        interned: Dict[int, StaticInstructionId] = {}
         for _ in range(reader.uint()):
             step += reader.uint()
             flag = reader.uint()
@@ -402,9 +544,13 @@ def _read_captured(reader: _Reader, threads: dict) -> CapturedAccessColumns:
             columns.flags.append(flag)
             columns.addresses.append(address)
             columns.values.append(reader.uint())
-            columns.static_ids.append(
-                StaticInstructionId(block=block, index=reader.uint())
-            )
+            index = reader.uint()
+            static_id = interned.get(index)
+            if static_id is None:
+                static_id = interned[index] = StaticInstructionId(
+                    block=block, index=index
+                )
+            columns.static_ids.append(static_id)
         step = 0
         for _ in range(reader.uint()):
             step += reader.uint()
@@ -456,3 +602,172 @@ def decode_log(data: bytes) -> ReplayLog:
 def is_binary_log(data: bytes) -> bool:
     """True when ``data`` carries the binary container's magic bytes."""
     return data.startswith(MAGIC)
+
+
+# ----------------------------------------------------------------------
+# Sectioned decoding: the zero-replay detect path's carrier types.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ThreadSectionView:
+    """One thread's detect-relevant sections, nothing else decoded.
+
+    Carries exactly what region construction needs —
+    :func:`repro.replay.regions.regions_of_thread` duck-types on
+    ``name``/``tid``/``sequencers``, and ``steps`` bounds the closing
+    region.  Registers, loads, syscalls, the pc footprint and the end
+    record were *skipped*, not decoded.
+    """
+
+    name: str
+    tid: int
+    block: str
+    sequencers: List[SequencerRecord] = field(default_factory=list)
+    steps: int = 0
+
+
+@dataclass
+class CapturedColumnView:
+    """One thread's captured access rows as packed parallel columns.
+
+    The from-log :class:`~repro.analysis.access_index.AccessIndex`
+    constructor consumes these directly: machine-word arrays for
+    steps/addresses/values, a bytearray for flags, and interned
+    :class:`StaticInstructionId` objects (indices repeat massively in
+    loops).  Heap lifecycle rows are skipped — detection never reads
+    them.
+    """
+
+    steps: array = field(default_factory=lambda: array("Q"))
+    flags: bytearray = field(default_factory=bytearray)
+    addresses: array = field(default_factory=lambda: array("Q"))
+    values: array = field(default_factory=lambda: array("Q"))
+    static_ids: List[StaticInstructionId] = field(default_factory=list)
+
+
+@dataclass
+class LogSections:
+    """Header + sequencer + captured sections of one RPRB container.
+
+    The product of :func:`decode_log_sections`: enough to build regions
+    and the access index with zero replay, and ``program_source`` kept
+    so callers that later need instruction text (classify, ``describe``)
+    can assemble the program lazily.  ``captured`` is ``None`` when the
+    log predates v3 or was encoded with ``include_captured=False`` —
+    callers must fall back to the replay path then.
+    """
+
+    version: int
+    program_name: str
+    program_source: str
+    seed: int
+    scheduler: str
+    threads: Dict[str, ThreadSectionView] = field(default_factory=dict)
+    captured: Optional[Dict[str, CapturedColumnView]] = None
+
+
+def _read_thread_sections(reader: _Reader, version: int) -> ThreadSectionView:
+    """Decode one thread's identity + sequencers; seek past the rest."""
+    name = reader.text()
+    tid = reader.uint()
+    block = reader.text()
+    reader.skip_uints(reader.uint())  # initial registers
+    _skip_loads(reader, version)
+    _skip_syscalls(reader)
+    view = ThreadSectionView(name=name, tid=tid, block=block)
+    view.sequencers = _read_sequencers(reader)
+    _skip_footprint(reader)
+    view.steps = reader.uint()
+    _skip_end(reader)
+    return view
+
+
+def _read_captured_view(
+    reader: _Reader, threads: Dict[str, ThreadSectionView]
+) -> Dict[str, CapturedColumnView]:
+    """Decode captured access rows into packed columns; skip heap rows."""
+    reader.skip_uints(1)  # predicted_loads counter — accounting only
+    captured: Dict[str, CapturedColumnView] = {}
+    for _ in range(reader.uint()):
+        name = reader.text()
+        block = threads[name].block
+        view = CapturedColumnView()
+        step_col = view.steps
+        flag_col = view.flags
+        address_col = view.addresses
+        value_col = view.values
+        static_col = view.static_ids
+        interned: Dict[int, StaticInstructionId] = {}
+        step = 0
+        address = 0
+        # The row loop is the sectioned reader's hottest code (five
+        # varints per captured access), so it decodes varints inline on
+        # local offsets instead of going through reader.uint()/sint().
+        decode = decode_varint
+        data = reader.data
+        offset = reader.offset
+        count, offset = decode(data, offset)
+        for _ in range(count):
+            delta, offset = decode(data, offset)
+            step += delta
+            flag, offset = decode(data, offset)
+            raw, offset = decode(data, offset)
+            address += (raw >> 1) ^ -(raw & 1)
+            value, offset = decode(data, offset)
+            index, offset = decode(data, offset)
+            step_col.append(step)
+            flag_col.append(flag)
+            address_col.append(address)
+            value_col.append(value)
+            static_id = interned.get(index)
+            if static_id is None:
+                static_id = interned[index] = StaticInstructionId(
+                    block=block, index=index
+                )
+            static_col.append(static_id)
+        reader.offset = offset
+        reader.skip_uints(4 * reader.uint())  # heap lifecycle rows
+        captured[name] = view
+    return captured
+
+
+def decode_log_sections(data: bytes) -> LogSections:
+    """Decode only the detect-relevant sections of a binary replay log.
+
+    Reads the header, each thread's identity and sequencer records, and
+    the v3 captured-columns section (when present) — and *seeks past*
+    registers, load records, syscalls, pc footprints, end records, heap
+    rows and the optional global order.  The wire format is unchanged;
+    this is purely a cheaper reader over the same bytes.
+    """
+    if not data.startswith(MAGIC):
+        raise ValueError("not a binary replay log (bad magic bytes)")
+    version = data[len(MAGIC)]
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            "unsupported binary replay-log format version: %d" % version
+        )
+    reader = _Reader(zlib.decompress(data[len(MAGIC) + 1 :]))
+    program_name = reader.text()
+    program_source = reader.text()
+    seed = reader.sint()
+    scheduler = reader.text()
+    if reader.flag():
+        reader.skip_uints(2 * reader.uint())  # global order (tid, step) pairs
+    threads: Dict[str, ThreadSectionView] = {}
+    for _ in range(reader.uint()):
+        view = _read_thread_sections(reader, version)
+        threads[view.name] = view
+    captured: Optional[Dict[str, CapturedColumnView]] = None
+    if version >= 3 and reader.flag():
+        captured = _read_captured_view(reader, threads)
+    return LogSections(
+        version=version,
+        program_name=program_name,
+        program_source=program_source,
+        seed=seed,
+        scheduler=scheduler,
+        threads=threads,
+        captured=captured,
+    )

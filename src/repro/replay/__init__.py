@@ -4,6 +4,7 @@ replay, and the both-orders virtual processor."""
 from .errors import ReplayDivergence, ReplayError, ReplayFailure, ReplayFailureKind
 from .inspector import StepView, TimeTravelInspector
 from .events import HeapEvent, ReplayedAccess, ThreadReplay
+from .log_view import LogView, LogViewUnavailable
 from .ordered_replay import OrderedReplay, RegionKey, region_key
 from .regions import (
     SequencingRegion,
@@ -30,6 +31,8 @@ __all__ = [
     "HeapEvent",
     "ReplayedAccess",
     "ThreadReplay",
+    "LogView",
+    "LogViewUnavailable",
     "OrderedReplay",
     "RegionKey",
     "region_key",

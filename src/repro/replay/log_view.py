@@ -1,0 +1,195 @@
+"""Zero-replay log view: regions and the access index straight from bytes.
+
+The paper's triage funnel is detect-first, and detection — the sweep line
+in :mod:`repro.race.happens_before` — consumes only three things: the
+sequencing regions (pure sequencer arithmetic), the plain-access columns,
+and the per-address postings of the :class:`AccessIndex`.  None of that
+needs a :class:`~repro.vm.machine.Machine`, a
+:class:`~repro.replay.thread_replayer.ThreadReplayer` or any register
+state; for a v3 log with captured columns it is all *already on disk*.
+
+:class:`LogView` is the carrier for that observation: it wraps the
+sectioned reader's :func:`~repro.record.binary_format.decode_log_sections`
+output (or an in-memory :class:`~repro.record.log.ReplayLog` that still
+holds its capture), builds regions with the same
+:func:`~repro.replay.regions.regions_of_thread` arithmetic the replay path
+uses, and exposes ``access_index()`` — the only method the sweep detector
+calls on its ``ordered`` argument — backed by
+:meth:`AccessIndex.from_captured`.  Race sets are byte-identical to the
+replay-derived path (the equivalence suite holds both paths to the
+reference detector), while the work and peak memory stay proportional to
+the log instead of the execution.
+
+Logs that cannot support the path — v1/v2 containers, or v3 encoded with
+``include_captured=False`` — raise :class:`LogViewUnavailable` (a
+:class:`ValueError`, so the CLI's error handling turns it into a clean
+nonzero exit) and callers fall back to :class:`OrderedReplay`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..record.binary_format import decode_log_sections, is_binary_log
+from ..record.log import ReplayLog
+from .regions import SequencingRegion, regions_of_thread
+
+#: Why a log cannot serve the zero-replay path, by cause.
+_NO_CAPTURE = (
+    "log has no captured-columns section (v%d%s): the zero-replay detect "
+    "path needs a v3 log recorded with captured columns — re-record, or "
+    "use the full-replay path"
+)
+
+
+class LogViewUnavailable(ValueError):
+    """The log cannot serve the zero-replay detect path.
+
+    Raised for v1/v2 containers and for v3 logs encoded with
+    ``include_captured=False``; the message says which.  Subclasses
+    :class:`ValueError` so existing CLI/service error handling converts
+    it into a clean nonzero exit / 400 instead of an ``AttributeError``.
+    """
+
+
+class LogView:
+    """Detect-ready view of one replay log, with zero replay performed.
+
+    Duck-type-compatible with :class:`OrderedReplay` for exactly the
+    surface the detect stage uses: ``access_index()``,
+    ``invalidate_access_index()``, ``all_regions()``, ``regions`` and
+    ``log``-level identity fields.  ``program`` assembles lazily from the
+    embedded source for callers that print instruction text *after*
+    detection (the CLI race listing) — detection itself never triggers
+    it.
+    """
+
+    def __init__(
+        self,
+        *,
+        program_name: str,
+        program_source: str,
+        seed: int,
+        scheduler: str,
+        threads: Dict[str, object],
+        columns_by_thread: Dict[str, object],
+        perf=None,
+    ):
+        self.program_name = program_name
+        self.program_source = program_source
+        self.seed = seed
+        self.scheduler = scheduler
+        #: thread name -> sequencer-bearing record (duck-typed by
+        #: :func:`regions_of_thread`: needs ``name``/``tid``/``sequencers``).
+        self.threads = threads
+        self._columns = columns_by_thread
+        self._perf = perf
+        self.regions: Dict[str, List[SequencingRegion]] = {
+            name: regions_of_thread(thread) for name, thread in threads.items()
+        }
+        self._access_index = None
+        self._program = None
+        if perf is not None:
+            perf.detect_log_native += 1
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes, perf=None) -> "LogView":
+        """Build a view straight from RPRB container bytes.
+
+        Decodes only the header, sequencer and captured sections —
+        everything else is seeked past.  Raises
+        :class:`LogViewUnavailable` when the container has no captured
+        columns, and plain :class:`ValueError` for non-RPRB bytes.
+        """
+        if not is_binary_log(data):
+            raise LogViewUnavailable(
+                "not a binary replay log: the zero-replay detect path reads "
+                "RPRB containers only — use the full-replay path for JSON logs"
+            )
+        sections = decode_log_sections(data)
+        if sections.captured is None:
+            raise LogViewUnavailable(
+                _NO_CAPTURE
+                % (
+                    sections.version,
+                    "" if sections.version >= 3 else "; captured columns need v3",
+                )
+            )
+        return cls(
+            program_name=sections.program_name,
+            program_source=sections.program_source,
+            seed=sections.seed,
+            scheduler=sections.scheduler,
+            threads=sections.threads,
+            columns_by_thread=sections.captured,
+            perf=perf,
+        )
+
+    @classmethod
+    def from_log(cls, log: ReplayLog, perf=None) -> "LogView":
+        """Build a view from an already-decoded :class:`ReplayLog`.
+
+        The in-memory analog of :meth:`from_bytes` for callers that hold
+        a fresh recording (``record_run`` output) or a fully decoded log;
+        requires ``log.captured``.
+        """
+        if log.captured is None:
+            raise LogViewUnavailable(
+                "log carries no captured access columns (pre-v3 container, "
+                "or v3 encoded without capture): the zero-replay detect "
+                "path needs them — re-record, or use the full-replay path"
+            )
+        return cls(
+            program_name=log.program_name,
+            program_source=log.program_source,
+            seed=log.seed,
+            scheduler=log.scheduler,
+            threads=dict(log.threads),
+            columns_by_thread=dict(log.captured.threads),
+            perf=perf,
+        )
+
+    # -- the detect surface ---------------------------------------------
+
+    def all_regions(self) -> List[SequencingRegion]:
+        """Every region of every thread, sorted by opening timestamp —
+        the same sweep order :meth:`OrderedReplay.all_regions` produces."""
+        collected: List[SequencingRegion] = []
+        for thread_regions in self.regions.values():
+            collected.extend(thread_regions)
+        collected.sort(key=lambda region: region.start_ts)
+        return collected
+
+    def access_index(self):
+        """The columnar :class:`AccessIndex`, built from captured columns
+        on first use — no thread is ever replayed."""
+        if self._access_index is None:
+            # Local import mirrors OrderedReplay: the index lives in the
+            # analysis layer, which imports replay at module scope.
+            from ..analysis.access_index import AccessIndex
+
+            self._access_index = AccessIndex.from_captured(
+                self.all_regions(), self._columns, perf=self._perf
+            )
+        return self._access_index
+
+    def invalidate_access_index(self) -> None:
+        """Drop the cached index (benchmarks re-time the build with this)."""
+        self._access_index = None
+
+    # -- lazy extras ----------------------------------------------------
+
+    @property
+    def program(self):
+        """The embedded program, assembled on first use.
+
+        Detection never touches this; it exists so race *presentation*
+        (``describe_instruction`` in the CLI) works on the same object.
+        """
+        if self._program is None:
+            from ..isa.assembler import assemble
+
+            self._program = assemble(self.program_source, name=self.program_name)
+        return self._program

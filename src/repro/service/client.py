@@ -51,6 +51,7 @@ class JobStatus:
     error: Optional[str] = None
     elapsed_s: Optional[float] = None
     recovered: bool = False
+    mode: str = "full"
 
     @property
     def is_final(self) -> bool:
@@ -67,6 +68,7 @@ class JobStatus:
             error=document.get("error"),
             elapsed_s=document.get("elapsed_s"),
             recovered=bool(document.get("recovered", False)),
+            mode=document.get("mode", "full"),
         )
 
 
@@ -127,6 +129,7 @@ class ServiceClient:
         seed: int = 0,
         switch_probability: float = 0.3,
         priority: int = 0,
+        mode: str = "full",
     ) -> JobStatus:
         status, body = self._request(
             "POST",
@@ -137,13 +140,16 @@ class ServiceClient:
                     "seed": seed,
                     "switch_probability": switch_probability,
                     "priority": priority,
+                    "mode": mode,
                 }
             ).encode("utf-8"),
             {"Content-Type": "application/json"},
         )
         return JobStatus.from_json(self._json(status, body))
 
-    def submit_log(self, data: bytes, priority: int = 0) -> JobStatus:
+    def submit_log(
+        self, data: bytes, priority: int = 0, mode: str = "full"
+    ) -> JobStatus:
         status, body = self._request(
             "POST",
             "/jobs",
@@ -151,12 +157,13 @@ class ServiceClient:
             {
                 "Content-Type": "application/octet-stream",
                 "X-Repro-Priority": str(priority),
+                "X-Repro-Mode": mode,
             },
         )
         return JobStatus.from_json(self._json(status, body))
 
     def submit_log_file(
-        self, path: Union[str, Path], priority: int = 0
+        self, path: Union[str, Path], priority: int = 0, mode: str = "full"
     ) -> JobStatus:
         """Upload a log file as multipart/form-data (the curl-like path)."""
         data = Path(path).read_bytes()
@@ -166,6 +173,10 @@ class ServiceClient:
             b'Content-Disposition: form-data; name="priority"',
             b"",
             str(priority).encode("ascii"),
+            b"--" + boundary.encode("ascii"),
+            b'Content-Disposition: form-data; name="mode"',
+            b"",
+            mode.encode("utf-8"),
             b"--" + boundary.encode("ascii"),
             b'Content-Disposition: form-data; name="log"; filename="%s"'
             % Path(path).name.encode("utf-8"),

@@ -16,11 +16,18 @@ Endpoints::
   ``{"workload": "svc_flags", "seed": 3, "switch_probability": 0.3,
   "priority": 0}``;
 * ``multipart/form-data`` — a replay-log upload in a file part named
-  ``log`` (any filename), with an optional ``priority`` field;
+  ``log`` (any filename), with optional ``priority`` and ``mode``
+  fields;
 * ``application/octet-stream`` — raw replay-log bytes (binary container
-  or JSON document), priority via the ``X-Repro-Priority`` header.
+  or JSON document), priority via the ``X-Repro-Priority`` header and
+  mode via ``X-Repro-Mode``.
 
-Submission replies ``202`` with ``{"job_id", "state", "created"}``
+Every shape accepts ``mode``: ``"full"`` (default) runs the whole
+detect-and-classify funnel; ``"detect"`` stops after detection and —
+for v3 logs with captured columns — runs the zero-replay log-native
+detect path.  An unknown mode is a ``400``.
+
+Submission replies ``202`` with ``{"job_id", "state", "created", "mode"}``
 (``created`` false = idempotent dedup hit), ``429`` when the bounded
 queue rejects (backpressure — retry later), ``400`` for undecodable
 payloads or unknown workloads.  Built on ``http.server``'s threading
@@ -127,6 +134,7 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 "job_id": job.job_id,
                 "state": str(job.state),
                 "created": created,
+                "mode": job.spec.mode,
             },
         )
 
@@ -146,8 +154,12 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 if "log" not in fields:
                     raise BadLogError("multipart submission without a 'log' part")
                 priority = int(fields.get("priority", ("", b"0"))[1] or 0)
+                mode = (
+                    fields.get("mode", ("", b""))[1].decode("utf-8", "replace")
+                    or "full"
+                )
                 job, created = self.service.submit_log(
-                    fields["log"][1], priority=priority
+                    fields["log"][1], priority=priority, mode=mode
                 )
             elif content_type.startswith("application/json") or not content_type:
                 document = json.loads(body.decode("utf-8"))
@@ -160,10 +172,14 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                         document.get("switch_probability", 0.3)
                     ),
                     priority=int(document.get("priority", 0)),
+                    mode=str(document.get("mode", "full")),
                 )
             else:
                 priority = int(self.headers.get("X-Repro-Priority") or 0)
-                job, created = self.service.submit_log(body, priority=priority)
+                mode = (self.headers.get("X-Repro-Mode") or "full").strip()
+                job, created = self.service.submit_log(
+                    body, priority=priority, mode=mode
+                )
         except QueueFull as error:
             self._send_json(429, {"error": str(error)})
             return

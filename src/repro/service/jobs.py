@@ -66,6 +66,10 @@ class JobSpec:
 
     ``kind`` is ``"workload"`` (record + analyse a named suite workload
     under a seed) or ``"log"`` (analyse uploaded replay-log bytes).
+    ``mode`` selects the pipeline depth: ``"full"`` runs the whole
+    detect-and-classify funnel; ``"detect"`` stops after detection and
+    — for logs with captured columns — runs the zero-replay log-native
+    path, so triage jobs never pay for replay or classification.
     """
 
     kind: str
@@ -73,21 +77,27 @@ class JobSpec:
     seed: int = 0
     switch_probability: float = 0.3
     log_data: Optional[bytes] = None
+    mode: str = "full"
 
     @classmethod
     def for_workload(
-        cls, name: str, seed: int = 0, switch_probability: float = 0.3
+        cls,
+        name: str,
+        seed: int = 0,
+        switch_probability: float = 0.3,
+        mode: str = "full",
     ) -> "JobSpec":
         return cls(
             kind="workload",
             workload=name,
             seed=seed,
             switch_probability=switch_probability,
+            mode=mode,
         )
 
     @classmethod
-    def for_log(cls, data: bytes) -> "JobSpec":
-        return cls(kind="log", log_data=data)
+    def for_log(cls, data: bytes, mode: str = "full") -> "JobSpec":
+        return cls(kind="log", log_data=data, mode=mode)
 
     def execution(self, workload: Workload) -> Execution:
         """The suite :class:`Execution` a workload job records."""
@@ -106,17 +116,23 @@ class JobSpec:
             payload["switch_probability"] = self.switch_probability
         else:
             payload["log_b64"] = base64.b64encode(self.log_data or b"").decode("ascii")
+        # Absent means "full" so journals written before modes existed
+        # replay unchanged (and full jobs keep their old journal lines).
+        if self.mode != "full":
+            payload["mode"] = self.mode
         return payload
 
     @classmethod
     def from_json(cls, payload: dict) -> "JobSpec":
+        mode = payload.get("mode", "full")
         if payload["kind"] == "workload":
             return cls.for_workload(
                 payload["workload"],
                 seed=int(payload.get("seed", 0)),
                 switch_probability=float(payload.get("switch_probability", 0.3)),
+                mode=mode,
             )
-        return cls.for_log(base64.b64decode(payload["log_b64"]))
+        return cls.for_log(base64.b64decode(payload["log_b64"]), mode=mode)
 
 
 def content_key_for(
@@ -141,10 +157,12 @@ def content_key_for(
         )
     else:
         base = hashlib.sha256(spec.log_data or b"").hexdigest()
-    material = json.dumps(
-        [JOURNAL_SCHEMA_VERSION, spec.kind, base, max_pairs_per_location],
-        sort_keys=True,
-    )
+    material_fields = [JOURNAL_SCHEMA_VERSION, spec.kind, base, max_pairs_per_location]
+    # Non-default modes extend the material; full-mode keys are unchanged
+    # so pre-mode journals and caches still dedup against new submissions.
+    if spec.mode != "full":
+        material_fields.append(spec.mode)
+    material = json.dumps(material_fields, sort_keys=True)
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
@@ -176,6 +194,7 @@ class Job:
         return {
             "job_id": self.job_id,
             "kind": self.spec.kind,
+            "mode": self.spec.mode,
             "workload": self.spec.workload,
             "seed": self.spec.seed if self.spec.kind == "workload" else None,
             "content_key": self.content_key,

@@ -124,14 +124,28 @@ class AnalysisService:
                 raise
             return job, created
 
+    @staticmethod
+    def _check_mode(mode: str) -> str:
+        if mode not in ("full", "detect"):
+            raise ValueError(
+                "unknown job mode %r (expected 'full' or 'detect')" % mode
+            )
+        return mode
+
     def submit_workload(
         self,
         name: str,
         seed: int = 0,
         switch_probability: float = 0.3,
         priority: int = 0,
+        mode: str = "full",
     ) -> Tuple[Job, bool]:
-        """Submit a record-and-analyse job for a named suite workload."""
+        """Submit a record-and-analyse job for a named suite workload.
+
+        ``mode="detect"`` stops the pipeline after detection (no
+        classification); the detect stage runs zero-replay from the
+        fresh recording's captured columns.
+        """
         workload = self.workloads.get(name)
         if workload is None:
             raise UnknownWorkloadError(
@@ -139,7 +153,10 @@ class AnalysisService:
                 % (name, ", ".join(sorted(self.workloads)))
             )
         spec = JobSpec.for_workload(
-            name, seed=seed, switch_probability=switch_probability
+            name,
+            seed=seed,
+            switch_probability=switch_probability,
+            mode=self._check_mode(mode),
         )
         key = content_key_for(
             spec,
@@ -150,13 +167,20 @@ class AnalysisService:
         )
         return self._admit(spec, key, priority)
 
-    def submit_log(self, data: bytes, priority: int = 0) -> Tuple[Job, bool]:
-        """Submit an uploaded replay log (binary container or JSON)."""
+    def submit_log(
+        self, data: bytes, priority: int = 0, mode: str = "full"
+    ) -> Tuple[Job, bool]:
+        """Submit an uploaded replay log (binary container or JSON).
+
+        ``mode="detect"`` runs detection only; a v3 container with
+        captured columns takes the zero-replay from-log path, anything
+        else falls back to replay-then-detect.
+        """
         try:
             load_log_bytes(data)
         except Exception as error:  # noqa: BLE001 - any decode failure
             raise BadLogError("undecodable replay log: %s" % error)
-        spec = JobSpec.for_log(data)
+        spec = JobSpec.for_log(data, mode=self._check_mode(mode))
         key = content_key_for(
             spec,
             None,

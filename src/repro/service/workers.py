@@ -134,6 +134,12 @@ def run_job_payload(payload: dict) -> dict:
 
     stats = PerfStats()
     started = time.monotonic()
+    mode = payload.get("mode", "full")
+    if mode == "detect":
+        report = _run_detect_only(payload, context, stats)
+        elapsed = time.monotonic() - started
+        stats.pool_workers.add(os.getpid())
+        return {"report": report, "perf": stats.to_json(), "elapsed_s": elapsed}
     if payload["kind"] == "workload":
         registry = context.setdefault("workloads", all_workloads())
         workload = registry.get(payload["workload"])
@@ -162,6 +168,53 @@ def run_job_payload(payload: dict) -> dict:
     elapsed = time.monotonic() - started
     stats.pool_workers.add(os.getpid())
     return {"report": report, "perf": stats.to_json(), "elapsed_s": elapsed}
+
+
+def _run_detect_only(payload: dict, context: dict, stats: PerfStats) -> dict:
+    """Detect-only jobs: stop after detection, zero-replay when possible.
+
+    Log jobs feed the raw upload straight to
+    :func:`~repro.analysis.pipeline.detect_only` — a v3 container with
+    captured columns never replays a single instruction.  Workload jobs
+    record the execution first (that part is irreducible), then detect
+    from the fresh recording's captured columns.
+    """
+    from ..analysis.pipeline import detect_only, detection_report
+
+    config: ServiceConfig = context["config"]
+    if payload["kind"] == "workload":
+        from ..record.recorder import record_run
+        from ..vm.scheduler import RandomScheduler
+        from ..workloads.suite import all_workloads
+
+        registry = context.setdefault("workloads", all_workloads())
+        workload = registry.get(payload["workload"])
+        if workload is None:
+            raise ValueError("unknown workload: %r" % payload["workload"])
+        with stats.stage("record"):
+            _, log = record_run(
+                workload.program(),
+                scheduler=RandomScheduler(
+                    seed=payload["seed"],
+                    switch_probability=payload["switch_probability"],
+                ),
+                seed=payload["seed"],
+                max_steps=config.max_steps,
+                capture_global_order=config.capture_global_order,
+            )
+        analysis = detect_only(
+            log,
+            execution_id="%s#s%d" % (payload["workload"], payload["seed"]),
+            max_pairs_per_location=config.max_pairs_per_location,
+            perf=stats,
+        )
+    else:
+        analysis = detect_only(
+            payload["log_data"],
+            max_pairs_per_location=config.max_pairs_per_location,
+            perf=stats,
+        )
+    return detection_report(analysis)
 
 
 def _pooled_run(payload: dict) -> dict:
@@ -278,11 +331,13 @@ class ShardedWorkerPool:
                 "workload": spec.workload,
                 "seed": spec.seed,
                 "switch_probability": spec.switch_probability,
+                "mode": spec.mode,
                 "config": self.config.to_dict(),
             }
         return {
             "kind": "log",
             "log_data": spec.log_data,
+            "mode": spec.mode,
             "config": self.config.to_dict(),
         }
 

@@ -8,18 +8,30 @@ downstream classification verdict are *byte-identical* to the retained
 across the paper suite, re-seeded recordings the suite does not contain,
 and randomized multi-region workloads with and without the per-location
 pair cap.
+
+The zero-replay from-log path is held to the same bar: feeding the
+sweep detector a :class:`LogView` built straight from container bytes
+must produce the identical instance list (and truncation counters, and
+rendered detection report) as feeding it a full :class:`OrderedReplay`
+— which in turn matches the naive reference.
 """
 
 import pytest
 
-from repro.analysis.pipeline import analyze_execution
+from repro.analysis.pipeline import (
+    analyze_execution,
+    detect_only,
+    detection_report,
+    render_report,
+)
 from repro.isa import assemble
 from repro.race.happens_before import (
     HappensBeforeDetector,
     NaiveHappensBeforeDetector,
 )
 from repro.record import record_run
-from repro.replay import OrderedReplay
+from repro.record.binary_format import encode_log
+from repro.replay import LogView, OrderedReplay
 from repro.vm import RandomScheduler
 from repro.workloads.suite import paper_suite
 
@@ -53,13 +65,18 @@ cl:
 """
 
 
-def ordered_for(seed):
+def log_for(seed):
     program = assemble(REGION_HEAVY, name="deteq%d" % seed)
     _, log = record_run(
         program,
         scheduler=RandomScheduler(seed=seed, switch_probability=0.4),
         seed=seed,
     )
+    return program, log
+
+
+def ordered_for(seed):
+    program, log = log_for(seed)
     return OrderedReplay(log, program)
 
 
@@ -117,6 +134,70 @@ class TestInstanceEquivalence:
             naive = NaiveHappensBeforeDetector(ordered)
             assert sweep.detect() == naive.detect(), execution.execution_id
             assert sweep.truncated_locations == naive.truncated_locations
+
+
+class TestFromLogEquivalence:
+    """The zero-replay LogView path against replay and the reference."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fromlog_matches_replay_and_reference(self, seed):
+        program, log = log_for(seed)
+        data = encode_log(log)
+        ordered = OrderedReplay(log, program)
+        fromlog = HappensBeforeDetector(
+            LogView.from_bytes(data), max_pairs_per_location=None
+        ).detect()
+        replayed = HappensBeforeDetector(
+            ordered, max_pairs_per_location=None
+        ).detect()
+        reference = NaiveHappensBeforeDetector(
+            ordered, max_pairs_per_location=None
+        ).detect()
+        assert fromlog == replayed
+        assert fromlog == reference
+
+    @pytest.mark.parametrize("cap", [1, 4, 256])
+    def test_fromlog_identical_under_pair_cap(self, cap):
+        program, log = log_for(5)
+        fromlog = HappensBeforeDetector(
+            LogView.from_bytes(encode_log(log)), max_pairs_per_location=cap
+        )
+        replayed = HappensBeforeDetector(
+            OrderedReplay(log, program), max_pairs_per_location=cap
+        )
+        assert fromlog.detect() == replayed.detect()
+        assert fromlog.truncated_locations == replayed.truncated_locations
+
+    def test_paper_suite_fromlog_identical(self):
+        for execution in paper_suite():
+            program = execution.workload.program()
+            _, log = record_run(
+                program,
+                scheduler=RandomScheduler(
+                    seed=execution.seed,
+                    switch_probability=execution.switch_probability,
+                ),
+                seed=execution.seed,
+            )
+            fromlog = HappensBeforeDetector(LogView.from_bytes(encode_log(log)))
+            replayed = HappensBeforeDetector(OrderedReplay(log, program))
+            assert fromlog.detect() == replayed.detect(), execution.execution_id
+            assert fromlog.truncated_locations == replayed.truncated_locations
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_detection_reports_byte_identical(self, seed):
+        """detect_only's rendered report is the same bytes whichever
+        path materializes the detector input — the CI equivalence job
+        literally diffs these."""
+        _, log = log_for(seed)
+        data = encode_log(log)
+        via_view = detect_only(data, mode="from-log")
+        via_replay = detect_only(data, mode="replay")
+        assert via_view.path == "from-log"
+        assert via_replay.path == "replay"
+        assert render_report(detection_report(via_view)) == render_report(
+            detection_report(via_replay)
+        )
 
 
 class TestEndToEndVerdictEquivalence:

@@ -123,6 +123,73 @@ class TestIdempotency:
         assert first.job_id == second.job_id and not second.created
 
 
+class TestDetectMode:
+    """Detect-only jobs: the zero-replay service mode."""
+
+    def _expected_detect_report(self, service, data):
+        from repro.analysis.pipeline import (
+            detect_only,
+            detection_report,
+            render_report as render,
+        )
+
+        analysis = detect_only(
+            data, max_pairs_per_location=service.config.max_pairs_per_location
+        )
+        return render(detection_report(analysis))
+
+    def test_log_detect_report_matches_direct_path(self, deployment, direct):
+        service, _, client = deployment
+        data = encode_log(direct["log"])
+        job = client.submit_log(data, mode="detect")
+        assert job.mode == "detect"
+        client.wait(job.job_id, timeout_s=60)
+        assert client.report_bytes(job.job_id) == self._expected_detect_report(
+            service, data
+        )
+
+    def test_detect_and_full_are_distinct_jobs(self, deployment, direct):
+        _, _, client = deployment
+        data = encode_log(direct["log"])
+        full = client.submit_log(data)
+        detect = client.submit_log(data, mode="detect")
+        assert full.job_id != detect.job_id
+        # ...but detect resubmission still deduplicates.
+        again = client.submit_log(data, mode="detect")
+        assert again.job_id == detect.job_id and not again.created
+        client.wait(full.job_id, timeout_s=60)
+        client.wait(detect.job_id, timeout_s=60)
+
+    def test_workload_detect_submission(self, deployment):
+        _, _, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED, mode="detect")
+        status = client.wait(job.job_id, timeout_s=60)
+        assert status.mode == "detect"
+        document = client.report(job.job_id)
+        # A detection report, not a classification report.
+        assert document["detect_version"] == 1
+        assert document["execution"] == "%s#s%d" % (WORKLOAD, SEED)
+        assert "classified" not in document
+
+    def test_multipart_detect_deduplicates_with_raw_upload(
+        self, deployment, direct, tmp_path
+    ):
+        _, _, client = deployment
+        data = encode_log(direct["log"])
+        raw = client.submit_log(data, mode="detect")
+        path = tmp_path / "run.replay.bin"
+        path.write_bytes(data)
+        multipart = client.submit_log_file(path, mode="detect")
+        assert multipart.job_id == raw.job_id
+        client.wait(raw.job_id, timeout_s=60)
+
+    def test_unknown_mode_is_400(self, deployment, direct):
+        _, _, client = deployment
+        with pytest.raises(ServiceError) as caught:
+            client.submit_log(encode_log(direct["log"]), mode="bogus")
+        assert caught.value.status == 400
+
+
 class TestErrors:
     def test_unknown_workload_is_400(self, deployment):
         _, _, client = deployment

@@ -5,7 +5,8 @@ import pytest
 from repro.analysis.access_index import AccessIndex, build_access_index
 from repro.isa import assemble
 from repro.record import record_run
-from repro.replay import OrderedReplay
+from repro.record.binary_format import decode_log, encode_log
+from repro.replay import LogView, OrderedReplay
 from repro.vm import RandomScheduler
 
 SOURCE = """
@@ -157,6 +158,129 @@ class TestQueries:
         assert stats["addresses"] == len(index.postings)
         assert stats["writes"] == sum(index.write_flags)
         assert 0 < stats["writes"] < stats["accesses"]
+
+
+#: Edge-case workload: a step-empty region (lock, then unlock on the
+#: very next step), a region with steps but no memory accesses (the
+#: register-only stretch between the unlock and the next lock), and an
+#: address (``z``) touched by exactly one region of one thread.
+EDGE_SOURCE = """
+.data
+x: .word 0
+z: .word 0
+m: .word 0
+.thread a b
+    lock [m]
+    unlock [m]
+    addi r1, r1, 0
+    lock [m]
+    load r2, [x]
+    addi r2, r2, 1
+    store r2, [x]
+    unlock [m]
+    halt
+.thread w
+    li r2, 7
+    store r2, [z]
+    halt
+"""
+
+
+def _edge_recording(seed=3):
+    program = assemble(EDGE_SOURCE, name="aidx-edge")
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=0.4),
+        seed=seed,
+    )
+    return program, log
+
+
+class TestFromCaptured:
+    """`AccessIndex.from_captured` (the zero-replay build) edge cases."""
+
+    def _both_indexes(self, log, program):
+        replay_built = OrderedReplay(log, program).access_index()
+        captured_built = LogView.from_bytes(encode_log(log)).access_index()
+        return replay_built, captured_built
+
+    def test_matches_replay_built_index(self):
+        """Column-for-column identical to the replay-derived index —
+        including sync-row exclusion (the lock/unlock accesses)."""
+        program = assemble(SOURCE, name="aidx-cap")
+        _, log = record_run(
+            program,
+            scheduler=RandomScheduler(seed=5, switch_probability=0.4),
+            seed=5,
+        )
+        replay_built, captured_built = self._both_indexes(log, program)
+        assert captured_built.regions == replay_built.regions
+        assert list(captured_built.steps) == list(replay_built.steps)
+        assert list(captured_built.addresses) == list(replay_built.addresses)
+        assert list(captured_built.values) == list(replay_built.values)
+        assert list(captured_built.write_flags) == list(replay_built.write_flags)
+        assert list(captured_built.region_of) == list(replay_built.region_of)
+        assert captured_built.postings == replay_built.postings
+
+    def test_step_empty_regions_excluded(self):
+        program, log = _edge_recording()
+        view = LogView.from_bytes(encode_log(log))
+        index = view.access_index()
+        empties = [region for region in view.all_regions() if region.is_empty]
+        assert empties, "workload should produce at least one empty region"
+        for region in empties:
+            assert index.ordinal_of(region) is None
+            assert index.region_accesses(region) == []
+
+    def test_access_free_region_has_empty_slice(self):
+        """A region with steps but only register traffic gets an ordinal
+        whose slice, addresses and grouped accesses are all empty."""
+        program, log = _edge_recording()
+        index = LogView.from_bytes(encode_log(log)).access_index()
+        bare = [
+            ordinal
+            for ordinal, region in enumerate(index.regions)
+            if not index.addresses_of(ordinal)
+        ]
+        assert bare, "workload should produce an access-free region"
+        for ordinal in bare:
+            start, end = index.region_slice(ordinal)
+            assert start == end
+            assert index.by_address(ordinal) == {}
+            assert index.region_accesses(index.regions[ordinal]) == []
+
+    def test_single_region_address_postings(self):
+        program, log = _edge_recording()
+        index = LogView.from_bytes(encode_log(log)).access_index()
+        z = program.data_address("z")
+        assert len(index.postings[z]) == 1
+        (only,) = index.postings[z]
+        assert index.regions[only].thread_name == "w"
+        assert z in index.addresses_of(only)
+
+    def test_v1_log_falls_back_to_replay_columns(self):
+        """A v1 container has no captured section: the index built
+        through the replay fallback must still equal the captured-built
+        one from the v3 encoding of the same log."""
+        program, log = _edge_recording()
+        v1_log = decode_log(encode_log(log, version=1))
+        assert v1_log.captured is None
+        fallback = OrderedReplay(v1_log).access_index()
+        captured_built = LogView.from_bytes(encode_log(log)).access_index()
+        assert fallback.regions == captured_built.regions
+        assert list(fallback.steps) == list(captured_built.steps)
+        assert list(fallback.addresses) == list(captured_built.addresses)
+        assert list(fallback.values) == list(captured_built.values)
+        assert list(fallback.write_flags) == list(captured_built.write_flags)
+        assert fallback.postings == captured_built.postings
+
+    def test_write_count_is_cached_and_correct(self):
+        program, log = _edge_recording()
+        index = LogView.from_bytes(encode_log(log)).access_index()
+        expected = sum(index.write_flags)
+        assert index.write_count == expected
+        assert index.write_count == expected  # second read hits the cache
+        assert index.stats()["writes"] == expected
 
 
 class TestOrderedReplayIntegration:

@@ -50,6 +50,39 @@ class TestContentKey:
         assert workload_key != _key(_log_spec())
 
 
+class TestDetectMode:
+    def test_mode_disambiguates_content_key(self):
+        """A detect-only job is different work than full analysis of the
+        same bytes — the two must never deduplicate onto one job."""
+        assert _key(_log_spec()) != _key(JobSpec.for_log(b"not-a-real-log", mode="detect"))
+        workload = all_workloads()["lost_update_lu0"]
+        full = JobSpec.for_workload("lost_update_lu0", seed=3)
+        detect = JobSpec.for_workload("lost_update_lu0", seed=3, mode="detect")
+        assert _key(full, workload) != _key(detect, workload)
+
+    def test_full_mode_keys_unchanged_by_mode_field(self):
+        # Pre-mode journals carry no "mode"; the default spec must hash
+        # identically so recovered jobs keep deduplicating.
+        spec = _log_spec()
+        assert spec.mode == "full"
+        assert "mode" not in spec.to_json()
+
+    def test_detect_mode_round_trips_through_json(self):
+        spec = JobSpec.for_log(b"xy", mode="detect")
+        payload = spec.to_json()
+        assert payload["mode"] == "detect"
+        assert JobSpec.from_json(payload).mode == "detect"
+        # Absent field decodes as full — old journal lines replay as-is.
+        del payload["mode"]
+        assert JobSpec.from_json(payload).mode == "full"
+
+    def test_status_json_reports_mode(self):
+        store = JobStore()
+        spec = JobSpec.for_log(b"xy", mode="detect")
+        job, _ = store.submit(spec, _key(spec))
+        assert job.status_json()["mode"] == "detect"
+
+
 class TestSubmission:
     def test_submit_is_idempotent(self):
         store = JobStore()
