@@ -74,6 +74,42 @@ def execution_cache_key(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def verdict_index_key(
+    program_name: str,
+    source: str,
+    step_limit: int,
+    allow_unrecorded_control_flow: bool,
+    allow_unknown_addresses: bool,
+    max_pairs_per_location: Optional[int],
+) -> str:
+    """The content address of a program's portable verdict index.
+
+    Keyed by program identity and *source digest* — not by the recorded
+    log bytes — so a resubmission of the same program under a different
+    seed or scheduler (the service's dedup near-miss) still finds the
+    index and splices verdicts for content-identical regions.  A source
+    edit changes the digest and cleanly orphans the old index (stale
+    verdicts could otherwise splice across code changes that happen to
+    keep static ids aligned).  The classifier knobs that alter verdicts
+    are part of the key; ones that provably do not (fast paths) are not.
+    """
+    source_digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    material = json.dumps(
+        [
+            "verdict-index",
+            CACHE_SCHEMA_VERSION,
+            program_name,
+            source_digest,
+            step_limit,
+            allow_unrecorded_control_flow,
+            allow_unknown_addresses,
+            max_pairs_per_location,
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
 def _machine_result_to_json(result: MachineResult) -> dict:
     return {
         "program_name": result.program_name,
@@ -211,6 +247,38 @@ class SuiteCache:
             self._write_atomic(self._log_path(key), encoded)
             self._write_atomic(self._meta_path(key), meta)
             self._index.add(key)
+
+    # -- portable verdict indexes --------------------------------------
+
+    def _verdicts_path(self, key: str) -> Path:
+        return self.directory / ("%s.verdicts.json" % key)
+
+    def load_verdicts(self, key: str) -> Optional[dict]:
+        """The stored portable verdict index for ``key``, or ``None``.
+
+        Same tolerance as :meth:`load`: any torn or undecodable file is a
+        miss.  Entry-level validation belongs to
+        :meth:`VerdictCache.absorb_portable`, which skips malformed
+        entries individually.
+        """
+        try:
+            document = json.loads(
+                self._verdicts_path(key).read_text(encoding="utf-8")
+            )
+        except _MISS_ERRORS:
+            return None
+        return document if isinstance(document, dict) else None
+
+    def store_verdicts(self, key: str, index: dict) -> None:
+        """Persist one portable verdict index (atomic replace).
+
+        Callers store the union of what they loaded and what they
+        computed (``export_portable`` includes absorbed entries), so
+        concurrent writers converge instead of losing entries.
+        """
+        data = json.dumps(index, sort_keys=True).encode("utf-8")
+        with self._lock:
+            self._write_atomic(self._verdicts_path(key), data)
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
         temporary = path.with_name(

@@ -32,18 +32,22 @@ verdict.
 
 from __future__ import annotations
 
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..race.classifier import ClassifierConfig, RaceClassifier
 from ..race.model import RaceInstance
 from ..race.outcomes import ClassifiedInstance, InstanceOutcome
+from ..replay.errors import ReplayFailureKind
 from ..replay.regions import SequencingRegion
 from ..workloads.suite import Execution
+from . import batching
+from .batching import VERDICT_INDEX_VERSION, PlannedBatch, plan_batches
 from .perf import PerfStats
-from .pipeline import ExecutionAnalysis, analyze_execution
+from .pipeline import ExecutionAnalysis, analyze_execution, analyze_log
 
 
 class TrackingImage(dict):
@@ -84,10 +88,71 @@ class TrackingImage(dict):
         return value
 
 
+class TrackingView:
+    """A :class:`TrackingImage` over a lazy live-in reader.
+
+    Same probe-recording contract, but backed by any read-only mapping
+    (``.get`` suffices — misses stay misses) instead of a materialized
+    dict, so the batched classifier can track probes against
+    :meth:`OrderedReplay.pair_live_in`'s lazy view without copying or
+    reconstructing the pair image.
+    """
+
+    __slots__ = ("_backing", "probes")
+
+    _MISS = TrackingImage._MISS
+
+    def __init__(self, backing) -> None:
+        self._backing = backing
+        self.probes: Dict[int, Optional[int]] = {}
+
+    def _probe(self, key):
+        value = self._backing.get(key, self._MISS)
+        self.probes[key] = None if value is self._MISS else value
+        return value
+
+    def get(self, key, default=None):
+        value = self._probe(key)
+        return default if value is self._MISS else value
+
+    def __contains__(self, key) -> bool:
+        return self._probe(key) is not self._MISS
+
+    def __getitem__(self, key):
+        value = self._probe(key)
+        if value is self._MISS:
+            raise KeyError(key)
+        return value
+
+
 #: What the cache stores per verdict: everything needed to rebuild a
 #: ClassifiedInstance around a *different* RaceInstance object.
 #: (outcome, original-first-was-side-a, pre_value, failure_kind, detail)
 _VerdictTemplate = Tuple[InstanceOutcome, bool, int, object, str]
+
+
+def _template_to_json(template: _VerdictTemplate) -> list:
+    outcome, first_is_a, pre_value, failure_kind, failure_detail = template
+    return [
+        outcome.value,
+        bool(first_is_a),
+        pre_value,
+        None if failure_kind is None else failure_kind.value,
+        failure_detail,
+    ]
+
+
+def _template_from_json(raw) -> _VerdictTemplate:
+    outcome, first_is_a, pre_value, failure_kind, failure_detail = raw
+    if failure_detail is not None and not isinstance(failure_detail, str):
+        raise ValueError("malformed failure detail %r" % (failure_detail,))
+    return (
+        InstanceOutcome(outcome),
+        bool(first_is_a),
+        int(pre_value),
+        None if failure_kind is None else ReplayFailureKind(failure_kind),
+        failure_detail,
+    )
 
 
 class VerdictCache:
@@ -97,6 +162,16 @@ class VerdictCache:
     structural replay can behave differently under different live-in
     images; each candidate carries the probe set its verdict was computed
     under and matches only a live-in that agrees everywhere it looked.
+
+    Beyond the in-process cache, verdicts travel across engine lifetimes
+    as a **portable index**: :meth:`export_portable` replaces the
+    process-local interned content ids with stable sha256 content digests
+    (plus a shape fingerprint as a collision guard), and
+    :meth:`absorb_portable` loads such an index so that a later analysis
+    of content-identical regions *splices* the stored verdicts instead of
+    replaying — the incremental re-analysis path.  Absorbed entries only
+    ever match through the same probe/freed agreement as local ones, so
+    splicing cannot change a verdict, only skip recomputing it.
     """
 
     def __init__(self) -> None:
@@ -104,8 +179,23 @@ class VerdictCache:
             tuple, List[Tuple[Tuple[Tuple[int, Optional[int]], ...], tuple, _VerdictTemplate]]
         ] = {}
         self._interned: Dict[tuple, int] = {}
+        #: id -> content tuple (for digesting on export/splice).
+        self._contents: List[tuple] = []
+        #: id -> lazily computed sha256 digest / shape fingerprint.
+        self._digests: List[Optional[str]] = []
+        self._shapes: List[Optional[tuple]] = []
+        #: portable key -> [(shapes, probe items, freed fp, template)].
+        self._imported: Dict[tuple, List[tuple]] = {}
+        #: normalized absorbed entries, kept for lossless re-export.
+        self._imported_raw: List[dict] = []
+        #: canonical-JSON fingerprints of absorbed entries (idempotency).
+        self._absorbed: Set[str] = set()
         self.hits = 0
         self.misses = 0
+        #: Hits served by promoting an absorbed (imported) entry.
+        self.spliced = 0
+        #: Entries accepted by :meth:`absorb_portable` over the lifetime.
+        self.absorbed = 0
 
     def intern(self, content: tuple) -> int:
         """Map a (possibly large) content tuple to a stable small id.
@@ -118,7 +208,26 @@ class VerdictCache:
         if interned is None:
             interned = len(self._interned)
             self._interned[content] = interned
+            self._contents.append(content)
+            self._digests.append(None)
+            self._shapes.append(None)
         return interned
+
+    def _digest_of(self, content_id: int) -> str:
+        digest = self._digests[content_id]
+        if digest is None:
+            # Through the module so tests can monkeypatch the digest
+            # function and exercise the collision guard.
+            digest = batching.content_digest(self._contents[content_id])
+            self._digests[content_id] = digest
+        return digest
+
+    def _shape_of(self, content_id: int) -> tuple:
+        shape = self._shapes[content_id]
+        if shape is None:
+            shape = batching.content_shape(self._contents[content_id])
+            self._shapes[content_id] = shape
+        return shape
 
     def __len__(self) -> int:
         return sum(len(candidates) for candidates in self._entries.values())
@@ -136,7 +245,51 @@ class VerdictCache:
             ):
                 self.hits += 1
                 return template
+        if self._imported:
+            template = self._splice_imported(key, live_in, freed_fp)
+            if template is not None:
+                self.hits += 1
+                self.spliced += 1
+                return template
         self.misses += 1
+        return None
+
+    def _splice_imported(
+        self, key: tuple, live_in: Dict[int, int], freed_fp: tuple
+    ) -> Optional[_VerdictTemplate]:
+        """Serve a verdict from an absorbed portable index, if one matches.
+
+        Digesting the interned contents happens lazily here (and is cached
+        per content id), so analyses that never splice pay nothing.  A
+        match is promoted into the local entries so later instances of the
+        same key hit without re-digesting.
+        """
+        program, offset_a, id_a, offset_b, id_b, first_is_a = key
+        portable_key = (
+            program,
+            offset_a,
+            self._digest_of(id_a),
+            offset_b,
+            self._digest_of(id_b),
+            first_is_a,
+        )
+        candidates = self._imported.get(portable_key)
+        if not candidates:
+            return None
+        shapes = (self._shape_of(id_a), self._shape_of(id_b))
+        for entry_shapes, probe_items, candidate_freed, template in candidates:
+            if entry_shapes != shapes:
+                continue  # digest collision guard: recompute instead
+            if candidate_freed != freed_fp:
+                continue
+            if all(
+                live_in.get(address, None) == value
+                for address, value in probe_items
+            ):
+                self._entries.setdefault(key, []).append(
+                    (probe_items, candidate_freed, template)
+                )
+                return template
         return None
 
     def store(
@@ -153,6 +306,130 @@ class VerdictCache:
                 template,
             )
         )
+
+    # ------------------------------------------------------------------
+    # The portable verdict index.
+    # ------------------------------------------------------------------
+
+    def export_portable(self, program: Optional[str] = None) -> Dict:
+        """The cache as a portable JSON-able verdict index.
+
+        Interned content ids become content digests; every local entry
+        and every absorbed entry is included (deduplicated by canonical
+        JSON), so absorb → export round-trips losslessly and repeated
+        export/absorb cycles converge.  ``program`` filters to one
+        program's entries.
+        """
+        entries: List[dict] = []
+        seen: Set[str] = set()
+
+        def add(entry: dict) -> None:
+            fingerprint = json.dumps(entry, sort_keys=True)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                entries.append(entry)
+
+        for key, candidates in self._entries.items():
+            if program is not None and key[0] != program:
+                continue
+            portable_key = [
+                key[0],
+                key[1],
+                self._digest_of(key[2]),
+                key[3],
+                self._digest_of(key[4]),
+                key[5],
+            ]
+            shapes = [list(self._shape_of(key[2])), list(self._shape_of(key[4]))]
+            for probe_items, freed_fp, template in candidates:
+                add(
+                    {
+                        "key": portable_key,
+                        "shapes": shapes,
+                        "probes": [[a, v] for a, v in probe_items],
+                        "freed": [[a, s] for a, s in freed_fp],
+                        "template": _template_to_json(template),
+                    }
+                )
+        for raw in self._imported_raw:
+            if program is not None and raw["key"][0] != program:
+                continue
+            add(raw)
+        return {"verdict_index_version": VERDICT_INDEX_VERSION, "entries": entries}
+
+    def absorb_portable(self, index) -> int:
+        """Load a portable verdict index; returns how many entries stuck.
+
+        Defensive by design — indexes come from cache files and user
+        ``--incremental-from`` arguments: an unknown version or a
+        non-document absorbs nothing, and each malformed entry is skipped
+        individually.  Absorbing the same index twice is a no-op.
+        """
+        if not isinstance(index, dict):
+            return 0
+        if index.get("verdict_index_version") != VERDICT_INDEX_VERSION:
+            return 0
+        entries = index.get("entries")
+        if not isinstance(entries, list):
+            return 0
+        accepted = 0
+        for raw in entries:
+            try:
+                parsed = self._parse_portable_entry(raw)
+            except (KeyError, ValueError, TypeError, IndexError):
+                continue
+            if parsed is None:
+                continue
+            normalized, portable_key, candidate = parsed
+            fingerprint = json.dumps(normalized, sort_keys=True)
+            if fingerprint in self._absorbed:
+                continue
+            self._absorbed.add(fingerprint)
+            self._imported.setdefault(portable_key, []).append(candidate)
+            self._imported_raw.append(normalized)
+            self.absorbed += 1
+            accepted += 1
+        return accepted
+
+    @staticmethod
+    def _parse_portable_entry(raw):
+        """Normalize one index entry; raise/return None when malformed."""
+        program, offset_a, digest_a, offset_b, digest_b, first_is_a = raw["key"]
+        if not (
+            isinstance(program, str)
+            and isinstance(offset_a, int)
+            and isinstance(digest_a, str)
+            and isinstance(offset_b, int)
+            and isinstance(digest_b, str)
+            and isinstance(first_is_a, bool)
+        ):
+            return None
+        shapes = tuple(
+            tuple(int(part) for part in shape) for shape in raw["shapes"]
+        )
+        if len(shapes) != 2 or any(len(shape) != 3 for shape in shapes):
+            return None
+        probes = tuple(
+            sorted(
+                (int(address), None if value is None else int(value))
+                for address, value in raw["probes"]
+            )
+        )
+        freed = tuple(
+            sorted((int(address), int(size)) for address, size in raw["freed"])
+        )
+        template = _template_from_json(raw["template"])
+        portable_key = (
+            program, offset_a, digest_a, offset_b, digest_b, first_is_a,
+        )
+        normalized = {
+            "key": list(portable_key),
+            "shapes": [list(shape) for shape in shapes],
+            "probes": [[a, v] for a, v in probes],
+            "freed": [[a, s] for a, s in freed],
+            "template": _template_to_json(template),
+        }
+        return normalized, portable_key, (shapes, probes, freed, template)
 
 
 class MemoizingClassifier(RaceClassifier):
@@ -229,42 +506,11 @@ class MemoizingClassifier(RaceClassifier):
         region_key = (region.tid, region.index)
         interned = self._region_ids.get(region_key)
         if interned is None:
-            replay = self.ordered.thread_replays[thread_name]
-            start, end = region.start_step, region.end_step
-            if region.end_kind == "thread_end":
-                thread_end = self.log.threads[thread_name].end
-                end_state = (
-                    "thread_end",
-                    None if thread_end is None else thread_end.reason,
-                    replay.final_registers,
-                    replay.final_pc,
-                )
-            else:
-                end_state = (
-                    region.end_kind,
-                    replay.region_end_registers.get(end),
-                    replay.region_end_pcs.get(end),
-                )
-            content = (
+            content = batching.region_content(
+                self.ordered,
                 thread_name,
-                # The whole-thread pc footprint gates which control flow
-                # an alternative replay may visit (§4.2.1), so it is part
-                # of what determines the verdict.
-                tuple(sorted(self._pc_footprint(thread_name))),
-                self.ordered.region_start_pc(region),
-                self.ordered.live_in_registers(region),
-                tuple(replay.static_ids[start:end]),
-                tuple(
-                    (
-                        access.thread_step - start,
-                        access.address,
-                        access.value,
-                        access.is_write,
-                        access.is_sync,
-                    )
-                    for access in replay.accesses_in_steps(start, end)
-                ),
-                end_state,
+                region,
+                footprint=tuple(sorted(self._pc_footprint(thread_name))),
             )
             interned = self.cache.intern(content)
             self._region_ids[region_key] = interned
@@ -283,6 +529,108 @@ class MemoizingClassifier(RaceClassifier):
         )
 
 
+class BatchingClassifier(MemoizingClassifier):
+    """A memoizing classifier that plans whole batches up front.
+
+    :meth:`classify_all` groups the instances by full structural key
+    (:func:`repro.analysis.batching.plan_batches`) and walks each batch:
+    the first member that misses the verdict cache replays (the batch
+    *leader*), and every later member is served by the same cache lookup
+    the per-instance memoized path would do — from the leader's stored
+    verdict when its live-in agrees on the probed addresses
+    (``batch_fanout``), or by its own replay through the leader's rebound
+    processor on probe divergence (``batch_fallbacks``).  Because members
+    share the full structural key and the cache-store order matches the
+    per-instance path's, verdicts are byte-identical to
+    :class:`MemoizingClassifier` — the equivalence tests assert it.
+
+    The win over plain memoization is constant-factor but large on
+    instance-heavy regions: per fanned-out member the batch path skips
+    the pair-snapshot dict copies (``pair_snapshot_view``), and fallback
+    members reuse the leader's thread specs and seeded prefix image
+    instead of re-deriving them.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batches_planned = 0
+        self.batch_fanout = 0
+        self.batch_fallbacks = 0
+        #: batch size -> number of batches of that size (this classifier).
+        self.batch_sizes: Dict[int, int] = {}
+
+    def classify_all(self, instances: List[RaceInstance]) -> List[ClassifiedInstance]:
+        if self.config.store_replay_outcomes or not instances:
+            # Raw-outcome callers need real replays; defer to the base.
+            return super().classify_all(instances)
+        plan = plan_batches(self, instances)
+        self.batches_planned += plan.batch_count
+        for size, count in plan.size_histogram().items():
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + count
+        results: List[Optional[ClassifiedInstance]] = [None] * len(instances)
+        for batch in plan.batches:
+            self._classify_batch(batch, results)
+        return results
+
+    def collect_perf(self, stats) -> None:
+        super().collect_perf(stats)
+        stats.classify_batches += self.batches_planned
+        stats.batch_fanout += self.batch_fanout
+        stats.batch_fallbacks += self.batch_fallbacks
+        for size, count in self.batch_sizes.items():
+            stats.batch_sizes[size] = stats.batch_sizes.get(size, 0) + count
+
+    def _classify_batch(
+        self, batch: PlannedBatch, results: List[Optional[ClassifiedInstance]]
+    ) -> None:
+        computed = False
+        for position, member in batch.members:
+            # Lazy pair live-in: cache probes and virtual-processor loads
+            # resolve one address at a time, so no member ever pays for a
+            # full pair-image reconstruction or copy.  Values are
+            # address-identical to ``pair_snapshot``'s, so the stored
+            # probes — and hence every verdict — match the per-instance
+            # path byte for byte.
+            live_in, freed = self.ordered.pair_live_in(
+                member.region_a, member.region_b
+            )
+            template = self.cache.lookup(batch.key, live_in, freed)
+            if template is not None:
+                if computed:
+                    self.batch_fanout += 1
+                results[position] = self._from_template(member, template)
+                continue
+            # Cache miss: this member replays.  The first replay of the
+            # batch builds the shared processor; probe-divergence
+            # fallbacks rebind it to their own live-in (sharing specs and
+            # the seeded prefix image — both functions of the batch key).
+            if computed:
+                self.batch_fallbacks += 1
+            tracking = TrackingView(live_in)
+            if batch.processor is None:
+                batch.processor = self.batch_processor(member, tracking, freed)
+                processor = batch.processor
+            else:
+                processor = batch.processor.rebind(tracking, freed)
+            result = self._classify_with_state(
+                member, tracking, freed, processor=processor
+            )
+            computed = True
+            self.cache.store(
+                batch.key,
+                tracking.probes,
+                freed,
+                (
+                    result.outcome,
+                    result.original_first == member.access_a.thread_name,
+                    result.pre_value,
+                    result.failure_kind,
+                    result.failure_detail,
+                ),
+            )
+            results[position] = result
+
+
 # ----------------------------------------------------------------------
 # The engine.
 # ----------------------------------------------------------------------
@@ -296,6 +644,16 @@ class EngineConfig:
     jobs: int = 1
     #: Serve structurally identical race instances from the verdict cache.
     memoize: bool = True
+    #: Plan classification in batches of structurally identical instances
+    #: (one replay per batch, fanned out).  Requires ``memoize``; verdicts
+    #: are byte-identical either way.
+    batching: bool = True
+    #: Splice verdicts from a prior analysis of the same program: absorb
+    #: the ``prior=`` index passed to :meth:`analyze_execution` /
+    #: :meth:`analyze_log`, and (with ``cache_dir``) persist and reload
+    #: the portable verdict index through the suite cache so warm
+    #: re-submissions replay almost nothing.
+    incremental: bool = True
     classifier_config: Optional[ClassifierConfig] = None
     max_pairs_per_location: Optional[int] = 256
     max_steps: int = 200_000
@@ -336,21 +694,109 @@ class ClassificationEngine:
             return RaceClassifier(
                 ordered, config=classifier_config, execution_id=execution_id
             )
-        return MemoizingClassifier(
+        classifier_class = (
+            BatchingClassifier if self.config.batching else MemoizingClassifier
+        )
+        return classifier_class(
             ordered,
             config=classifier_config,
             execution_id=execution_id,
             cache=self.cache,
         )
 
+    # -- incremental re-analysis plumbing ------------------------------
+
+    def _verdict_index_key(self, program_name: str, source: str) -> str:
+        from .cache import verdict_index_key
+
+        classifier_config = self.config.classifier_config or ClassifierConfig()
+        return verdict_index_key(
+            program_name,
+            source,
+            step_limit=classifier_config.step_limit,
+            allow_unrecorded_control_flow=(
+                classifier_config.allow_unrecorded_control_flow
+            ),
+            allow_unknown_addresses=classifier_config.allow_unknown_addresses,
+            max_pairs_per_location=self.config.max_pairs_per_location,
+        )
+
+    def _absorb_prior(self, prior, program_name: str, source: str) -> Optional[str]:
+        """Load every verdict source an incremental analysis may splice
+        from; returns the suite-cache verdict key when one applies.
+
+        ``prior`` is a previous :class:`ExecutionAnalysis` (its
+        ``verdict_index``) or a raw portable index document.  With a
+        ``cache_dir`` and ``incremental`` on, the persisted index of the
+        same program/config is absorbed too — the near-miss resubmission
+        path: a changed seed or scheduler records a different execution,
+        but regions whose content didn't change splice their verdicts.
+        """
+        if not self.config.memoize:
+            return None
+        if prior is not None:
+            index = getattr(prior, "verdict_index", prior)
+            self.cache.absorb_portable(index)
+        if not self.config.incremental or self._record_cache is None:
+            return None
+        verdict_key = self._verdict_index_key(program_name, source)
+        stored = self._record_cache.load_verdicts(verdict_key)
+        if stored is not None:
+            self.cache.absorb_portable(stored)
+        return verdict_key
+
+    def _finish_analysis(
+        self,
+        analysis: ExecutionAnalysis,
+        stats: PerfStats,
+        snapshot: Tuple[int, int, int, int],
+        verdict_key: Optional[str],
+    ) -> None:
+        hits, misses, spliced, absorbed = snapshot
+        stats.cache_hits += self.cache.hits - hits
+        stats.cache_misses += self.cache.misses - misses
+        stats.incremental_spliced += self.cache.spliced - spliced
+        stats.incremental_absorbed += self.cache.absorbed - absorbed
+        if self.config.memoize:
+            analysis.verdict_index = self.cache.export_portable(
+                program=analysis.log.program_name
+            )
+            if verdict_key is not None:
+                # export_portable includes absorbed entries, so storing it
+                # unions this run's verdicts with everything loaded.
+                self._record_cache.store_verdicts(
+                    verdict_key, analysis.verdict_index
+                )
+
+    def _cache_snapshot(self) -> Tuple[int, int, int, int]:
+        return (
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.spliced,
+            self.cache.absorbed,
+        )
+
     # -- public API ----------------------------------------------------
 
     def analyze_execution(
-        self, execution: Execution, perf: Optional[PerfStats] = None
+        self,
+        execution: Execution,
+        perf: Optional[PerfStats] = None,
+        prior=None,
     ) -> ExecutionAnalysis:
-        """Analyse one execution in-process (the pool is for batches)."""
+        """Analyse one execution in-process (the pool is for batches).
+
+        ``prior`` — a previous :class:`ExecutionAnalysis` of the same
+        program (or its portable verdict index) — turns this into an
+        incremental re-analysis: instances whose region contents are
+        unchanged splice the prior verdicts and only changed regions
+        replay.  With a ``cache_dir`` the persisted verdict index of the
+        program is used the same way automatically.
+        """
+        snapshot = self._cache_snapshot()
         stats = perf if perf is not None else PerfStats()
-        hits_before, misses_before = self.cache.hits, self.cache.misses
+        workload = execution.workload
+        verdict_key = self._absorb_prior(prior, workload.name, workload.source)
         analysis = analyze_execution(
             execution,
             classifier_config=self.config.classifier_config,
@@ -362,8 +808,38 @@ class ClassificationEngine:
             cache=self._record_cache,
             replay_fast_path=self.config.replay_fast_path,
         )
-        stats.cache_hits += self.cache.hits - hits_before
-        stats.cache_misses += self.cache.misses - misses_before
+        self._finish_analysis(analysis, stats, snapshot, verdict_key)
+        return analysis
+
+    def analyze_log(
+        self,
+        log,
+        execution_id: Optional[str] = None,
+        perf: Optional[PerfStats] = None,
+        prior=None,
+    ) -> ExecutionAnalysis:
+        """Analyse an already-recorded log through this engine.
+
+        The engine counterpart of :func:`repro.analysis.pipeline.analyze_log`
+        — same report bytes — plus the engine's verdict memoization,
+        batching and incremental splicing (``prior=`` and the persisted
+        per-program verdict index, exactly as in :meth:`analyze_execution`).
+        """
+        snapshot = self._cache_snapshot()
+        stats = perf if perf is not None else PerfStats()
+        verdict_key = self._absorb_prior(
+            prior, log.program_name, log.program_source
+        )
+        analysis = analyze_log(
+            log,
+            execution_id=execution_id,
+            classifier_config=self.config.classifier_config,
+            max_pairs_per_location=self.config.max_pairs_per_location,
+            classifier_factory=self._classifier_factory,
+            perf=stats,
+            replay_fast_path=self.config.replay_fast_path,
+        )
+        self._finish_analysis(analysis, stats, snapshot, verdict_key)
         return analysis
 
     def analyze_executions(

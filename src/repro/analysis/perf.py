@@ -38,6 +38,20 @@ class PerfStats:
     originals_synthesized: int = 0
     #: Alternative replays whose logged prefix was fast-forwarded.
     prefixes_fast_forwarded: int = 0
+    #: Batches the batching classifier planned (groups of instances
+    #: sharing a full structural key).
+    classify_batches: int = 0
+    #: Verdicts fanned out from a batch leader's replay to later members.
+    batch_fanout: int = 0
+    #: Batch members that replayed individually on live-in probe
+    #: divergence (the correctness fallback).
+    batch_fallbacks: int = 0
+    #: Batch size -> number of batches of that size.
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+    #: Verdicts spliced from an absorbed prior analysis (incremental).
+    incremental_spliced: int = 0
+    #: Portable verdict-index entries absorbed for splicing.
+    incremental_absorbed: int = 0
     #: Tasks dispatched to the process pool (0 when serial).
     pool_tasks: int = 0
     #: Distinct worker processes that returned results.
@@ -100,6 +114,13 @@ class PerfStats:
         self.vp_runs += other.vp_runs
         self.originals_synthesized += other.originals_synthesized
         self.prefixes_fast_forwarded += other.prefixes_fast_forwarded
+        self.classify_batches += other.classify_batches
+        self.batch_fanout += other.batch_fanout
+        self.batch_fallbacks += other.batch_fallbacks
+        for size, count in other.batch_sizes.items():
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + count
+        self.incremental_spliced += other.incremental_spliced
+        self.incremental_absorbed += other.incremental_absorbed
         self.pool_tasks += other.pool_tasks
         self.pool_workers |= other.pool_workers
         self.detect_regions += other.detect_regions
@@ -138,6 +159,7 @@ class PerfStats:
             "pool_workers",
             "pool_worker_ids",
             "stage_seconds",
+            "batch_size_histogram",
         }
         for name, value in payload.items():
             if name in derived or not hasattr(stats, name):
@@ -148,6 +170,13 @@ class PerfStats:
             for name, seconds in dict(payload.get("stage_seconds") or {}).items()
         }
         stats.pool_workers = set(payload.get("pool_worker_ids") or ())
+        # JSON object keys are strings; batch sizes are ints.
+        stats.batch_sizes = {
+            int(size): int(count)
+            for size, count in dict(
+                payload.get("batch_size_histogram") or {}
+            ).items()
+        }
         return stats
 
     @property
@@ -193,6 +222,15 @@ class PerfStats:
             "vp_runs": self.vp_runs,
             "originals_synthesized": self.originals_synthesized,
             "prefixes_fast_forwarded": self.prefixes_fast_forwarded,
+            "classify_batches": self.classify_batches,
+            "batch_fanout": self.batch_fanout,
+            "batch_fallbacks": self.batch_fallbacks,
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "incremental_spliced": self.incremental_spliced,
+            "incremental_absorbed": self.incremental_absorbed,
             "pool_tasks": self.pool_tasks,
             "pool_workers": len(self.pool_workers),
             "detect_regions": self.detect_regions,
@@ -229,6 +267,22 @@ class PerfStats:
             "  replay reuse: %d originals synthesized, %d prefixes fast-forwarded"
             % (self.originals_synthesized, self.prefixes_fast_forwarded)
         )
+        if self.classify_batches:
+            largest = max(self.batch_sizes) if self.batch_sizes else 0
+            lines.append(
+                "  batching: %d batches (largest %d), %d fanned out, %d fallbacks"
+                % (
+                    self.classify_batches,
+                    largest,
+                    self.batch_fanout,
+                    self.batch_fallbacks,
+                )
+            )
+        if self.incremental_spliced or self.incremental_absorbed:
+            lines.append(
+                "  incremental: %d verdicts spliced from %d absorbed entries"
+                % (self.incremental_spliced, self.incremental_absorbed)
+            )
         if self.record_steps or self.record_cache_hits:
             lines.append(
                 "  record: %d steps, %d access events, %d predicted loads elided"

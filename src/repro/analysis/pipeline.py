@@ -53,6 +53,10 @@ class ExecutionAnalysis:
     classified: List[ClassifiedInstance]
     #: Stage timings/work counters, when the caller asked for them.
     perf: Optional[PerfStats] = None
+    #: Portable verdict index (:meth:`VerdictCache.export_portable`) of
+    #: the engine cache after this analysis — the `prior=` input of an
+    #: incremental re-analysis.  ``None`` outside the memoizing engine.
+    verdict_index: Optional[Dict] = None
 
     @property
     def program(self) -> Program:
@@ -167,9 +171,7 @@ def analyze_execution(
         classified = classifier.classify_all(instances)
     stats.executions += 1
     stats.instances += len(instances)
-    stats.vp_runs += classifier.vp_runs
-    stats.originals_synthesized += classifier.originals_synthesized
-    stats.prefixes_fast_forwarded += classifier.prefixes_fast_forwarded
+    classifier.collect_perf(stats)
     return ExecutionAnalysis(
         execution_id=execution.execution_id,
         workload=workload,
@@ -242,9 +244,7 @@ def analyze_log(
         classified = classifier.classify_all(instances)
     stats.executions += 1
     stats.instances += len(instances)
-    stats.vp_runs += classifier.vp_runs
-    stats.originals_synthesized += classifier.originals_synthesized
-    stats.prefixes_fast_forwarded += classifier.prefixes_fast_forwarded
+    classifier.collect_perf(stats)
     return ExecutionAnalysis(
         execution_id=execution_id,
         workload=workload,
@@ -431,9 +431,19 @@ def execution_report(analysis: ExecutionAnalysis, suppressions=None) -> Dict:
     """
     results = aggregate_instances(analysis.classified)
     from ..race.exporter import results_to_json
+    from .batching import instance_batch_key
 
     return results_to_json(
-        results, analysis.program, log=analysis.log, suppressions=suppressions
+        results,
+        analysis.program,
+        log=analysis.log,
+        suppressions=suppressions,
+        # Batch keys are derived from the recording alone (region contents
+        # via the ordered replay), never from which classifier ran — so
+        # batched and unbatched reports stay byte-identical.
+        batch_key_for=lambda entry: instance_batch_key(
+            analysis.ordered, entry.instance
+        ),
     )
 
 
@@ -469,6 +479,7 @@ def analyze_suite(
     perf: Optional[PerfStats] = None,
     cache_dir=None,
     replay_fast_path: bool = True,
+    batching: bool = True,
 ) -> SuiteAnalysis:
     """Analyse a corpus and merge per-static-race results across executions.
 
@@ -491,6 +502,7 @@ def analyze_suite(
                 max_pairs_per_location=max_pairs_per_location,
                 cache_dir=str(cache_dir) if cache_dir is not None else None,
                 replay_fast_path=replay_fast_path,
+                batching=batching,
             )
         )
         analyses = engine.analyze_executions(list(executions), perf=perf)

@@ -6,6 +6,7 @@ Mirrors the paper's usage model as subcommands::
     python -m repro replay  run.replay.bin
     python -m repro detect  run.replay.bin --perf
     python -m repro classify run.replay.bin --suppressions triage.json
+    python -m repro analyze run.replay.bin --export-verdicts v.json
     python -m repro mark-benign run.replay.bin --race 'blk:3|blk:5' ...
     python -m repro suite                       # the paper-suite tables
     python -m repro experiment table1           # one experiment by id
@@ -153,6 +154,54 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         dest="json_output",
         help="also write machine-readable results to this file",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="engine-based analysis of a recorded log (batched classification, "
+        "verdict memoization, incremental re-analysis)",
+    )
+    analyze.add_argument("log", type=Path, help="replay log file")
+    analyze.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="classify every instance individually (the pre-batching engine)",
+    )
+    analyze.add_argument(
+        "--no-memoize",
+        action="store_true",
+        help="disable verdict memoization entirely (implies no batching)",
+    )
+    analyze.add_argument(
+        "--incremental-from",
+        type=Path,
+        dest="incremental_from",
+        help="splice verdicts from a prior run: a verdict index JSON "
+        "(from --export-verdicts) or a prior replay log to analyse first",
+    )
+    analyze.add_argument(
+        "--export-verdicts",
+        type=Path,
+        dest="export_verdicts",
+        help="write this run's portable verdict index to a JSON file",
+    )
+    analyze.add_argument(
+        "--json",
+        type=Path,
+        dest="json_output",
+        help="write the canonical report to this file instead of stdout",
+    )
+    analyze.add_argument(
+        "--perf",
+        action="store_true",
+        help="print per-stage timings, batching and splice counters "
+        "(to stderr when the report goes to stdout)",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache directory for the persisted per-program verdict index",
     )
 
     validate = sub.add_parser("validate", help="check a replay log's invariants")
@@ -536,6 +585,58 @@ def _cmd_classify(args, out) -> int:
     return 0
 
 
+def _cmd_analyze(args, out) -> int:
+    import json
+
+    from .analysis.engine import ClassificationEngine, EngineConfig
+    from .analysis.perf import PerfStats
+    from .analysis.pipeline import execution_report, render_report
+
+    if args.export_verdicts and args.no_memoize:
+        raise ValueError(
+            "--export-verdicts needs the verdict cache; drop --no-memoize"
+        )
+    config = EngineConfig(
+        jobs=1,
+        memoize=not args.no_memoize,
+        batching=not args.no_batching,
+        cache_dir=args.cache_dir,
+    )
+    engine = ClassificationEngine(config)
+    prior = None
+    if args.incremental_from is not None:
+        if args.incremental_from.suffix == ".json":
+            prior = json.loads(
+                args.incremental_from.read_text(encoding="utf-8")
+            )
+        else:
+            # A replay log: analyse it with a throwaway engine and splice
+            # from its verdict index — "re-analyse against that old run".
+            prior = ClassificationEngine(
+                EngineConfig(jobs=1, memoize=True, batching=not args.no_batching)
+            ).analyze_log(load_log(args.incremental_from))
+    perf = PerfStats()
+    analysis = engine.analyze_log(load_log(args.log), perf=perf, prior=prior)
+    report = render_report(execution_report(analysis))
+    # Side-channel prints go to stderr when the report itself goes to
+    # stdout: `repro analyze log > report.json` must stay byte-clean.
+    notices = out if args.json_output else sys.stderr
+    if args.json_output:
+        args.json_output.write_bytes(report)
+        print("report: %s" % args.json_output, file=out)
+    else:
+        out.write(report.decode("utf-8"))
+    if args.export_verdicts:
+        args.export_verdicts.write_text(
+            json.dumps(analysis.verdict_index, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print("verdict index: %s" % args.export_verdicts, file=notices)
+    if args.perf:
+        print(perf.render(), file=notices)
+    return 0
+
+
 def _cmd_validate(args, out) -> int:
     from .record.validation import validate_log
 
@@ -746,6 +847,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "detect": _cmd_detect,
     "classify": _cmd_classify,
+    "analyze": _cmd_analyze,
     "validate": _cmd_validate,
     "inspect": _cmd_inspect,
     "mark-benign": _cmd_mark_benign,

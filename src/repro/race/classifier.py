@@ -29,6 +29,7 @@ tests) make step 3 cheap:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -121,6 +122,16 @@ class RaceClassifier:
         self._recorded_loads: Dict[
             Tuple[int, int], Dict[int, Tuple[int, int]]
         ] = {}
+        # _RecordedSide building blocks, cached per region: with hundreds
+        # of instances per region pair, re-walking the region's accesses
+        # and static ids for every instance dominates synthesis cost.
+        self._region_writes: Dict[
+            Tuple[int, int], Tuple[Tuple[int, ...], Tuple[ReplayedAccess, ...]]
+        ] = {}
+        self._region_end_states: Dict[
+            Tuple[int, int], Optional[Tuple[Tuple[int, ...], int]]
+        ] = {}
+        self._region_executed: Dict[Tuple[int, int], Tuple] = {}
 
     # ------------------------------------------------------------------
     # Public API.
@@ -137,6 +148,16 @@ class RaceClassifier:
     def classify_all(self, instances: List[RaceInstance]) -> List[ClassifiedInstance]:
         """Classify every instance (the paper's full §5 analysis pass)."""
         return [self.classify_instance(instance) for instance in instances]
+
+    def collect_perf(self, stats) -> None:
+        """Fold this classifier's counters into a :class:`PerfStats`.
+
+        Subclasses with extra counters (the engine's batching classifier)
+        extend this, so the pipeline harvests uniformly.
+        """
+        stats.vp_runs += self.vp_runs
+        stats.originals_synthesized += self.originals_synthesized
+        stats.prefixes_fast_forwarded += self.prefixes_fast_forwarded
 
     def replay_pair(
         self, instance: RaceInstance
@@ -171,19 +192,38 @@ class RaceClassifier:
     # engine's memoizing classifier wraps this entry point).
     # ------------------------------------------------------------------
 
+    def batch_processor(
+        self,
+        instance: RaceInstance,
+        live_in: Dict[int, int],
+        freed: Dict[int, int],
+    ) -> VirtualProcessor:
+        """A processor for ``instance``, reusable across a batch.
+
+        The engine's batched classifier builds one per batch (from the
+        first member that actually replays) and rebinds it for fallback
+        members — the specs, and the seeded prefix image derived from
+        them, are a function of the batch's structural key, not of the
+        member.
+        """
+        spec_a = self._thread_spec(instance.access_a, instance.region_a)
+        spec_b = self._thread_spec(instance.access_b, instance.region_b)
+        return VirtualProcessor(
+            self.program, live_in, freed, spec_a, spec_b, self.config.vp_config()
+        )
+
     def _classify_with_state(
         self,
         instance: RaceInstance,
         live_in: Dict[int, int],
         freed: Dict[int, int],
+        processor: Optional[VirtualProcessor] = None,
     ) -> ClassifiedInstance:
-        spec_a = self._thread_spec(instance.access_a, instance.region_a)
-        spec_b = self._thread_spec(instance.access_b, instance.region_b)
+        if processor is None:
+            processor = self.batch_processor(instance, live_in, freed)
+        spec_a, spec_b = processor.spec_a, processor.spec_b
         if spec_a.racing_registers is not None and spec_b.racing_registers is not None:
             self.prefixes_fast_forwarded += 1
-        processor = VirtualProcessor(
-            self.program, live_in, freed, spec_a, spec_b, self.config.vp_config()
-        )
         original_first = self._original_first(instance)
         alternative_first = (
             instance.access_b.thread_name
@@ -241,55 +281,98 @@ class RaceClassifier:
     # Recorded-original synthesis.
     # ------------------------------------------------------------------
 
-    def _recorded_side(
+    def _region_end_state(
         self, access: RaceAccess, region: SequencingRegion
-    ) -> Optional[_RecordedSide]:
-        """The recorded live-out of one racing region, or ``None`` when the
-        original-order replay is not provably the recording (see
-        :meth:`_synthesized_original`)."""
+    ) -> Optional[Tuple[Tuple[int, ...], int]]:
+        """``(registers, end pc)`` of the recorded region, cached per
+        region; ``None`` when the recording is not provably complete."""
+        key = (region.tid, region.index)
+        if key in self._region_end_states:
+            return self._region_end_states[key]
         start, end = region.start_step, region.end_step
-        if end - start > self.config.step_limit:
-            return None  # the interpreter would fail with STEP_LIMIT
         replay = self.ordered.thread_replays[access.thread_name]
+        end_state: Optional[Tuple[Tuple[int, ...], int]]
         if region.end_kind == "thread_end":
             thread_end = self.log.threads[access.thread_name].end
             if thread_end is None or thread_end.reason == "fault":
                 # The recording stopped mid-instruction: the replay would
                 # run past the recorded envelope.  Fall back to the VP.
-                return None
-            end_pc = (
-                replay.pcs[end - 1]  # halt: the VP stops *on* the halt
-                if thread_end.reason == "halt" and end - 1 >= start
-                else replay.final_pc
-            )
-            registers = replay.final_registers
+                end_state = None
+            else:
+                end_pc = (
+                    replay.pcs[end - 1]  # halt: the VP stops *on* the halt
+                    if thread_end.reason == "halt" and end - 1 >= start
+                    else replay.final_pc
+                )
+                end_state = (replay.final_registers, end_pc)
         else:
             try:
-                registers = replay.region_end_registers[end]
-                end_pc = replay.region_end_pcs[end]
+                end_state = (
+                    replay.region_end_registers[end],
+                    replay.region_end_pcs[end],
+                )
             except KeyError:
-                return None
-        prefix_writes: List[ReplayedAccess] = []
-        suffix_writes: List[ReplayedAccess] = []
-        racing_write: Optional[ReplayedAccess] = None
-        for recorded in replay.accesses_in_steps(start, end):
-            if not recorded.is_write:
-                continue
-            if recorded.thread_step < access.thread_step:
-                prefix_writes.append(recorded)
-            elif recorded.thread_step > access.thread_step:
-                suffix_writes.append(recorded)
-            else:
-                racing_write = recorded
+                end_state = None
+        self._region_end_states[key] = end_state
+        return end_state
+
+    def _region_write_index(
+        self, access: RaceAccess, region: SequencingRegion
+    ) -> Tuple[Tuple[int, ...], Tuple[ReplayedAccess, ...]]:
+        """The region's writes with their (sorted) thread steps, cached."""
+        key = (region.tid, region.index)
+        writes = self._region_writes.get(key)
+        if writes is None:
+            replay = self.ordered.thread_replays[access.thread_name]
+            steps: List[int] = []
+            accesses: List[ReplayedAccess] = []
+            for recorded in replay.accesses_in_steps(
+                region.start_step, region.end_step
+            ):
+                if recorded.is_write:
+                    steps.append(recorded.thread_step)
+                    accesses.append(recorded)
+            writes = (tuple(steps), tuple(accesses))
+            self._region_writes[key] = writes
+        return writes
+
+    def _recorded_side(
+        self, access: RaceAccess, region: SequencingRegion
+    ) -> Optional[_RecordedSide]:
+        """The recorded live-out of one racing region, or ``None`` when the
+        original-order replay is not provably the recording (see
+        :meth:`_synthesized_original`).
+
+        The per-instance work is two bisects: the region's end state,
+        write list and executed static ids are shared by every instance in
+        the region and cached on first use.
+        """
+        start, end = region.start_step, region.end_step
+        if end - start > self.config.step_limit:
+            return None  # the interpreter would fail with STEP_LIMIT
+        end_state = self._region_end_state(access, region)
+        if end_state is None:
+            return None
+        registers, end_pc = end_state
+        key = (region.tid, region.index)
+        executed = self._region_executed.get(key)
+        if executed is None:
+            replay = self.ordered.thread_replays[access.thread_name]
+            executed = tuple(replay.static_ids[start:end])
+            self._region_executed[key] = executed
+        write_steps, writes = self._region_write_index(access, region)
+        # One access per step, so the racing step matches at most one write.
+        lo = bisect_left(write_steps, access.thread_step)
+        hi = bisect_right(write_steps, access.thread_step)
         return _RecordedSide(
             name=access.thread_name,
             registers=registers,
             end_pc=end_pc,
             steps=end - start,
-            executed=tuple(replay.static_ids[start:end]),
-            prefix_writes=tuple(prefix_writes),
-            racing_write=racing_write,
-            suffix_writes=tuple(suffix_writes),
+            executed=executed,
+            prefix_writes=writes[:lo],
+            racing_write=writes[lo] if hi > lo else None,
+            suffix_writes=writes[hi:],
             racing_value=access.value,
         )
 

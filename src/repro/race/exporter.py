@@ -33,8 +33,19 @@ def result_to_json(
     program: Program,
     suppressed: bool = False,
     max_scenarios: int = 2,
+    batch_key_for=None,
 ) -> Dict:
-    """One unique race's verdict as a JSON-compatible dict."""
+    """One unique race's verdict as a JSON-compatible dict.
+
+    ``batch_key_for(entry)``, when given, computes a harmful scenario's
+    content-dedup batch key — static race id plus the two enclosing
+    regions' content digests (see
+    :func:`repro.analysis.batching.instance_batch_key`).  Fleet triage
+    dedupes harmful reports across executions by this key; benign races
+    don't feed triage, so their scenarios carry no key.  The callable
+    derives the key from the recording alone, keeping reports
+    byte-identical whichever classifier produced the verdicts.
+    """
     reason = categorize(result, program)
     flagged = [
         entry
@@ -42,6 +53,24 @@ def result_to_json(
         if entry.outcome is not InstanceOutcome.NO_STATE_CHANGE
     ]
     exemplars = (flagged or result.instances)[:max_scenarios]
+    harmful = str(result.classification) == "potentially-harmful"
+    scenarios: List[Dict] = []
+    for entry in exemplars:
+        scenario = {
+            "execution": entry.execution_id,
+            "access_a": str(entry.instance.access_a),
+            "access_b": str(entry.instance.access_b),
+            "address": entry.instance.address,
+            "original_first": entry.original_first,
+            "outcome": str(entry.outcome),
+            "failure": str(entry.failure_kind) if entry.failure_kind else None,
+            "failure_detail": entry.failure_detail or None,
+        }
+        if harmful and batch_key_for is not None:
+            batch_key = batch_key_for(entry)
+            if batch_key is not None:
+                scenario["batch_key"] = batch_key
+        scenarios.append(scenario)
     return {
         "race": _key_text(result.key),
         "instructions": [
@@ -59,19 +88,7 @@ def result_to_json(
             "replay_failure": result.outcome_count(InstanceOutcome.REPLAY_FAILURE),
         },
         "executions": sorted(result.executions),
-        "scenarios": [
-            {
-                "execution": entry.execution_id,
-                "access_a": str(entry.instance.access_a),
-                "access_b": str(entry.instance.access_b),
-                "address": entry.instance.address,
-                "original_first": entry.original_first,
-                "outcome": str(entry.outcome),
-                "failure": str(entry.failure_kind) if entry.failure_kind else None,
-                "failure_detail": entry.failure_detail or None,
-            }
-            for entry in exemplars
-        ],
+        "scenarios": scenarios,
     }
 
 
@@ -80,6 +97,7 @@ def results_to_json(
     program: Program,
     log: Optional[ReplayLog] = None,
     suppressions: Optional[SuppressionDB] = None,
+    batch_key_for=None,
 ) -> Dict:
     """A whole analysis round as a JSON-compatible document."""
     suppressions = suppressions or SuppressionDB()
@@ -88,6 +106,7 @@ def results_to_json(
             result,
             program,
             suppressed=suppressions.is_suppressed(program.name, key),
+            batch_key_for=batch_key_for,
         )
         for key, result in sorted(results.items(), key=lambda item: _key_text(item[0]))
     ]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections.abc import Mapping
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..isa.program import Program
 from ..record.log import ReplayLog, SequencerRecord
@@ -195,6 +195,67 @@ class VersionedImage:
                 image[address] = entries[position][1]
         return image
 
+    def lazy_view(
+        self, version: int, excluded: FrozenSet[RegionKey] = frozenset()
+    ) -> "_LazyImageView":
+        """A lazy, read-only equivalent of :meth:`reconstruct`.
+
+        Resolves one address per query instead of materializing the whole
+        image; address-for-address the answers are identical to the
+        reconstructed dict's.
+        """
+        return _LazyImageView(self._history, version, excluded)
+
+
+class _LazyImageView:
+    """Lazy point-in-time read of a :class:`VersionedImage`.
+
+    Supports the read-only mapping protocol the classifier and virtual
+    processor use on live-in images (``get``/``in``/``[]``) and resolves
+    each address with one bisect on demand.  The batched classifier reads
+    pair live-in state through this view: verdict-cache probes and
+    virtual-processor loads only ever touch a handful of addresses, so
+    materializing the full image per racing pair is wasted work there.
+    """
+
+    __slots__ = ("_history", "_version", "_excluded")
+
+    _MISS = object()
+
+    def __init__(
+        self,
+        history: Dict[int, List[Tuple[int, int, Optional[RegionKey]]]],
+        version: int,
+        excluded: FrozenSet[RegionKey],
+    ):
+        self._history = history
+        self._version = version
+        self._excluded = excluded
+
+    def _resolve(self, address: int):
+        entries = self._history.get(address)
+        if entries is None:
+            return self._MISS
+        position = bisect_right(entries, (self._version, float("inf"))) - 1
+        while position >= 0 and entries[position][2] in self._excluded:
+            position -= 1
+        if position < 0:
+            return self._MISS
+        return entries[position][1]
+
+    def get(self, address: int, default=None):
+        value = self._resolve(address)
+        return default if value is self._MISS else value
+
+    def __contains__(self, address: int) -> bool:
+        return self._resolve(address) is not self._MISS
+
+    def __getitem__(self, address: int):
+        value = self._resolve(address)
+        if value is self._MISS:
+            raise KeyError(address)
+        return value
+
 
 class OrderedReplay:
     """Replays a whole log in sequencer order, snapshotting region live-ins."""
@@ -234,6 +295,10 @@ class OrderedReplay:
         self._snapshot_cache: Dict[RegionKey, Tuple[Dict[int, int], Dict[int, int]]] = {}
         self._pair_snapshots: Dict[
             Tuple[RegionKey, RegionKey], Tuple[Dict[int, int], Dict[int, int]]
+        ] = {}
+        self._pair_views: Dict[
+            Tuple[RegionKey, RegionKey],
+            Tuple[_LazyImageView, Dict[int, int]],
         ] = {}
         self._image = VersionedImage(self.program.initial_memory())
         #: Freed-range history: (version, base, size) in walk order.
@@ -472,6 +537,21 @@ class OrderedReplay:
 
         Returned dicts are fresh copies — callers may mutate them.
         """
+        image, freed = self.pair_snapshot_view(region_a, region_b)
+        return dict(image), dict(freed)
+
+    def pair_snapshot_view(
+        self, region_a: SequencingRegion, region_b: SequencingRegion
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Like :meth:`pair_snapshot` but returns the cached dicts directly.
+
+        The returned dicts are shared with the snapshot cache and **must
+        not be mutated**.  The batched classifier uses this view: with
+        hundreds of instances fanning out from one cached pair snapshot,
+        the per-instance ``dict(image)`` copy is most of the classify-stage
+        cost, and the virtual processor and verdict cache only ever read
+        the live-in image and freed ranges.
+        """
         key = (region_key(region_a), region_key(region_b))
         if key[0] > key[1]:
             key = (key[1], key[0])
@@ -487,8 +567,40 @@ class OrderedReplay:
                 self._image.reconstruct(version, excluded={region_key(earlier)}),
                 self._freed_at(version),
             )
-        image, freed = self._pair_snapshots[key]
-        return dict(image), dict(freed)
+        return self._pair_snapshots[key]
+
+    def pair_live_in(
+        self, region_a: SequencingRegion, region_b: SequencingRegion
+    ) -> Tuple["_LazyImageView", Dict[int, int]]:
+        """Lazy live-in state for a racing pair: ``(image view, freed)``.
+
+        The same state :meth:`pair_snapshot` materializes — image at the
+        later region's opening version with the earlier region's stores
+        excluded, plus the freed ranges — but the image is a lazy
+        :class:`_LazyImageView` resolving one address per read.
+        Address-for-address the values are identical to the snapshot's;
+        the freed dict is shared with the cache and must not be mutated.
+        """
+        key = (region_key(region_a), region_key(region_b))
+        if key[0] > key[1]:
+            key = (key[1], key[0])
+        cached = self._pair_views.get(key)
+        if cached is None:
+            later = (
+                region_a
+                if region_a.start_ts >= region_b.start_ts
+                else region_b
+            )
+            earlier = region_b if later is region_a else region_a
+            version = self._region_versions[region_key(later)]
+            cached = (
+                self._image.lazy_view(
+                    version, frozenset((region_key(earlier),))
+                ),
+                self._freed_at(version),
+            )
+            self._pair_views[key] = cached
+        return cached
 
     def access_index(self):
         """The execution's columnar :class:`AccessIndex`, built on first use.

@@ -226,6 +226,15 @@ class _VPMemory:
         self.written.add(address)
         self.store_count += 1
 
+    def clone(self) -> "_VPMemory":
+        """An independent copy (the cached prefix-seed image is cloned per
+        run so phases 2/3 never mutate the shared seed)."""
+        copy = _VPMemory.__new__(_VPMemory)
+        copy.values = dict(self.values)
+        copy.written = set(self.written)
+        copy.store_count = self.store_count
+        return copy
+
     def dirty(self) -> Dict[int, int]:
         return {address: self.values[address] for address in self.written}
 
@@ -248,10 +257,32 @@ class VirtualProcessor:
         self.spec_a = spec_a
         self.spec_b = spec_b
         self.config = config or VPConfig()
+        #: One-slot holder for the seeded prefix memory image, shared with
+        #: every :meth:`rebind` clone: the image depends only on the two
+        #: specs' recorded prefix accesses, so processors replaying the
+        #: same structural pair build it once and clone it per run.
+        self._prefix_seed: List[Optional[_VPMemory]] = [None]
 
     # ------------------------------------------------------------------
     # Public API.
     # ------------------------------------------------------------------
+
+    def rebind(
+        self, live_in_image: Dict[int, int], freed: Dict[int, int]
+    ) -> "VirtualProcessor":
+        """A processor for the same racing pair under a different live-in.
+
+        Shares the specs, config and the prefix-seed holder (the seed is a
+        pure function of the specs); only the live-in image and freed
+        ranges differ.  The batched classifier rebinds the batch leader's
+        processor for probe-divergence fallback members instead of
+        rebuilding specs and re-deriving the prefix image.
+        """
+        clone = VirtualProcessor(
+            self.program, live_in_image, freed, self.spec_a, self.spec_b, self.config
+        )
+        clone._prefix_seed = self._prefix_seed
+        return clone
 
     def run(self, first: str, follow_log: bool = False) -> VPOutcome:
         """Replay both regions with thread ``first``'s racing op going first.
@@ -266,7 +297,6 @@ class VirtualProcessor:
         """
         thread_a = _VPThread(self.spec_a, follow_log)
         thread_b = _VPThread(self.spec_b, follow_log)
-        memory = _VPMemory()
 
         # Phase 1: prefixes, in fixed thread order.  Both replays' prefixes
         # follow the log, so when the specs carry the precomputed prefix
@@ -277,9 +307,11 @@ class VirtualProcessor:
             and self.spec_a.racing_registers is not None
             and self.spec_b.racing_registers is not None
         ):
+            memory = self._fast_forward_pair()
             for thread in (thread_a, thread_b):
-                self._fast_forward(thread, memory)
+                self._install_prefix(thread)
         else:
+            memory = _VPMemory()
             for thread in (thread_a, thread_b):
                 self._run_to_racing_op(thread, memory)
 
@@ -369,26 +401,42 @@ class VirtualProcessor:
                 seen.add(state)
             self._step(thread, memory)
 
-    def _fast_forward(self, thread: _VPThread, memory: "_VPMemory") -> None:
-        """Install the logged prefix's end state instead of re-executing it.
+    def _fast_forward_pair(self) -> "_VPMemory":
+        """The seeded prefix memory, built once per spec pair and cloned.
 
-        Matches :meth:`_run_to_racing_op` step for step: the prefix's loads
-        seed the VP memory with their recorded values and its stores write
-        through, in program order; registers/pc land on the recorded state
-        just before the racing instruction.  The step-limit failure the
-        interpreter would raise mid-prefix is reproduced up front.
+        Matches running :meth:`_run_to_racing_op` on thread A then B step
+        for step: each prefix's loads seed the VP memory with their
+        recorded values and its stores write through, in program order
+        (and a store blocks later stale seeds of the same address, which
+        is why the A-then-B application order is part of the contract).
+        The step-limit failures the interpreter would raise mid-prefix are
+        reproduced up front, A first.  The built image depends only on the
+        two specs, so it lives in the :attr:`_prefix_seed` holder shared
+        across :meth:`rebind` clones and is cloned for each run — phases
+        2/3 mutate the clone, never the seed.
         """
+        for spec in (self.spec_a, self.spec_b):
+            if spec.racing_step_offset > self.config.step_limit:
+                raise ReplayFailure(
+                    ReplayFailureKind.STEP_LIMIT,
+                    "%s exceeded %d steps"
+                    % (spec.thread_name, self.config.step_limit),
+                )
+        seed = self._prefix_seed[0]
+        if seed is None:
+            seed = _VPMemory()
+            for spec in (self.spec_a, self.spec_b):
+                for access in spec.prefix_accesses:
+                    if access.is_write:
+                        seed.store(access.address, access.value)
+                    else:
+                        seed.seed(access.address, access.value)
+            self._prefix_seed[0] = seed
+        return seed.clone()
+
+    def _install_prefix(self, thread: _VPThread) -> None:
+        """Land one thread on the recorded state before its racing op."""
         spec = thread.spec
-        if spec.racing_step_offset > self.config.step_limit:
-            raise ReplayFailure(
-                ReplayFailureKind.STEP_LIMIT,
-                "%s exceeded %d steps" % (thread.name, self.config.step_limit),
-            )
-        for access in spec.prefix_accesses:
-            if access.is_write:
-                memory.store(access.address, access.value)
-            else:
-                memory.seed(access.address, access.value)
         thread.pc = spec.racing_pc
         thread.registers = RegisterFile(spec.racing_registers)
         thread.steps = spec.racing_step_offset

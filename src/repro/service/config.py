@@ -81,6 +81,13 @@ class ServiceConfig:
     capture_global_order: bool = True
     memoize: bool = True
     replay_fast_path: bool = True
+    #: Batch classification by shared region content (see
+    #: :class:`repro.analysis.engine.BatchingClassifier`).
+    batching: bool = True
+    #: Splice verdicts from the persisted per-program verdict index on
+    #: resubmissions (requires ``cache_dir``); dedup near-miss jobs then
+    #: replay only content-changed instances.
+    incremental: bool = True
 
     def effective_shards(self) -> int:
         return self.shards if self.shards > 0 else max(self.pool_size, 1)

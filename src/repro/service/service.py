@@ -238,7 +238,26 @@ class AnalysisService:
             "verdict_cache_hit_rate": round(pool["verdict_cache_hit_rate"], 4),
             "record_cache_hit_rate": round(pool["record_cache_hit_rate"], 4),
             "perf": pool["perf"],
+            "classify_batching": self._batching_metrics(pool["perf"]),
             "latency_histograms_s": self.pool.histograms.to_json(),
+        }
+
+    @staticmethod
+    def _batching_metrics(perf: Dict) -> Dict:
+        """Batched-classification counters, lifted out of the perf dump.
+
+        Triage dashboards watch these without parsing the whole perf
+        document: how many batches ran, how many verdicts fanned out for
+        free, how many members fell back to a private replay, and how
+        much incremental splicing saved on resubmissions.
+        """
+        return {
+            "batches": perf.get("classify_batches", 0),
+            "fanout": perf.get("batch_fanout", 0),
+            "fallbacks": perf.get("batch_fallbacks", 0),
+            "incremental_spliced": perf.get("incremental_spliced", 0),
+            "incremental_absorbed": perf.get("incremental_absorbed", 0),
+            "batch_size_histogram": perf.get("batch_size_histogram", {}) or {},
         }
 
     def health(self) -> Dict:

@@ -108,6 +108,8 @@ def _worker_init(config_dict: dict) -> None:
             capture_global_order=config.capture_global_order,
             cache_dir=config.cache_dir,
             replay_fast_path=config.replay_fast_path,
+            batching=config.batching,
+            incremental=config.incremental,
         )
     )
     _WORKER_TLS.context = {"config": config, "engine": engine}
@@ -129,7 +131,7 @@ def run_job_payload(payload: dict) -> dict:
     config: ServiceConfig = context["config"]
     engine = context["engine"]
 
-    from ..analysis.pipeline import analyze_log, execution_report
+    from ..analysis.pipeline import execution_report
     from ..workloads.suite import all_workloads
 
     stats = PerfStats()
@@ -157,13 +159,11 @@ def run_job_payload(payload: dict) -> dict:
         from ..record.serialization import load_log_bytes
 
         log = load_log_bytes(payload["log_data"])
-        analysis = analyze_log(
-            log,
-            max_pairs_per_location=config.max_pairs_per_location,
-            classifier_factory=engine._classifier_factory,
-            perf=stats,
-            replay_fast_path=config.replay_fast_path,
-        )
+        # engine.analyze_log (rather than the bare pipeline) gives log
+        # jobs the incremental path: on a dedup near-miss resubmission
+        # the worker splices verdicts from the program's persisted
+        # verdict index and replays only content-changed instances.
+        analysis = engine.analyze_log(log, perf=stats)
     report = execution_report(analysis)
     elapsed = time.monotonic() - started
     stats.pool_workers.add(os.getpid())

@@ -10,6 +10,7 @@ of re-seeded recordings the suite does not contain.
 
 import pytest
 
+from repro.analysis.engine import ClassificationEngine, EngineConfig
 from repro.analysis.perf import PerfStats
 from repro.analysis.pipeline import analyze_suite
 from repro.race.classifier import ClassifierConfig
@@ -87,6 +88,57 @@ class TestPaperSuiteEquivalence:
         assert aggregates(pooled) == aggregates(reference)
         assert perf.pool_tasks == len(paper_suite())
         assert perf.pool_workers
+
+
+class TestBatchingEquivalence:
+    """The batched planner and incremental splicing change no verdict."""
+
+    def test_unbatched_memoized_path_is_byte_identical(self, reference):
+        unbatched = analyze_suite(paper_suite(), memoize=True, batching=False)
+        assert verdicts(unbatched) == verdicts(reference)
+        assert aggregates(unbatched) == aggregates(reference)
+
+    def test_batched_path_is_byte_identical(self, reference):
+        perf = PerfStats()
+        batched = analyze_suite(
+            paper_suite(), memoize=True, batching=True, perf=perf
+        )
+        assert verdicts(batched) == verdicts(reference)
+        assert aggregates(batched) == aggregates(reference)
+        assert perf.classify_batches > 0
+        assert sum(
+            size * count for size, count in perf.batch_sizes.items()
+        ) == perf.instances
+
+    def test_incremental_prior_replays_nothing(self):
+        execution = Execution("incr:lost_update#s931", lost_update(90), 931)
+        cold_stats = PerfStats()
+        cold = ClassificationEngine(EngineConfig(jobs=1)).analyze_execution(
+            execution, perf=cold_stats
+        )
+        warm_stats = PerfStats()
+        warm = ClassificationEngine(EngineConfig(jobs=1)).analyze_execution(
+            execution, perf=warm_stats, prior=cold
+        )
+
+        def entry_tuples(analysis):
+            return [
+                (
+                    entry.instance.static_key,
+                    entry.outcome,
+                    entry.original_first,
+                    entry.pre_value,
+                    entry.failure_kind,
+                    entry.failure_detail,
+                )
+                for entry in analysis.classified
+            ]
+
+        assert entry_tuples(warm) == entry_tuples(cold)
+        assert cold_stats.cache_misses > 0
+        assert warm_stats.cache_misses == 0
+        assert warm_stats.incremental_spliced > 0
+        assert warm.verdict_index == cold.verdict_index
 
 
 class TestReseededEquivalence:

@@ -421,6 +421,109 @@ class TestRestartRecovery:
         revived.shutdown()
 
 
+#: A two-thread racing loop whose region contents are stable across
+#: schedules (memory trip count, registers normalized before each
+#: sequencer call) — the shape whose verdicts survive a seed change, so
+#: a resubmission with a different seed can splice instead of replay.
+_STABLE_RACER = (
+    ".data\nx: .word 0\ncnt_a: .word 13\ncnt_b: .word 13\n"
+    ".thread a\n"
+    "ah:\n    load r1, [cnt_a]\n    subi r1, r1, 1\n    store r1, [cnt_a]\n"
+    "    beqz r1, adone\n    li r1, 0\n    sys_rand r9, 1\n"
+    "    li r2, 5\n    store r2, [x]\n    store r2, [x]\n"
+    "    li r2, 0\n    sys_rand r9, 1\n"
+    "    jmp ah\nadone:\n    halt\n"
+    ".thread b\n"
+    "bh:\n    load r1, [cnt_b]\n    subi r1, r1, 1\n    store r1, [cnt_b]\n"
+    "    beqz r1, bdone\n    li r1, 0\n    sys_rand r9, 1\n"
+    "    li r2, 7\n    store r2, [x]\n    store r2, [x]\n"
+    "    li r2, 0\n    sys_rand r9, 1\n"
+    "    jmp bh\nbdone:\n    halt\n"
+)
+
+
+def _stable_log_bytes(seed):
+    from repro.isa import assemble
+    from repro.record import record_run
+    from repro.vm import RandomScheduler
+
+    program = assemble(_STABLE_RACER, name="warmstable")
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=0.3),
+        seed=seed,
+    )
+    return encode_log(log)
+
+
+class TestIncrementalResubmission:
+    def _wait_done(self, service, job_id):
+        deadline = time.monotonic() + 60
+        while service.job(job_id).state is not JobState.DONE:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+
+    def test_warm_restart_splices_from_the_persisted_index(self, tmp_path):
+        """A near-miss resubmission after a restart replays almost nothing.
+
+        First service life analyses one recording of the racer; the
+        engine persists the program's portable verdict index through the
+        suite cache.  A second life (cold engines, same cache_dir) gets
+        a different-seed recording of the same program: content-stable
+        regions splice their verdicts from the persisted index — and the
+        report still matches a prior-free engine byte for byte.
+        """
+        config = ServiceConfig(
+            pool_size=0,
+            shards=1,
+            queue_capacity=8,
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        first = AnalysisService(config).start()
+        cold_job, _ = first.submit_log(_stable_log_bytes(41))
+        self._wait_done(first, cold_job.job_id)
+        assert first.metrics()["classify_batching"]["batches"] > 0
+        first.shutdown()
+
+        warm_data = _stable_log_bytes(42)
+        revived = AnalysisService(config).start()
+        warm_job, _ = revived.submit_log(warm_data)
+        self._wait_done(revived, warm_job.job_id)
+        batching_metrics = revived.metrics()["classify_batching"]
+        assert batching_metrics["incremental_absorbed"] > 0
+        assert batching_metrics["incremental_spliced"] > 0
+
+        from repro.record.serialization import load_log_bytes
+
+        expected = ClassificationEngine(EngineConfig(jobs=1)).analyze_log(
+            load_log_bytes(warm_data)
+        )
+        assert revived.report_bytes(warm_job.job_id) == render_report(
+            execution_report(expected)
+        )
+        revived.shutdown()
+
+    def test_incremental_disabled_never_splices(self, tmp_path):
+        config = ServiceConfig(
+            pool_size=0,
+            shards=1,
+            queue_capacity=8,
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            incremental=False,
+        )
+        first = AnalysisService(config).start()
+        job, _ = first.submit_log(_stable_log_bytes(41))
+        self._wait_done(first, job.job_id)
+        first.shutdown()
+        revived = AnalysisService(config).start()
+        warm_job, _ = revived.submit_log(_stable_log_bytes(42))
+        self._wait_done(revived, warm_job.job_id)
+        assert revived.metrics()["classify_batching"]["incremental_spliced"] == 0
+        revived.shutdown()
+
+
 class TestProcessPool:
     def test_process_pool_end_to_end(self, tmp_path, direct):
         """One real ProcessPoolExecutor deployment: spawn, run, drain."""
