@@ -1,0 +1,255 @@
+"""Streaming analysis cost: eager per-window classification vs batch.
+
+Both paths produce byte-identical execution reports; what differs is
+*when* verdicts land and how much detector/classifier state is resident
+at once:
+
+* **batch** — decode the container, build the monolithic ``LogView`` and
+  ``AccessIndex``, sweep every region, then classify the full instance
+  list in one go.  The first verdict is available only when the whole
+  run finishes, and the index plus every open candidate pair stays
+  resident until the end.
+* **stream** — ``analyze_log_stream``: decode v4 segments one at a time
+  through the ``SegmentCursor``, retire expired window state as the
+  sweep advances, and classify each sealed window's fresh races
+  immediately.  The first verdict lands after the first racy window —
+  a fraction of the run — and resident detector state is bounded by the
+  window, not the log.
+
+The benchmark scales the same racy loop workloads as
+``bench_detect_fromlog.py``, times both paths end to end (container
+bytes in, rendered report bytes out), records the stream path's
+time-to-first-verdict (from ``PerfStats.stream_first_verdict_s``),
+tracks peak memory via ``tracemalloc``, and asserts along the way that
+the two reports are byte-identical.
+
+Runs both under pytest (``pytest benchmarks/bench_stream.py``) and as a
+script::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --quick
+
+Either way the measured numbers land in
+``benchmarks/results/BENCH_stream.json``.  ``--quick`` (used by CI)
+keeps the byte-equality assertions but runs single repeats on the
+smaller sizes — the equivalence gate, not the timing gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.analysis.perf import PerfStats
+from repro.analysis.pipeline import (
+    analyze_log,
+    analyze_log_stream,
+    execution_report,
+    render_report,
+)
+from repro.isa import assemble
+from repro.record import record_run
+from repro.record.binary_format import encode_log_segmented
+from repro.record.serialization import load_log_bytes
+from repro.vm import RandomScheduler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Same region shape as bench_detect_scaling: every region does one
+#: racy read-modify-write plus a register-only compute kernel, so races
+#: are spread evenly across the execution and classification (virtual-
+#: processor replay per instance) dominates total cost — the regime
+#: streaming is for.  The first sealed window already holds races, the
+#: honest case for time-to-first-verdict (a front-loaded workload would
+#: flatter streaming; a race-free one would starve it).
+THREAD_TEMPLATE = """
+.thread {t}
+    li r1, {{outer}}
+{t}o:
+    load r2, [{shared}]
+    addi r2, r2, 1
+    store r2, [{shared}]
+    li r4, 12
+{t}k:
+    addi r5, r5, 3
+    subi r4, r4, 1
+    bnez r4, {t}k
+    sys_rand r3, 3
+    subi r1, r1, 1
+    bnez r1, {t}o
+    halt
+"""
+
+SOURCE_TEMPLATE = (
+    """
+.data
+x: .word 0
+y: .word 0
+"""
+    + THREAD_TEMPLATE.format(t="a", shared="x")
+    + THREAD_TEMPLATE.format(t="b", shared="x")
+    + THREAD_TEMPLATE.format(t="c", shared="y")
+    + THREAD_TEMPLATE.format(t="d", shared="y")
+)
+
+#: ``iters`` is the racy region count per thread.
+SIZES = (20, 60, 200)
+QUICK_SIZES = (12, 32)
+SEED = 15
+#: Small enough that the largest workload spans many segments (so the
+#: first window seals early), large enough that per-frame overhead does
+#: not dominate the container.
+SEGMENT_BYTES = 512
+
+
+def _container_bytes(iters: int, seed: int = SEED) -> bytes:
+    program = assemble(
+        SOURCE_TEMPLATE.format(outer=iters), name="stream%d" % iters
+    )
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=seed, switch_probability=0.3),
+        seed=seed,
+        max_steps=400_000,
+    )
+    return encode_log_segmented(log, segment_bytes=SEGMENT_BYTES)
+
+
+def _run_batch(data: bytes):
+    analysis = analyze_log(load_log_bytes(data))
+    return render_report(execution_report(analysis)), None
+
+
+def _run_stream(data: bytes):
+    stats = PerfStats()
+    analysis = analyze_log_stream(data, perf=stats)
+    return render_report(execution_report(analysis)), stats
+
+
+def _time_path(run, data: bytes, repeats: int):
+    """Min wall time over ``repeats`` plus peak bytes and the last result.
+
+    Each repeat starts from the raw container bytes, so the measured
+    time is the honest end-to-end cost: decode/view build plus detect
+    plus classification plus report rendering.  Peak memory is
+    tracemalloc's high-water mark over one traced run (tracing slows
+    execution, so timing and memory use separate runs).
+    """
+    best = None
+    report = None
+    stats = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report, stats = run(data)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    tracemalloc.start()
+    run(data)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return best, peak, report, stats
+
+
+def run_benchmark(sizes=SIZES, repeats: int = 3) -> dict:
+    """Time batch vs stream per size; assert byte-identical reports."""
+    rows = []
+    for iters in sizes:
+        data = _container_bytes(iters)
+        batch_s, batch_peak, batch_report, _ = _time_path(
+            _run_batch, data, repeats
+        )
+        stream_s, stream_peak, stream_report, stats = _time_path(
+            _run_stream, data, repeats
+        )
+        if stream_report != batch_report:
+            raise AssertionError(
+                "stream report diverges from the batch path at iters=%d"
+                % iters
+            )
+        # Batch cannot emit a verdict before the whole run completes, so
+        # its time-to-first-verdict *is* its wall time.
+        ttfv_s = stats.stream_first_verdict_s
+        rows.append(
+            {
+                "iters": iters,
+                "log_bytes": len(data),
+                "segments": stats.stream_segments,
+                "windows": stats.stream_windows,
+                "batch_s": round(batch_s, 4),
+                "stream_s": round(stream_s, 4),
+                "ttfv_s": round(ttfv_s, 4),
+                "ttfv_speedup": round(batch_s / ttfv_s, 2) if ttfv_s else 0.0,
+                "batch_peak_kib": round(batch_peak / 1024, 1),
+                "stream_peak_kib": round(stream_peak / 1024, 1),
+                "peak_ratio": round(batch_peak / stream_peak, 2)
+                if stream_peak
+                else 0.0,
+                "reports_identical": True,
+            }
+        )
+    largest = rows[-1]
+    return {
+        "workloads": rows,
+        "seed": SEED,
+        "segment_bytes": SEGMENT_BYTES,
+        "largest_iters": largest["iters"],
+        "ttfv_speedup": largest["ttfv_speedup"],
+        "peak_ratio": largest["peak_ratio"],
+        "reports_identical": all(row["reports_identical"] for row in rows),
+    }
+
+
+def write_result(result: dict, output: Path) -> None:
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_stream_first_verdict_beats_batch(results_dir):
+    result = run_benchmark(sizes=SIZES, repeats=3)
+    write_result(result, results_dir / "BENCH_stream.json")
+    assert result["reports_identical"]
+    assert result["ttfv_speedup"] >= 5.0, (
+        "streaming must reach its first verdict >=5x sooner than the batch "
+        "path completes on the largest workload (got %.2fx)"
+        % result["ttfv_speedup"]
+    )
+    assert result["peak_ratio"] > 1.0, (
+        "streaming peak memory must stay below the batch path on the "
+        "largest workload (got ratio %.2fx)" % result["peak_ratio"]
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes, single repeat: equivalence check, not a timing gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_stream.json",
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args()
+    result = run_benchmark(
+        sizes=QUICK_SIZES if args.quick else SIZES,
+        repeats=1 if args.quick else 3,
+    )
+    if args.quick:
+        result["quick"] = True  # mark CI-noise numbers as non-authoritative
+    write_result(result, args.output)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        "reports identical across %d workloads; largest TTFV speedup %.2fx, "
+        "peak memory ratio %.2fx"
+        % (len(result["workloads"]), result["ttfv_speedup"], result["peak_ratio"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

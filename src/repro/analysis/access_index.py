@@ -345,6 +345,143 @@ class AccessIndex:
         }
 
 
+class StreamingAccessWindow:
+    """Bounded-memory region store for the streaming sweep.
+
+    The streaming analog of :class:`AccessIndex`: regions are *admitted*
+    one at a time (in opening-timestamp order, fed by the segment
+    cursor) with their captured rows, grouped by address exactly as
+    :meth:`AccessIndex.by_address` would group them, and *retired* as
+    soon as the sweep expires them — so resident state is the active
+    overlap window, not the trace.  Ordinals are assigned in admission
+    order; only the *relative* order matters to the detector's
+    ``sorted(candidates)``, and it matches the batch index's ordinal
+    order over the same regions.
+
+    Regions whose rows contain no plain (non-sync) access are not
+    admitted at all (``admit`` returns ``None``): the batch sweep skips
+    them before touching any per-region state, so dropping them here is
+    order-isomorphic.
+    """
+
+    __slots__ = (
+        "_regions",
+        "_grouped",
+        "_addresses",
+        "_next_ordinal",
+        "_perf",
+        "_resident",
+        "peak_resident_regions",
+        "peak_resident_accesses",
+        "accesses",
+        "writes",
+        "retired",
+        "_seen_addresses",
+    )
+
+    def __init__(self, perf=None):
+        self._regions: Dict[int, SequencingRegion] = {}
+        self._grouped: Dict[int, Dict[int, List[ReplayedAccess]]] = {}
+        self._addresses: Dict[int, Tuple[int, ...]] = {}
+        self._next_ordinal = 0
+        self._perf = perf
+        self._resident = 0
+        self.peak_resident_regions = 0
+        self.peak_resident_accesses = 0
+        self.accesses = 0
+        self.writes = 0
+        self.retired = 0
+        self._seen_addresses: Dict[int, None] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def admit(self, region: SequencingRegion, rows) -> Optional[int]:
+        """Store one region's rows; returns its ordinal, or ``None`` when
+        the region carries no plain access (not admitted).
+
+        ``rows`` are ``(step, flag, address, value, static_id)`` tuples
+        in step order, already bounded to the region's step range; sync
+        rows (``flag & 2``) are filtered here, mirroring
+        :meth:`AccessIndex._fill_region_from_columns`.
+        """
+        grouped: Dict[int, List[ReplayedAccess]] = {}
+        addresses: Dict[int, None] = {}
+        count = 0
+        for step, flag, address, value, static_id in rows:
+            if flag & 2:
+                continue
+            access = ReplayedAccess(
+                thread_step=step,
+                static_id=static_id,
+                address=address,
+                value=value,
+                is_write=bool(flag & 1),
+                is_sync=False,
+            )
+            grouped.setdefault(address, []).append(access)
+            addresses[address] = None
+            count += 1
+            if flag & 1:
+                self.writes += 1
+            self._seen_addresses[address] = None
+        if not grouped:
+            return None
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        self._regions[ordinal] = region
+        self._grouped[ordinal] = grouped
+        self._addresses[ordinal] = tuple(addresses)
+        self.accesses += count
+        self._resident += count
+        if len(self._regions) > self.peak_resident_regions:
+            self.peak_resident_regions = len(self._regions)
+        if self._resident > self.peak_resident_accesses:
+            self.peak_resident_accesses = self._resident
+        return ordinal
+
+    def retire(self, ordinal: int) -> None:
+        """Drop a region's resident state (the sweep expired it)."""
+        grouped = self._grouped.pop(ordinal, None)
+        if grouped is None:
+            return
+        self._resident -= sum(len(accesses) for accesses in grouped.values())
+        del self._regions[ordinal]
+        del self._addresses[ordinal]
+        self.retired += 1
+
+    # -- the detector-facing surface ------------------------------------
+
+    def region(self, ordinal: int) -> SequencingRegion:
+        return self._regions[ordinal]
+
+    def by_address(self, ordinal: int) -> Dict[int, List[ReplayedAccess]]:
+        return self._grouped[ordinal]
+
+    def addresses_of(self, ordinal: int) -> Tuple[int, ...]:
+        return self._addresses[ordinal]
+
+    @property
+    def admitted(self) -> int:
+        """Regions admitted so far (= ordinals handed out)."""
+        return self._next_ordinal
+
+    @property
+    def resident_regions(self) -> int:
+        return len(self._regions)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters, shape-compatible with
+        :meth:`AccessIndex.stats` (``regions`` counts admitted —
+        access-bearing — regions; the batch index also numbers sync-only
+        ones)."""
+        return {
+            "regions": self.admitted,
+            "accesses": self.accesses,
+            "addresses": len(self._seen_addresses),
+            "writes": self.writes,
+        }
+
+
 def build_access_index(ordered: "OrderedReplay") -> AccessIndex:
     """Convenience constructor mirroring the other analysis entry points."""
     return AccessIndex(ordered)

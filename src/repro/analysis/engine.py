@@ -47,7 +47,12 @@ from ..workloads.suite import Execution
 from . import batching
 from .batching import VERDICT_INDEX_VERSION, PlannedBatch, plan_batches
 from .perf import PerfStats
-from .pipeline import ExecutionAnalysis, analyze_execution, analyze_log
+from .pipeline import (
+    ExecutionAnalysis,
+    analyze_execution,
+    analyze_log,
+    analyze_log_stream,
+)
 
 
 class TrackingImage(dict):
@@ -838,6 +843,48 @@ class ClassificationEngine:
             classifier_factory=self._classifier_factory,
             perf=stats,
             replay_fast_path=self.config.replay_fast_path,
+        )
+        self._finish_analysis(analysis, stats, snapshot, verdict_key)
+        return analysis
+
+    def analyze_log_stream(
+        self,
+        source,
+        execution_id: Optional[str] = None,
+        perf: Optional[PerfStats] = None,
+        prior=None,
+        segment_bytes: Optional[int] = None,
+    ) -> ExecutionAnalysis:
+        """Analyse a log with streaming detection and eager per-window
+        classification (:func:`repro.analysis.pipeline.analyze_log_stream`).
+
+        Report bytes match :meth:`analyze_log` exactly; the difference is
+        the cost profile — verdicts start landing after the first sealed
+        window instead of after the whole sweep, and detection state is
+        bounded by the active window.  Verdict memoization, batching and
+        incremental splicing all apply, same as :meth:`analyze_log`.
+        """
+        snapshot = self._cache_snapshot()
+        stats = perf if perf is not None else PerfStats()
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            from ..record.serialization import load_log_bytes
+
+            log = load_log_bytes(bytes(source))
+        else:
+            log = source
+        verdict_key = self._absorb_prior(
+            prior, log.program_name, log.program_source
+        )
+        analysis = analyze_log_stream(
+            source,
+            execution_id=execution_id,
+            classifier_config=self.config.classifier_config,
+            max_pairs_per_location=self.config.max_pairs_per_location,
+            classifier_factory=self._classifier_factory,
+            perf=stats,
+            replay_fast_path=self.config.replay_fast_path,
+            segment_bytes=segment_bytes,
+            log=log,
         )
         self._finish_analysis(analysis, stats, snapshot, verdict_key)
         return analysis

@@ -88,6 +88,17 @@ class PerfStats:
     #: Detect passes served by the zero-replay log view (no thread replay,
     #: no ordered walk — regions and index straight from the log).
     detect_log_native: int = 0
+    #: Streaming analyses run (detect --stream / analyze --stream /
+    #: service stream jobs).
+    stream_jobs: int = 0
+    #: v4 segments fed through the streaming cursor.
+    stream_segments: int = 0
+    #: Sealed windows eager classification fired on.
+    stream_windows: int = 0
+    #: Wall seconds from stream start to the first classified verdict,
+    #: summed over streaming analyses (divide by ``stream_jobs`` for the
+    #: average; the service's ``/metrics`` surfaces it in ms).
+    stream_first_verdict_s: float = 0.0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -138,6 +149,10 @@ class PerfStats:
         self.replay_snapshots_eager += other.replay_snapshots_eager
         self.replay_captured_handoffs += other.replay_captured_handoffs
         self.detect_log_native += other.detect_log_native
+        self.stream_jobs += other.stream_jobs
+        self.stream_segments += other.stream_segments
+        self.stream_windows += other.stream_windows
+        self.stream_first_verdict_s += other.stream_first_verdict_s
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "PerfStats":
@@ -250,6 +265,10 @@ class PerfStats:
             "replay_snapshots_eager": self.replay_snapshots_eager,
             "replay_captured_handoffs": self.replay_captured_handoffs,
             "detect_log_native": self.detect_log_native,
+            "stream_jobs": self.stream_jobs,
+            "stream_segments": self.stream_segments,
+            "stream_windows": self.stream_windows,
+            "stream_first_verdict_s": round(self.stream_first_verdict_s, 6),
         }
 
     def render(self) -> str:
@@ -322,6 +341,16 @@ class PerfStats:
             lines.append(
                 "  detect: %d zero-replay (log-native) passes" % self.detect_log_native
             )
+        if self.stream_segments or self.stream_jobs:
+            lines.append(
+                "  stream: %d jobs, %d segments, %d windows"
+                % (self.stream_jobs, self.stream_segments, self.stream_windows)
+            )
+            if self.stream_jobs and self.stream_first_verdict_s:
+                lines.append(
+                    "  stream first verdict: %.3f s avg"
+                    % (self.stream_first_verdict_s / self.stream_jobs)
+                )
         if self.detect_regions:
             lines.append(
                 "  detect sweep: %d regions, %d pairs examined, %d pruned (%.1f%%)"

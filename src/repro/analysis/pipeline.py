@@ -257,6 +257,126 @@ def analyze_log(
     )
 
 
+def analyze_log_stream(
+    source,
+    execution_id: Optional[str] = None,
+    classifier_config: Optional[ClassifierConfig] = None,
+    max_pairs_per_location: Optional[int] = 256,
+    classifier_factory=None,
+    perf: Optional[PerfStats] = None,
+    replay_fast_path: bool = True,
+    segment_bytes: Optional[int] = None,
+    log: Optional[ReplayLog] = None,
+) -> ExecutionAnalysis:
+    """Analyse a recorded log with streaming detection and eager,
+    per-window classification.
+
+    ``source`` is RPRB container bytes (v4 streams segment by segment;
+    monolithic v3 logs are re-chunked in memory) or a decoded
+    :class:`ReplayLog`; ``log`` optionally supplies the already-decoded
+    log when the caller holds both, so the container isn't decoded twice.
+
+    Detection runs through the segment cursor and the incremental sweep,
+    and every sealed window whose races are final is classified
+    immediately — the first verdicts land while later segments are still
+    being decoded, instead of after the whole log has been swept.  The
+    classifier itself still replays against the full
+    :class:`OrderedReplay` (the both-orders virtual processor needs
+    machine state), and verdicts are order-independent, so the final
+    report is byte-identical to :func:`analyze_log`'s — the equivalence
+    suite asserts it.  ``perf`` picks up ``stream_first_verdict_s`` (wall
+    seconds from analysis start to the first verdict) plus the segment
+    and window counters.
+    """
+    import time as _time
+
+    from ..replay.log_view import StreamingLogView
+
+    started = _time.perf_counter()
+    stats = perf if perf is not None else PerfStats()
+    data: Optional[bytes] = None
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        data = bytes(source)
+        if log is None:
+            from ..record.serialization import load_log_bytes
+
+            log = load_log_bytes(data)
+    elif log is None:
+        log = source
+    workload = Workload(
+        name=log.program_name,
+        source=log.program_source,
+        description="recorded log (analysed via analyze_log_stream)",
+    )
+    if execution_id is None:
+        execution_id = default_execution_id(log)
+    program = workload.program()
+    with stats.stage("replay"):
+        ordered = OrderedReplay(log, program, fast_path=replay_fast_path, perf=stats)
+    if classifier_factory is None:
+        classifier = RaceClassifier(
+            ordered, config=classifier_config, execution_id=execution_id
+        )
+    else:
+        classifier = classifier_factory(ordered, classifier_config, execution_id)
+    from ..race.happens_before import StreamingHappensBeforeDetector
+
+    with stats.stage("detect.view"):
+        from ..record.binary_format import is_binary_log
+
+        if data is not None and is_binary_log(data):
+            view = StreamingLogView.from_bytes(
+                data, perf=stats, segment_bytes=segment_bytes
+            )
+        else:
+            # JSON containers (or bare ReplayLogs) re-chunk in memory.
+            view = StreamingLogView.from_log(
+                log, perf=stats, segment_bytes=segment_bytes
+            )
+    detector = StreamingHappensBeforeDetector(
+        max_pairs_per_location=max_pairs_per_location, perf=stats
+    )
+    view.attach_window(detector.window)
+    #: Eagerly classified verdicts, keyed by detector instance identity;
+    #: reassembled into canonical order once the sweep finishes.
+    verdicts: Dict[int, ClassifiedInstance] = {}
+    first_verdict_s: Optional[float] = None
+    for window in view.stream_windows():
+        fresh: List[RaceInstance] = []
+        with stats.stage("detect"):
+            for region, rows in window:
+                fresh.extend(detector.add_region(region, rows))
+        if not fresh:
+            continue
+        with stats.stage("classify"):
+            chunk = classifier.classify_all(fresh)
+        for instance, entry in zip(fresh, chunk):
+            verdicts[id(instance)] = entry
+        if first_verdict_s is None:
+            first_verdict_s = _time.perf_counter() - started
+        stats.stream_windows += 1
+    with stats.stage("detect"):
+        instances = detector.finish()
+    classified = [verdicts[id(instance)] for instance in instances]
+    stats.executions += 1
+    stats.instances += len(instances)
+    stats.stream_jobs += 1
+    stats.stream_segments += view.segments_fed
+    if first_verdict_s is not None:
+        stats.stream_first_verdict_s += first_verdict_s
+    classifier.collect_perf(stats)
+    return ExecutionAnalysis(
+        execution_id=execution_id,
+        workload=workload,
+        machine_result=None,
+        log=log,
+        ordered=ordered,
+        instances=instances,
+        classified=classified,
+        perf=perf,
+    )
+
+
 @dataclass
 class DetectionAnalysis:
     """Everything produced by a detect-only pass over one log.
@@ -307,17 +427,30 @@ def detect_only(
       :class:`~repro.replay.log_view.LogViewUnavailable` when the log has
       no captured columns (v1/v2, or v3 without capture).
     * ``"replay"`` — the historical :class:`OrderedReplay` path.
+    * ``"stream"`` — the segmented streaming path: regions sweep through
+      the incremental detector as segments decode, with resident state
+      bounded by the active window (v4 files stream frame by frame;
+      monolithic v3 logs are re-chunked in memory).  Raises
+      :class:`LogViewUnavailable` for v1/v2/captureless logs.
     * ``"auto"`` (default) — from-log when the log supports it, replay
       otherwise.
 
-    Race sets are byte-identical between the two paths (the equivalence
-    suite enforces it); from-log differs only in cost.
+    Race sets are byte-identical between all paths (the equivalence
+    suite enforces it); they differ only in cost profile.
     """
     from ..replay.log_view import LogView, LogViewUnavailable
 
-    if mode not in ("auto", "from-log", "replay"):
+    if mode not in ("auto", "from-log", "replay", "stream"):
         raise ValueError(
-            "unknown detect mode %r (expected auto, from-log or replay)" % mode
+            "unknown detect mode %r (expected auto, from-log, replay or "
+            "stream)" % mode
+        )
+    if mode == "stream":
+        return _detect_streaming(
+            source,
+            execution_id=execution_id,
+            max_pairs_per_location=max_pairs_per_location,
+            perf=perf,
         )
     stats = perf if perf is not None else PerfStats()
     detect_source = None
@@ -371,6 +504,60 @@ def detect_only(
         scheduler=scheduler,
         path=path,
         source=detect_source,
+        instances=instances,
+        truncated_locations=detector.truncated_locations,
+        perf=perf,
+    )
+
+
+def _detect_streaming(
+    source,
+    execution_id: Optional[str],
+    max_pairs_per_location: Optional[int],
+    perf: Optional[PerfStats],
+    segment_bytes: Optional[int] = None,
+) -> DetectionAnalysis:
+    """The ``mode="stream"`` body of :func:`detect_only`.
+
+    Drives the segment cursor into the incremental sweep; the final race
+    set is byte-identical to the batch paths, but peak resident state is
+    the active window and instances existed incrementally along the way
+    (``detect_only`` callers just see the end result — the eager
+    classification engine consumes the increments).
+    """
+    from ..race.happens_before import StreamingHappensBeforeDetector
+    from ..replay.log_view import StreamingLogView
+
+    stats = perf if perf is not None else PerfStats()
+    with stats.stage("detect.view"):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            view = StreamingLogView.from_bytes(
+                bytes(source), perf=stats, segment_bytes=segment_bytes
+            )
+        else:
+            view = StreamingLogView.from_log(
+                source, perf=stats, segment_bytes=segment_bytes
+            )
+    detector = StreamingHappensBeforeDetector(
+        max_pairs_per_location=max_pairs_per_location, perf=stats
+    )
+    view.attach_window(detector.window)
+    with stats.stage("detect"):
+        for region, rows in view.stream_regions():
+            detector.add_region(region, rows)
+        instances = detector.finish()
+    stats.executions += 1
+    stats.instances += len(instances)
+    stats.stream_segments += view.segments_fed
+    if execution_id is None:
+        execution_id = "%s#s%d" % (view.program_name, view.seed)
+    return DetectionAnalysis(
+        execution_id=execution_id,
+        program_name=view.program_name,
+        seed=view.seed,
+        scheduler=view.scheduler,
+        path="stream",
+        source=view,
         instances=instances,
         truncated_locations=detector.truncated_locations,
         perf=perf,

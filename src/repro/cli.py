@@ -87,6 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record through the generic reference interpreter",
     )
+    record.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the recording into a v4 segmented container, sealing "
+        "a segment every ~N payload bytes (bounds recorder memory and "
+        "lets detect/analyze --stream start before the run ends)",
+    )
 
     replay = sub.add_parser("replay", help="replay a log and verify it")
     replay.add_argument("log", type=Path, help="replay log file")
@@ -124,6 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full-replay",
         action="store_true",
         help="force the historical ordered-replay path",
+    )
+    detect_path.add_argument(
+        "--stream",
+        action="store_true",
+        help="detect segment by segment with bounded resident state "
+        "(requires captured columns; race set is identical to batch)",
     )
 
     classify = sub.add_parser(
@@ -202,6 +217,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="cache directory for the persisted per-program verdict index",
+    )
+    analyze.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream detection segment by segment and classify each sealed "
+        "window eagerly (first verdicts land before the sweep finishes; "
+        "the final report is byte-identical to the batch path)",
     )
 
     validate = sub.add_parser("validate", help="check a replay log's invariants")
@@ -416,15 +438,33 @@ def _cmd_record(args, out) -> int:
     source = args.program.read_text()
     program = assemble(source, name=args.program.stem)
     perf = PerfStats()
-    with perf.stage("record"):
-        result, log = record_run(
-            program,
-            scheduler=_make_scheduler(args),
-            seed=args.seed,
-            fast_path=not args.no_fast_path,
-        )
     destination = args.output or args.program.with_suffix(".replay.bin")
-    save_log(log, destination)
+    if args.segment_bytes is not None:
+        if destination.suffix.lower() == ".json":
+            raise ValueError(
+                "--segment-bytes writes the v4 binary container; "
+                "pick a non-.json destination"
+            )
+        from .record import record_run_segmented
+
+        with perf.stage("record"):
+            result, log = record_run_segmented(
+                program,
+                destination,
+                scheduler=_make_scheduler(args),
+                seed=args.seed,
+                fast_path=not args.no_fast_path,
+                segment_bytes=args.segment_bytes,
+            )
+    else:
+        with perf.stage("record"):
+            result, log = record_run(
+                program,
+                scheduler=_make_scheduler(args),
+                seed=args.seed,
+                fast_path=not args.no_fast_path,
+            )
+        save_log(log, destination)
     stats = compression_stats(log)
     print(result.summary(), file=out)
     print(
@@ -477,10 +517,10 @@ def _cmd_detect(args, out) -> int:
     from .analysis.pipeline import detect_only
     from .race.happens_before import NaiveHappensBeforeDetector
 
-    if args.naive and args.from_log:
+    if args.naive and (args.from_log or args.stream):
         raise ValueError(
             "--naive needs thread replays and cannot run on the zero-replay "
-            "path; drop one of --naive / --from-log"
+            "path; drop --naive or the --from-log/--stream flag"
         )
     perf = PerfStats()
     if args.naive:
@@ -492,11 +532,14 @@ def _cmd_detect(args, out) -> int:
         source = ordered
         path = "replay (naive reference)"
     else:
-        mode = (
-            "from-log"
-            if args.from_log
-            else ("replay" if args.full_replay else "auto")
-        )
+        if args.stream:
+            mode = "stream"
+        elif args.from_log:
+            mode = "from-log"
+        elif args.full_replay:
+            mode = "replay"
+        else:
+            mode = "auto"
         analysis = detect_only(args.log.read_bytes(), mode=mode, perf=perf)
         instances = analysis.instances
         source = analysis.source
@@ -616,7 +659,12 @@ def _cmd_analyze(args, out) -> int:
                 EngineConfig(jobs=1, memoize=True, batching=not args.no_batching)
             ).analyze_log(load_log(args.incremental_from))
     perf = PerfStats()
-    analysis = engine.analyze_log(load_log(args.log), perf=perf, prior=prior)
+    if args.stream:
+        analysis = engine.analyze_log_stream(
+            args.log.read_bytes(), perf=perf, prior=prior
+        )
+    else:
+        analysis = engine.analyze_log(load_log(args.log), perf=perf, prior=prior)
     report = render_report(execution_report(analysis))
     # Side-channel prints go to stderr when the report itself goes to
     # stdout: `repro analyze log > report.json` must stay byte-clean.

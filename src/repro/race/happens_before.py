@@ -268,6 +268,117 @@ class NaiveHappensBeforeDetector(_DetectorBase):
         return dict(by_address)
 
 
+class StreamingHappensBeforeDetector(_DetectorBase):
+    """The sweep line, fed one region at a time in sweep order.
+
+    The incremental twin of :class:`HappensBeforeDetector._sweep`: the
+    segment cursor hands regions over in opening-timestamp order (with
+    their captured rows), :meth:`add_region` runs exactly one iteration
+    of the batch sweep loop — expire, candidate union, conflict
+    enumeration, activate — and *returns the instances that iteration
+    produced*, so races surface while later segments are still being
+    read (or recorded).  Expired regions are immediately retired from
+    the :class:`StreamingAccessWindow`, which is what bounds resident
+    state by the active overlap window.
+
+    :meth:`finish` returns the complete canonically-ordered race set —
+    byte-identical to the batch detector's (the same region order, the
+    same candidate sets, the same per-location cap arithmetic, and the
+    canonical sort key is total, so enumeration order cannot leak into
+    the output).
+    """
+
+    def __init__(
+        self,
+        max_pairs_per_location: Optional[int] = 256,
+        perf=None,
+    ):
+        super().__init__(None, max_pairs_per_location)
+        from ..analysis.access_index import StreamingAccessWindow
+
+        self.window = StreamingAccessWindow(perf=perf)
+        self.perf = perf
+        self._expiry: List[Tuple[int, int]] = []
+        self._active_by_address: Dict[int, Set[int]] = defaultdict(set)
+        self._instances: List[RaceInstance] = []
+        self._swept = 0
+        self._examined = 0
+        self._last_start_ts: Optional[int] = None
+        self._finished = False
+
+    def add_region(self, region: SequencingRegion, rows) -> List[RaceInstance]:
+        """Sweep one region; returns the race instances it completed.
+
+        ``rows`` are the region's captured ``(step, flag, address,
+        value, static_id)`` tuples (sync rows filtered by the window).
+        Regions must arrive in strictly increasing ``start_ts`` order —
+        the segment cursor's release order.
+        """
+        if self._last_start_ts is not None and region.start_ts <= self._last_start_ts:
+            raise ValueError(
+                "streaming sweep fed out of order: region %s opens at ts %d, "
+                "after ts %d was already swept"
+                % (region, region.start_ts, self._last_start_ts)
+            )
+        self._last_start_ts = region.start_ts
+        window = self.window
+        ordinal = window.admit(region, rows)
+        if ordinal is None:
+            return []
+        self._swept += 1
+        start_ts = region.start_ts
+        expiry = self._expiry
+        active_by_address = self._active_by_address
+        while expiry and expiry[0][0] <= start_ts:
+            _, expired = heappop(expiry)
+            for address in window.addresses_of(expired):
+                active_by_address[address].discard(expired)
+            window.retire(expired)
+        addresses = window.addresses_of(ordinal)
+        candidates: Set[int] = set()
+        for address in addresses:
+            candidates |= active_by_address[address]
+        tid = region.tid
+        grouped = None
+        fresh: List[RaceInstance] = []
+        for other in sorted(candidates):
+            other_region = window.region(other)
+            if other_region.tid == tid:
+                continue
+            self._examined += 1
+            if grouped is None:
+                grouped = window.by_address(ordinal)
+            fresh.extend(
+                self._conflicts(
+                    other_region,
+                    window.by_address(other),
+                    region,
+                    grouped,
+                )
+            )
+        heappush(expiry, (region.end_ts, ordinal))
+        for address in addresses:
+            active_by_address[address].add(ordinal)
+        self._instances.extend(fresh)
+        return fresh
+
+    def finish(self) -> List[RaceInstance]:
+        """Retire the remaining window and return the canonical race set."""
+        if not self._finished:
+            self._finished = True
+            while self._expiry:
+                _, expired = heappop(self._expiry)
+                self.window.retire(expired)
+            self._active_by_address.clear()
+            if self.perf is not None:
+                self.perf.detect_regions += self._swept
+                self.perf.detect_pairs_examined += self._examined
+                self.perf.detect_pairs_pruned += (
+                    self._swept * (self._swept - 1) // 2 - self._examined
+                )
+        return self._sort_canonically(self._instances)
+
+
 def find_races(
     ordered: "OrderedReplay | LogView",
     max_pairs_per_location: Optional[int] = 256,

@@ -3,9 +3,15 @@
 from .binary_format import (
     BINARY_FORMAT_VERSION,
     MAGIC,
+    SEGMENTED_FORMAT_VERSION,
     decode_log,
     encode_log,
+    encode_log_segmented,
     is_binary_log,
+    is_segmented_log,
+    iter_segments,
+    read_segment_index,
+    segment_views_of_log,
 )
 from .compression import (
     CompressionStats,
@@ -27,16 +33,22 @@ from .log import (
     ThreadLog,
 )
 from .metrics import LogMetrics, log_metrics
-from .recorder import Recorder, record_run
+from .recorder import Recorder, record_run, record_run_segmented
 from .serialization import load_log, log_from_json, log_to_json, save_log
 from .validation import InvalidLogError, ValidationIssue, validate_log
 
 __all__ = [
     "BINARY_FORMAT_VERSION",
     "MAGIC",
+    "SEGMENTED_FORMAT_VERSION",
     "decode_log",
     "encode_log",
+    "encode_log_segmented",
     "is_binary_log",
+    "is_segmented_log",
+    "iter_segments",
+    "read_segment_index",
+    "segment_views_of_log",
     "CompressionStats",
     "aggregate_stats",
     "compression_stats",
@@ -56,6 +68,7 @@ __all__ = [
     "log_metrics",
     "Recorder",
     "record_run",
+    "record_run_segmented",
     "load_log",
     "log_from_json",
     "log_to_json",

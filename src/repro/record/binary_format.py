@@ -62,11 +62,12 @@ predicted bit alone says whether a value field is present.
 
 from __future__ import annotations
 
+import io
 import re
 import zlib
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..isa.program import StaticInstructionId
 from .compression import decode_varint, encode_varint, unzigzag, zigzag
@@ -83,10 +84,31 @@ from .log import (
 
 #: First bytes of every binary replay log.
 MAGIC = b"RPRB"
-#: Current container format version (bumped on any layout change).
+#: Current monolithic container format version (bumped on layout change).
 BINARY_FORMAT_VERSION = 3
+#: The segmented container (framed, independently decodable segments).
+SEGMENTED_FORMAT_VERSION = 4
 #: Every version this reader can decode.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+#: Default estimated payload bytes per v4 segment before the writer seals
+#: it.  The estimate counts uncompressed varint row costs, so on-disk
+#: segments land well below this after zlib.
+DEFAULT_SEGMENT_BYTES = 1 << 16
+
+#: v4 section frame tags (each frame: ``uint tag, uint byte length,
+#: zlib-compressed payload``).
+_SECTION_HEADER = 1
+_SECTION_SEGMENT = 2
+_SECTION_TRAILER = 3
+_SECTION_FOOTER = 4
+
+#: Estimated uncompressed cost per row kind, used by the deterministic
+#: segment cut rule (shared by the streaming writer and the re-encoder so
+#: the same log always cuts at the same sequencers).
+_SEQ_ROW_COST = 12
+_ACCESS_ROW_COST = 6
+_HEAP_ROW_COST = 5
 
 #: zlib level: 6 is the historical "zip utility" analog used by
 #: :func:`repro.record.compression.compression_stats`.
@@ -196,17 +218,10 @@ def _write_static_id(writer: _Writer, static_id: Optional[StaticInstructionId]) 
         writer.uint(static_id.index)
 
 
-def _write_thread(
+def _write_loads(
     writer: _Writer, log: ThreadLog, version: int, elide_predicted: bool
 ) -> int:
-    """Write one thread; returns the number of load values elided."""
-    writer.text(log.name)
-    writer.uint(log.tid)
-    writer.text(log.block)
-    writer.uint(len(log.initial_registers))
-    for value in log.initial_registers:
-        writer.uint(value)
-
+    """Write the load-record section; returns the number of values elided."""
     elided = 0
     writer.uint(len(log.loads))
     previous_step = 0
@@ -233,7 +248,10 @@ def _write_thread(
             writer.uint(record.value)
         previous_step = step
         previous_address = record.address
+    return elided
 
+
+def _write_syscalls(writer: _Writer, log: ThreadLog) -> None:
     writer.uint(len(log.syscalls))
     previous_step = 0
     for step in sorted(log.syscalls):
@@ -242,6 +260,40 @@ def _write_thread(
         writer.text(record.name)
         writer.sint(record.result)
         previous_step = step
+
+
+def _write_footprint(writer: _Writer, log: ThreadLog) -> None:
+    footprint = sorted(log.pc_footprint)
+    writer.uint(len(footprint))
+    previous_pc = 0
+    for pc in footprint:
+        writer.uint(pc - previous_pc)
+        previous_pc = pc
+
+
+def _write_end(writer: _Writer, log: ThreadLog) -> None:
+    writer.flag(log.end is not None)
+    if log.end is not None:
+        writer.sint(log.end.thread_step)
+        writer.text(log.end.reason)
+        writer.flag(log.end.fault_kind is not None)
+        if log.end.fault_kind is not None:
+            writer.text(log.end.fault_kind)
+
+
+def _write_thread(
+    writer: _Writer, log: ThreadLog, version: int, elide_predicted: bool
+) -> int:
+    """Write one thread; returns the number of load values elided."""
+    writer.text(log.name)
+    writer.uint(log.tid)
+    writer.text(log.block)
+    writer.uint(len(log.initial_registers))
+    for value in log.initial_registers:
+        writer.uint(value)
+
+    elided = _write_loads(writer, log, version, elide_predicted)
+    _write_syscalls(writer, log)
 
     writer.uint(len(log.sequencers))
     previous_step = 0
@@ -254,21 +306,9 @@ def _write_thread(
         previous_step = sequencer.thread_step
         previous_timestamp = sequencer.timestamp
 
-    footprint = sorted(log.pc_footprint)
-    writer.uint(len(footprint))
-    previous_pc = 0
-    for pc in footprint:
-        writer.uint(pc - previous_pc)
-        previous_pc = pc
-
+    _write_footprint(writer, log)
     writer.uint(log.steps)
-    writer.flag(log.end is not None)
-    if log.end is not None:
-        writer.sint(log.end.thread_step)
-        writer.text(log.end.reason)
-        writer.flag(log.end.fault_kind is not None)
-        if log.end.fault_kind is not None:
-            writer.text(log.end.fault_kind)
+    _write_end(writer, log)
     return elided
 
 
@@ -332,6 +372,13 @@ def encode_log(
     """
     if version not in SUPPORTED_VERSIONS:
         raise ValueError("unsupported binary replay-log format version: %d" % version)
+    if version >= SEGMENTED_FORMAT_VERSION:
+        return encode_log_segmented(
+            log,
+            elide_predicted_loads=elide_predicted_loads,
+            stats=stats,
+            include_captured=include_captured,
+        )
     writer = _Writer()
     writer.text(log.program_name)
     writer.text(log.program_source)
@@ -571,6 +618,8 @@ def decode_log(data: bytes) -> ReplayLog:
         raise ValueError(
             "unsupported binary replay-log format version: %d" % version
         )
+    if version >= SEGMENTED_FORMAT_VERSION:
+        return _decode_log_segmented(data)
     reader = _Reader(zlib.decompress(data[len(MAGIC) + 1 :]))
     program_name = reader.text()
     program_source = reader.text()
@@ -748,6 +797,8 @@ def decode_log_sections(data: bytes) -> LogSections:
         raise ValueError(
             "unsupported binary replay-log format version: %d" % version
         )
+    if version >= SEGMENTED_FORMAT_VERSION:
+        return _decode_log_sections_segmented(data)
     reader = _Reader(zlib.decompress(data[len(MAGIC) + 1 :]))
     program_name = reader.text()
     program_source = reader.text()
@@ -768,6 +819,967 @@ def decode_log_sections(data: bytes) -> LogSections:
         program_source=program_source,
         seed=seed,
         scheduler=scheduler,
+        threads=threads,
+        captured=captured,
+    )
+
+
+# ----------------------------------------------------------------------
+# v4: the segmented container.
+# ----------------------------------------------------------------------
+#
+# Layout::
+#
+#     offset 0   4 bytes   MAGIC = b"RPRB"
+#     offset 4   1 byte    version = 4
+#     offset 5   ...       framed sections, each:
+#                              uint tag, uint byte length, zlib payload
+#
+# Sections, in file order:
+#
+# * **header** (tag 1) — program identity (name, source, seed, scheduler)
+#   plus the has-captured flag.  Written before the first event, so a
+#   streaming recorder can open the file immediately.
+# * **segment** (tag 2, repeated) — a bounded chunk of the trace: for each
+#   thread appearing in the chunk, its sequencer rows plus the captured
+#   access/heap rows *attached* to them.  A row with thread step ``s``
+#   attaches to the first of its thread's sequencers with
+#   ``thread_step >= s`` — so every sequencing region's accesses land in
+#   the same segment as the region's closing sequencer, which is what lets
+#   the streaming cursor finalize regions segment by segment.  All delta
+#   bases restart per segment: each segment decodes on its own.
+# * **trailer** (tag 3) — the replay residue: per-thread registers, load
+#   records (v2 predictor elision), syscalls, pc footprints, step counts,
+#   end records and any rows no sequencer claimed, plus the global order.
+#   Detection never decompresses most of it (the sectioned reader seeks).
+# * **footer** (tag 4) — the segment index: per segment its ordinal, byte
+#   offset, framed length, row counts and timestamp range.
+#
+# Segments are cut by a deterministic rule — walk sequencers in global
+# timestamp order, accumulate estimated row costs, seal at
+# ``segment_bytes`` — shared by the streaming :class:`SegmentedLogWriter`
+# and the in-memory re-encoder, so ``encode → decode → encode`` is
+# byte-stable and the in-memory segmentation of a v3 log matches what a
+# v4 file of the same trace would contain.
+
+
+@dataclass
+class SegmentedHeader:
+    """Identity fields of a v4 container (the tag-1 section)."""
+
+    version: int
+    program_name: str
+    program_source: str
+    seed: int
+    scheduler: str
+    has_captured: bool
+
+
+@dataclass
+class SegmentThreadView:
+    """One thread's rows within one segment."""
+
+    name: str
+    tid: int
+    block: str
+    sequencers: List[SequencerRecord] = field(default_factory=list)
+    columns: CapturedColumnView = field(default_factory=CapturedColumnView)
+    #: ``(step, kind, base, size)`` heap lifecycle rows (kind 0=alloc).
+    heap_rows: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class LogSegmentView:
+    """One decoded v4 segment: self-contained, delta bases restarted."""
+
+    ordinal: int
+    first_ts: int
+    last_ts: int
+    threads: Dict[str, SegmentThreadView] = field(default_factory=dict)
+
+
+@dataclass
+class SegmentIndexEntry:
+    """One footer row: where a segment lives and what it holds."""
+
+    ordinal: int
+    offset: int
+    length: int
+    sequencer_rows: int
+    access_rows: int
+    first_ts: int
+    last_ts: int
+
+
+class _SegmentBuffer:
+    """Per-thread accumulation for the segment currently being built."""
+
+    __slots__ = ("name", "tid", "block", "sequencers", "access_rows", "heap_rows")
+
+    def __init__(self, name: str, tid: int, block: str):
+        self.name = name
+        self.tid = tid
+        self.block = block
+        self.sequencers: List[SequencerRecord] = []
+        #: ``(step, flag, address, value, static_id)`` — objects, not
+        #: indices; the writer narrows to ``static_id.index`` on the wire.
+        self.access_rows: list = []
+        self.heap_rows: List[Tuple[int, int, int, int]] = []
+
+
+class _SegmentAccumulator:
+    """The deterministic cut rule, shared by every segment producer.
+
+    ``add_sequencer`` appends one sequencer and its attached rows to the
+    pending segment and seals it once the estimated row cost reaches
+    ``segment_bytes``.  Subclasses implement ``_seal`` — to bytes
+    (:class:`SegmentedLogWriter`) or to in-memory views
+    (:class:`_SegmentViewCollector`).
+    """
+
+    def __init__(self, segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        self.segment_bytes = segment_bytes
+        self._buffers: Dict[str, _SegmentBuffer] = {}
+        self._cost = 0
+        self._ordinal = 0
+
+    @property
+    def segments_sealed(self) -> int:
+        return self._ordinal
+
+    def add_sequencer(
+        self,
+        name: str,
+        tid: int,
+        block: str,
+        sequencer: SequencerRecord,
+        access_rows=(),
+        heap_rows=(),
+    ) -> None:
+        buffer = self._buffers.get(name)
+        if buffer is None:
+            buffer = self._buffers[name] = _SegmentBuffer(name, tid, block)
+        buffer.sequencers.append(sequencer)
+        if access_rows:
+            buffer.access_rows.extend(access_rows)
+        if heap_rows:
+            buffer.heap_rows.extend(heap_rows)
+        self._cost += (
+            _SEQ_ROW_COST
+            + _ACCESS_ROW_COST * len(access_rows)
+            + _HEAP_ROW_COST * len(heap_rows)
+        )
+        if self._cost >= self.segment_bytes:
+            self.seal_segment()
+
+    def seal_segment(self) -> None:
+        """Seal the pending segment, if any rows accumulated."""
+        if not self._buffers:
+            return
+        self._seal(self._ordinal, self._buffers)
+        self._ordinal += 1
+        self._buffers = {}
+        self._cost = 0
+
+    def _seal(self, ordinal: int, buffers: Dict[str, _SegmentBuffer]) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+def _segment_ts_range(buffers: Dict[str, _SegmentBuffer]) -> Tuple[int, int]:
+    first_ts = min(b.sequencers[0].timestamp for b in buffers.values())
+    last_ts = max(b.sequencers[-1].timestamp for b in buffers.values())
+    return first_ts, last_ts
+
+
+class SegmentedLogWriter(_SegmentAccumulator):
+    """Incremental v4 writer: header up front, segments as they fill.
+
+    Drives the deterministic cut rule over any source of
+    timestamp-ordered sequencer events — the recorder streams into one of
+    these while the machine is still running;
+    :func:`encode_log_segmented` replays an in-memory log through the
+    same code.  ``out`` is any binary file-like object.
+    """
+
+    def __init__(
+        self,
+        out,
+        *,
+        program_name: str,
+        program_source: str,
+        seed: int,
+        scheduler: str,
+        has_captured: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        elide_predicted_loads: bool = True,
+    ):
+        super().__init__(segment_bytes)
+        self._out = out
+        self._offset = 0
+        self._elide = elide_predicted_loads
+        self._index: List[SegmentIndexEntry] = []
+        self._finished = False
+        self.has_captured = has_captured
+        self._write_raw(MAGIC + bytes([SEGMENTED_FORMAT_VERSION]))
+        header = _Writer()
+        header.text(program_name)
+        header.text(program_source)
+        header.sint(seed)
+        header.text(scheduler)
+        header.flag(has_captured)
+        self._write_frame(_SECTION_HEADER, header.out)
+
+    # -- framing --------------------------------------------------------
+
+    def _write_raw(self, data: bytes) -> None:
+        self._out.write(data)
+        self._offset += len(data)
+
+    def _write_frame(self, tag: int, payload) -> Tuple[int, int]:
+        """Compress + frame one section; returns (offset, framed length)."""
+        compressed = zlib.compress(bytes(payload), _COMPRESSION_LEVEL)
+        head = _Writer()
+        head.uint(tag)
+        head.uint(len(compressed))
+        start = self._offset
+        self._write_raw(bytes(head.out))
+        self._write_raw(compressed)
+        return start, self._offset - start
+
+    # -- segments -------------------------------------------------------
+
+    def _seal(self, ordinal: int, buffers: Dict[str, _SegmentBuffer]) -> None:
+        writer = _Writer()
+        writer.uint(ordinal)
+        first_ts, last_ts = _segment_ts_range(buffers)
+        writer.uint(first_ts)
+        writer.uint(last_ts)
+        entries = sorted(buffers.values(), key=lambda buffer: buffer.tid)
+        writer.uint(len(entries))
+        sequencer_rows = 0
+        access_rows = 0
+        for buffer in entries:
+            writer.text(buffer.name)
+            writer.uint(buffer.tid)
+            writer.text(buffer.block)
+            writer.uint(len(buffer.sequencers))
+            previous_step = 0
+            previous_ts = 0
+            for sequencer in buffer.sequencers:
+                writer.sint(sequencer.thread_step - previous_step)
+                writer.sint(sequencer.timestamp - previous_ts)
+                writer.text(sequencer.kind)
+                _write_static_id(writer, sequencer.static_id)
+                previous_step = sequencer.thread_step
+                previous_ts = sequencer.timestamp
+            _write_access_rows(writer, buffer.access_rows)
+            writer.uint(len(buffer.heap_rows))
+            previous_step = 0
+            for step, kind, base, size in buffer.heap_rows:
+                writer.uint(step - previous_step)
+                writer.uint(kind)
+                writer.uint(base)
+                writer.uint(size)
+                previous_step = step
+            sequencer_rows += len(buffer.sequencers)
+            access_rows += len(buffer.access_rows)
+        offset, length = self._write_frame(_SECTION_SEGMENT, writer.out)
+        self._index.append(
+            SegmentIndexEntry(
+                ordinal=ordinal,
+                offset=offset,
+                length=length,
+                sequencer_rows=sequencer_rows,
+                access_rows=access_rows,
+                first_ts=first_ts,
+                last_ts=last_ts,
+            )
+        )
+
+    # -- trailer + footer -----------------------------------------------
+
+    def finish(
+        self,
+        threads: Dict[str, ThreadLog],
+        global_order: Optional[List[Tuple[int, int]]] = None,
+        predicted_loads: int = 0,
+        residuals: Optional[Dict[str, Tuple[list, list]]] = None,
+        stats: Optional[dict] = None,
+    ) -> List[SegmentIndexEntry]:
+        """Seal the pending segment and write the trailer + footer.
+
+        ``residuals`` maps thread names to ``(access_rows, heap_rows)``
+        no sequencer claimed (empty for any machine-produced trace, where
+        the thread-end sequencer bounds every row).  Returns the segment
+        index, which is also what the footer persists.
+        """
+        if self._finished:
+            raise ValueError("segmented writer already finished")
+        self.seal_segment()
+        residuals = residuals or {}
+        writer = _Writer()
+        writer.flag(global_order is not None)
+        if global_order is not None:
+            writer.uint(len(global_order))
+            for tid, step in global_order:
+                writer.uint(tid)
+                writer.sint(step)
+        writer.uint(predicted_loads)
+        writer.uint(len(threads))
+        elided = 0
+        for name, thread in threads.items():
+            writer.text(name)
+            writer.uint(thread.tid)
+            writer.text(thread.block)
+            writer.uint(len(thread.initial_registers))
+            for value in thread.initial_registers:
+                writer.uint(value)
+            elided += _write_loads(
+                writer, thread, SEGMENTED_FORMAT_VERSION, self._elide
+            )
+            _write_syscalls(writer, thread)
+            _write_footprint(writer, thread)
+            writer.uint(thread.steps)
+            _write_end(writer, thread)
+            access_rows, heap_rows = residuals.get(name, ((), ()))
+            _write_access_rows(writer, access_rows)
+            writer.uint(len(heap_rows))
+            previous_step = 0
+            for step, kind, base, size in heap_rows:
+                writer.uint(step - previous_step)
+                writer.uint(kind)
+                writer.uint(base)
+                writer.uint(size)
+                previous_step = step
+        if stats is not None:
+            stats["elided_load_values"] = elided
+        self._write_frame(_SECTION_TRAILER, writer.out)
+        footer = _Writer()
+        footer.uint(len(self._index))
+        for entry in self._index:
+            footer.uint(entry.ordinal)
+            footer.uint(entry.offset)
+            footer.uint(entry.length)
+            footer.uint(entry.sequencer_rows)
+            footer.uint(entry.access_rows)
+            footer.uint(entry.first_ts)
+            footer.uint(entry.last_ts)
+        self._write_frame(_SECTION_FOOTER, footer.out)
+        self._finished = True
+        return list(self._index)
+
+
+def _write_access_rows(writer: _Writer, rows) -> None:
+    """Write ``(step, flag, address, value, static_id)`` rows, local bases."""
+    writer.uint(len(rows))
+    previous_step = 0
+    previous_address = 0
+    for step, flag, address, value, static_id in rows:
+        writer.uint(step - previous_step)
+        writer.uint(flag)
+        writer.sint(address - previous_address)
+        writer.uint(value)
+        writer.uint(static_id.index)
+        previous_step = step
+        previous_address = address
+
+
+class _SegmentViewCollector(_SegmentAccumulator):
+    """Seal segments into :class:`LogSegmentView` objects (no bytes).
+
+    The in-memory twin of :class:`SegmentedLogWriter`: v3 logs (and fresh
+    recordings) stream through the same cut rule without an encode/decode
+    round trip.
+    """
+
+    def __init__(self, segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        super().__init__(segment_bytes)
+        self.views: List[LogSegmentView] = []
+
+    def _seal(self, ordinal: int, buffers: Dict[str, _SegmentBuffer]) -> None:
+        first_ts, last_ts = _segment_ts_range(buffers)
+        threads: Dict[str, SegmentThreadView] = {}
+        for buffer in sorted(buffers.values(), key=lambda buffer: buffer.tid):
+            columns = CapturedColumnView()
+            for step, flag, address, value, static_id in buffer.access_rows:
+                columns.steps.append(step)
+                columns.flags.append(flag)
+                columns.addresses.append(address)
+                columns.values.append(value)
+                columns.static_ids.append(static_id)
+            threads[buffer.name] = SegmentThreadView(
+                name=buffer.name,
+                tid=buffer.tid,
+                block=buffer.block,
+                sequencers=buffer.sequencers,
+                columns=columns,
+                heap_rows=buffer.heap_rows,
+            )
+        self.views.append(
+            LogSegmentView(
+                ordinal=ordinal,
+                first_ts=first_ts,
+                last_ts=last_ts,
+                threads=threads,
+            )
+        )
+
+
+class _SegmentPlanner:
+    """Walk an in-memory log in global sequencer-timestamp order,
+    attaching each thread's captured rows to their claiming sequencer."""
+
+    def __init__(
+        self,
+        threads: Dict[str, ThreadLog],
+        captured_threads: Optional[Dict[str, object]],
+    ):
+        self._threads = threads
+        self._captured = captured_threads or {}
+        self._row_at: Dict[str, int] = {}
+        self._heap_at: Dict[str, int] = {}
+
+    def walk(self) -> Iterator[tuple]:
+        """Yield ``(name, tid, block, sequencer, access_rows, heap_rows)``
+        in global timestamp order (ties broken by tid for determinism)."""
+        entries = []
+        for name, thread in self._threads.items():
+            for sequencer in sorted(
+                thread.sequencers, key=lambda record: record.timestamp
+            ):
+                entries.append((sequencer.timestamp, thread.tid, name, sequencer))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        for _, tid, name, sequencer in entries:
+            thread = self._threads[name]
+            yield (
+                name,
+                tid,
+                thread.block,
+                sequencer,
+                self._attached_rows(name, sequencer.thread_step),
+                self._attached_heap(name, sequencer.thread_step),
+            )
+
+    def _attached_rows(self, name: str, seq_step: int) -> list:
+        columns = self._captured.get(name)
+        if columns is None:
+            return []
+        steps = columns.steps
+        position = self._row_at.get(name, 0)
+        total = len(steps)
+        if position >= total or steps[position] > seq_step:
+            return []
+        flags = columns.flags
+        addresses = columns.addresses
+        values = columns.values
+        static_ids = columns.static_ids
+        rows = []
+        while position < total and steps[position] <= seq_step:
+            rows.append(
+                (
+                    steps[position],
+                    flags[position],
+                    addresses[position],
+                    values[position],
+                    static_ids[position],
+                )
+            )
+            position += 1
+        self._row_at[name] = position
+        return rows
+
+    def _attached_heap(self, name: str, seq_step: int) -> list:
+        columns = self._captured.get(name)
+        if columns is None or not getattr(columns, "heap_steps", None):
+            return []
+        steps = columns.heap_steps
+        position = self._heap_at.get(name, 0)
+        total = len(steps)
+        rows = []
+        while position < total and steps[position] <= seq_step:
+            rows.append(
+                (
+                    steps[position],
+                    0 if columns.heap_kinds[position] == "alloc" else 1,
+                    columns.heap_bases[position],
+                    columns.heap_sizes[position],
+                )
+            )
+            position += 1
+        self._heap_at[name] = position
+        return rows
+
+    def residuals(self) -> Dict[str, Tuple[list, list]]:
+        """Rows no sequencer claimed (synthetic logs only, in practice)."""
+        leftover: Dict[str, Tuple[list, list]] = {}
+        for name in self._threads:
+            columns = self._captured.get(name)
+            if columns is None:
+                continue
+            access_rows = []
+            position = self._row_at.get(name, 0)
+            for row in range(position, len(columns.steps)):
+                access_rows.append(
+                    (
+                        columns.steps[row],
+                        columns.flags[row],
+                        columns.addresses[row],
+                        columns.values[row],
+                        columns.static_ids[row],
+                    )
+                )
+            heap_rows = []
+            position = self._heap_at.get(name, 0)
+            for row in range(position, len(getattr(columns, "heap_steps", ()))):
+                heap_rows.append(
+                    (
+                        columns.heap_steps[row],
+                        0 if columns.heap_kinds[row] == "alloc" else 1,
+                        columns.heap_bases[row],
+                        columns.heap_sizes[row],
+                    )
+                )
+            if access_rows or heap_rows:
+                leftover[name] = (access_rows, heap_rows)
+        return leftover
+
+
+def encode_log_segmented(
+    log: ReplayLog,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    elide_predicted_loads: bool = True,
+    stats: Optional[dict] = None,
+    include_captured: bool = True,
+) -> bytes:
+    """Serialize ``log`` into the v4 segmented container.
+
+    Deterministic: the same log and ``segment_bytes`` always produce the
+    same bytes (the property suite asserts encode → decode → encode
+    byte-stability), because cuts depend only on the timestamp-ordered
+    sequencer walk and the shared row-cost model.
+    """
+    out = io.BytesIO()
+    has_captured = include_captured and log.captured is not None
+    writer = SegmentedLogWriter(
+        out,
+        program_name=log.program_name,
+        program_source=log.program_source,
+        seed=log.seed,
+        scheduler=log.scheduler,
+        has_captured=has_captured,
+        segment_bytes=segment_bytes,
+        elide_predicted_loads=elide_predicted_loads,
+    )
+    planner = _SegmentPlanner(
+        log.threads, log.captured.threads if has_captured else None
+    )
+    for name, tid, block, sequencer, access_rows, heap_rows in planner.walk():
+        writer.add_sequencer(name, tid, block, sequencer, access_rows, heap_rows)
+    writer.finish(
+        threads=log.threads,
+        global_order=log.global_order,
+        predicted_loads=log.captured.predicted_loads if has_captured else 0,
+        residuals=planner.residuals(),
+        stats=stats,
+    )
+    return out.getvalue()
+
+
+def segment_views_of_log(
+    log: ReplayLog, segment_bytes: int = DEFAULT_SEGMENT_BYTES
+) -> List[LogSegmentView]:
+    """Segment an in-memory captured log with the v4 cut rule — no bytes.
+
+    The streaming detect path for v3 logs and fresh recordings: the views
+    are exactly what :func:`iter_segments` would yield over
+    :func:`encode_log_segmented` output for the same ``segment_bytes``.
+    Requires ``log.captured`` (there are no access rows to stream
+    otherwise).
+    """
+    if log.captured is None:
+        raise ValueError(
+            "cannot segment a log without captured access columns: "
+            "the streaming path needs a v3+ capture — re-record, or use "
+            "the batch path"
+        )
+    return _collect_segment_views(log.threads, log.captured.threads, segment_bytes)
+
+
+def segment_views_of_sections(
+    sections: LogSections, segment_bytes: int = DEFAULT_SEGMENT_BYTES
+) -> List[LogSegmentView]:
+    """Segment a sectioned-reader result (:func:`decode_log_sections`).
+
+    Lets the streaming detect path run over a monolithic v1–v3 container
+    without a full decode: the sectioned reader already skipped the
+    replay-only payload, and this re-chunks what it did read with the
+    same cut rule a v4 file would have.  Requires the captured section
+    (``sections.captured``).
+    """
+    if sections.captured is None:
+        raise ValueError(
+            "cannot segment a log without captured access columns: "
+            "the streaming path needs a v3+ capture — re-record, or use "
+            "the batch path"
+        )
+    return _collect_segment_views(
+        sections.threads, sections.captured, segment_bytes
+    )
+
+
+def _collect_segment_views(
+    threads, captured_threads, segment_bytes: int
+) -> List[LogSegmentView]:
+    collector = _SegmentViewCollector(segment_bytes)
+    planner = _SegmentPlanner(threads, captured_threads)
+    for name, tid, block, sequencer, access_rows, heap_rows in planner.walk():
+        collector.add_sequencer(name, tid, block, sequencer, access_rows, heap_rows)
+    collector.seal_segment()
+    return collector.views
+
+
+# -- v4 reading ---------------------------------------------------------
+
+
+def is_segmented_log(data: bytes) -> bool:
+    """True for a binary container at or above the segmented version."""
+    return (
+        data.startswith(MAGIC)
+        and len(data) > len(MAGIC)
+        and data[len(MAGIC)] >= SEGMENTED_FORMAT_VERSION
+    )
+
+
+def _iter_frames(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(tag, compressed payload)`` for each v4 section frame."""
+    offset = len(MAGIC) + 1
+    end = len(data)
+    while offset < end:
+        tag, offset = decode_varint(data, offset)
+        length, offset = decode_varint(data, offset)
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise ValueError(
+                "corrupt segmented log: truncated frame (tag %d)" % tag
+            )
+        offset += length
+        yield tag, payload
+
+
+def _require_segmented(data: bytes) -> int:
+    if not data.startswith(MAGIC):
+        raise ValueError("not a binary replay log (bad magic bytes)")
+    version = data[len(MAGIC)]
+    if version < SEGMENTED_FORMAT_VERSION:
+        raise ValueError(
+            "not a segmented replay log (container version %d predates v%d)"
+            % (version, SEGMENTED_FORMAT_VERSION)
+        )
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            "unsupported binary replay-log format version: %d" % version
+        )
+    return version
+
+
+def read_segmented_header(data: bytes) -> SegmentedHeader:
+    """Decode only the header section of a v4 container."""
+    version = _require_segmented(data)
+    for tag, payload in _iter_frames(data):
+        if tag != _SECTION_HEADER:
+            break
+        reader = _Reader(zlib.decompress(payload))
+        return SegmentedHeader(
+            version=version,
+            program_name=reader.text(),
+            program_source=reader.text(),
+            seed=reader.sint(),
+            scheduler=reader.text(),
+            has_captured=reader.flag(),
+        )
+    raise ValueError("corrupt segmented log: missing header section")
+
+
+def _read_segment_payload(payload: bytes) -> LogSegmentView:
+    """Decode one decompressed segment payload into a view."""
+    reader = _Reader(payload)
+    ordinal = reader.uint()
+    first_ts = reader.uint()
+    last_ts = reader.uint()
+    threads: Dict[str, SegmentThreadView] = {}
+    for _ in range(reader.uint()):
+        name = reader.text()
+        tid = reader.uint()
+        block = reader.text()
+        view = SegmentThreadView(name=name, tid=tid, block=block)
+        view.sequencers = _read_sequencers(reader)
+        columns = view.columns
+        interned: Dict[int, StaticInstructionId] = {}
+        step = 0
+        address = 0
+        for _ in range(reader.uint()):
+            step += reader.uint()
+            flag = reader.uint()
+            address += reader.sint()
+            columns.steps.append(step)
+            columns.flags.append(flag)
+            columns.addresses.append(address)
+            columns.values.append(reader.uint())
+            index = reader.uint()
+            static_id = interned.get(index)
+            if static_id is None:
+                static_id = interned[index] = StaticInstructionId(
+                    block=block, index=index
+                )
+            columns.static_ids.append(static_id)
+        step = 0
+        for _ in range(reader.uint()):
+            step += reader.uint()
+            view.heap_rows.append(
+                (step, reader.uint(), reader.uint(), reader.uint())
+            )
+        threads[name] = view
+    return LogSegmentView(
+        ordinal=ordinal, first_ts=first_ts, last_ts=last_ts, threads=threads
+    )
+
+
+def iter_segments(data: bytes) -> Iterator[LogSegmentView]:
+    """Yield each segment of a v4 container, decompressed one at a time.
+
+    This is the bounded-memory entry point: only one segment's rows are
+    resident per step of the iteration (plus the compressed container
+    itself, which the caller already holds).
+    """
+    _require_segmented(data)
+    for tag, payload in _iter_frames(data):
+        if tag == _SECTION_SEGMENT:
+            yield _read_segment_payload(zlib.decompress(payload))
+
+
+def read_segment_index(data: bytes) -> List[SegmentIndexEntry]:
+    """Decode the footer's segment index of a v4 container."""
+    _require_segmented(data)
+    footer: Optional[bytes] = None
+    for tag, payload in _iter_frames(data):
+        if tag == _SECTION_FOOTER:
+            footer = payload
+    if footer is None:
+        raise ValueError("corrupt segmented log: missing footer section")
+    reader = _Reader(zlib.decompress(footer))
+    return [
+        SegmentIndexEntry(
+            ordinal=reader.uint(),
+            offset=reader.uint(),
+            length=reader.uint(),
+            sequencer_rows=reader.uint(),
+            access_rows=reader.uint(),
+            first_ts=reader.uint(),
+            last_ts=reader.uint(),
+        )
+        for _ in range(reader.uint())
+    ]
+
+
+def _read_residual_access_rows(reader: _Reader, block: str) -> list:
+    """Decode trailer residual access rows to ``(step, flag, address,
+    value, static_id)`` tuples."""
+    rows = []
+    interned: Dict[int, StaticInstructionId] = {}
+    step = 0
+    address = 0
+    for _ in range(reader.uint()):
+        step += reader.uint()
+        flag = reader.uint()
+        address += reader.sint()
+        value = reader.uint()
+        index = reader.uint()
+        static_id = interned.get(index)
+        if static_id is None:
+            static_id = interned[index] = StaticInstructionId(
+                block=block, index=index
+            )
+        rows.append((step, flag, address, value, static_id))
+    return rows
+
+
+def _decode_log_segmented(data: bytes) -> ReplayLog:
+    """Reassemble a full :class:`ReplayLog` from a v4 container.
+
+    Sequencers and captured rows come from the segments (concatenated in
+    segment order — global timestamp order), everything else from the
+    trailer.  Note one canonicalization: per-thread sequencer lists come
+    back in timestamp order, which is the order every machine-produced
+    log already has.
+    """
+    header = read_segmented_header(data)
+    sequencers: Dict[str, List[SequencerRecord]] = {}
+    columns: Dict[str, ThreadAccessColumns] = {}
+    trailer: Optional[bytes] = None
+    for tag, payload in _iter_frames(data):
+        if tag == _SECTION_SEGMENT:
+            view = _read_segment_payload(zlib.decompress(payload))
+            for name, thread_view in view.threads.items():
+                sequencers.setdefault(name, []).extend(thread_view.sequencers)
+                into = columns.get(name)
+                if into is None:
+                    into = columns[name] = ThreadAccessColumns()
+                into.steps.extend(thread_view.columns.steps)
+                into.flags.extend(thread_view.columns.flags)
+                into.addresses.extend(thread_view.columns.addresses)
+                into.values.extend(thread_view.columns.values)
+                into.static_ids.extend(thread_view.columns.static_ids)
+                for step, kind, base, size in thread_view.heap_rows:
+                    into.heap_steps.append(step)
+                    into.heap_kinds.append("alloc" if kind == 0 else "free")
+                    into.heap_bases.append(base)
+                    into.heap_sizes.append(size)
+        elif tag == _SECTION_TRAILER:
+            trailer = zlib.decompress(payload)
+    if trailer is None:
+        raise ValueError("corrupt segmented log: missing trailer section")
+    reader = _Reader(trailer)
+    global_order: Optional[List[Tuple[int, int]]] = None
+    if reader.flag():
+        global_order = [
+            (reader.uint(), reader.sint()) for _ in range(reader.uint())
+        ]
+    predicted_loads = reader.uint()
+    threads: Dict[str, ThreadLog] = {}
+    for _ in range(reader.uint()):
+        name = reader.text()
+        tid = reader.uint()
+        block = reader.text()
+        registers = tuple(reader.uint() for _ in range(reader.uint()))
+        thread = ThreadLog(
+            name=name, tid=tid, block=block, initial_registers=registers
+        )
+        _read_loads(reader, SEGMENTED_FORMAT_VERSION, thread)
+        _read_syscalls(reader, thread)
+        thread.sequencers.extend(sequencers.get(name, []))
+        thread.pc_footprint = _read_footprint(reader)
+        thread.steps = reader.uint()
+        thread.end = _read_end(reader)
+        into = columns.get(name)
+        if into is None:
+            into = columns[name] = ThreadAccessColumns()
+        for step, flag, address, value, static_id in _read_residual_access_rows(
+            reader, block
+        ):
+            into.steps.append(step)
+            into.flags.append(flag)
+            into.addresses.append(address)
+            into.values.append(value)
+            into.static_ids.append(static_id)
+        step = 0
+        for _ in range(reader.uint()):
+            step += reader.uint()
+            into.heap_steps.append(step)
+            into.heap_kinds.append("alloc" if reader.uint() == 0 else "free")
+            into.heap_bases.append(reader.uint())
+            into.heap_sizes.append(reader.uint())
+        threads[name] = thread
+    captured: Optional[CapturedAccessColumns] = None
+    if header.has_captured:
+        captured = CapturedAccessColumns(
+            threads={
+                # Explicit None check: a heap-only columns object has
+                # __len__ == 0 and would be dropped by an ``or``.
+                name: (
+                    columns[name]
+                    if columns.get(name) is not None
+                    else ThreadAccessColumns()
+                )
+                for name in threads
+            },
+            predicted_loads=predicted_loads,
+        )
+    return ReplayLog(
+        program_name=header.program_name,
+        program_source=header.program_source,
+        threads=threads,
+        seed=header.seed,
+        scheduler=header.scheduler,
+        global_order=global_order,
+        captured=captured,
+    )
+
+
+def _decode_log_sections_segmented(data: bytes) -> LogSections:
+    """The sectioned reader for v4: header + segments decoded, trailer
+    seeked through for step counts, footer skipped."""
+    header = read_segmented_header(data)
+    threads: Dict[str, ThreadSectionView] = {}
+    captured: Optional[Dict[str, CapturedColumnView]] = (
+        {} if header.has_captured else None
+    )
+    trailer: Optional[bytes] = None
+    for tag, payload in _iter_frames(data):
+        if tag == _SECTION_SEGMENT:
+            view = _read_segment_payload(zlib.decompress(payload))
+            for name, thread_view in view.threads.items():
+                section = threads.get(name)
+                if section is None:
+                    section = threads[name] = ThreadSectionView(
+                        name=name, tid=thread_view.tid, block=thread_view.block
+                    )
+                section.sequencers.extend(thread_view.sequencers)
+                if captured is not None:
+                    into = captured.get(name)
+                    if into is None:
+                        into = captured[name] = CapturedColumnView()
+                    into.steps.extend(thread_view.columns.steps)
+                    into.flags.extend(thread_view.columns.flags)
+                    into.addresses.extend(thread_view.columns.addresses)
+                    into.values.extend(thread_view.columns.values)
+                    into.static_ids.extend(thread_view.columns.static_ids)
+        elif tag == _SECTION_TRAILER:
+            trailer = zlib.decompress(payload)
+    if trailer is None:
+        raise ValueError("corrupt segmented log: missing trailer section")
+    reader = _Reader(trailer)
+    if reader.flag():
+        reader.skip_uints(2 * reader.uint())  # global order pairs
+    reader.skip_uints(1)  # predicted_loads
+    for _ in range(reader.uint()):
+        name = reader.text()
+        tid = reader.uint()
+        block = reader.text()
+        section = threads.get(name)
+        if section is None:
+            section = threads[name] = ThreadSectionView(
+                name=name, tid=tid, block=block
+            )
+        reader.skip_uints(reader.uint())  # initial registers
+        _skip_loads(reader, SEGMENTED_FORMAT_VERSION)
+        _skip_syscalls(reader)
+        _skip_footprint(reader)
+        section.steps = reader.uint()
+        _skip_end(reader)
+        residual = _read_residual_access_rows(reader, block)
+        if captured is not None and residual:
+            into = captured.get(name)
+            if into is None:
+                into = captured[name] = CapturedColumnView()
+            for step, flag, address, value, static_id in residual:
+                into.steps.append(step)
+                into.flags.append(flag)
+                into.addresses.append(address)
+                into.values.append(value)
+                into.static_ids.append(static_id)
+        reader.skip_uints(4 * reader.uint())  # residual heap rows
+    if captured is not None:
+        for name in threads:
+            if name not in captured:
+                captured[name] = CapturedColumnView()
+    return LogSections(
+        version=header.version,
+        program_name=header.program_name,
+        program_source=header.program_source,
+        seed=header.seed,
+        scheduler=header.scheduler,
         threads=threads,
         captured=captured,
     )

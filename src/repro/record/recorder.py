@@ -21,10 +21,24 @@ end.  The same columns double as the full access trace
 (:class:`CapturedAccessColumns` on the returned log), which lets the
 analysis pipeline build its :class:`~repro.analysis.access_index.AccessIndex`
 straight from the recording instead of re-deriving every access by replay.
+
+**Segment streaming.**  Attached to a
+:class:`~repro.record.binary_format.SegmentedLogWriter` ``sink``, the
+recorder flushes the big access columns to disk *while the machine is
+still running*: every sequencer hook ships the rows it claims (thread
+step ≤ the sequencer's) into the writer — which seals a v4 segment
+whenever its cost window fills — and deletes them from the in-memory
+arrays, so resident capture state is bounded by the inter-sequencer gap
+instead of the whole trace.  The VM emits a sync instruction's sequencer
+*before* that instruction's own access hooks, so same-step sync rows ride
+one sequencer later; per-thread step order (all the decoder relies on) is
+preserved, and those rows are sync-flagged and thus outside every
+sequencing region anyway.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Optional
 
 from ..isa.program import Program
@@ -162,6 +176,7 @@ class Recorder(Observer):
         seed: int = 0,
         scheduler: str = "",
         capture_global_order: bool = True,
+        sink=None,
     ):
         self.program = program
         self.seed = seed
@@ -170,6 +185,8 @@ class Recorder(Observer):
         self._order_tids: Optional[List[int]] = [] if capture_global_order else None
         self._order_steps: Optional[List[int]] = [] if capture_global_order else None
         self._finished = False
+        #: Optional :class:`SegmentedLogWriter` receiving rows as they land.
+        self._sink = sink
 
     # ------------------------------------------------------------------
     # Observer hooks.
@@ -184,6 +201,60 @@ class Recorder(Observer):
         capture.seq_timestamps.append(timestamp)
         capture.seq_kinds.append(kind)
         capture.seq_static_ids.append(static_id)
+        if self._sink is not None:
+            self._ship(
+                capture,
+                SequencerRecord(
+                    thread_step=thread_step,
+                    timestamp=timestamp,
+                    kind=kind,
+                    static_id=static_id,
+                ),
+            )
+
+    def _ship(self, capture: _ThreadCapture, sequencer: SequencerRecord) -> None:
+        """Flush the rows this sequencer claims into the segment sink.
+
+        Rows are step-monotone per thread, so the claim is a prefix; the
+        prefix delete keeps resident capture bounded by the gap between a
+        thread's consecutive sequencers, not the trace length.
+        """
+        step = sequencer.thread_step
+        cut = bisect_right(capture.access_steps, step)
+        rows = [
+            (
+                capture.access_steps[i],
+                capture.access_flags[i],
+                capture.access_addresses[i],
+                capture.access_values[i],
+                capture.access_static_ids[i],
+            )
+            for i in range(cut)
+        ]
+        if cut:
+            del capture.access_steps[:cut]
+            del capture.access_flags[:cut]
+            del capture.access_addresses[:cut]
+            del capture.access_values[:cut]
+            del capture.access_static_ids[:cut]
+        heap_cut = bisect_right(capture.heap_steps, step)
+        heap_rows = [
+            (
+                capture.heap_steps[i],
+                0 if capture.heap_kinds[i] == "alloc" else 1,
+                capture.heap_bases[i],
+                capture.heap_sizes[i],
+            )
+            for i in range(heap_cut)
+        ]
+        if heap_cut:
+            del capture.heap_steps[:heap_cut]
+            del capture.heap_kinds[:heap_cut]
+            del capture.heap_bases[:heap_cut]
+            del capture.heap_sizes[:heap_cut]
+        self._sink.add_sequencer(
+            capture.name, capture.tid, capture.block, sequencer, rows, heap_rows
+        )
 
     def on_load(self, tid, thread_step, static_id, address, value, is_sync) -> None:
         capture = self._captures[tid]
@@ -256,7 +327,18 @@ class Recorder(Observer):
         return sum(capture.predicted_loads for capture in self._captures.values())
 
     def finish(self) -> ReplayLog:
-        """Assemble the final :class:`ReplayLog` (idempotent)."""
+        """Assemble the final :class:`ReplayLog` (idempotent).
+
+        With a segment sink attached, this also seals the pending segment
+        and writes the trailer + footer, and the returned log carries
+        ``captured=None`` — the access columns already live in the v4
+        segments on disk (that is the bounded-memory point), so callers
+        on the streaming path read them back via
+        :func:`~repro.record.binary_format.iter_segments` rather than
+        from this object.
+        """
+        if self._sink is not None:
+            return self._finish_streaming()
         self._finished = True
         captured = CapturedAccessColumns(
             threads={
@@ -280,6 +362,62 @@ class Recorder(Observer):
             captured=captured,
         )
 
+    def _finish_streaming(self) -> ReplayLog:
+        """Seal the sink (trailer + footer) and return a captureless log."""
+        threads = {
+            capture.name: capture.to_thread_log()
+            for capture in self._captures.values()
+        }
+        global_order = (
+            list(zip(self._order_tids, self._order_steps))
+            if self._order_tids is not None
+            else None
+        )
+        if not self._finished:
+            # Anything no sequencer claimed (a thread aborted before its
+            # thread-end sequencer, e.g. on max_steps) lands in the
+            # trailer's residual rows, so the file is still lossless.
+            residuals = {}
+            for capture in self._captures.values():
+                if capture.access_steps or capture.heap_steps:
+                    residuals[capture.name] = (
+                        [
+                            (
+                                capture.access_steps[i],
+                                capture.access_flags[i],
+                                capture.access_addresses[i],
+                                capture.access_values[i],
+                                capture.access_static_ids[i],
+                            )
+                            for i in range(len(capture.access_steps))
+                        ],
+                        [
+                            (
+                                capture.heap_steps[i],
+                                0 if capture.heap_kinds[i] == "alloc" else 1,
+                                capture.heap_bases[i],
+                                capture.heap_sizes[i],
+                            )
+                            for i in range(len(capture.heap_steps))
+                        ],
+                    )
+            self._sink.finish(
+                threads=threads,
+                global_order=global_order,
+                predicted_loads=self.predicted_loads,
+                residuals=residuals,
+            )
+            self._finished = True
+        return ReplayLog(
+            program_name=self.program.name,
+            program_source=self.program.source,
+            threads=threads,
+            seed=self.seed,
+            scheduler=self.scheduler_description,
+            global_order=global_order,
+            captured=None,
+        )
+
 
 def record_run(
     program: Program,
@@ -289,6 +427,7 @@ def record_run(
     capture_global_order: bool = True,
     extra_observers=(),
     fast_path: bool = True,
+    sink=None,
 ):
     """Run ``program`` under recording; returns ``(MachineResult, ReplayLog)``.
 
@@ -296,6 +435,10 @@ def record_run(
     analysis pipeline: one call replaces "deploy iDNA and run the test
     scenario" from the paper's usage model.  ``fast_path=False`` forces the
     generic reference interpreter (the logs are identical either way).
+    ``sink`` streams the recording into a
+    :class:`~repro.record.binary_format.SegmentedLogWriter` as segments
+    fill (see :func:`record_run_segmented` for the file-path wrapper);
+    the returned log then has ``captured=None``.
     """
     from ..vm.machine import Machine
 
@@ -305,6 +448,7 @@ def record_run(
         seed=seed,
         scheduler=scheduler_description,
         capture_global_order=capture_global_order,
+        sink=sink,
     )
     machine = Machine(
         program,
@@ -316,3 +460,50 @@ def record_run(
     )
     result = machine.run()
     return result, recorder.finish()
+
+
+def record_run_segmented(
+    program: Program,
+    path,
+    scheduler=None,
+    seed: int = 0,
+    max_steps: int = 200_000,
+    capture_global_order: bool = True,
+    extra_observers=(),
+    fast_path: bool = True,
+    segment_bytes: Optional[int] = None,
+):
+    """Record straight into a v4 segmented container at ``path``.
+
+    The streaming twin of :func:`record_run` + ``save_log``: segments hit
+    the file while the machine runs, peak recorder memory is bounded by
+    the segment window, and a streaming consumer can start detecting on
+    sealed segments before the run ends.  Returns
+    ``(MachineResult, ReplayLog)`` — the log has ``captured=None``; the
+    captured columns live in the file.
+    """
+    from .binary_format import DEFAULT_SEGMENT_BYTES, SegmentedLogWriter
+
+    scheduler_description = (
+        type(scheduler).__name__ if scheduler else "RoundRobinScheduler"
+    )
+    with open(path, "wb") as handle:
+        sink = SegmentedLogWriter(
+            handle,
+            program_name=program.name,
+            program_source=program.source,
+            seed=seed,
+            scheduler=scheduler_description,
+            has_captured=True,
+            segment_bytes=segment_bytes or DEFAULT_SEGMENT_BYTES,
+        )
+        return record_run(
+            program,
+            scheduler=scheduler,
+            seed=seed,
+            max_steps=max_steps,
+            capture_global_order=capture_global_order,
+            extra_observers=extra_observers,
+            fast_path=fast_path,
+            sink=sink,
+        )

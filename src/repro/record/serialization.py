@@ -152,7 +152,10 @@ def log_from_json(data: Dict[str, Any]) -> ReplayLog:
 
 
 def save_log(
-    log: ReplayLog, path: Union[str, Path], format: str = "auto"
+    log: ReplayLog,
+    path: Union[str, Path],
+    format: str = "auto",
+    segment_bytes: Optional[int] = None,
 ) -> None:
     """Write a replay log to ``path``.
 
@@ -163,15 +166,29 @@ def save_log(
     log) so existing fixtures and text-based tooling keep working.  The
     v2 predicted-load elision is a binary-container feature; JSON output
     always spells every load value out.
+
+    ``segment_bytes`` selects the **v4 segmented container** with that
+    window size — the format streaming consumers (``detect --stream``,
+    ``analyze --stream``) iterate segment by segment.  It is a
+    binary-only knob; combining it with JSON output is an error rather
+    than a silent downgrade.
     """
-    from .binary_format import encode_log
+    from .binary_format import encode_log, encode_log_segmented
 
     path = Path(path)
     if format == "auto":
         format = "json" if path.suffix.lower() == ".json" else "binary"
     if format == "binary":
-        path.write_bytes(encode_log(log))
+        if segment_bytes is not None:
+            path.write_bytes(encode_log_segmented(log, segment_bytes=segment_bytes))
+        else:
+            path.write_bytes(encode_log(log))
     elif format == "json":
+        if segment_bytes is not None:
+            raise ValueError(
+                "segment_bytes is a binary-container feature; "
+                "JSON logs cannot be segmented"
+            )
         path.write_text(json.dumps(log_to_json(log)))
     else:
         raise ValueError("unknown replay-log format: %r" % format)
@@ -193,3 +210,25 @@ def load_log_bytes(data: bytes) -> ReplayLog:
     if is_binary_log(data):
         return decode_log(data)
     return log_from_json(json.loads(data.decode("utf-8")))
+
+
+def load_log_sections(path: Union[str, Path]):
+    """Read only the detection-facing sections of a log at ``path``.
+
+    Returns :class:`~repro.record.binary_format.LogSections` (identity,
+    sequencers, captured columns) via the seeking sectioned reader —
+    registers, loads, syscalls and footprints are skipped, not decoded —
+    or ``None`` when the file is a JSON document (which has no sectioned
+    representation; callers fall back to :func:`load_log`).  This is what
+    detect-only consumers should call instead of a full decode.
+    """
+    return load_log_sections_bytes(Path(path).read_bytes())
+
+
+def load_log_sections_bytes(data: bytes):
+    """In-memory sibling of :func:`load_log_sections` (service uploads)."""
+    from .binary_format import decode_log_sections, is_binary_log
+
+    if is_binary_log(data):
+        return decode_log_sections(data)
+    return None

@@ -19,8 +19,34 @@ class ReplayError(Exception):
     """Base class for replay-layer errors."""
 
 
+def stream_context(segment=None, thread_step=None) -> str:
+    """Render optional streaming position as a message suffix.
+
+    Streaming consumers (the segment cursor, eager classification) know
+    which v4 segment ordinal and thread step they were digesting when
+    something broke; batch callers pass nothing and the suffix is empty.
+    """
+    parts = []
+    if segment is not None:
+        parts.append("segment %d" % segment)
+    if thread_step is not None:
+        parts.append("step %d" % thread_step)
+    return " (at %s)" % ", ".join(parts) if parts else ""
+
+
 class ReplayDivergence(ReplayError):
-    """The log and program disagree — the replay infrastructure failed."""
+    """The log and program disagree — the replay infrastructure failed.
+
+    ``segment``/``thread_step`` carry the streaming position when the
+    divergence surfaced while digesting a v4 segment stream — the message
+    then ends with ``(at segment N, step S)`` so stream debugging starts
+    from the offending chunk instead of the whole trace.
+    """
+
+    def __init__(self, message: str = "", thread_step=None, segment=None):
+        self.thread_step = thread_step
+        self.segment = segment
+        super().__init__(message + stream_context(segment, thread_step))
 
 
 class ReplayFailureKind(Enum):

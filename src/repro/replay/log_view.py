@@ -28,7 +28,8 @@ nonzero exit) and callers fall back to :class:`OrderedReplay`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..record.binary_format import decode_log_sections, is_binary_log
 from ..record.log import ReplayLog
@@ -188,6 +189,358 @@ class LogView:
         Detection never touches this; it exists so race *presentation*
         (``describe_instruction`` in the CLI) works on the same object.
         """
+        if self._program is None:
+            from ..isa.assembler import assemble
+
+            self._program = assemble(self.program_source, name=self.program_name)
+        return self._program
+
+
+# ----------------------------------------------------------------------
+# The streaming surface: segments in, regions out.
+# ----------------------------------------------------------------------
+
+
+class _ThreadCursor:
+    """Per-thread progress while digesting a segment stream."""
+
+    __slots__ = ("name", "tid", "last_seq", "region_index", "ended", "rows")
+
+    def __init__(self, name: str, tid: int):
+        self.name = name
+        self.tid = tid
+        #: The last sequencer seen — the opening side of the thread's
+        #: currently *open* region (None before the first sequencer).
+        self.last_seq = None
+        self.region_index = 0
+        self.ended = False
+        #: Buffered ``(step, flag, address, value, static_id)`` rows not
+        #: yet claimed by a completed region, in step order.
+        self.rows: List[tuple] = []
+
+
+class SegmentCursor:
+    """Turn a v4 segment stream into completed regions in sweep order.
+
+    Feed :class:`~repro.record.binary_format.LogSegmentView` objects in
+    file order; each :meth:`feed` returns the regions whose rows are now
+    final *and* provably next in global opening-timestamp order — exactly
+    the order :meth:`LogView.all_regions` (and therefore the batch sweep)
+    visits them.  A region is released once every still-live thread's
+    open region starts later than it; the v4 attachment rule guarantees a
+    region's rows arrive no later than the segment carrying its closing
+    sequencer, so released regions never grow.
+
+    :meth:`finish` drains the remainder after the last segment.  Resident
+    state is the per-thread open-region row buffers plus the not-yet
+    releasable completed regions — bounded by the active overlap window,
+    not the trace.
+    """
+
+    def __init__(self):
+        self._threads: Dict[str, _ThreadCursor] = {}
+        self._pending: List[Tuple[int, int, SequencingRegion, List[tuple]]] = []
+        self._tiebreak = 0
+        self.segments_fed = 0
+
+    def feed(self, segment) -> List[Tuple[SequencingRegion, List[tuple]]]:
+        """Digest one segment; return newly releasable (region, rows)."""
+        ordinal = segment.ordinal
+        for name, view in segment.threads.items():
+            cursor = self._threads.get(name)
+            if cursor is None:
+                cursor = self._threads[name] = _ThreadCursor(name, view.tid)
+            columns = view.columns
+            cursor.rows.extend(
+                zip(
+                    columns.steps,
+                    columns.flags,
+                    columns.addresses,
+                    columns.values,
+                    columns.static_ids,
+                )
+            )
+            for sequencer in view.sequencers:
+                opening = cursor.last_seq
+                if (
+                    opening is not None
+                    and sequencer.timestamp <= opening.timestamp
+                ):
+                    raise LogViewUnavailable(
+                        "segment stream out of order: thread %r sequencer "
+                        "timestamps regress (ts %d after %d) (at segment %d, "
+                        "step %d)"
+                        % (
+                            name,
+                            sequencer.timestamp,
+                            opening.timestamp,
+                            ordinal,
+                            sequencer.thread_step,
+                        )
+                    )
+                if opening is not None:
+                    self._complete_region(cursor, opening, sequencer, ordinal)
+                cursor.last_seq = sequencer
+                if sequencer.kind == "thread_end":
+                    cursor.ended = True
+        self.segments_fed += 1
+        return self._release(bound=self._bound(segment.last_ts))
+
+    def finish(self) -> List[Tuple[SequencingRegion, List[tuple]]]:
+        """Release everything still pending (the stream is over)."""
+        return self._release(bound=None)
+
+    # -- internals ------------------------------------------------------
+
+    def _complete_region(
+        self, cursor: _ThreadCursor, opening, closing, segment_ordinal: int
+    ) -> None:
+        region = SequencingRegion(
+            thread_name=cursor.name,
+            tid=cursor.tid,
+            index=cursor.region_index,
+            start_step=opening.thread_step + 1,
+            end_step=closing.thread_step,
+            start_ts=opening.timestamp,
+            end_ts=closing.timestamp,
+            start_kind=opening.kind,
+            end_kind=closing.kind,
+        )
+        cursor.region_index += 1
+        # Claim the region's rows from the buffer front.  Rows below
+        # start_step are stragglers of the *previous* closing sequencer's
+        # step (the VM emits a sync instruction's sequencer before its
+        # access hooks) — always sync-flagged, outside every region.
+        rows: List[tuple] = []
+        position = 0
+        buffered = cursor.rows
+        total = len(buffered)
+        end_step = region.end_step
+        start_step = region.start_step
+        while position < total and buffered[position][0] < end_step:
+            row = buffered[position]
+            if row[0] >= start_step:
+                rows.append(row)
+            elif not (row[1] & 2):
+                raise LogViewUnavailable(
+                    "segment stream inconsistent: thread %r has a plain "
+                    "access row below its region window (at segment %d, "
+                    "step %d)" % (cursor.name, segment_ordinal, row[0])
+                )
+            position += 1
+        del buffered[:position]
+        if region.step_count > 0:
+            heappush(
+                self._pending,
+                (region.start_ts, self._tiebreak, region, rows),
+            )
+            self._tiebreak += 1
+
+    def _bound(self, segment_last_ts: int) -> int:
+        """Largest exclusive start_ts safe to release after this segment.
+
+        Every sequencer with timestamp ≤ the segment's last_ts has been
+        seen (segments are globally timestamp-ordered), so the only
+        regions that could still appear with an earlier start are the
+        live threads' currently open ones.
+        """
+        bound = segment_last_ts + 1
+        for cursor in self._threads.values():
+            if cursor.ended or cursor.last_seq is None:
+                continue
+            if cursor.last_seq.timestamp < bound:
+                bound = cursor.last_seq.timestamp
+        return bound
+
+    def _release(
+        self, bound: Optional[int]
+    ) -> List[Tuple[SequencingRegion, List[tuple]]]:
+        released: List[Tuple[SequencingRegion, List[tuple]]] = []
+        pending = self._pending
+        while pending and (bound is None or pending[0][0] < bound):
+            _, _, region, rows = heappop(pending)
+            released.append((region, rows))
+        return released
+
+
+class StreamingLogView:
+    """Streaming sibling of :class:`LogView`: regions in sweep order,
+    with resident state bounded by the segment window.
+
+    Wraps a segment iterator (a v4 file's
+    :func:`~repro.record.binary_format.iter_segments`, or the in-memory
+    re-chunking of a v1–v3 sectioned read / decoded log) and a
+    :class:`SegmentCursor`.  :meth:`stream_regions` yields
+    ``(region, rows)`` in exactly the opening-timestamp order the batch
+    detector sweeps, so feeding them to the streaming detector
+    reproduces the batch race set byte for byte.
+
+    Carries the same identity surface as :class:`LogView`
+    (``program_name``/``seed``/``scheduler``, lazy ``program``);
+    ``access_index()`` returns the detector's
+    :class:`~repro.analysis.access_index.StreamingAccessWindow` once
+    attached, so post-detection ``--perf`` plumbing works unchanged.
+    """
+
+    def __init__(
+        self,
+        *,
+        program_name: str,
+        program_source: str,
+        seed: int,
+        scheduler: str,
+        segments: Iterable,
+        perf=None,
+    ):
+        self.program_name = program_name
+        self.program_source = program_source
+        self.seed = seed
+        self.scheduler = scheduler
+        self._segments = segments
+        self._perf = perf
+        self.cursor = SegmentCursor()
+        self._program = None
+        self._window = None
+        if perf is not None:
+            perf.detect_log_native += 1
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes, perf=None, segment_bytes: Optional[int] = None):
+        """Stream from RPRB container bytes.
+
+        v4 containers stream segment frames directly (one decompressed
+        at a time).  Monolithic v3 containers are read through the
+        sectioned reader and re-chunked with the v4 cut rule —
+        ``segment_bytes`` sizes those synthetic segments.  v1/v2 and
+        captureless logs raise :class:`LogViewUnavailable`.
+        """
+        from ..record.binary_format import (
+            DEFAULT_SEGMENT_BYTES,
+            is_segmented_log,
+            iter_segments,
+            read_segmented_header,
+            segment_views_of_sections,
+        )
+
+        if not is_binary_log(data):
+            raise LogViewUnavailable(
+                "not a binary replay log: the streaming detect path reads "
+                "RPRB containers only — use the batch full-replay path for "
+                "JSON logs"
+            )
+        if is_segmented_log(data):
+            header = read_segmented_header(data)
+            if not header.has_captured:
+                raise LogViewUnavailable(
+                    _NO_CAPTURE % (header.version, "")
+                )
+            return cls(
+                program_name=header.program_name,
+                program_source=header.program_source,
+                seed=header.seed,
+                scheduler=header.scheduler,
+                segments=iter_segments(data),
+                perf=perf,
+            )
+        sections = decode_log_sections(data)
+        if sections.captured is None:
+            raise LogViewUnavailable(
+                _NO_CAPTURE
+                % (
+                    sections.version,
+                    "" if sections.version >= 3 else "; captured columns need v3",
+                )
+            )
+        return cls(
+            program_name=sections.program_name,
+            program_source=sections.program_source,
+            seed=sections.seed,
+            scheduler=sections.scheduler,
+            segments=segment_views_of_sections(
+                sections, segment_bytes or DEFAULT_SEGMENT_BYTES
+            ),
+            perf=perf,
+        )
+
+    @classmethod
+    def from_log(
+        cls, log: ReplayLog, perf=None, segment_bytes: Optional[int] = None
+    ):
+        """Stream an in-memory captured log (re-chunked with the v4 cut
+        rule); requires ``log.captured``."""
+        from ..record.binary_format import (
+            DEFAULT_SEGMENT_BYTES,
+            segment_views_of_log,
+        )
+
+        if log.captured is None:
+            raise LogViewUnavailable(
+                "log carries no captured access columns (pre-v3 container, "
+                "or v3 encoded without capture): the streaming detect path "
+                "needs them — re-record, or use the batch path"
+            )
+        return cls(
+            program_name=log.program_name,
+            program_source=log.program_source,
+            seed=log.seed,
+            scheduler=log.scheduler,
+            segments=segment_views_of_log(
+                log, segment_bytes or DEFAULT_SEGMENT_BYTES
+            ),
+            perf=perf,
+        )
+
+    # -- streaming ------------------------------------------------------
+
+    def stream_regions(self) -> Iterator[Tuple[SequencingRegion, List[tuple]]]:
+        """Yield every ``(region, rows)`` in opening-timestamp order,
+        holding only the active window resident.  Single use."""
+        for segment in self._segments:
+            for item in self.cursor.feed(segment):
+                yield item
+        for item in self.cursor.finish():
+            yield item
+
+    def stream_windows(
+        self,
+    ) -> Iterator[List[Tuple[SequencingRegion, List[tuple]]]]:
+        """Like :meth:`stream_regions`, but one list per sealed segment
+        (plus a final drain) — the granularity eager classification fires
+        at.  Empty windows are skipped.  Single use."""
+        for segment in self._segments:
+            window = self.cursor.feed(segment)
+            if window:
+                yield window
+        window = self.cursor.finish()
+        if window:
+            yield window
+
+    @property
+    def segments_fed(self) -> int:
+        return self.cursor.segments_fed
+
+    # -- the post-detection surface -------------------------------------
+
+    def attach_window(self, window) -> None:
+        """Record the detector's access window (for ``access_index()``)."""
+        self._window = window
+
+    def access_index(self):
+        """The streaming window standing in for the batch
+        :class:`AccessIndex` (``stats()``-compatible)."""
+        if self._window is None:
+            raise LogViewUnavailable(
+                "streaming view has no access window yet: run the "
+                "streaming detector first"
+            )
+        return self._window
+
+    @property
+    def program(self):
+        """The embedded program, assembled on first use (presentation
+        only — streaming detection never touches it)."""
         if self._program is None:
             from ..isa.assembler import assemble
 

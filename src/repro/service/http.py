@@ -24,8 +24,11 @@ Endpoints::
 
 Every shape accepts ``mode``: ``"full"`` (default) runs the whole
 detect-and-classify funnel; ``"detect"`` stops after detection and —
-for v3 logs with captured columns — runs the zero-replay log-native
-detect path.  An unknown mode is a ``400``.
+for v3+ logs with captured columns — runs the zero-replay log-native
+detect path; ``"stream"`` runs the full funnel with streaming detection
+and eager per-window classification (same report bytes as ``"full"``),
+and is rejected with a ``400`` for logs without captured columns
+(v1/v2, or captureless encodes).  An unknown mode is a ``400``.
 
 Submission replies ``202`` with ``{"job_id", "state", "created", "mode"}``
 (``created`` false = idempotent dedup hit), ``429`` when the bounded

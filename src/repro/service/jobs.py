@@ -69,7 +69,10 @@ class JobSpec:
     ``mode`` selects the pipeline depth: ``"full"`` runs the whole
     detect-and-classify funnel; ``"detect"`` stops after detection and
     — for logs with captured columns — runs the zero-replay log-native
-    path, so triage jobs never pay for replay or classification.
+    path, so triage jobs never pay for replay or classification;
+    ``"stream"`` runs the full funnel with streaming detection and
+    eager per-window classification (same report bytes as ``"full"``,
+    first verdicts land before the sweep finishes).
     """
 
     kind: str

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional, Tuple
 
-from ..record.serialization import load_log_bytes
+from ..record.serialization import load_log_bytes, load_log_sections_bytes
 from ..workloads.suite import all_workloads
 from .config import ServiceConfig
 from .jobs import Job, JobSpec, JobState, JobStore, content_key_for
@@ -126,9 +126,10 @@ class AnalysisService:
 
     @staticmethod
     def _check_mode(mode: str) -> str:
-        if mode not in ("full", "detect"):
+        if mode not in ("full", "detect", "stream"):
             raise ValueError(
-                "unknown job mode %r (expected 'full' or 'detect')" % mode
+                "unknown job mode %r (expected 'full', 'detect' or 'stream')"
+                % mode
             )
         return mode
 
@@ -172,15 +173,43 @@ class AnalysisService:
     ) -> Tuple[Job, bool]:
         """Submit an uploaded replay log (binary container or JSON).
 
-        ``mode="detect"`` runs detection only; a v3 container with
+        ``mode="detect"`` runs detection only; a v3+ container with
         captured columns takes the zero-replay from-log path, anything
-        else falls back to replay-then-detect.
+        else falls back to replay-then-detect.  ``mode="stream"`` runs
+        the full pipeline with streaming detection and eager per-window
+        classification — it needs captured columns, so v1/v2 (and
+        captureless) uploads are rejected up front with a 400.
+
+        Admission validates binary containers through the sectioned
+        reader (header + sequencer + captured framing) rather than a
+        full decode — large uploads are admitted without materializing
+        every load/syscall array; deep corruption there surfaces as a
+        job failure rather than a submission error.  JSON containers
+        still validate by full decode.
         """
+        mode = self._check_mode(mode)
+        log = None
         try:
-            load_log_bytes(data)
+            sections = load_log_sections_bytes(data)
+            if sections is None:
+                log = load_log_bytes(data)
         except Exception as error:  # noqa: BLE001 - any decode failure
             raise BadLogError("undecodable replay log: %s" % error)
-        spec = JobSpec.for_log(data, mode=self._check_mode(mode))
+        if mode == "stream":
+            if sections is not None:
+                if sections.captured is None:
+                    raise BadLogError(
+                        "stream jobs need captured access columns: got a "
+                        "v%d container without them (record with v3+ and "
+                        "capture enabled, or submit mode 'full')"
+                        % sections.version
+                    )
+            elif log is None or log.captured is None:
+                raise BadLogError(
+                    "stream jobs need captured access columns: this JSON "
+                    "log has none (submit mode 'full' instead)"
+                )
+        spec = JobSpec.for_log(data, mode=mode)
         key = content_key_for(
             spec,
             None,
@@ -239,6 +268,7 @@ class AnalysisService:
             "record_cache_hit_rate": round(pool["record_cache_hit_rate"], 4),
             "perf": pool["perf"],
             "classify_batching": self._batching_metrics(pool["perf"]),
+            "stream": self._stream_metrics(pool["perf"]),
             "latency_histograms_s": self.pool.histograms.to_json(),
         }
 
@@ -258,6 +288,29 @@ class AnalysisService:
             "incremental_spliced": perf.get("incremental_spliced", 0),
             "incremental_absorbed": perf.get("incremental_absorbed", 0),
             "batch_size_histogram": perf.get("batch_size_histogram", {}) or {},
+        }
+
+    @staticmethod
+    def _stream_metrics(perf: Dict) -> Dict:
+        """Streaming-pipeline counters, lifted out of the perf dump.
+
+        ``stream_first_verdict_ms`` is the headline number — average wall
+        milliseconds from job start to the first classified verdict,
+        across every stream-mode job this deployment has run.  Segment
+        and window counts size the streaming work (how many sealed
+        segments were swept, how many windows fired eager
+        classification).
+        """
+        jobs = perf.get("stream_jobs", 0)
+        total_ms = perf.get("stream_first_verdict_s", 0.0) * 1000.0
+        return {
+            "jobs": jobs,
+            "segments": perf.get("stream_segments", 0),
+            "windows": perf.get("stream_windows", 0),
+            "stream_first_verdict_ms": (
+                round(total_ms / jobs, 3) if jobs else 0.0
+            ),
+            "first_verdict_ms_total": round(total_ms, 3),
         }
 
     def health(self) -> Dict:

@@ -1,0 +1,247 @@
+"""Integration tests: the streaming pipeline end to end.
+
+The tentpole equivalence, asserted at every user-facing surface:
+
+* **CLI** — ``detect --stream`` and ``analyze --stream`` produce
+  byte-identical output to the batch invocations, on v4 segmented files
+  and on monolithic v3 files, across the workload suite sample.
+* **Service** — ``mode="stream"`` jobs over HTTP return the same report
+  bytes as ``mode="full"`` jobs for the same log, ``/metrics`` surfaces
+  the first-verdict latency and segment counters, and v1/v2 or
+  captureless uploads in stream mode are a clean ``400``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.analysis.engine import ClassificationEngine, EngineConfig
+from repro.analysis.pipeline import execution_report, render_report
+from repro.cli import main
+from repro.isa import assemble
+from repro.record import record_run
+from repro.record.binary_format import encode_log, encode_log_segmented
+from repro.service import (
+    AnalysisService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    make_server,
+)
+from repro.vm import RandomScheduler
+from repro.workloads import all_workloads
+
+#: A suite sample with known races plus a race-free control.
+SAMPLE = ("lost_update_lu0", "stats_counter_st0", "locked_counter_cl0")
+SEED = 13
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _recording(name, seed=SEED):
+    workload = all_workloads()[name]
+    program = assemble(workload.source, name=workload.name)
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(
+            seed=seed, switch_probability=workload.switch_probability or 0.3
+        ),
+        seed=seed,
+    )
+    return log
+
+
+@pytest.fixture(scope="module", params=SAMPLE)
+def recording(request):
+    name = request.param
+    if name not in all_workloads():
+        pytest.skip("workload %s not in suite" % name)
+    return _recording(name)
+
+
+class TestCliStreamEquivalence:
+    def test_detect_stream_output_matches_batch(self, recording, tmp_path):
+        v3 = tmp_path / "run.rprb"
+        v4 = tmp_path / "run.seg.rprb"
+        v3.write_bytes(encode_log(recording, version=3))
+        v4.write_bytes(encode_log_segmented(recording, segment_bytes=256))
+        code, batch = run_cli(["detect", str(v3)])
+        assert code == 0
+        code, stream3 = run_cli(["detect", str(v3), "--stream"])
+        assert code == 0
+        code, stream4 = run_cli(["detect", str(v4), "--stream"])
+        assert code == 0
+        assert stream3 == batch
+        assert stream4 == batch
+
+    def test_analyze_stream_report_matches_batch(self, recording, tmp_path):
+        v3 = tmp_path / "run.rprb"
+        v4 = tmp_path / "run.seg.rprb"
+        v3.write_bytes(encode_log(recording, version=3))
+        v4.write_bytes(encode_log_segmented(recording, segment_bytes=256))
+        batch_json = tmp_path / "batch.json"
+        stream3_json = tmp_path / "stream3.json"
+        stream4_json = tmp_path / "stream4.json"
+        code, _ = run_cli(["analyze", str(v3), "--json", str(batch_json)])
+        assert code == 0
+        code, _ = run_cli(
+            ["analyze", str(v3), "--stream", "--json", str(stream3_json)]
+        )
+        assert code == 0
+        code, _ = run_cli(
+            ["analyze", str(v4), "--stream", "--json", str(stream4_json)]
+        )
+        assert code == 0
+        assert stream3_json.read_bytes() == batch_json.read_bytes()
+        assert stream4_json.read_bytes() == batch_json.read_bytes()
+
+    def test_record_segmented_then_stream_detect(self, tmp_path):
+        workload = all_workloads()[SAMPLE[0]]
+        program = tmp_path / "w.asm"
+        program.write_text(workload.source)
+        batch_file = tmp_path / "batch.rprb"
+        stream_file = tmp_path / "stream.rprb"
+        code, _ = run_cli(
+            ["record", str(program), "-o", str(batch_file), "--seed", "5"]
+        )
+        assert code == 0
+        code, _ = run_cli(
+            [
+                "record",
+                str(program),
+                "-o",
+                str(stream_file),
+                "--seed",
+                "5",
+                "--segment-bytes",
+                "256",
+            ]
+        )
+        assert code == 0
+        code, batch = run_cli(["detect", str(batch_file)])
+        assert code == 0
+        code, streamed = run_cli(["detect", str(stream_file), "--stream"])
+        assert code == 0
+        assert streamed == batch
+
+    def test_naive_and_stream_are_mutually_exclusive(self, recording, tmp_path):
+        path = tmp_path / "run.rprb"
+        path.write_bytes(encode_log(recording, version=3))
+        code, _ = run_cli(["detect", str(path), "--naive", "--stream"])
+        assert code == 1
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """(service, server, client) — inline mode, ephemeral port."""
+    service = AnalysisService(
+        ServiceConfig(pool_size=0, queue_capacity=32, port=0)
+    ).start()
+    server = make_server(service)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    client = ServiceClient(server.url)
+    yield service, server, client
+    server.shutdown()
+    service.shutdown()
+
+
+class TestServiceStreamMode:
+    def test_stream_job_matches_full_job_bytes(self, deployment):
+        _, _, client = deployment
+        log = _recording(SAMPLE[0])
+        full = client.submit_log(encode_log(log, version=3), mode="full")
+        stream = client.submit_log(
+            encode_log_segmented(log, segment_bytes=512), mode="stream"
+        )
+        assert stream.mode == "stream"
+        assert full.job_id != stream.job_id  # distinct work, both live
+        client.wait(full.job_id, timeout_s=60)
+        client.wait(stream.job_id, timeout_s=60)
+        assert client.report_bytes(stream.job_id) == client.report_bytes(
+            full.job_id
+        )
+
+    def test_stream_job_matches_engine_stream_path(self, deployment):
+        service, _, client = deployment
+        log = _recording(SAMPLE[1])
+        data = encode_log_segmented(log, segment_bytes=512)
+        job = client.submit_log(data, mode="stream")
+        client.wait(job.job_id, timeout_s=60)
+        engine = ClassificationEngine(
+            EngineConfig(
+                jobs=1,
+                max_pairs_per_location=service.config.max_pairs_per_location,
+            )
+        )
+        expected = render_report(
+            execution_report(engine.analyze_log_stream(data))
+        )
+        assert client.report_bytes(job.job_id) == expected
+
+    def test_workload_stream_job_matches_full(self, deployment):
+        _, _, client = deployment
+        full = client.submit_workload(SAMPLE[0], seed=SEED + 7, mode="full")
+        stream = client.submit_workload(SAMPLE[0], seed=SEED + 7, mode="stream")
+        assert full.job_id != stream.job_id
+        client.wait(full.job_id, timeout_s=60)
+        client.wait(stream.job_id, timeout_s=60)
+        assert client.report_bytes(stream.job_id) == client.report_bytes(
+            full.job_id
+        )
+
+    def test_metrics_surface_stream_counters(self, deployment):
+        _, _, client = deployment
+        log = _recording(SAMPLE[0], seed=SEED + 21)
+        job = client.submit_log(
+            encode_log_segmented(log, segment_bytes=256), mode="stream"
+        )
+        client.wait(job.job_id, timeout_s=60)
+        metrics = client.metrics()
+        stream = metrics["stream"]
+        assert stream["jobs"] >= 1
+        assert stream["segments"] >= 1
+        assert stream["windows"] >= 1
+        assert stream["stream_first_verdict_ms"] > 0
+
+    @pytest.mark.parametrize("version", (1, 2))
+    def test_stream_mode_on_old_containers_is_400(self, deployment, version):
+        _, _, client = deployment
+        log = _recording(SAMPLE[0])
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_log(encode_log(log, version=version), mode="stream")
+        assert excinfo.value.status == 400
+        assert "captured" in str(excinfo.value)
+
+    def test_stream_mode_on_captureless_v3_is_400(self, deployment):
+        _, _, client = deployment
+        log = _recording(SAMPLE[0])
+        data = encode_log(log, version=3, include_captured=False)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_log(data, mode="stream")
+        assert excinfo.value.status == 400
+
+    def test_old_containers_still_analyze_in_full_mode(self, deployment):
+        _, _, client = deployment
+        log = _recording(SAMPLE[0])
+        v1 = client.submit_log(encode_log(log, version=1), mode="full")
+        client.wait(v1.job_id, timeout_s=60)
+        report = client.report(v1.job_id)
+        assert "races" in json.dumps(report) or isinstance(report, dict)
+
+    def test_unknown_mode_is_still_400(self, deployment):
+        _, _, client = deployment
+        log = _recording(SAMPLE[0])
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_log(encode_log(log, version=3), mode="bogus")
+        assert excinfo.value.status == 400

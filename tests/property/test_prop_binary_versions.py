@@ -18,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 from repro.isa.program import StaticInstructionId
 from repro.record.binary_format import (
     BINARY_FORMAT_VERSION,
+    SEGMENTED_FORMAT_VERSION,
     SUPPORTED_VERSIONS,
     decode_log,
     encode_log,
@@ -228,4 +229,8 @@ class TestCapturedSectionEquivalence:
         assert decode_log(without).captured is None
 
     def test_current_version_is_the_default(self):
-        assert BINARY_FORMAT_VERSION == SUPPORTED_VERSIONS[-1] == 3
+        # The monolithic default stays v3; the segmented v4 container is
+        # opt-in (``segment_bytes`` / ``record --segment-bytes``) but
+        # fully supported by the version dispatch.
+        assert BINARY_FORMAT_VERSION == 3
+        assert SEGMENTED_FORMAT_VERSION == SUPPORTED_VERSIONS[-1] == 4

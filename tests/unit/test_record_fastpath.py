@@ -17,6 +17,7 @@ from repro.isa import assemble
 from repro.record import Recorder, record_run
 from repro.record.binary_format import (
     BINARY_FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
     decode_log,
     encode_log,
 )
@@ -156,7 +157,7 @@ class TestSerializationEdges:
         program = assemble(".thread t\n    halt\n")
         _, log = record_run(program)
         with pytest.raises(ValueError):
-            encode_log(log, version=BINARY_FORMAT_VERSION + 1)
+            encode_log(log, version=max(SUPPORTED_VERSIONS) + 1)
         blob = bytearray(encode_log(log))
         blob[4] = 99  # container version byte follows the 4-byte magic
         with pytest.raises(ValueError):
