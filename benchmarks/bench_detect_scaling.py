@@ -24,11 +24,14 @@ the race-set equivalence gate, not the timing gate.
 
 from __future__ import annotations
 
-import argparse
-import json
-import time
-from pathlib import Path
-
+from conftest import (
+    DETECT_QUICK_SIZES,
+    DETECT_SIZES,
+    SCALING_SEED,
+    min_wall,
+    scaling_main,
+    write_result,
+)
 from repro.isa import assemble
 from repro.race.happens_before import (
     HappensBeforeDetector,
@@ -37,8 +40,6 @@ from repro.race.happens_before import (
 from repro.record import record_run
 from repro.replay import OrderedReplay
 from repro.vm import RandomScheduler
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Two independent racy pairs: regions of the a/b threads never share an
 #: address with regions of the c/d threads, so the benchmark exercises
@@ -69,9 +70,9 @@ cl:
     halt
 """
 
-SIZES = (20, 60, 200)
-QUICK_SIZES = (10, 30)
-SEED = 15
+SIZES = DETECT_SIZES
+QUICK_SIZES = DETECT_QUICK_SIZES
+SEED = SCALING_SEED
 
 
 def _ordered(iters: int, seed: int = SEED) -> OrderedReplay:
@@ -92,16 +93,14 @@ def _time_detector(make_detector, ordered: OrderedReplay, repeats: int):
     the measured time includes the index build — the honest end-to-end
     detect cost.
     """
-    best = None
-    detector = None
-    instances = None
-    for _ in range(repeats):
-        ordered.invalidate_access_index()
+
+    def run():
         detector = make_detector(ordered)
-        start = time.perf_counter()
-        instances = detector.detect()
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
+        return detector.detect(), detector
+
+    best, (instances, detector) = min_wall(
+        repeats, run, prepare=ordered.invalidate_access_index
+    )
     return best, instances, detector
 
 
@@ -150,11 +149,6 @@ def run_benchmark(sizes=SIZES, repeats: int = 3) -> dict:
     }
 
 
-def write_result(result: dict, output: Path) -> None:
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-
-
 def test_sweep_beats_quadratic_reference(results_dir):
     result = run_benchmark(sizes=SIZES, repeats=3)
     write_result(result, results_dir / "BENCH_detect.json")
@@ -166,31 +160,18 @@ def test_sweep_beats_quadratic_reference(results_dir):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller sizes, single repeat: equivalence check, not a timing gate",
+    return scaling_main(
+        "detect",
+        run_benchmark,
+        sizes=SIZES,
+        quick_sizes=QUICK_SIZES,
+        repeats=3,
+        description=__doc__.split("\n")[0],
+        summary=lambda result: (
+            "race sets identical across %d workloads; largest speedup %.2fx"
+            % (len(result["workloads"]), result["speedup"])
+        ),
     )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=RESULTS_DIR / "BENCH_detect.json",
-        help="where to write the JSON result",
-    )
-    args = parser.parse_args()
-    result = run_benchmark(
-        sizes=QUICK_SIZES if args.quick else SIZES,
-        repeats=1 if args.quick else 3,
-    )
-    if not args.quick:
-        write_result(result, args.output)
-    print(json.dumps(result, indent=2, sort_keys=True))
-    print(
-        "race sets identical across %d workloads; largest speedup %.2fx"
-        % (len(result["workloads"]), result["speedup"])
-    )
-    return 0
 
 
 if __name__ == "__main__":

@@ -26,19 +26,22 @@ the log-equivalence gate, not the timing gate.
 
 from __future__ import annotations
 
-import argparse
 import gc
-import json
 import tempfile
 import time
-from pathlib import Path
 
+from conftest import (
+    INTERP_QUICK_SIZES,
+    INTERP_SIZES,
+    SCALING_SEED,
+    min_wall,
+    scaling_main,
+    write_result,
+)
 from repro.analysis.cache import SuiteCache
 from repro.isa import assemble
 from repro.record import record_run
 from repro.vm import RandomScheduler
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Four threads in two independent racy pairs, with enough straight-line
 #: ALU work per iteration to look like computation rather than pure
@@ -76,9 +79,9 @@ cl:
     halt
 """
 
-SIZES = (200, 1000, 3000)
-QUICK_SIZES = (100, 300)
-SEED = 15
+SIZES = INTERP_SIZES
+QUICK_SIZES = INTERP_QUICK_SIZES
+SEED = SCALING_SEED
 MAX_STEPS = 2_000_000
 
 
@@ -122,16 +125,11 @@ def _measure_pair(iters: int, repeats: int):
 
 def _time_cache_hit(result, log, repeats: int) -> float:
     """Min wall time to serve the recording from a warm suite cache."""
-    best = None
     with tempfile.TemporaryDirectory() as directory:
         cache = SuiteCache(directory)
         cache.store("bench", result, log)
-        for _ in range(repeats):
-            start = time.perf_counter()
-            cached = cache.load("bench")
-            elapsed = time.perf_counter() - start
-            assert cached is not None and cached[1] == log
-            best = elapsed if best is None else min(best, elapsed)
+        best, cached = min_wall(repeats, lambda: cache.load("bench"))
+        assert cached is not None and cached[1] == log
     return best
 
 
@@ -181,11 +179,6 @@ def run_benchmark(sizes=SIZES, repeats: int = 5) -> dict:
     }
 
 
-def write_result(result: dict, output: Path) -> None:
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-
-
 def test_fast_path_beats_generic_reference(results_dir):
     result = run_benchmark(sizes=SIZES, repeats=5)
     write_result(result, results_dir / "BENCH_record.json")
@@ -197,36 +190,19 @@ def test_fast_path_beats_generic_reference(results_dir):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller sizes, single repeat: equivalence check, not a timing gate",
+    return scaling_main(
+        "record",
+        run_benchmark,
+        sizes=SIZES,
+        quick_sizes=QUICK_SIZES,
+        repeats=5,
+        description=__doc__.split("\n")[0],
+        summary=lambda result: (
+            "logs identical across %d workloads; largest speedup %.2fx "
+            "(cache hit %.2fx)"
+            % (len(result["workloads"]), result["speedup"], result["cache_speedup"])
+        ),
     )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="where to write the JSON result (default: results/BENCH_record.json,"
-        " or results/BENCH_record_quick.json under --quick)",
-    )
-    args = parser.parse_args()
-    result = run_benchmark(
-        sizes=QUICK_SIZES if args.quick else SIZES,
-        repeats=1 if args.quick else 5,
-    )
-    output = args.output
-    if output is None:
-        name = "BENCH_record_quick.json" if args.quick else "BENCH_record.json"
-        output = RESULTS_DIR / name
-    write_result(result, output)
-    print(json.dumps(result, indent=2, sort_keys=True))
-    print(
-        "logs identical across %d workloads; largest speedup %.2fx "
-        "(cache hit %.2fx)"
-        % (len(result["workloads"]), result["speedup"], result["cache_speedup"])
-    )
-    return 0
 
 
 if __name__ == "__main__":

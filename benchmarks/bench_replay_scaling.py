@@ -28,20 +28,22 @@ the equivalence gate, not the timing gate.
 
 from __future__ import annotations
 
-import argparse
 import dataclasses
 import gc
-import json
 import time
-from pathlib import Path
 
+from conftest import (
+    INTERP_QUICK_SIZES,
+    INTERP_SIZES,
+    SCALING_SEED,
+    scaling_main,
+    write_result,
+)
 from repro.isa import assemble
 from repro.race.happens_before import find_races
 from repro.record import record_run
 from repro.replay.ordered_replay import OrderedReplay
 from repro.vm import RandomScheduler
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Four threads in two independent racy pairs (same shape as the record
 #: benchmark): straight-line ALU work per iteration, and a per-iteration
@@ -79,9 +81,9 @@ cl:
     halt
 """
 
-SIZES = (200, 1000, 3000)
-QUICK_SIZES = (100, 300)
-SEED = 15
+SIZES = INTERP_SIZES
+QUICK_SIZES = INTERP_QUICK_SIZES
+SEED = SCALING_SEED
 MAX_STEPS = 2_000_000
 
 
@@ -208,11 +210,6 @@ def run_benchmark(sizes=SIZES, repeats: int = 5) -> dict:
     }
 
 
-def write_result(result: dict, output: Path) -> None:
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-
-
 def test_fast_path_beats_generic_reference(results_dir):
     result = run_benchmark(sizes=SIZES, repeats=5)
     write_result(result, results_dir / "BENCH_replay.json")
@@ -224,35 +221,18 @@ def test_fast_path_beats_generic_reference(results_dir):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller sizes, single repeat: equivalence check, not a timing gate",
+    return scaling_main(
+        "replay",
+        run_benchmark,
+        sizes=SIZES,
+        quick_sizes=QUICK_SIZES,
+        repeats=5,
+        description=__doc__.split("\n")[0],
+        summary=lambda result: (
+            "results identical across %d workloads; largest speedup %.2fx"
+            % (len(result["workloads"]), result["speedup"])
+        ),
     )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="where to write the JSON result (default: results/BENCH_replay.json,"
-        " or results/BENCH_replay_quick.json under --quick)",
-    )
-    args = parser.parse_args()
-    result = run_benchmark(
-        sizes=QUICK_SIZES if args.quick else SIZES,
-        repeats=1 if args.quick else 5,
-    )
-    output = args.output
-    if output is None:
-        name = "BENCH_replay_quick.json" if args.quick else "BENCH_replay.json"
-        output = RESULTS_DIR / name
-    write_result(result, output)
-    print(json.dumps(result, indent=2, sort_keys=True))
-    print(
-        "results identical across %d workloads; largest speedup %.2fx"
-        % (len(result["workloads"]), result["speedup"])
-    )
-    return 0
 
 
 if __name__ == "__main__":

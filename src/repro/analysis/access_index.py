@@ -482,6 +482,123 @@ class StreamingAccessWindow:
         }
 
 
+class PartitionAccessIndex:
+    """One worker's slice of the access index for the partitioned sweep.
+
+    The parallel detect path hands each worker a contiguous v4 segment
+    range; the worker reconstructs the regions *opening* inside its
+    range (owned) plus the still-active regions straddling in from
+    earlier ranges (preloads), and feeds them here in opening-timestamp
+    order.  The surface mirrors what the sweep reads from
+    :class:`AccessIndex` — ``regions``/``addresses_of``/``by_address``
+    over worker-local ordinals — but rows stay as captured tuples and
+    the rich :class:`~repro.replay.events.ReplayedAccess` objects are
+    grouped lazily, only for regions the sweep actually pairs up (most
+    regions never conflict, so most objects are never built).
+
+    Owned-region totals accumulate separately from preloads so the
+    parent can sum per-worker ``owned_stats`` into exactly the numbers
+    :meth:`AccessIndex.stats` reports for the whole log: each region is
+    owned by exactly one worker.
+    """
+
+    __slots__ = (
+        "regions",
+        "_rows",
+        "_addresses",
+        "_grouped",
+        "owned_regions",
+        "owned_accesses",
+        "owned_writes",
+        "owned_addresses",
+    )
+
+    def __init__(self) -> None:
+        #: Admitted regions in opening-timestamp order (preloads first —
+        #: every straddler opens before every owned region).
+        self.regions: List[SequencingRegion] = []
+        self._rows: List[list] = []
+        self._addresses: List[Tuple[int, ...]] = []
+        self._grouped: List[Optional[Dict[int, List[ReplayedAccess]]]] = []
+        self.owned_regions = 0
+        self.owned_accesses = 0
+        self.owned_writes = 0
+        self.owned_addresses: Dict[int, None] = {}
+
+    def add_region(self, region: SequencingRegion, rows, owned: bool) -> Optional[int]:
+        """Admit one region's captured rows; ``None`` when it carries no
+        plain access (the sweep would skip it before touching state).
+
+        ``rows`` are ``(step, flag, address, value, static_id)`` tuples
+        in step order; sync rows (``flag & 2``) are filtered here, the
+        same filter :meth:`AccessIndex._fill_region_from_columns`
+        applies.  Owned regions count toward the worker's share of the
+        log-wide stats whether or not they are admitted.
+        """
+        plain = []
+        append = plain.append
+        addresses: Dict[int, None] = {}
+        writes = 0
+        for row in rows:
+            flag = row[1]
+            if flag & 2:
+                continue
+            append(row)
+            addresses[row[2]] = None
+            if flag & 1:
+                writes += 1
+        if owned:
+            self.owned_regions += 1
+            self.owned_accesses += len(plain)
+            self.owned_writes += writes
+            self.owned_addresses.update(addresses)
+        if not plain:
+            return None
+        ordinal = len(self.regions)
+        self.regions.append(region)
+        self._rows.append(plain)
+        self._addresses.append(tuple(addresses))
+        self._grouped.append(None)
+        return ordinal
+
+    # -- the detector-facing surface ------------------------------------
+
+    def addresses_of(self, ordinal: int) -> Tuple[int, ...]:
+        """Distinct addresses a region touches, in first-touch order."""
+        return self._addresses[ordinal]
+
+    def by_address(self, ordinal: int) -> Dict[int, List[ReplayedAccess]]:
+        """A region's accesses grouped by address (step order preserved),
+        materialized to :class:`ReplayedAccess` on first query."""
+        grouped = self._grouped[ordinal]
+        if grouped is None:
+            grouped = {}
+            for step, flag, address, value, static_id in self._rows[ordinal]:
+                grouped.setdefault(address, []).append(
+                    ReplayedAccess(
+                        thread_step=step,
+                        static_id=static_id,
+                        address=address,
+                        value=value,
+                        is_write=bool(flag & 1),
+                        is_sync=False,
+                    )
+                )
+            self._grouped[ordinal] = grouped
+        return grouped
+
+    def owned_stats(self) -> Dict[str, object]:
+        """This worker's share of the log-wide :meth:`AccessIndex.stats`
+        aggregates (``addresses`` is the owned address *set*: distinct
+        addresses only union correctly across workers)."""
+        return {
+            "regions": self.owned_regions,
+            "accesses": self.owned_accesses,
+            "writes": self.owned_writes,
+            "addresses": frozenset(self.owned_addresses),
+        }
+
+
 def build_access_index(ordered: "OrderedReplay") -> AccessIndex:
     """Convenience constructor mirroring the other analysis entry points."""
     return AccessIndex(ordered)

@@ -99,6 +99,19 @@ class PerfStats:
     #: summed over streaming analyses (divide by ``stream_jobs`` for the
     #: average; the service's ``/metrics`` surfaces it in ms).
     stream_first_verdict_s: float = 0.0
+    #: v4 segments fanned out across the parallel detect pool.
+    parallel_segments: int = 0
+    #: Partition workers the fan-out dispatched (1 = inline, no pool).
+    parallel_workers: int = 0
+    #: Cross-boundary regions preloaded into a later worker's active set
+    #: (each is a region still open at a partition cut).
+    parallel_boundary_stitches: int = 0
+    #: Wall seconds spent stitching and canonically ordering the merged
+    #: race set in the parent.
+    parallel_merge_s: float = 0.0
+    #: Summed per-worker wall seconds (decode + sweep); across a real
+    #: pool this exceeds the fan-out stage's wall time.
+    parallel_worker_sweep_s: float = 0.0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -153,6 +166,11 @@ class PerfStats:
         self.stream_segments += other.stream_segments
         self.stream_windows += other.stream_windows
         self.stream_first_verdict_s += other.stream_first_verdict_s
+        self.parallel_segments += other.parallel_segments
+        self.parallel_workers += other.parallel_workers
+        self.parallel_boundary_stitches += other.parallel_boundary_stitches
+        self.parallel_merge_s += other.parallel_merge_s
+        self.parallel_worker_sweep_s += other.parallel_worker_sweep_s
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "PerfStats":
@@ -269,6 +287,11 @@ class PerfStats:
             "stream_segments": self.stream_segments,
             "stream_windows": self.stream_windows,
             "stream_first_verdict_s": round(self.stream_first_verdict_s, 6),
+            "parallel_segments": self.parallel_segments,
+            "parallel_workers": self.parallel_workers,
+            "parallel_boundary_stitches": self.parallel_boundary_stitches,
+            "parallel_merge_s": round(self.parallel_merge_s, 6),
+            "parallel_worker_sweep_s": round(self.parallel_worker_sweep_s, 6),
         }
 
     def render(self) -> str:
@@ -351,6 +374,19 @@ class PerfStats:
                     "  stream first verdict: %.3f s avg"
                     % (self.stream_first_verdict_s / self.stream_jobs)
                 )
+        if self.parallel_segments or self.parallel_workers:
+            lines.append(
+                "  parallel detect: %d segments over %d workers, %d boundary stitches"
+                % (
+                    self.parallel_segments,
+                    self.parallel_workers,
+                    self.parallel_boundary_stitches,
+                )
+            )
+            lines.append(
+                "  parallel detect time: %.3f s worker sweeps, %.3f s merge"
+                % (self.parallel_worker_sweep_s, self.parallel_merge_s)
+            )
         if self.detect_regions:
             lines.append(
                 "  detect sweep: %d regions, %d pairs examined, %d pruned (%.1f%%)"

@@ -16,6 +16,7 @@ the same inputs.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -392,7 +393,8 @@ class DetectionAnalysis:
     program_name: str
     seed: int
     scheduler: str
-    #: Which detect path ran: ``"from-log"`` or ``"replay"``.
+    #: Which detect path ran: ``"from-log"``, ``"replay"``, ``"stream"``
+    #: or ``"parallel"``.
     path: str
     source: object
     instances: List[RaceInstance]
@@ -417,10 +419,13 @@ def detect_only(
     execution_id: Optional[str] = None,
     max_pairs_per_location: Optional[int] = 256,
     perf: Optional[PerfStats] = None,
+    jobs: int = 1,
 ) -> DetectionAnalysis:
     """Run only the detect stage of the funnel — no classification.
 
-    ``source`` is RPRB container bytes or a decoded :class:`ReplayLog`.
+    ``source`` is RPRB container bytes, a decoded :class:`ReplayLog`, or
+    a filesystem path to a container (required shape for the parallel
+    path's zero-copy reads; other modes read the file into bytes).
     ``mode`` picks the path:
 
     * ``"from-log"`` — the zero-replay :class:`LogView` path; raises
@@ -432,19 +437,41 @@ def detect_only(
       bounded by the active window (v4 files stream frame by frame;
       monolithic v3 logs are re-chunked in memory).  Raises
       :class:`LogViewUnavailable` for v1/v2/captureless logs.
-    * ``"auto"`` (default) — from-log when the log supports it, replay
-      otherwise.
+    * ``"parallel"`` — the segment-fanout path: v4 segments partition
+      across ``jobs`` worker processes, each mmap-reading only its own
+      range; raises :class:`ValueError` for anything but a v4 container.
+    * ``"auto"`` (default) — parallel for v4 sources when ``jobs > 1``,
+      else from-log when the log supports it, replay otherwise.
 
     Race sets are byte-identical between all paths (the equivalence
     suite enforces it); they differ only in cost profile.
     """
     from ..replay.log_view import LogView, LogViewUnavailable
 
-    if mode not in ("auto", "from-log", "replay", "stream"):
+    if mode not in ("auto", "from-log", "replay", "stream", "parallel"):
         raise ValueError(
-            "unknown detect mode %r (expected auto, from-log, replay or "
-            "stream)" % mode
+            "unknown detect mode %r (expected auto, from-log, replay, "
+            "stream or parallel)" % mode
         )
+    if jobs < 1:
+        raise ValueError("detect jobs must be >= 1 (got %d)" % jobs)
+    path_source: Optional[str] = None
+    if isinstance(source, (str, os.PathLike)):
+        path_source = os.fspath(source)
+    if mode == "parallel" or (
+        mode == "auto" and jobs > 1 and _parallel_eligible(source, path_source)
+    ):
+        return _detect_parallel(
+            source,
+            path_source,
+            execution_id=execution_id,
+            max_pairs_per_location=max_pairs_per_location,
+            perf=perf,
+            jobs=jobs,
+        )
+    if path_source is not None:
+        with open(path_source, "rb") as handle:
+            source = handle.read()
     if mode == "stream":
         return _detect_streaming(
             source,
@@ -560,6 +587,137 @@ def _detect_streaming(
         source=view,
         instances=instances,
         truncated_locations=detector.truncated_locations,
+        perf=perf,
+    )
+
+
+class ParallelLogView:
+    """Identity and stats carrier for the parallel detect path.
+
+    Shaped like the slice of :class:`~repro.replay.log_view.LogView`
+    the detect-only surface reads — the header identity fields, a
+    lazily assembled ``program``, and ``access_index().stats()`` — but
+    holding only the merged per-worker aggregates.  The parent process
+    deliberately never decodes a region or an access row (the workers
+    own those), so there is no real index to hand back.
+    """
+
+    __slots__ = ("program_name", "program_source", "seed", "scheduler", "_stats", "_program")
+
+    def __init__(self, header, stats: Dict[str, int]):
+        self.program_name = header.program_name
+        self.program_source = header.program_source
+        self.seed = header.seed
+        self.scheduler = header.scheduler
+        self._stats = dict(stats)
+        self._program = None
+
+    @property
+    def program(self):
+        if self._program is None:
+            from ..isa import assemble
+
+            self._program = assemble(self.program_source, name=self.program_name)
+        return self._program
+
+    def access_index(self) -> "ParallelLogView":
+        return self
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)
+
+
+def _parallel_eligible(source, path_source: Optional[str]) -> bool:
+    """True when ``source`` is a v4 segmented container (path or bytes)."""
+    from ..record.binary_format import MAGIC, is_segmented_log
+
+    if path_source is not None:
+        try:
+            with open(path_source, "rb") as handle:
+                head = handle.read(len(MAGIC) + 1)
+        except OSError:
+            return False
+        return is_segmented_log(head)
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return is_segmented_log(bytes(memoryview(source)[: len(MAGIC) + 1]))
+    return False
+
+
+def _detect_parallel(
+    source,
+    path: Optional[str],
+    execution_id: Optional[str],
+    max_pairs_per_location: Optional[int],
+    perf: Optional[PerfStats],
+    jobs: int,
+) -> DetectionAnalysis:
+    """The ``mode="parallel"`` body of :func:`detect_only`.
+
+    Fans the container's segments across ``jobs`` partition workers
+    (:func:`repro.race.happens_before.parallel_detect_races`).  The
+    parent maps the file and decodes only the header and the footer
+    index — never the log bytes.  Byte sources (the service hands log
+    uploads around as bytes) are spooled to a temporary file first so
+    workers can share the mapping, then the spool is removed.
+    """
+    from ..race.happens_before import parallel_detect_races
+    from ..record.binary_format import is_segmented_log
+
+    stats = perf if perf is not None else PerfStats()
+    temp_path: Optional[str] = None
+    try:
+        if path is None:
+            if not isinstance(source, (bytes, bytearray, memoryview)):
+                raise ValueError(
+                    "parallel detection reads a v4 segmented container "
+                    "(bytes or a file path), not %s" % type(source).__name__
+                )
+            data = bytes(source)
+            if not is_segmented_log(data):
+                raise ValueError(
+                    "parallel detection requires a v4 segmented container "
+                    "(record with --segment-bytes, or use another mode)"
+                )
+            import tempfile
+
+            handle = tempfile.NamedTemporaryFile(
+                prefix="repro-detect-", suffix=".rprb", delete=False
+            )
+            try:
+                handle.write(data)
+            finally:
+                handle.close()
+            temp_path = path = handle.name
+            del data
+        with stats.stage("detect"):
+            outcome = parallel_detect_races(
+                path,
+                jobs,
+                max_pairs_per_location=max_pairs_per_location,
+                perf=stats,
+            )
+    finally:
+        if temp_path is not None:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+    stats.executions += 1
+    stats.instances += len(outcome.instances)
+    if jobs > stats.jobs:
+        stats.jobs = jobs
+    view = ParallelLogView(outcome.header, outcome.stats)
+    if execution_id is None:
+        execution_id = "%s#s%d" % (view.program_name, view.seed)
+    return DetectionAnalysis(
+        execution_id=execution_id,
+        program_name=view.program_name,
+        seed=view.seed,
+        scheduler=view.scheduler,
+        path="parallel",
+        source=view,
+        instances=outcome.instances,
+        truncated_locations=outcome.truncated_locations,
         perf=perf,
     )
 

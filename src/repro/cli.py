@@ -54,6 +54,21 @@ from .replay.ordered_replay import OrderedReplay
 from .vm.scheduler import RandomScheduler, RoundRobinScheduler
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1, rejected loudly."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected an integer >= 1, got %r" % text
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "expected an integer >= 1, got %r" % text
+        )
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -140,6 +155,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="detect segment by segment with bounded resident state "
         "(requires captured columns; race set is identical to batch)",
     )
+    detect.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the detection sweep (default: 1, serial); "
+        "above 1 fans v4 segments across a process pool — needs a log "
+        "recorded with --segment-bytes, race set is identical to serial",
+    )
 
     classify = sub.add_parser(
         "classify", help="detect + classify races, print the triage report"
@@ -224,6 +248,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream detection segment by segment and classify each sealed "
         "window eagerly (first verdicts land before the sweep finishes; "
         "the final report is byte-identical to the batch path)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the detection sweep (default: 1, serial); "
+        "above 1 needs a v4 segmented log and fans segments across a "
+        "process pool; classification itself stays in-process",
     )
 
     validate = sub.add_parser("validate", help="check a replay log's invariants")
@@ -377,6 +410,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="job journal (JSON lines); enables crash recovery on restart",
     )
+    serve.add_argument(
+        "--detect-jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for one job's detection sweep (default: 1, "
+        "serial); above 1, detect-only and stream jobs on v4 segmented "
+        "uploads fan segments across a per-job process pool",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a job to a running analysis service"
@@ -522,6 +564,14 @@ def _cmd_detect(args, out) -> int:
             "--naive needs thread replays and cannot run on the zero-replay "
             "path; drop --naive or the --from-log/--stream flag"
         )
+    if args.jobs > 1 and (
+        args.naive or args.from_log or args.full_replay or args.stream
+    ):
+        raise ValueError(
+            "--jobs above 1 selects the parallel segment-fanout path and "
+            "cannot be combined with an explicit path flag; drop --jobs or "
+            "the --naive/--from-log/--full-replay/--stream flag"
+        )
     perf = PerfStats()
     if args.naive:
         log = load_log(args.log)
@@ -538,9 +588,17 @@ def _cmd_detect(args, out) -> int:
             mode = "from-log"
         elif args.full_replay:
             mode = "replay"
+        elif args.jobs > 1:
+            # Explicitly parallel (not auto) so a container the fanout
+            # cannot partition errors loudly instead of silently running
+            # the serial sweep the user asked to spread out.
+            mode = "parallel"
         else:
             mode = "auto"
-        analysis = detect_only(args.log.read_bytes(), mode=mode, perf=perf)
+        # The path (not its bytes) goes to the pipeline so the parallel
+        # fanout can mmap segments in the workers without the parent ever
+        # materializing the full log; serial modes read it themselves.
+        analysis = detect_only(args.log, mode=mode, perf=perf, jobs=args.jobs)
         instances = analysis.instances
         source = analysis.source
         path = analysis.path
@@ -639,6 +697,11 @@ def _cmd_analyze(args, out) -> int:
         raise ValueError(
             "--export-verdicts needs the verdict cache; drop --no-memoize"
         )
+    if args.jobs > 1 and args.stream:
+        raise ValueError(
+            "--jobs parallelizes the batch detection sweep and cannot be "
+            "combined with --stream; drop one of them"
+        )
     config = EngineConfig(
         jobs=1,
         memoize=not args.no_memoize,
@@ -659,12 +722,36 @@ def _cmd_analyze(args, out) -> int:
                 EngineConfig(jobs=1, memoize=True, batching=not args.no_batching)
             ).analyze_log(load_log(args.incremental_from))
     perf = PerfStats()
+    detector_factory = None
+    if args.jobs > 1:
+        from .race.happens_before import ParallelFileDetector
+        from .record.binary_format import MAGIC, is_segmented_log
+
+        with open(args.log, "rb") as handle:
+            head = handle.read(len(MAGIC) + 1)
+        if not is_segmented_log(head):
+            raise ValueError(
+                "--jobs above 1 needs a v4 segmented container "
+                "(record with --segment-bytes)"
+            )
+        jobs = args.jobs
+
+        def detector_factory(ordered, max_pairs_per_location):
+            return ParallelFileDetector(
+                args.log, jobs, max_pairs_per_location, perf=perf
+            )
+
     if args.stream:
         analysis = engine.analyze_log_stream(
             args.log.read_bytes(), perf=perf, prior=prior
         )
     else:
-        analysis = engine.analyze_log(load_log(args.log), perf=perf, prior=prior)
+        analysis = engine.analyze_log(
+            load_log(args.log),
+            perf=perf,
+            prior=prior,
+            detector_factory=detector_factory,
+        )
     report = render_report(execution_report(analysis))
     # Side-channel prints go to stderr when the report itself goes to
     # stdout: `repro analyze log > report.json` must stay byte-clean.
@@ -844,6 +931,7 @@ def _cmd_serve(args, out) -> int:
         job_timeout_s=args.job_timeout,
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         journal_path=str(args.journal) if args.journal else None,
+        detect_jobs=args.detect_jobs,
     )
     return serve_forever(config, out=out)
 

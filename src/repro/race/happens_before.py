@@ -35,12 +35,15 @@ cross-validates both against the full machine trace.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import defaultdict
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..replay.events import ReplayedAccess
-from ..replay.log_view import LogView
+from ..replay.log_view import LogView, LogViewUnavailable
 from ..replay.ordered_replay import OrderedReplay
 from ..replay.regions import SequencingRegion, overlaps
 from .model import RaceAccess, RaceInstance
@@ -387,3 +390,437 @@ def find_races(
     return HappensBeforeDetector(
         ordered, max_pairs_per_location=max_pairs_per_location
     ).detect()
+
+
+# ----------------------------------------------------------------------
+# Parallel segment-fanout detection.
+#
+# A v4 container's segments are self-contained and indexed by the
+# footer, so the sweep partitions cleanly: worker *k* owns the regions
+# whose opening sequencer timestamp falls inside its contiguous segment
+# range.  Because timestamps are globally unique and a thread has at
+# most one region open at any instant, the only regions from earlier
+# ranges that can overlap worker *k*'s owned regions are the per-thread
+# regions still open at the cut — the *straddlers*.  Each worker
+# preloads its straddlers into the sweep's active set without emitting
+# for them (their pairs belong to the worker that owns the
+# later-opening side), so every overlapping pair is emitted exactly
+# once, by exactly one worker, with the same per-(pair, address) cap
+# arithmetic as the serial sweep.  Concatenating the workers' instances
+# and applying the canonical sort therefore reproduces the serial
+# output byte for byte.
+# ----------------------------------------------------------------------
+
+
+class PartitionSweepDetector(_DetectorBase):
+    """The batch sweep loop over one worker's segment range.
+
+    Identical to :meth:`HappensBeforeDetector._sweep` except that the
+    first ``preloaded`` ordinals — the straddlers — enter the active
+    set silently: they expire, share addresses and pair up as usual,
+    but never count as swept and never trigger emission themselves.
+    """
+
+    def __init__(self, index, max_pairs_per_location: Optional[int] = 256):
+        super().__init__(None, max_pairs_per_location)
+        self.index = index
+        self.swept = 0
+        self.examined = 0
+
+    def sweep(self, preloaded: int) -> List[RaceInstance]:
+        """Run the sweep; returns instances in enumeration order (the
+        parent sorts canonically after concatenating workers)."""
+        instances: List[RaceInstance] = []
+        expiry: List[Tuple[int, int]] = []
+        active_by_address: Dict[int, Set[int]] = defaultdict(set)
+        index = self.index
+        regions = index.regions
+        for ordinal, region in enumerate(regions):
+            addresses = index.addresses_of(ordinal)
+            if ordinal < preloaded:
+                heappush(expiry, (region.end_ts, ordinal))
+                for address in addresses:
+                    active_by_address[address].add(ordinal)
+                continue
+            self.swept += 1
+            start_ts = region.start_ts
+            while expiry and expiry[0][0] <= start_ts:
+                _, expired = heappop(expiry)
+                for address in index.addresses_of(expired):
+                    active_by_address[address].discard(expired)
+            candidates: Set[int] = set()
+            for address in addresses:
+                candidates |= active_by_address[address]
+            tid = region.tid
+            grouped = None
+            for other in sorted(candidates):
+                other_region = regions[other]
+                if other_region.tid == tid:
+                    continue
+                self.examined += 1
+                if grouped is None:
+                    grouped = index.by_address(ordinal)
+                instances.extend(
+                    self._conflicts(
+                        other_region,
+                        index.by_address(other),
+                        region,
+                        grouped,
+                    )
+                )
+            heappush(expiry, (region.end_ts, ordinal))
+            for address in addresses:
+                active_by_address[address].add(ordinal)
+        return instances
+
+
+class _PartitionThreadCursor:
+    """Per-thread region reconstruction state inside one worker."""
+
+    __slots__ = ("name", "tid", "seen", "open_step", "open_ts", "open_kind", "rows", "row_pos")
+
+    def __init__(self, name: str, tid: int) -> None:
+        self.name = name
+        self.tid = tid
+        #: Sequencers of this thread seen so far (prelude included) —
+        #: after *k* sequencers, ``k - 1`` consecutive pairs are
+        #: complete, so the next completed region has index ``k - 1``
+        #: (empty regions consume indices too, exactly as
+        #: :func:`~repro.replay.regions.regions_of_thread` numbers them).
+        self.seen = 0
+        self.open_step = 0
+        self.open_ts = 0
+        self.open_kind = ""
+        #: Buffered ``(step, flag, address, value, static_id)`` rows not
+        #: yet claimed by a completed region, in step order.
+        self.rows: list = []
+        self.row_pos = 0
+
+
+def _partition_worker(task: tuple) -> dict:
+    """One worker: reconstruct and sweep a contiguous segment range.
+
+    ``task`` is ``(path, s_lo, s_hi, max_pairs_per_location)``.  The
+    worker mmaps the container itself, regex-skips the access rows of
+    every prelude segment (it only needs per-thread sequencer counts and
+    each thread's last pre-range sequencer — the opener of its possible
+    straddler), lean-decodes its owned range, and keeps reading past the
+    range only while a thread still has an open region that started at
+    or below the range end.
+    """
+    path, s_lo, s_hi, max_pairs = task
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    from ..analysis.access_index import PartitionAccessIndex
+    from ..record.binary_format import (
+        MappedSegmentedReader,
+        read_segment_lean,
+        scan_segment_sequencers,
+    )
+
+    threads: Dict[str, _PartitionThreadCursor] = {}
+    #: ``(region, rows, is_straddler)`` in completion order.
+    collected: List[tuple] = []
+    with MappedSegmentedReader(path) as reader:
+        entries = reader.index
+        range_start = entries[s_lo].first_ts
+        range_end = entries[s_hi - 1].last_ts
+        for entry in entries[:s_lo]:
+            payload = reader.segment_payload(entry)
+            for name, tid, _block, count, step, ts, kind in scan_segment_sequencers(payload):
+                if not count:
+                    continue
+                cursor = threads.get(name)
+                if cursor is None:
+                    cursor = threads[name] = _PartitionThreadCursor(name, tid)
+                cursor.seen += count
+                cursor.open_step = step
+                cursor.open_ts = ts
+                cursor.open_kind = kind
+        kinds: Dict[str, str] = {}
+        interned: Dict[Tuple[str, int], object] = {}
+        for position in range(s_lo, len(entries)):
+            if position >= s_hi and not any(
+                cursor.seen
+                and cursor.open_kind != "thread_end"
+                and cursor.open_ts <= range_end
+                for cursor in threads.values()
+            ):
+                break  # every region we could still own has closed
+            payload = reader.segment_payload(entries[position])
+            _, _, _, segment_threads = read_segment_lean(payload, kinds, interned)
+            for name, tid, _block, sequencers, rows in segment_threads:
+                cursor = threads.get(name)
+                if cursor is None:
+                    cursor = threads[name] = _PartitionThreadCursor(name, tid)
+                if rows:
+                    cursor.rows.extend(rows)
+                for step, ts, kind in sequencers:
+                    if cursor.seen:
+                        _complete_partition_region(
+                            cursor, step, ts, kind, range_start, range_end, collected
+                        )
+                    cursor.seen += 1
+                    cursor.open_step = step
+                    cursor.open_ts = ts
+                    cursor.open_kind = kind
+
+    collected.sort(key=lambda item: item[0].start_ts)
+    index = PartitionAccessIndex()
+    preloaded = 0
+    for region, rows, is_straddler in collected:
+        ordinal = index.add_region(region, rows, owned=not is_straddler)
+        if is_straddler and ordinal is not None:
+            preloaded += 1
+    detector = PartitionSweepDetector(index, max_pairs_per_location=max_pairs)
+    instances = detector.sweep(preloaded)
+    return {
+        "instances": instances,
+        "truncated": detector.truncated_locations,
+        "swept": detector.swept,
+        "examined": detector.examined,
+        "stitches": preloaded,
+        "segments": s_hi - s_lo,
+        "owned": index.owned_stats(),
+        "worker_s": time.perf_counter() - started,
+        # CPU seconds are the honest per-worker compute measure: when
+        # workers outnumber free cores they time-share, which inflates
+        # every worker's wall clock but not its CPU time.
+        "worker_cpu_s": time.process_time() - cpu_started,
+        "pid": os.getpid(),
+    }
+
+
+def _complete_partition_region(
+    cursor: _PartitionThreadCursor,
+    end_step: int,
+    end_ts: int,
+    end_kind: str,
+    range_start: int,
+    range_end: int,
+    collected: List[tuple],
+) -> None:
+    """Close the cursor's open region at a newly-arrived sequencer.
+
+    Buffered rows below ``end_step`` belong to the closing region (the
+    v4 writer attaches every row to the first sequencer of its thread
+    at or above the row's step, so a region's rows always travel in the
+    segment of its *closing* sequencer).  Regions opening after the
+    range end are completed — the cursor state must advance — but
+    dropped: a later worker owns them.
+    """
+    start_ts = cursor.open_ts
+    region_index = cursor.seen - 1
+    rows = cursor.rows
+    low = cursor.row_pos
+    position = low
+    end = len(rows)
+    while position < end and rows[position][0] < end_step:
+        position += 1
+    claimed = rows[low:position]
+    cursor.row_pos = position
+    if position == end:
+        cursor.rows = []
+        cursor.row_pos = 0
+    if start_ts > range_end or end_step <= cursor.open_step + 1:
+        return  # not ours, or step-empty (never indexed by any path)
+    start_step = cursor.open_step + 1
+    if claimed and claimed[0][0] < start_step:
+        kept = []
+        for row in claimed:
+            if row[0] >= start_step:
+                kept.append(row)
+            elif not row[1] & 2:
+                raise LogViewUnavailable(
+                    "segment stream lost a plain access row at step %d of "
+                    "thread %r (region starts at step %d)"
+                    % (row[0], cursor.name, start_step)
+                )
+        claimed = kept
+    collected.append(
+        (
+            SequencingRegion(
+                thread_name=cursor.name,
+                tid=cursor.tid,
+                index=region_index,
+                start_step=start_step,
+                end_step=end_step,
+                start_ts=start_ts,
+                end_ts=end_ts,
+                start_kind=cursor.open_kind,
+                end_kind=end_kind,
+            ),
+            claimed,
+            start_ts < range_start,
+        )
+    )
+
+
+def partition_segment_ranges(entries, jobs: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` segment ranges, balanced by row counts.
+
+    The footer index records per-segment access- and sequencer-row
+    counts, so the partitioner can equalize decode work (the dominant
+    cost — both row kinds cost a comparable number of varint reads)
+    instead of segment counts.  At most ``min(jobs, len(entries))``
+    ranges come back; every segment lands in exactly one.
+    """
+    count = len(entries)
+    jobs = max(1, min(jobs, count))
+    weights = [
+        entry.access_rows + entry.sequencer_rows + 1 for entry in entries
+    ]
+    remaining = sum(weights)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for workers_left in range(jobs, 0, -1):
+        if lo >= count:
+            break
+        if workers_left == 1:
+            hi = count
+        else:
+            target = remaining / workers_left
+            acc = 0
+            hi = lo
+            # Leave at least one segment per remaining worker.
+            ceiling = count - (workers_left - 1)
+            while hi < ceiling:
+                if hi > lo and acc + weights[hi] > target:
+                    break
+                acc += weights[hi]
+                hi += 1
+        ranges.append((lo, hi))
+        remaining -= sum(weights[lo:hi])
+        lo = hi
+    return ranges
+
+
+@dataclass
+class ParallelDetectOutcome:
+    """What the fan-out produced, plus the counters the caller surfaces."""
+
+    instances: List[RaceInstance]
+    truncated_locations: int
+    stats: Dict[str, int]
+    segments: int
+    workers: int
+    boundary_stitches: int
+    #: The container's identity section (a
+    #: :class:`~repro.record.binary_format.SegmentedHeader`).
+    header: object = None
+    #: Per-worker wall clock (inflated by time-sharing when workers
+    #: outnumber free cores) and CPU seconds (contention-independent).
+    worker_seconds: List[float] = field(default_factory=list)
+    worker_cpu_seconds: List[float] = field(default_factory=list)
+    worker_pids: List[int] = field(default_factory=list)
+
+
+def parallel_detect_races(
+    path,
+    jobs: int,
+    max_pairs_per_location: Optional[int] = 256,
+    perf=None,
+) -> ParallelDetectOutcome:
+    """Fan a v4 container's segments across a process pool and merge.
+
+    The parent maps the file, decodes only the header and footer (the
+    segment index), and never holds the container bytes; each worker
+    decompresses exactly the segments it reads.  The merged instance
+    list — canonical order included — and the truncation counter are
+    byte-identical to the serial sweep's.
+    """
+    from contextlib import nullcontext
+
+    from ..record.binary_format import MappedSegmentedReader
+
+    path = os.fspath(path)
+    with MappedSegmentedReader(path) as reader:
+        entries = reader.index
+        header = reader.header
+    ranges = partition_segment_ranges(entries, jobs) if entries else []
+    tasks = [(path, lo, hi, max_pairs_per_location) for lo, hi in ranges]
+    with perf.stage("detect.fanout") if perf is not None else nullcontext():
+        if len(tasks) <= 1:
+            results = [_partition_worker(task) for task in tasks]
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                results = list(pool.map(_partition_worker, tasks))
+    merge_started = time.perf_counter()
+    with perf.stage("detect.merge") if perf is not None else nullcontext():
+        instances: List[RaceInstance] = []
+        for result in results:
+            instances.extend(result["instances"])
+        _DetectorBase._sort_canonically(instances)
+        swept = sum(result["swept"] for result in results)
+        examined = sum(result["examined"] for result in results)
+        stitches = sum(result["stitches"] for result in results)
+        addresses: Set[int] = set()
+        for result in results:
+            addresses.update(result["owned"]["addresses"])
+        stats = {
+            "regions": sum(result["owned"]["regions"] for result in results),
+            "accesses": sum(result["owned"]["accesses"] for result in results),
+            "addresses": len(addresses),
+            "writes": sum(result["owned"]["writes"] for result in results),
+        }
+    merge_seconds = time.perf_counter() - merge_started
+    if perf is not None:
+        perf.detect_regions += swept
+        perf.detect_pairs_examined += examined
+        perf.detect_pairs_pruned += swept * (swept - 1) // 2 - examined
+        perf.parallel_segments += len(entries)
+        perf.parallel_workers += len(tasks)
+        perf.parallel_boundary_stitches += stitches
+        perf.parallel_merge_s += merge_seconds
+        perf.parallel_worker_sweep_s += sum(
+            result["worker_cpu_s"] for result in results
+        )
+        if len(tasks) > 1:
+            perf.pool_tasks += len(tasks)
+            perf.pool_workers.update(result["pid"] for result in results)
+    return ParallelDetectOutcome(
+        instances=instances,
+        truncated_locations=sum(result["truncated"] for result in results),
+        stats=stats,
+        segments=len(entries),
+        workers=len(tasks),
+        boundary_stitches=stitches,
+        header=header,
+        worker_seconds=[result["worker_s"] for result in results],
+        worker_cpu_seconds=[result["worker_cpu_s"] for result in results],
+        worker_pids=[result["pid"] for result in results],
+    )
+
+
+class ParallelFileDetector(_DetectorBase):
+    """Detector-shaped adapter over :func:`parallel_detect_races`.
+
+    Lets ``analyze_log``'s ``detector_factory`` hook swap the in-memory
+    sweep for the partitioned file sweep: ``detect()`` returns the same
+    canonical instance list the serial detector would, so every
+    downstream stage (classification, reporting) is oblivious.
+    """
+
+    def __init__(
+        self,
+        path,
+        jobs: int,
+        max_pairs_per_location: Optional[int] = 256,
+        perf=None,
+    ):
+        super().__init__(None, max_pairs_per_location)
+        self.path = path
+        self.jobs = jobs
+        self.perf = perf
+
+    def detect(self) -> List[RaceInstance]:
+        outcome = parallel_detect_races(
+            self.path,
+            self.jobs,
+            max_pairs_per_location=self.max_pairs_per_location,
+            perf=self.perf,
+        )
+        self.truncated_locations = outcome.truncated_locations
+        return outcome.instances

@@ -63,6 +63,8 @@ predicted bit alone says whether a value field is present.
 from __future__ import annotations
 
 import io
+import mmap
+import os
 import re
 import zlib
 from array import array
@@ -1559,16 +1561,9 @@ def iter_segments(data: bytes) -> Iterator[LogSegmentView]:
             yield _read_segment_payload(zlib.decompress(payload))
 
 
-def read_segment_index(data: bytes) -> List[SegmentIndexEntry]:
-    """Decode the footer's segment index of a v4 container."""
-    _require_segmented(data)
-    footer: Optional[bytes] = None
-    for tag, payload in _iter_frames(data):
-        if tag == _SECTION_FOOTER:
-            footer = payload
-    if footer is None:
-        raise ValueError("corrupt segmented log: missing footer section")
-    reader = _Reader(zlib.decompress(footer))
+def _parse_segment_index(payload: bytes) -> List[SegmentIndexEntry]:
+    """Decode a decompressed footer payload into its index entries."""
+    reader = _Reader(payload)
     return [
         SegmentIndexEntry(
             ordinal=reader.uint(),
@@ -1581,6 +1576,233 @@ def read_segment_index(data: bytes) -> List[SegmentIndexEntry]:
         )
         for _ in range(reader.uint())
     ]
+
+
+def read_segment_index(data: bytes) -> List[SegmentIndexEntry]:
+    """Decode the footer's segment index of a v4 container."""
+    _require_segmented(data)
+    footer: Optional[bytes] = None
+    for tag, payload in _iter_frames(data):
+        if tag == _SECTION_FOOTER:
+            footer = payload
+    if footer is None:
+        raise ValueError("corrupt segmented log: missing footer section")
+    return _parse_segment_index(zlib.decompress(footer))
+
+
+# -- mmap-backed zero-copy reading (the parallel detect path) -----------
+
+
+class MappedSegmentedReader:
+    """Random-access view of an on-disk v4 container, without the bytes.
+
+    The file is mapped read-only and the constructor walks only the
+    section *frame headers* — two varints per frame, hopping each frame
+    by its encoded length — to locate the header and footer, so exactly
+    two payloads (identity fields and the segment index) are ever
+    decompressed up front.  Everything else stays on disk: a caller
+    decompresses precisely the segment frames it owns via
+    :meth:`segment_payload`, seeking straight to ``entry.offset`` from
+    the footer index.  No process ever holds the whole container as a
+    ``bytes`` object, which is what lets the parallel detect path fan a
+    multi-gigabyte log across workers that each touch a slice of it.
+    """
+
+    __slots__ = ("path", "version", "header", "index", "_file", "_map")
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._map = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            self._file.close()
+            raise
+        try:
+            self.version = _require_segmented(self._map[: len(MAGIC) + 1])
+            header_payload, footer_payload = self._locate_sections()
+            reader = _Reader(zlib.decompress(header_payload))
+            self.header = SegmentedHeader(
+                version=self.version,
+                program_name=reader.text(),
+                program_source=reader.text(),
+                seed=reader.sint(),
+                scheduler=reader.text(),
+                has_captured=reader.flag(),
+            )
+            self.index = _parse_segment_index(zlib.decompress(footer_payload))
+        except Exception:
+            self.close()
+            raise
+
+    def _locate_sections(self) -> Tuple[bytes, bytes]:
+        """Hop the frame chain; slice out only header and footer."""
+        data = self._map
+        offset = len(MAGIC) + 1
+        end = len(data)
+        header: Optional[bytes] = None
+        footer: Optional[bytes] = None
+        while offset < end:
+            tag, offset = decode_varint(data, offset)
+            length, offset = decode_varint(data, offset)
+            if offset + length > end:
+                raise ValueError(
+                    "corrupt segmented log: truncated frame (tag %d)" % tag
+                )
+            if tag == _SECTION_HEADER and header is None:
+                header = data[offset : offset + length]
+            elif tag == _SECTION_FOOTER:
+                footer = data[offset : offset + length]
+            offset += length
+        if header is None:
+            raise ValueError("corrupt segmented log: missing header section")
+        if footer is None:
+            raise ValueError("corrupt segmented log: missing footer section")
+        return header, footer
+
+    def segment_payload(self, entry: SegmentIndexEntry) -> bytes:
+        """Decompress one segment's payload straight out of the mapping."""
+        data = self._map
+        tag, offset = decode_varint(data, entry.offset)
+        if tag != _SECTION_SEGMENT:
+            raise ValueError(
+                "corrupt segment index: entry %d points at tag %d"
+                % (entry.ordinal, tag)
+            )
+        length, offset = decode_varint(data, offset)
+        return zlib.decompress(data[offset : offset + length])
+
+    def segment_view(self, ordinal: int) -> LogSegmentView:
+        """Fully decode one segment by ordinal (tests and tooling)."""
+        return _read_segment_payload(self.segment_payload(self.index[ordinal]))
+
+    def close(self) -> None:
+        try:
+            self._map.close()
+        finally:
+            self._file.close()
+
+    def __enter__(self) -> "MappedSegmentedReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def scan_segment_sequencers(payload: bytes) -> List[tuple]:
+    """Prelude scan: per-thread sequencer totals, rows regex-skipped.
+
+    A partition worker catching up to its segment range only needs to
+    know, per thread, *how many* sequencers came before the range and
+    where the last one sits (that sequencer opens the thread's possibly
+    still-active region at the cut).  This decodes exactly that — the
+    sequencer step/timestamp deltas plus the final record's kind — and
+    seeks past every access and heap row with the C-speed varint skip,
+    so a prelude segment costs a small fraction of a full decode.
+
+    Returns ``(name, tid, block, count, last_step, last_ts, last_kind)``
+    per thread present in the segment.
+    """
+    reader = _Reader(payload)
+    reader.skip_uints(3)  # ordinal, first_ts, last_ts
+    threads: List[tuple] = []
+    for _ in range(reader.uint()):
+        name = reader.text()
+        tid = reader.uint()
+        block = reader.text()
+        count = reader.uint()
+        step = 0
+        timestamp = 0
+        kind = ""
+        last = count - 1
+        for position in range(count):
+            step += reader.sint()
+            timestamp += reader.sint()
+            if position == last:
+                kind = reader.text()
+            else:
+                reader.skip_text()
+            if reader.uint():
+                reader.skip_text()
+                reader.skip_uints(1)
+        reader.skip_uints(5 * reader.uint())  # access rows
+        reader.skip_uints(4 * reader.uint())  # heap rows
+        threads.append((name, tid, block, count, step, timestamp, kind))
+    return threads
+
+
+def read_segment_lean(
+    payload: bytes,
+    kinds: Dict[str, str],
+    interned: Dict[Tuple[str, int], StaticInstructionId],
+) -> Tuple[int, int, int, List[tuple]]:
+    """Fused single-pass decode of one segment for a partition worker.
+
+    Like :func:`_read_segment_payload` but shaped for the parallel
+    sweep: sequencers come back as ``(thread_step, timestamp, kind)``
+    tuples, access rows as ``(step, flag, address, value, static_id)``
+    tuples — the exact row shape the region cursor hands the detector —
+    heap rows are regex-skipped (detection never reads them), and no
+    column lists are built.  ``kinds``/``interned`` are caller-held
+    interning maps so kind strings and static ids stay shared across
+    every segment a worker touches.
+
+    Returns ``(ordinal, first_ts, last_ts, threads)`` with ``threads``
+    as ``(name, tid, block, sequencers, rows)`` tuples.
+    """
+    reader = _Reader(payload)
+    ordinal = reader.uint()
+    first_ts = reader.uint()
+    last_ts = reader.uint()
+    threads: List[tuple] = []
+    for _ in range(reader.uint()):
+        name = reader.text()
+        tid = reader.uint()
+        block = reader.text()
+        sequencers: List[tuple] = []
+        seq_append = sequencers.append
+        step = 0
+        timestamp = 0
+        for _ in range(reader.uint()):
+            step += reader.sint()
+            timestamp += reader.sint()
+            kind = reader.text()
+            kind = kinds.setdefault(kind, kind)
+            if reader.uint():
+                reader.skip_text()
+                reader.skip_uints(1)
+            seq_append((step, timestamp, kind))
+        # The hot loop: five varints per access row, decoded with local
+        # bindings and inline zigzag exactly like ``_read_captured_view``.
+        rows: List[tuple] = []
+        row_append = rows.append
+        decode = decode_varint
+        data = reader.data
+        offset = reader.offset
+        count, offset = decode(data, offset)
+        step = 0
+        address = 0
+        intern_get = interned.get
+        for _ in range(count):
+            delta, offset = decode(data, offset)
+            step += delta
+            flag, offset = decode(data, offset)
+            raw, offset = decode(data, offset)
+            address += (raw >> 1) ^ -(raw & 1)
+            value, offset = decode(data, offset)
+            index, offset = decode(data, offset)
+            static_id = intern_get((block, index))
+            if static_id is None:
+                static_id = interned[(block, index)] = StaticInstructionId(
+                    block=block, index=index
+                )
+            row_append((step, flag, address, value, static_id))
+        reader.offset = offset
+        reader.skip_uints(4 * reader.uint())  # heap rows
+        threads.append((name, tid, block, sequencers, rows))
+    return ordinal, first_ts, last_ts, threads
 
 
 def _read_residual_access_rows(reader: _Reader, block: str) -> list:

@@ -88,6 +88,12 @@ class ServiceConfig:
     #: resubmissions (requires ``cache_dir``); dedup near-miss jobs then
     #: replay only content-changed instances.
     incremental: bool = True
+    #: Worker processes for the detection sweep of a single job (the
+    #: ``jobs=`` knob of :func:`repro.analysis.pipeline.detect_only`).
+    #: Above 1, detect-only and stream jobs whose upload is a v4
+    #: segmented container fan segments across a per-job process pool;
+    #: anything else falls back to the serial sweep.
+    detect_jobs: int = 1
 
     def effective_shards(self) -> int:
         return self.shards if self.shards > 0 else max(self.pool_size, 1)

@@ -214,10 +214,14 @@ def _run_detect_only(payload: dict, context: dict, stats: PerfStats) -> dict:
             perf=stats,
         )
     else:
+        # jobs= lets a v4 segmented upload fan its segments across a
+        # process pool (mode stays "auto": anything else — v3, JSON —
+        # keeps the serial zero-replay path and identical report bytes).
         analysis = detect_only(
             payload["log_data"],
             max_pairs_per_location=config.max_pairs_per_location,
             perf=stats,
+            jobs=config.detect_jobs,
         )
     return detection_report(analysis)
 
@@ -263,8 +267,59 @@ def _run_stream(payload: dict, context: dict, stats: PerfStats) -> dict:
             perf=stats,
         )
     else:
-        analysis = engine.analyze_log_stream(payload["log_data"], perf=stats)
+        data = payload["log_data"]
+        if config.detect_jobs > 1 and _is_segmented(data):
+            analysis = _analyze_log_parallel(engine, data, config, stats)
+        else:
+            analysis = engine.analyze_log_stream(data, perf=stats)
     return execution_report(analysis)
+
+
+def _is_segmented(data: bytes) -> bool:
+    from ..record.binary_format import MAGIC, is_segmented_log
+
+    return is_segmented_log(bytes(data[: len(MAGIC) + 1]))
+
+
+def _analyze_log_parallel(
+    engine, data: bytes, config: ServiceConfig, stats: PerfStats
+) -> object:
+    """Analyse a v4 upload with the detection sweep fanned over segments.
+
+    Stream jobs normally detect window by window; with ``detect_jobs``
+    above 1 the sweep instead fans the container's segments across a
+    process pool (:class:`repro.race.happens_before.ParallelFileDetector`)
+    and classification proceeds from the merged — byte-identical — race
+    set.  The workers mmap the container from a spooled temp file, so
+    this process never hands the full log bytes to the pool.
+    """
+    import tempfile
+
+    from ..race.happens_before import ParallelFileDetector
+    from ..record.serialization import load_log_bytes
+
+    log = load_log_bytes(bytes(data))
+    handle = tempfile.NamedTemporaryFile(
+        prefix="repro-worker-", suffix=".rprb", delete=False
+    )
+    try:
+        handle.write(data)
+        handle.close()
+
+        def detector_factory(ordered, max_pairs_per_location):
+            return ParallelFileDetector(
+                handle.name, config.detect_jobs, max_pairs_per_location,
+                perf=stats,
+            )
+
+        return engine.analyze_log(
+            log, perf=stats, detector_factory=detector_factory
+        )
+    finally:
+        try:
+            os.unlink(handle.name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
 
 
 def _pooled_run(payload: dict) -> dict:

@@ -13,11 +13,16 @@ segment budgets, so cut points land everywhere):
   :class:`LogView` computes (same order, same fields, same rows up to
   the sync filter), and the streaming access window finishes with the
   same accesses/addresses/writes the batch :class:`AccessIndex` holds.
-* **Stream detect ≡ batch detect** — ``detect_only(mode="stream")``
-  renders byte-identically to the from-log and replay paths, for v4
-  bytes at several budgets and for monolithic v3 bytes re-chunked in
-  memory.
+* **Stream detect ≡ batch detect ≡ parallel detect** —
+  ``detect_only(mode="stream")`` and the segment-fanout
+  ``detect_only(mode="parallel", jobs=N)`` both render byte-identically
+  to the from-log and replay paths, for v4 bytes at several budgets
+  (small budgets put racing regions on opposite sides of segment cuts,
+  exercising the fanout's boundary stitching) and — for the stream
+  path — monolithic v3 bytes re-chunked in memory.
 """
+
+import tempfile
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -169,9 +174,16 @@ class TestConcatenatedSegmentsEqualMonolithicView:
 
 
 class TestStreamDetectEqualsBatchDetect:
-    @given(source=programs(), seed=seeds, budget=segment_budgets)
+    @given(
+        source=programs(),
+        seed=seeds,
+        budget=segment_budgets,
+        jobs=st.sampled_from((2, 3, 4)),
+    )
     @_SETTINGS
-    def test_stream_report_bytes_match_both_batch_paths(self, source, seed, budget):
+    def test_stream_report_bytes_match_both_batch_paths(
+        self, source, seed, budget, jobs
+    ):
         _, log = _recording(source, seed)
         v3 = encode_log(log, version=3)
         expected = render_report(
@@ -188,6 +200,17 @@ class TestStreamDetectEqualsBatchDetect:
         assert expected == render_report(
             detection_report(detect_only(v3, mode="stream"))
         )
+        # The parallel fanout sweeps the same container from a file —
+        # spooled here so the workers can mmap it — and must merge back
+        # to the exact same bytes, whatever the cut points and fan width.
+        with tempfile.NamedTemporaryFile(suffix=".rprb") as handle:
+            handle.write(v4)
+            handle.flush()
+            assert expected == render_report(
+                detection_report(
+                    detect_only(handle.name, mode="parallel", jobs=jobs)
+                )
+            )
 
     @given(source=programs(), seed=seeds)
     @settings(
