@@ -112,6 +112,14 @@ class PerfStats:
     #: Summed per-worker wall seconds (decode + sweep); across a real
     #: pool this exceeds the fan-out stage's wall time.
     parallel_worker_sweep_s: float = 0.0
+    #: Job reports absorbed into the fleet triage store.
+    fleet_absorbs: int = 0
+    #: Absorb attempts skipped as duplicates (same job content key).
+    fleet_absorb_duplicates: int = 0
+    #: Fleet records created by absorbs.
+    fleet_records_new: int = 0
+    #: Existing fleet records that gained a contribution.
+    fleet_records_updated: int = 0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -171,6 +179,10 @@ class PerfStats:
         self.parallel_boundary_stitches += other.parallel_boundary_stitches
         self.parallel_merge_s += other.parallel_merge_s
         self.parallel_worker_sweep_s += other.parallel_worker_sweep_s
+        self.fleet_absorbs += other.fleet_absorbs
+        self.fleet_absorb_duplicates += other.fleet_absorb_duplicates
+        self.fleet_records_new += other.fleet_records_new
+        self.fleet_records_updated += other.fleet_records_updated
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "PerfStats":
@@ -292,6 +304,10 @@ class PerfStats:
             "parallel_boundary_stitches": self.parallel_boundary_stitches,
             "parallel_merge_s": round(self.parallel_merge_s, 6),
             "parallel_worker_sweep_s": round(self.parallel_worker_sweep_s, 6),
+            "fleet_absorbs": self.fleet_absorbs,
+            "fleet_absorb_duplicates": self.fleet_absorb_duplicates,
+            "fleet_records_new": self.fleet_records_new,
+            "fleet_records_updated": self.fleet_records_updated,
         }
 
     def render(self) -> str:
@@ -386,6 +402,16 @@ class PerfStats:
             lines.append(
                 "  parallel detect time: %.3f s worker sweeps, %.3f s merge"
                 % (self.parallel_worker_sweep_s, self.parallel_merge_s)
+            )
+        if self.fleet_absorbs or self.fleet_absorb_duplicates:
+            lines.append(
+                "  fleet: %d absorbed (%d duplicates skipped), %d records new / %d updated"
+                % (
+                    self.fleet_absorbs,
+                    self.fleet_absorb_duplicates,
+                    self.fleet_records_new,
+                    self.fleet_records_updated,
+                )
             )
         if self.detect_regions:
             lines.append(

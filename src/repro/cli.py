@@ -158,11 +158,12 @@ def _build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
+        default=None,
         metavar="N",
         help="worker processes for the detection sweep (default: 1, serial); "
         "above 1 fans v4 segments across a process pool — needs a log "
-        "recorded with --segment-bytes, race set is identical to serial",
+        "recorded with --segment-bytes, race set is identical to serial; "
+        "incompatible with --stream",
     )
 
     classify = sub.add_parser(
@@ -419,6 +420,81 @@ def _build_parser() -> argparse.ArgumentParser:
         "serial); above 1, detect-only and stream jobs on v4 segmented "
         "uploads fan segments across a per-job process pool",
     )
+    serve.add_argument(
+        "--fleet-dir",
+        type=Path,
+        default=None,
+        help="fleet triage store directory: completed jobs' verdicts are "
+        "absorbed into it and served from GET /races; sharable between "
+        "several serve instances (advisory file lock)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="query and maintain the fleet triage store (GET /races offline)",
+    )
+    fleet.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="fleet store directory (the serve --fleet-dir path)",
+    )
+    fleet.add_argument(
+        "--server",
+        default=None,
+        help="query a running service instead of opening --store directly "
+        "(e.g. http://127.0.0.1:8422)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_report = fleet_sub.add_parser(
+        "report", help="the ranked triage report (harmful first)"
+    )
+    fleet_report.add_argument(
+        "--include-suppressed",
+        action="store_true",
+        help="list suppressed races too (flagged) instead of hiding them",
+    )
+    fleet_report.add_argument(
+        "--limit", type=_positive_int, default=None, help="top N races only"
+    )
+    fleet_suppress = fleet_sub.add_parser(
+        "suppress", help="persist a suppression rule for a race"
+    )
+    fleet_suppress.add_argument(
+        "race", help="static race key, e.g. 'worker:3|worker:5'"
+    )
+    fleet_suppress.add_argument(
+        "--digest",
+        default="",
+        help="region-content digest: narrows the rule to one content "
+        "variant (default: suppress the whole static race)",
+    )
+    fleet_suppress.add_argument("--reason", default="", help="why (provenance)")
+    fleet_suppress.add_argument("--by", default="", help="who (provenance)")
+    fleet_suppress.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire the rule after this many seconds (default: never)",
+    )
+    fleet_sub.add_parser(
+        "compact", help="fold the journal into the snapshot (store only)"
+    )
+    fleet_export = fleet_sub.add_parser(
+        "export", help="write the store as a mergeable JSON document"
+    )
+    fleet_export.add_argument(
+        "output", nargs="?", type=Path, default=None, help="file (default stdout)"
+    )
+    fleet_import = fleet_sub.add_parser(
+        "import", help="merge another host's export into this store"
+    )
+    fleet_import.add_argument("document", type=Path, help="exported JSON file")
+    fleet_absorb = fleet_sub.add_parser(
+        "absorb", help="absorb a report JSON (classify --json / detect output)"
+    )
+    fleet_absorb.add_argument("report", type=Path, help="report document file")
 
     submit = sub.add_parser(
         "submit", help="submit a job to a running analysis service"
@@ -564,13 +640,19 @@ def _cmd_detect(args, out) -> int:
             "--naive needs thread replays and cannot run on the zero-replay "
             "path; drop --naive or the --from-log/--stream flag"
         )
-    if args.jobs > 1 and (
-        args.naive or args.from_log or args.full_replay or args.stream
-    ):
+    # --jobs (at any value) picks the batch sweep; --stream picks the
+    # segment-streaming path — they are different detectors, so naming
+    # both is a contradiction even for --jobs 1.
+    if args.jobs is not None and args.stream:
+        raise ValueError(
+            "--jobs and --stream are mutually exclusive; drop one of them"
+        )
+    jobs = args.jobs if args.jobs is not None else 1
+    if jobs > 1 and (args.naive or args.from_log or args.full_replay):
         raise ValueError(
             "--jobs above 1 selects the parallel segment-fanout path and "
             "cannot be combined with an explicit path flag; drop --jobs or "
-            "the --naive/--from-log/--full-replay/--stream flag"
+            "the --naive/--from-log/--full-replay flag"
         )
     perf = PerfStats()
     if args.naive:
@@ -588,7 +670,7 @@ def _cmd_detect(args, out) -> int:
             mode = "from-log"
         elif args.full_replay:
             mode = "replay"
-        elif args.jobs > 1:
+        elif jobs > 1:
             # Explicitly parallel (not auto) so a container the fanout
             # cannot partition errors loudly instead of silently running
             # the serial sweep the user asked to spread out.
@@ -598,7 +680,7 @@ def _cmd_detect(args, out) -> int:
         # The path (not its bytes) goes to the pipeline so the parallel
         # fanout can mmap segments in the workers without the parent ever
         # materializing the full log; serial modes read it themselves.
-        analysis = detect_only(args.log, mode=mode, perf=perf, jobs=args.jobs)
+        analysis = detect_only(args.log, mode=mode, perf=perf, jobs=jobs)
         instances = analysis.instances
         source = analysis.source
         path = analysis.path
@@ -806,15 +888,9 @@ def _cmd_inspect(args, out) -> int:
 
 
 def _parse_race_key(text: str):
-    from .isa.program import StaticInstructionId
+    from .race.model import static_key_from_text
 
-    first_text, second_text = text.split("|")
-
-    def parse(one: str) -> StaticInstructionId:
-        block, _, index = one.rpartition(":")
-        return StaticInstructionId(block=block, index=int(index))
-
-    return (parse(first_text), parse(second_text))
+    return static_key_from_text(text)
 
 
 def _cmd_mark_benign(args, out) -> int:
@@ -932,8 +1008,121 @@ def _cmd_serve(args, out) -> int:
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         journal_path=str(args.journal) if args.journal else None,
         detect_jobs=args.detect_jobs,
+        fleet_dir=str(args.fleet_dir) if args.fleet_dir else None,
     )
     return serve_forever(config, out=out)
+
+
+def _cmd_fleet(args, out) -> int:
+    if args.server and args.store:
+        raise ValueError("--server and --store are mutually exclusive; pick one")
+    if args.server:
+        return _cmd_fleet_remote(args, out)
+    if args.store is None:
+        raise ValueError("fleet needs a store: pass --store DIR or --server URL")
+
+    import hashlib
+    import json
+    import time
+
+    from .fleet import FleetStore, SuppressionRule
+    from .race.model import static_key_from_text
+
+    store = FleetStore.open(args.store)
+    command = args.fleet_command
+    if command == "report":
+        out.write(
+            store.report_bytes(
+                include_suppressed=args.include_suppressed,
+                limit=args.limit,
+                now=time.time(),
+            ).decode("utf-8")
+        )
+    elif command == "suppress":
+        static_key_from_text(args.race)  # validate the key shape up front
+        now = time.time()
+        rule = SuppressionRule(
+            scope="exact" if args.digest else "race",
+            race=args.race,
+            digest=args.digest,
+            reason=args.reason,
+            created_by=args.by,
+            created_at=round(now, 3),
+            expires_at=round(now + args.ttl, 3) if args.ttl is not None else None,
+        )
+        rule_id = store.suppress(rule)
+        print(
+            "suppressed %s (%s scope) as rule %s"
+            % (args.race, rule.scope, rule_id),
+            file=out,
+        )
+    elif command == "compact":
+        size = store.compact()
+        print("compacted %s: snapshot %d bytes" % (args.store, size), file=out)
+    elif command == "export":
+        body = (
+            json.dumps(store.export_document(), indent=2, sort_keys=True) + "\n"
+        )
+        if args.output is not None:
+            args.output.write_text(body)
+            print("exported fleet store to %s" % args.output, file=out)
+        else:
+            out.write(body)
+    elif command == "import":
+        store.import_document(json.loads(args.document.read_text()))
+        counts = store.counts()
+        print(
+            "imported %s: now %d unique race(s) over %d absorbed job(s)"
+            % (args.document, counts["unique_races"], counts["absorbed_jobs"]),
+            file=out,
+        )
+    elif command == "absorb":
+        data = args.report.read_bytes()
+        outcome = store.absorb_report(
+            json.loads(data.decode("utf-8")),
+            hashlib.sha256(data).hexdigest(),
+            observed_at=round(time.time(), 3),
+        )
+        if outcome.absorbed:
+            print(
+                "absorbed %s: %d new record(s), %d updated"
+                % (args.report, outcome.new_records, outcome.updated_records),
+                file=out,
+            )
+        else:
+            print("already absorbed %s (duplicate)" % args.report, file=out)
+    else:  # pragma: no cover - argparse required=True gates this
+        raise ValueError(command)
+    return 0
+
+
+def _cmd_fleet_remote(args, out) -> int:
+    """Fleet verbs that make sense against a running service."""
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    command = args.fleet_command
+    if command == "report":
+        out.write(
+            client.races_bytes(
+                include_suppressed=args.include_suppressed, limit=args.limit
+            ).decode("utf-8")
+        )
+        return 0
+    if command == "suppress":
+        rule_id = client.suppress(
+            args.race,
+            digest=args.digest,
+            reason=args.reason,
+            by=args.by,
+            ttl_s=args.ttl,
+        )
+        print("suppressed %s as rule %s" % (args.race, rule_id), file=out)
+        return 0
+    raise ValueError(
+        "fleet %s operates on a local store; pass --store DIR instead of "
+        "--server" % command
+    )
 
 
 def _cmd_submit(args, out) -> int:
@@ -993,6 +1182,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -1,0 +1,242 @@
+"""Pluggable storage backends for the fleet store.
+
+The store's persistence contract is two artifacts:
+
+* a **snapshot** — the full compacted document, replaced atomically;
+* a **journal** — newline-delimited JSON events appended since the last
+  compaction.
+
+:class:`FileLockBackend` keeps both in a shared directory guarded by an
+advisory ``flock``, so N service instances (and CLI invocations) on one
+host can share a store: every mutation and every read-for-report happens
+under the exclusive lock, and each entry re-reads whatever the other
+instances wrote since.  :class:`MemoryBackend` implements the same
+contract in RAM for tests and benchmarks.
+
+Crash safety: journal appends are flushed (surviving SIGKILL of the
+process; an OS crash may lose the tail, never corrupt the snapshot),
+and a torn trailing line — a writer killed mid-append — is sealed or
+skipped on the next entry.  Snapshot replacement is write-temp + fsync +
+``os.replace``, so readers only ever see a complete snapshot.  A crash
+*between* snapshot replace and journal truncation replays journal events
+that are already in the snapshot; the store's absorbed-set makes that
+replay idempotent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+try:  # pragma: no cover - platform gate
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+SNAPSHOT_NAME = "fleet.snapshot.json"
+JOURNAL_NAME = "fleet.journal.jsonl"
+LOCK_NAME = "fleet.lock"
+
+
+class StoreBackend:
+    """Storage contract the fleet store drives.
+
+    All methods are called with the exclusive lock held, except
+    :meth:`exclusive` itself (re-entrant) and :meth:`close`.
+    """
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Hold the store-wide exclusive lock (re-entrant)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def snapshot_signature(self) -> Optional[Tuple]:
+        """A value that changes whenever the snapshot is replaced."""
+        raise NotImplementedError
+
+    def read_snapshot(self) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def replace_snapshot(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def journal_end(self) -> int:
+        """Current end position of the journal (bytes or lines)."""
+        raise NotImplementedError
+
+    def read_journal(self, position: int) -> Tuple[List[str], int]:
+        """Complete journal lines appended after ``position``."""
+        raise NotImplementedError
+
+    def append_journal(self, line: str) -> None:
+        raise NotImplementedError
+
+    def truncate_journal(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class FileLockBackend(StoreBackend):
+    """Shared-directory backend guarded by an advisory file lock.
+
+    ``flock`` serialises *processes*; it is a no-op between threads of
+    one process (the lock is per open-file-description), so an
+    in-process re-entrant lock is layered on top.  The flock is taken
+    only at depth 0 of that RLock.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._snapshot = self._dir / SNAPSHOT_NAME
+        self._journal = self._dir / JOURNAL_NAME
+        self._lock_path = self._dir / LOCK_NAME
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._lock_file = None
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator[None]:
+        with self._thread_lock:
+            if self._depth == 0 and fcntl is not None:
+                self._lock_file = open(self._lock_path, "ab")
+                fcntl.flock(self._lock_file.fileno(), fcntl.LOCK_EX)
+            self._depth += 1
+            try:
+                yield
+            finally:
+                self._depth -= 1
+                if self._depth == 0 and self._lock_file is not None:
+                    fcntl.flock(self._lock_file.fileno(), fcntl.LOCK_UN)
+                    self._lock_file.close()
+                    self._lock_file = None
+
+    def snapshot_signature(self) -> Optional[Tuple]:
+        try:
+            stat = self._snapshot.stat()
+        except FileNotFoundError:
+            return None
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+    def read_snapshot(self) -> Optional[bytes]:
+        try:
+            return self._snapshot.read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def replace_snapshot(self, data: bytes) -> None:
+        tmp = self._snapshot.with_name(self._snapshot.name + ".tmp.%d" % os.getpid())
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._snapshot)
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
+
+    def journal_end(self) -> int:
+        try:
+            return self._journal.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def read_journal(self, position: int) -> Tuple[List[str], int]:
+        try:
+            with open(self._journal, "rb") as handle:
+                handle.seek(position)
+                data = handle.read()
+        except FileNotFoundError:
+            return [], 0
+        lines: List[str] = []
+        consumed = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail: a writer died mid-append
+            consumed += len(raw)
+            text = raw.decode("utf-8", errors="replace").strip()
+            if text:
+                lines.append(text)
+        return lines, position + consumed
+
+    def append_journal(self, line: str) -> None:
+        with open(self._journal, "ab+") as handle:
+            # Seal a torn tail left by a killed writer so our event
+            # starts on a fresh line (the torn fragment is skipped by
+            # read_journal either way).
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+
+    def truncate_journal(self) -> None:
+        with open(self._journal, "wb"):
+            pass
+
+    def close(self) -> None:
+        with self._thread_lock:
+            if self._lock_file is not None:  # pragma: no cover - defensive
+                self._lock_file.close()
+                self._lock_file = None
+
+
+class MemoryBackend(StoreBackend):
+    """In-memory backend for tests and benchmarks; same contract."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._snapshot: Optional[bytes] = None
+        self._generation = 0
+        self._journal: List[str] = []
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator[None]:
+        with self._lock:
+            yield
+
+    def snapshot_signature(self) -> Optional[Tuple]:
+        if self._snapshot is None:
+            return None
+        return (self._generation,)
+
+    def read_snapshot(self) -> Optional[bytes]:
+        return self._snapshot
+
+    def replace_snapshot(self, data: bytes) -> None:
+        self._snapshot = data
+        self._generation += 1
+
+    def journal_end(self) -> int:
+        return len(self._journal)
+
+    def read_journal(self, position: int) -> Tuple[List[str], int]:
+        return list(self._journal[position:]), len(self._journal)
+
+    def append_journal(self, line: str) -> None:
+        self._journal.append(line)
+
+    def truncate_journal(self) -> None:
+        self._journal = []

@@ -1,0 +1,82 @@
+"""Harmful-first ordering of fleet records.
+
+Reuses the evidence weights from :mod:`repro.race.ranking` so a race
+scores the same whether ranked from one session's in-memory results or
+from fleet aggregates.  Fleet records lose per-instance failure kinds
+(only counts survive aggregation), so the failure component here scores
+the replay-failure *fraction* rather than the strongest observed kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..race.ranking import (
+    BREADTH_SATURATION,
+    FAILURE_WEIGHT_SCALE,
+    STATE_CHANGE_WEIGHT,
+    VOLUME_SATURATION,
+)
+from .records import BENIGN, DETECTED, HARMFUL, FleetRecord
+
+#: Report ordering: harmful races first, then detected-but-unreplayed
+#: (unknown is riskier than known-benign), then benign.
+GROUP_ORDER = {HARMFUL: 0, DETECTED: 1, BENIGN: 2}
+
+
+@dataclass(frozen=True)
+class FleetPriority:
+    """A fleet record's triage score, decomposed like a session score."""
+
+    total: float
+    state_change_strength: float
+    failure_strength: float
+    breadth: float
+    volume: float
+
+    def to_json(self) -> Dict:
+        return {
+            "total": round(self.total, 4),
+            "state_change_strength": round(self.state_change_strength, 4),
+            "failure_strength": round(self.failure_strength, 4),
+            "breadth": round(self.breadth, 4),
+            "volume": round(self.volume, 4),
+        }
+
+
+def fleet_priority(record: FleetRecord) -> FleetPriority:
+    """Score one fleet record's evidence of harm (higher = triage sooner)."""
+    counts = record.counts()
+    replayed = (
+        counts["no_state_change"] + counts["state_change"] + counts["replay_failure"]
+    )
+    state_fraction = counts["state_change"] / replayed if replayed else 0.0
+    failure_fraction = counts["replay_failure"] / replayed if replayed else 0.0
+    executions = len(record.executions()) or 1
+    breadth = min(executions, BREADTH_SATURATION) / float(BREADTH_SATURATION)
+    volume = min(counts["total"], VOLUME_SATURATION) / float(VOLUME_SATURATION)
+
+    state_component = STATE_CHANGE_WEIGHT * state_fraction
+    failure_component = FAILURE_WEIGHT_SCALE * failure_fraction
+    return FleetPriority(
+        total=state_component + failure_component + breadth + volume,
+        state_change_strength=state_component,
+        failure_strength=failure_component,
+        breadth=breadth,
+        volume=volume,
+    )
+
+
+def rank_records(records: Iterable[FleetRecord]) -> List[FleetRecord]:
+    """Harmful first, then by descending score, stable on identity."""
+    return sorted(
+        records,
+        key=lambda record: (
+            GROUP_ORDER.get(record.classification, len(GROUP_ORDER)),
+            -fleet_priority(record).total,
+            record.program,
+            record.race,
+            record.digest,
+        ),
+    )

@@ -21,26 +21,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from ..isa.program import StaticInstructionId
 from .aggregate import StaticRaceResult
-from .model import StaticRaceKey
+from .model import (
+    StaticRaceKey,
+    static_key_from_text as _key_from_text,
+    static_key_to_text as _key_to_text,
+)
 from .outcomes import Classification, InstanceOutcome
 
 FORMAT_VERSION = 1
-
-
-def _key_to_text(key: StaticRaceKey) -> str:
-    return "%s|%s" % (key[0], key[1])
-
-
-def _key_from_text(text: str) -> StaticRaceKey:
-    first_text, second_text = text.split("|")
-
-    def parse(one: str) -> StaticInstructionId:
-        block, _, index = one.rpartition(":")
-        return StaticInstructionId(block=block, index=int(index))
-
-    return (parse(first_text), parse(second_text))
 
 
 @dataclass

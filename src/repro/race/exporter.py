@@ -17,15 +17,11 @@ from ..isa.program import Program
 from ..record.log import ReplayLog
 from .aggregate import StaticRaceResult
 from .heuristics import categorize
-from .model import StaticRaceKey
+from .model import StaticRaceKey, static_key_to_text as _key_text
 from .outcomes import InstanceOutcome
 from .suppression import SuppressionDB
 
 EXPORT_VERSION = 1
-
-
-def _key_text(key: StaticRaceKey) -> str:
-    return "%s|%s" % (key[0], key[1])
 
 
 def result_to_json(

@@ -30,6 +30,32 @@ def static_race_key(
     return (second, first)
 
 
+def static_key_to_text(key: StaticRaceKey) -> str:
+    """The canonical ``"block:i|block:j"`` text form of a static race key.
+
+    This is the identity every persistence surface shares — the race
+    database, suppression lists, exported reports and the fleet store
+    all spell a unique race exactly this way, so records written by one
+    tool resolve in another.
+    """
+    return "%s|%s" % (key[0], key[1])
+
+
+def static_key_from_text(text: str) -> StaticRaceKey:
+    """Parse :func:`static_key_to_text` output back into a key."""
+    parts = text.split("|")
+    if len(parts) != 2:
+        raise ValueError(
+            "expected a static race key like 'block:3|block:5', got %r" % text
+        )
+
+    def parse(one: str) -> StaticInstructionId:
+        block, _, index = one.rpartition(":")
+        return StaticInstructionId(block=block, index=int(index))
+
+    return (parse(parts[0]), parse(parts[1]))
+
+
 def describe_static_race(key: StaticRaceKey, program: Program) -> str:
     """Human-readable description of a static race for reports."""
     return "%s  <->  %s" % (

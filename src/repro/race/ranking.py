@@ -33,6 +33,15 @@ _FAILURE_WEIGHT: Dict[ReplayFailureKind, float] = {
     ReplayFailureKind.STEP_LIMIT: 0.3,
 }
 
+#: Evidence-component weights.  The fleet store's ranked view
+#: (:mod:`repro.fleet.ranking`) reuses these so a race scores the same
+#: whether it is ranked from one session's results or from fleet
+#: aggregates.
+STATE_CHANGE_WEIGHT = 3.0
+FAILURE_WEIGHT_SCALE = 2.0
+BREADTH_SATURATION = 4
+VOLUME_SATURATION = 32
+
 
 @dataclass(frozen=True)
 class PriorityScore:
@@ -83,11 +92,11 @@ def priority_score(result: StaticRaceResult) -> PriorityScore:
                 strongest_failure, _FAILURE_WEIGHT.get(entry.failure_kind, 0.5)
             )
     executions = len(result.executions) or 1
-    breadth = min(executions, 4) / 4.0
-    volume = min(total_instances, 32) / 32.0
+    breadth = min(executions, BREADTH_SATURATION) / float(BREADTH_SATURATION)
+    volume = min(total_instances, VOLUME_SATURATION) / float(VOLUME_SATURATION)
 
-    state_component = 3.0 * state_change_fraction
-    failure_component = 2.0 * strongest_failure
+    state_component = STATE_CHANGE_WEIGHT * state_change_fraction
+    failure_component = FAILURE_WEIGHT_SCALE * strongest_failure
     return PriorityScore(
         total=state_component + failure_component + breadth + volume,
         state_change_strength=state_component,

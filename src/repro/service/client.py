@@ -256,3 +256,61 @@ class ServiceClient:
     def health(self) -> Dict:
         status, body = self._request("GET", "/healthz")
         return self._json(status, body)
+
+    # -- fleet triage -----------------------------------------------------
+
+    def races_bytes(
+        self, include_suppressed: bool = False, limit: Optional[int] = None
+    ) -> bytes:
+        """Raw ``GET /races`` bytes — the byte-comparable ranked report."""
+        query = []
+        if include_suppressed:
+            query.append("include_suppressed=1")
+        if limit is not None:
+            query.append("limit=%d" % limit)
+        path = "/races" + ("?" + "&".join(query) if query else "")
+        status, body = self._request("GET", path)
+        if status != 200:
+            self._json(status, body)  # raises with the server's error
+        return body
+
+    def races(
+        self, include_suppressed: bool = False, limit: Optional[int] = None
+    ) -> Dict:
+        return json.loads(
+            self.races_bytes(
+                include_suppressed=include_suppressed, limit=limit
+            ).decode("utf-8")
+        )
+
+    def race(self, record_id: str) -> Dict:
+        status, body = self._request("GET", "/races/%s" % record_id)
+        return self._json(status, body)
+
+    def suppress(
+        self,
+        race: str,
+        digest: str = "",
+        reason: str = "",
+        by: str = "",
+        ttl_s: Optional[float] = None,
+    ) -> str:
+        """Add a suppression rule; returns its id."""
+        document = {"race": race, "digest": digest, "reason": reason, "by": by}
+        if ttl_s is not None:
+            document["ttl_s"] = ttl_s
+        status, body = self._request(
+            "POST",
+            "/suppressions",
+            json.dumps(document).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+        return self._json(status, body)["rule_id"]
+
+    def suppressions(self) -> Dict:
+        status, body = self._request("GET", "/suppressions")
+        return self._json(status, body)
+
+    def unsuppress(self, rule_id: str) -> Dict:
+        status, body = self._request("DELETE", "/suppressions/%s" % rule_id)
+        return self._json(status, body)

@@ -74,6 +74,12 @@ class ServiceConfig:
     #: Content-addressed record cache shared by all workers
     #: (:class:`repro.analysis.cache.SuiteCache`); None disables it.
     cache_dir: Optional[str] = None
+    #: Fleet triage store directory (:class:`repro.fleet.FleetStore`);
+    #: completed jobs' verdicts are absorbed into it and served from
+    #: ``GET /races``.  May be shared by several service instances —
+    #: the store's advisory file lock arbitrates.  None disables fleet
+    #: absorption and the fleet endpoints.
+    fleet_dir: Optional[str] = None
 
     #: Analysis knobs, mirroring :func:`repro.analysis.pipeline.analyze_execution`.
     max_pairs_per_location: Optional[int] = 256

@@ -9,6 +9,17 @@ Endpoints::
     GET    /healthz          liveness
     GET    /metrics          queue depth, throughput, cache hit rates,
                              per-stage latency histograms
+    GET    /races            ranked fleet triage report (harmful first;
+                             ?include_suppressed=1, ?limit=N)
+    GET    /races/<id>       one fleet record with per-job contributions
+    GET    /suppressions     live suppression rules
+    POST   /suppressions     add a rule: {"race", "digest"?, "reason"?,
+                             "by"?, "ttl_s"?}
+    DELETE /suppressions/<id> remove a rule
+
+The ``/races`` and ``/suppressions`` family requires the service to be
+started with a fleet store (``repro serve --fleet-dir``); without one
+they reply 404 with an explanatory error.
 
 ``POST /jobs`` accepts three request shapes, selected by Content-Type:
 
@@ -44,6 +55,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .config import ServiceConfig
 from .jobs import JobState
@@ -144,7 +156,11 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------
 
     def do_POST(self) -> None:
-        if self.path.rstrip("/") != "/jobs":
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/suppressions":
+            self._post_suppression()
+            return
+        if path != "/jobs":
             self._send_json(404, {"error": "unknown endpoint %s" % self.path})
             return
         body = self._read_body()
@@ -195,7 +211,9 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
         self._submission_response(job, created)
 
     def do_GET(self) -> None:
-        path = self.path.rstrip("/") or "/"
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
         if path == "/healthz":
             self._send_json(200, self.service.health())
             return
@@ -211,10 +229,24 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             if len(parts) == 4 and parts[3] == "report":
                 self._get_report(parts[2])
                 return
+        if path == "/races":
+            self._get_races(query)
+            return
+        if path.startswith("/races/"):
+            parts = path.split("/")
+            if len(parts) == 3:
+                self._get_race(parts[2])
+                return
+        if path == "/suppressions":
+            self._get_suppressions()
+            return
         self._send_json(404, {"error": "unknown endpoint %s" % self.path})
 
     def do_DELETE(self) -> None:
-        path = self.path.rstrip("/")
+        path = urlsplit(self.path).path.rstrip("/")
+        if path.startswith("/suppressions/"):
+            self._delete_suppression(path.split("/")[2])
+            return
         if not path.startswith("/jobs/"):
             self._send_json(404, {"error": "unknown endpoint %s" % self.path})
             return
@@ -251,6 +283,89 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             return
         # Queued or running: not ready yet — poll again.
         self._send_json(202, {"state": str(job.state)})
+
+    # -- fleet routes ---------------------------------------------------
+
+    def _fleet_disabled(self, error: ValueError) -> None:
+        self._send_json(404, {"error": str(error)})
+
+    def _get_races(self, query: Dict) -> None:
+        include_suppressed = (query.get("include_suppressed") or ["0"])[
+            0
+        ] not in ("0", "", "false")
+        limit_text = (query.get("limit") or [""])[0]
+        try:
+            limit = int(limit_text) if limit_text else None
+        except ValueError:
+            self._send_json(400, {"error": "limit must be an integer"})
+            return
+        try:
+            body = self.service.fleet_report_bytes(
+                include_suppressed=include_suppressed, limit=limit
+            )
+        except ValueError as error:
+            self._fleet_disabled(error)
+            return
+        self._send_bytes(200, body)
+
+    def _get_race(self, record_id: str) -> None:
+        try:
+            document = self.service.fleet_record(record_id)
+        except ValueError as error:
+            self._fleet_disabled(error)
+            return
+        if document is None:
+            self._send_json(404, {"error": "no such race %s" % record_id})
+            return
+        self._send_json(200, document)
+
+    def _get_suppressions(self) -> None:
+        try:
+            rules = self.service.fleet_suppressions()
+        except ValueError as error:
+            self._fleet_disabled(error)
+            return
+        self._send_json(200, {"suppressions": rules})
+
+    def _post_suppression(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            document = json.loads(body.decode("utf-8"))
+            race = document["race"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            self._send_json(
+                400, {"error": "suppression body needs at least {\"race\": ...}"}
+            )
+            return
+        ttl = document.get("ttl_s")
+        try:
+            rule_id = self.service.suppress_race(
+                str(race),
+                digest=str(document.get("digest", "")),
+                reason=str(document.get("reason", "")),
+                created_by=str(document.get("by", "")),
+                ttl_s=float(ttl) if ttl is not None else None,
+            )
+        except ValueError as error:
+            if "fleet store not configured" in str(error):
+                self._fleet_disabled(error)
+            else:
+                self._send_json(400, {"error": str(error)})
+            return
+        self._send_json(201, {"rule_id": rule_id})
+
+    def _delete_suppression(self, rule_id: str) -> None:
+        try:
+            removed = self.service.unsuppress_race(rule_id)
+        except ValueError as error:
+            self._fleet_disabled(error)
+            return
+        if not removed:
+            self._send_json(404, {"error": "no such suppression %s" % rule_id})
+            return
+        self._send_json(200, {"removed": True, "rule_id": rule_id})
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
@@ -308,13 +423,14 @@ def serve_forever(config: ServiceConfig, out=None) -> int:
     server = make_server(service)
     print("repro analysis service listening on %s" % server.url, file=out)
     print(
-        "  shards=%d pool=%s queue=%d journal=%s cache=%s"
+        "  shards=%d pool=%s queue=%d journal=%s cache=%s fleet=%s"
         % (
             config.effective_shards(),
             config.pool_size or "inline",
             config.queue_capacity,
             config.journal_path or "-",
             config.cache_dir or "-",
+            config.fleet_dir or "-",
         ),
         file=out,
     )

@@ -421,6 +421,12 @@ class JobStore:
             queued = [j for j in self._jobs.values() if j.state is JobState.QUEUED]
             return sorted(queued, key=lambda job: job.seq)
 
+    def finished(self) -> List[Job]:
+        """DONE jobs in submission order (for fleet heal-on-start)."""
+        with self._lock:
+            done = [j for j in self._jobs.values() if j.state is JobState.DONE]
+            return sorted(done, key=lambda job: job.seq)
+
     def counts(self) -> Dict[str, int]:
         with self._lock:
             counts = {state.value: 0 for state in JobState}

@@ -23,9 +23,13 @@ duplicating finished work.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..analysis.perf import PerfStats
+from ..fleet import FleetStore, SuppressionRule
+from ..race.model import static_key_from_text
 from ..record.serialization import load_log_bytes, load_log_sections_bytes
 from ..workloads.suite import all_workloads
 from .config import ServiceConfig
@@ -58,8 +62,19 @@ class AnalysisService:
         self.queue = BoundedJobQueue(
             self.config.queue_capacity, self.config.effective_shards()
         )
+        self.fleet: Optional[FleetStore] = (
+            FleetStore.open(self.config.fleet_dir)
+            if self.config.fleet_dir
+            else None
+        )
+        self._fleet_lock = threading.Lock()
+        self._fleet_perf = PerfStats()
         self.pool = ShardedWorkerPool(
-            self.config, self.store, self.queue, runner=runner
+            self.config,
+            self.store,
+            self.queue,
+            runner=runner,
+            on_done=self._absorb_job if self.fleet is not None else None,
         )
         self.workloads = all_workloads()
         self.started_at = time.monotonic()
@@ -85,6 +100,14 @@ class AnalysisService:
                 )
                 if job.recovered:
                     self.recovered_jobs += 1
+            # Fleet heal: re-absorb every finished job's verdicts.  A
+            # crash between a job's DONE journal write and its fleet
+            # absorb would otherwise lose the aggregates; absorption is
+            # idempotent on the content key, so the common case — all
+            # already absorbed — is a no-op.
+            if self.fleet is not None:
+                for job in self.store.finished():
+                    self._absorb_job(job)
             self._started = True
         if workers:
             self.pool.start()
@@ -93,6 +116,8 @@ class AnalysisService:
     def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         self.pool.shutdown(drain=drain, timeout=timeout)
         self.store.close()
+        if self.fleet is not None:
+            self.fleet.close()
 
     # -- submission ------------------------------------------------------
 
@@ -248,6 +273,89 @@ class AnalysisService:
                 self.store.mark_cancelled(job_id)
             return job
 
+    # -- fleet triage store ----------------------------------------------
+
+    def _absorb_job(self, job: Job) -> None:
+        """Fold one finished job's report into the fleet store.
+
+        Runs on the shard thread right after the DONE transition (and
+        again at startup for heal).  Idempotent on the job's content
+        key, so double absorption — two instances sharing the store,
+        or a heal re-walking already-absorbed jobs — converges.  Any
+        failure is swallowed: triage bookkeeping never fails a job.
+        """
+        if self.fleet is None or job.report is None:
+            return
+        try:
+            with self._fleet_lock:
+                self.fleet.absorb_report(
+                    job.report,
+                    job.content_key,
+                    observed_at=round(time.time(), 3),
+                    perf=self._fleet_perf,
+                )
+        except Exception:  # noqa: BLE001 - best-effort bookkeeping
+            pass
+
+    def _require_fleet(self) -> FleetStore:
+        if self.fleet is None:
+            raise ValueError(
+                "fleet store not configured (start serve with --fleet-dir)"
+            )
+        return self.fleet
+
+    def fleet_report(
+        self, include_suppressed: bool = False, limit: Optional[int] = None
+    ) -> Dict:
+        return self._require_fleet().report_document(
+            include_suppressed=include_suppressed, limit=limit, now=time.time()
+        )
+
+    def fleet_report_bytes(
+        self, include_suppressed: bool = False, limit: Optional[int] = None
+    ) -> bytes:
+        return self._require_fleet().report_bytes(
+            include_suppressed=include_suppressed, limit=limit, now=time.time()
+        )
+
+    def fleet_record(self, record_id: str) -> Optional[Dict]:
+        return self._require_fleet().record_document(record_id, now=time.time())
+
+    def fleet_suppressions(self) -> List[Dict]:
+        return [
+            dict(rule.to_json(), rule_id=rule.rule_id)
+            for rule in self._require_fleet().suppression_rules()
+        ]
+
+    def suppress_race(
+        self,
+        race: str,
+        digest: str = "",
+        reason: str = "",
+        created_by: str = "",
+        ttl_s: Optional[float] = None,
+    ) -> str:
+        """Persist a suppression rule; returns its id.
+
+        ``digest`` narrows the rule to one region-content variant
+        (scope ``exact``); empty suppresses the whole static race.
+        """
+        static_key_from_text(race)  # validate the key shape up front
+        now = time.time()
+        rule = SuppressionRule(
+            scope="exact" if digest else "race",
+            race=race,
+            digest=digest,
+            reason=reason,
+            created_by=created_by,
+            created_at=round(now, 3),
+            expires_at=round(now + ttl_s, 3) if ttl_s is not None else None,
+        )
+        return self._require_fleet().suppress(rule)
+
+    def unsuppress_race(self, rule_id: str) -> bool:
+        return self._require_fleet().unsuppress(rule_id)
+
     def metrics(self) -> Dict:
         """The ``GET /metrics`` document (field reference in docs).
 
@@ -269,7 +377,34 @@ class AnalysisService:
             "perf": pool["perf"],
             "classify_batching": self._batching_metrics(pool["perf"]),
             "stream": self._stream_metrics(pool["perf"]),
+            "fleet": self._fleet_metrics(),
             "latency_histograms_s": self.pool.histograms.to_json(),
+        }
+
+    def _fleet_metrics(self) -> Dict:
+        """Fleet-store counters for ``GET /metrics``.
+
+        Store counts come from the shared store (so they reflect every
+        instance's absorbs); absorb counters are this instance's own.
+        """
+        if self.fleet is None:
+            return {"enabled": False}
+        with self._fleet_lock:
+            absorbs = self._fleet_perf.fleet_absorbs
+            duplicates = self._fleet_perf.fleet_absorb_duplicates
+            records_new = self._fleet_perf.fleet_records_new
+            records_updated = self._fleet_perf.fleet_records_updated
+        try:
+            store = self.fleet.counts()
+        except Exception:  # noqa: BLE001 - metrics must not fail
+            store = {}
+        return {
+            "enabled": True,
+            "store": store,
+            "absorbs": absorbs,
+            "absorb_duplicates": duplicates,
+            "records_new": records_new,
+            "records_updated": records_updated,
         }
 
     @staticmethod

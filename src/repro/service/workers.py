@@ -217,8 +217,12 @@ def _run_detect_only(payload: dict, context: dict, stats: PerfStats) -> dict:
         # jobs= lets a v4 segmented upload fan its segments across a
         # process pool (mode stays "auto": anything else — v3, JSON —
         # keeps the serial zero-replay path and identical report bytes).
+        # A shard-thread spool (see ShardedWorkerPool._spool_for) is
+        # preferred over the raw bytes: detect_only then never creates
+        # its own temp file in this process, which would leak if the
+        # pool recycles a wedged worker mid-job.
         analysis = detect_only(
-            payload["log_data"],
+            payload.get("spool_path") or payload["log_data"],
             max_pairs_per_location=config.max_pairs_per_location,
             perf=stats,
             jobs=config.detect_jobs,
@@ -269,7 +273,10 @@ def _run_stream(payload: dict, context: dict, stats: PerfStats) -> dict:
     else:
         data = payload["log_data"]
         if config.detect_jobs > 1 and _is_segmented(data):
-            analysis = _analyze_log_parallel(engine, data, config, stats)
+            analysis = _analyze_log_parallel(
+                engine, data, config, stats,
+                spool_path=payload.get("spool_path"),
+            )
         else:
             analysis = engine.analyze_log_stream(data, perf=stats)
     return execution_report(analysis)
@@ -282,7 +289,11 @@ def _is_segmented(data: bytes) -> bool:
 
 
 def _analyze_log_parallel(
-    engine, data: bytes, config: ServiceConfig, stats: PerfStats
+    engine,
+    data: bytes,
+    config: ServiceConfig,
+    stats: PerfStats,
+    spool_path: Optional[str] = None,
 ) -> object:
     """Analyse a v4 upload with the detection sweep fanned over segments.
 
@@ -292,6 +303,12 @@ def _analyze_log_parallel(
     and classification proceeds from the merged — byte-identical — race
     set.  The workers mmap the container from a spooled temp file, so
     this process never hands the full log bytes to the pool.
+
+    ``spool_path`` names a spool the *shard thread* already wrote (and
+    owns — it unlinks it whatever happens to this process).  Without
+    one, this function spools the bytes itself; that self-spool is only
+    safe from leaks for in-process callers, because a ``finally`` here
+    never runs when the pool recycles a wedged worker process.
     """
     import tempfile
 
@@ -299,16 +316,21 @@ def _analyze_log_parallel(
     from ..record.serialization import load_log_bytes
 
     log = load_log_bytes(bytes(data))
-    handle = tempfile.NamedTemporaryFile(
-        prefix="repro-worker-", suffix=".rprb", delete=False
-    )
+    own_spool = spool_path is None
+    if own_spool:
+        handle = tempfile.NamedTemporaryFile(
+            prefix="repro-worker-", suffix=".rprb", delete=False
+        )
+        try:
+            handle.write(data)
+        finally:
+            handle.close()
+        spool_path = handle.name
     try:
-        handle.write(data)
-        handle.close()
 
         def detector_factory(ordered, max_pairs_per_location):
             return ParallelFileDetector(
-                handle.name, config.detect_jobs, max_pairs_per_location,
+                spool_path, config.detect_jobs, max_pairs_per_location,
                 perf=stats,
             )
 
@@ -316,10 +338,11 @@ def _analyze_log_parallel(
             log, perf=stats, detector_factory=detector_factory
         )
     finally:
-        try:
-            os.unlink(handle.name)
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
+        if own_spool:
+            try:
+                os.unlink(spool_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 def _pooled_run(payload: dict) -> dict:
@@ -340,6 +363,7 @@ class ShardedWorkerPool:
         store: JobStore,
         queue: BoundedJobQueue,
         runner: Optional[Callable[[dict], dict]] = None,
+        on_done: Optional[Callable[[Job], None]] = None,
     ):
         self.config = config
         self.store = store
@@ -347,6 +371,10 @@ class ShardedWorkerPool:
         #: Test hook: run payloads through this callable instead of the
         #: executor/inline machinery (exceptions = job failures).
         self._runner = runner
+        #: Called with each job right after its DONE transition is
+        #: journaled (the service's fleet-absorb hook).  Failures are
+        #: swallowed: absorption must never fail the job.
+        self._on_done = on_done
         self.shards = config.effective_shards()
         self._executors: List[Optional[ProcessPoolExecutor]] = [None] * self.shards
         self._threads: List[threading.Thread] = []
@@ -446,6 +474,38 @@ class ShardedWorkerPool:
             "config": self.config.to_dict(),
         }
 
+    def _spool_for(self, job: Job) -> Optional[str]:
+        """Spool an upload that the worker's parallel path will mmap.
+
+        Only jobs that would otherwise self-spool inside the worker
+        process qualify: log uploads in detect/stream mode, a
+        ``detect_jobs`` fan-out configured, and a v4 segmented
+        container.  Writing the spool here — on the shard thread — is
+        the leak fix: the shard thread's ``finally`` unlinks it even
+        when the worker process is terminated mid-job by
+        :meth:`_recycle_executor`, which would skip any cleanup inside
+        the worker.
+        """
+        spec = job.spec
+        if (
+            spec.kind != "log"
+            or spec.mode not in ("detect", "stream")
+            or self.config.detect_jobs <= 1
+            or spec.log_data is None
+            or not _is_segmented(spec.log_data)
+        ):
+            return None
+        import tempfile
+
+        handle = tempfile.NamedTemporaryFile(
+            prefix="repro-spool-", suffix=".rprb", delete=False
+        )
+        try:
+            handle.write(spec.log_data)
+        finally:
+            handle.close()
+        return handle.name
+
     def _execute(self, shard: int, payload: dict) -> dict:
         if self._runner is not None:
             return self._runner(payload)
@@ -490,20 +550,35 @@ class ShardedWorkerPool:
         # The running count drops only after the terminal transition
         # (mark_done / mark_failed / requeue) is journaled, so drain()
         # returning True means every finished job's report is visible.
+        spool_path: Optional[str] = None
         try:
             try:
-                result = self._execute(shard, self._payload_for(job))
+                payload = self._payload_for(job)
+                spool_path = self._spool_for(job)
+                if spool_path is not None:
+                    payload["spool_path"] = spool_path
+                result = self._execute(shard, payload)
             except Exception as error:  # noqa: BLE001 - any failure is the job's
                 self._handle_failure(shard, job, error)
                 return
-            self.store.mark_done(
+            done = self.store.mark_done(
                 job.job_id,
                 result["report"],
                 perf=result.get("perf"),
                 elapsed_s=result.get("elapsed_s"),
             )
             self._merge_result(result)
+            if self._on_done is not None:
+                try:
+                    self._on_done(done)
+                except Exception:  # noqa: BLE001 - absorption never fails the job
+                    pass
         finally:
+            if spool_path is not None:
+                try:
+                    os.unlink(spool_path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
             with self._metrics_lock:
                 self._running_jobs -= 1
 

@@ -1,0 +1,270 @@
+"""Integration tests: the fleet triage store behind the analysis service.
+
+Two deployment shapes matter here.  A single service with ``fleet_dir``
+set absorbs every completed job's verdicts and serves the ranked view on
+``GET /races``.  And — the multi-instance contract — two services
+sharing one store directory, each with its own job store, absorbing
+overlapping executions must converge: duplicate executions count once,
+both instances serve byte-identical reports, and suppressions posted to
+either are visible from the other.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    AnalysisService,
+    JobState,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    make_server,
+)
+
+WORKLOAD = "lost_update_lu0"
+SEED = 21
+
+
+def _config(tmp_path, fleet="fleet", journal=None, **extra):
+    return ServiceConfig(
+        pool_size=0,
+        queue_capacity=32,
+        port=0,
+        fleet_dir=str(tmp_path / fleet) if fleet else None,
+        journal_path=str(tmp_path / journal) if journal else None,
+        **extra,
+    )
+
+
+def _wait_done(service, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while service.job(job_id).state is not JobState.DONE:
+        assert time.monotonic() < deadline, "job %s never finished" % job_id
+        time.sleep(0.02)
+
+
+def _serve(service):
+    """(server, client) over an ephemeral port; caller shuts down."""
+    server = make_server(service)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    return server, ServiceClient(server.url)
+
+
+@pytest.fixture()
+def deployment(tmp_path):
+    service = AnalysisService(_config(tmp_path)).start()
+    server, client = _serve(service)
+    yield service, client
+    server.shutdown()
+    service.shutdown()
+
+
+class TestAbsorbOnDone:
+    def test_full_job_verdicts_reach_the_fleet_report(self, deployment):
+        service, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        document = client.races()
+        assert document["fleet_report_version"] == 1
+        assert document["store"]["absorbed_jobs"] == 1
+        assert document["races"], "absorbed job produced no fleet records"
+        groups = [entry["classification"] for entry in document["races"]]
+        assert groups == sorted(
+            groups,
+            key=["potentially-harmful", "detected", "potentially-benign"].index,
+        )
+        top = document["races"][0]
+        assert top["program"] == WORKLOAD
+        assert top["contributors"] and top["first_seen"] is not None
+
+    def test_detect_job_contributes_detected_sightings(self, deployment):
+        service, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED, mode="detect")
+        client.wait(job.job_id, timeout_s=60)
+        document = client.races()
+        assert document["store"]["absorbed_jobs"] == 1
+        assert all(
+            entry["classification"] == "detected" for entry in document["races"]
+        )
+        assert all(
+            entry["instances"]["detected"] > 0 for entry in document["races"]
+        )
+
+    def test_duplicate_submission_absorbs_once(self, deployment):
+        service, client = deployment
+        first = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(first.job_id, timeout_s=60)
+        again = client.submit_workload(WORKLOAD, seed=SEED)
+        assert again.job_id == first.job_id  # deduped at submission
+        metrics = client.metrics()["fleet"]
+        assert metrics["enabled"] is True
+        assert metrics["absorbs"] == 1
+        assert metrics["store"]["absorbed_jobs"] == 1
+
+    def test_record_detail_endpoint(self, deployment):
+        service, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        entry = client.races()["races"][0]
+        detail = client.race(entry["id"])
+        assert detail["id"] == entry["id"]
+        assert detail["contributions"], "detail must carry per-job cells"
+        with pytest.raises(ServiceError) as caught:
+            client.race("0" * 16)
+        assert caught.value.status == 404
+
+
+class TestSuppressionSurface:
+    def test_post_suppression_hides_the_race(self, deployment):
+        service, client = deployment
+        job = client.submit_workload(WORKLOAD, seed=SEED)
+        client.wait(job.job_id, timeout_s=60)
+        target = client.races()["races"][0]
+        rule_id = client.suppress(
+            target["race"], reason="triaged", by="integration-test"
+        )
+        document = client.races()
+        assert document["summary"]["suppressed"] >= 1
+        assert all(entry["race"] != target["race"] for entry in document["races"])
+        revealed = client.races(include_suppressed=True)
+        entry = next(
+            e for e in revealed["races"] if e["race"] == target["race"]
+        )
+        assert entry["suppressed"] and entry["suppressed_by"] == rule_id
+
+        listed = client.suppressions()["suppressions"]
+        assert any(rule["rule_id"] == rule_id for rule in listed)
+        assert client.unsuppress(rule_id)["removed"] is True
+        assert client.races()["summary"]["suppressed"] == 0
+
+    def test_bad_suppression_bodies_are_400(self, deployment):
+        _, client = deployment
+        with pytest.raises(ServiceError) as caught:
+            client.suppress("not-a-static-race-key")
+        assert caught.value.status == 400
+        status, body = client._request(
+            "POST", "/suppressions", b"{}",
+            {"Content-Type": "application/json"},
+        )
+        assert status == 400
+
+    def test_bad_limit_is_400(self, deployment):
+        _, client = deployment
+        status, _ = client._request("GET", "/races?limit=banana")
+        assert status == 400
+
+
+class TestFleetDisabled:
+    def test_races_is_404_without_a_fleet_dir(self, tmp_path):
+        service = AnalysisService(_config(tmp_path, fleet=None)).start()
+        server, client = _serve(service)
+        try:
+            with pytest.raises(ServiceError) as caught:
+                client.races()
+            assert caught.value.status == 404
+            assert "fleet store not configured" in str(caught.value)
+            assert client.metrics()["fleet"] == {"enabled": False}
+        finally:
+            server.shutdown()
+            service.shutdown()
+
+
+class TestMultiInstanceConvergence:
+    def test_shared_store_serves_identical_reports(self, tmp_path):
+        """The acceptance scenario: two instances, one store directory,
+        overlapping executions — identical ranked bytes from either."""
+        first = AnalysisService(_config(tmp_path)).start()
+        second = AnalysisService(_config(tmp_path)).start()
+        server_a, client_a = _serve(first)
+        server_b, client_b = _serve(second)
+        try:
+            job_a = client_a.submit_workload(WORKLOAD, seed=SEED)
+            job_b = client_b.submit_workload(WORKLOAD, seed=SEED + 1)
+            # The overlap: instance B also runs A's execution; its
+            # absorb must dedup on the shared content key.
+            job_dup = client_b.submit_workload(WORKLOAD, seed=SEED)
+            client_a.wait(job_a.job_id, timeout_s=60)
+            client_b.wait(job_b.job_id, timeout_s=60)
+            client_b.wait(job_dup.job_id, timeout_s=60)
+
+            report_a = client_a.races_bytes()
+            report_b = client_b.races_bytes()
+            assert report_a == report_b
+            document = client_a.races()
+            assert document["store"]["absorbed_jobs"] == 2  # dup counted once
+
+            fleet_a = client_a.metrics()["fleet"]
+            fleet_b = client_b.metrics()["fleet"]
+            assert fleet_a["absorbs"] + fleet_b["absorbs"] == 2
+            assert fleet_a["absorb_duplicates"] + fleet_b["absorb_duplicates"] == 1
+        finally:
+            server_a.shutdown()
+            server_b.shutdown()
+            first.shutdown()
+            second.shutdown()
+
+    def test_suppressions_are_visible_across_instances(self, tmp_path):
+        first = AnalysisService(_config(tmp_path)).start()
+        second = AnalysisService(_config(tmp_path)).start()
+        server_a, client_a = _serve(first)
+        server_b, client_b = _serve(second)
+        try:
+            job = client_a.submit_workload(WORKLOAD, seed=SEED)
+            client_a.wait(job.job_id, timeout_s=60)
+            target = client_b.races()["races"][0]  # B already sees A's work
+            client_a.suppress(target["race"], reason="benign by design")
+            assert client_b.races()["summary"]["suppressed"] >= 1
+            assert client_a.races_bytes() == client_b.races_bytes()
+        finally:
+            server_a.shutdown()
+            server_b.shutdown()
+            first.shutdown()
+            second.shutdown()
+
+
+class TestRestartHeal:
+    def test_finished_jobs_are_absorbed_on_restart(self, tmp_path):
+        """Kill-and-restart: a service that dies after finishing jobs but
+        before (or without) fleet absorption heals on the next start by
+        walking its journal's DONE jobs — and absorption's idempotency
+        makes the heal safe when the verdicts did land."""
+        config = _config(tmp_path, journal="jobs.jsonl")
+        first = AnalysisService(config).start()
+        job, _ = first.submit_workload(WORKLOAD, seed=SEED)
+        _wait_done(first, job.job_id)
+        before = first.fleet_report_bytes()
+        first.shutdown(drain=False)  # no graceful close — the "crash"
+
+        revived = AnalysisService(config).start()
+        try:
+            assert revived.fleet_report_bytes() == before
+            assert revived.fleet.counts()["absorbed_jobs"] == 1
+        finally:
+            revived.shutdown()
+
+    def test_heal_populates_a_store_that_never_saw_the_jobs(self, tmp_path):
+        # First life has no fleet at all; the store is configured later
+        # and back-fills from the job journal on start.
+        bare = AnalysisService(
+            _config(tmp_path, fleet=None, journal="jobs.jsonl")
+        ).start()
+        job, _ = bare.submit_workload(WORKLOAD, seed=SEED)
+        _wait_done(bare, job.job_id)
+        bare.shutdown()
+
+        upgraded = AnalysisService(
+            _config(tmp_path, journal="jobs.jsonl")
+        ).start()
+        try:
+            counts = upgraded.fleet.counts()
+            assert counts["absorbed_jobs"] == 1
+            assert counts["unique_races"] > 0
+        finally:
+            upgraded.shutdown()

@@ -1,0 +1,192 @@
+"""Property-based tests: fleet-store absorption is a commutative,
+idempotent fold.
+
+The store's multi-instance contract reduces to one algebraic claim: the
+compacted snapshot is a function of the *set* of absorbed jobs (plus the
+rule set), not of the sequence of operations that delivered them.  So we
+generate arbitrary batches of job reports, feed permutations of them —
+with duplicates, interleaved compactions, and import-merge detours —
+into independent stores, and demand byte-identical snapshots and report
+documents at the end.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import FleetStore, SuppressionRule
+
+_SETTINGS = settings(max_examples=30, deadline=None)
+
+_RACES = ["x:1|x:5", "y:2|y:7", "z:0|z:3", "w:4|w:9"]
+_DIGESTS = ["", "aa+bb", "cc+dd"]
+
+race_texts = st.sampled_from(_RACES)
+counts = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def export_races(draw):
+    race = draw(race_texts)
+    state_change = draw(counts)
+    replay_failure = draw(counts)
+    no_state_change = draw(counts)
+    digest = draw(st.sampled_from(_DIGESTS))
+    harmful = bool(state_change or replay_failure)
+    scenarios = (
+        [{"batch_key": {"region_content": digest.split("+")}}]
+        if harmful and digest
+        else []
+    )
+    return {
+        "race": race,
+        "classification": (
+            "potentially-harmful" if harmful else "potentially-benign"
+        ),
+        "instances": {
+            "total": no_state_change + state_change + replay_failure,
+            "no_state_change": no_state_change,
+            "state_change": state_change,
+            "replay_failure": replay_failure,
+        },
+        "executions": draw(
+            st.lists(st.sampled_from(["e1", "e2", "e3"]), max_size=2)
+        ),
+        "scenarios": scenarios,
+    }
+
+
+@st.composite
+def reports(draw):
+    if draw(st.booleans()):
+        return {
+            "export_version": 1,
+            "program": draw(st.sampled_from(["prog_a", "prog_b"])),
+            "races": draw(st.lists(export_races(), max_size=3)),
+        }
+    return {
+        "detect_version": 1,
+        "program": draw(st.sampled_from(["prog_a", "prog_b"])),
+        "execution": draw(st.sampled_from(["e1", "e2"])),
+        "unique_races": [
+            {"race": race, "instances": draw(counts)}
+            for race in draw(st.lists(race_texts, max_size=2, unique=True))
+        ],
+    }
+
+
+@st.composite
+def job_batches(draw):
+    """[(report, job_key, observed_at)] — keys unique within a batch."""
+    batch = draw(st.lists(reports(), min_size=1, max_size=5))
+    return [
+        (report, "job-%d" % index, float(index))
+        for index, report in enumerate(batch)
+    ]
+
+
+def _absorb_all(store, jobs):
+    for report, key, stamp in jobs:
+        store.absorb_report(report, key, observed_at=stamp)
+
+
+def _snapshot(store):
+    store.compact()
+    return store.backend.read_snapshot()
+
+
+class TestAbsorptionAlgebra:
+    @given(jobs=job_batches(), order=st.randoms(use_true_random=False))
+    @_SETTINGS
+    def test_any_order_with_duplicates_converges(self, jobs, order):
+        """The tentpole property: same job set, any arrival order, any
+        duplication — byte-identical compacted snapshots."""
+        shuffled = list(jobs)
+        order.shuffle(shuffled)
+        duplicates = [order.choice(shuffled) for _ in range(len(shuffled))]
+
+        reference, scrambled = FleetStore(), FleetStore()
+        _absorb_all(reference, jobs)
+        _absorb_all(scrambled, shuffled + duplicates + shuffled)
+        assert _snapshot(reference) == _snapshot(scrambled)
+        assert reference.report_bytes() == scrambled.report_bytes()
+
+    @given(jobs=job_batches(), cut=st.integers(min_value=0, max_value=5))
+    @_SETTINGS
+    def test_interleaved_compaction_changes_nothing(self, jobs, cut):
+        """Compacting mid-stream (journal → snapshot fold at an arbitrary
+        point) must not alter the final state."""
+        straight, chopped = FleetStore(), FleetStore()
+        _absorb_all(straight, jobs)
+        position = min(cut, len(jobs))
+        _absorb_all(chopped, jobs[:position])
+        chopped.compact()
+        _absorb_all(chopped, jobs[position:])
+        assert _snapshot(straight) == _snapshot(chopped)
+
+    @given(jobs=job_batches())
+    @_SETTINGS
+    def test_compaction_is_idempotent(self, jobs):
+        store = FleetStore()
+        _absorb_all(store, jobs)
+        first = _snapshot(store)
+        assert _snapshot(store) == first
+
+    @given(jobs=job_batches(), split=st.integers(min_value=0, max_value=5))
+    @_SETTINGS
+    def test_import_merge_commutes_with_direct_absorption(self, jobs, split):
+        """Splitting the jobs across two hosts and cross-importing their
+        exports lands on the same state as one host absorbing everything."""
+        position = min(split, len(jobs))
+        left, right, direct = FleetStore(), FleetStore(), FleetStore()
+        _absorb_all(left, jobs[:position])
+        _absorb_all(right, jobs[position:])
+        _absorb_all(direct, jobs)
+
+        left.import_document(right.export_document())
+        right.import_document(left.export_document())
+        left.import_document(right.export_document())  # re-import: no-op
+        assert _snapshot(left) == _snapshot(right) == _snapshot(direct)
+
+    @given(jobs=job_batches(), order=st.randoms(use_true_random=False))
+    @_SETTINGS
+    def test_suppression_order_is_immaterial_too(self, jobs, order):
+        rules = [
+            SuppressionRule(scope="race", race=_RACES[0], reason="r1"),
+            SuppressionRule(scope="exact", race=_RACES[1], digest="aa+bb"),
+        ]
+        forward, backward = FleetStore(), FleetStore()
+        for rule in rules:
+            forward.suppress(rule)
+        _absorb_all(forward, jobs)
+        shuffled = list(jobs)
+        order.shuffle(shuffled)
+        _absorb_all(backward, shuffled)
+        for rule in reversed(rules):
+            backward.suppress(rule)
+        assert _snapshot(forward) == _snapshot(backward)
+        assert forward.report_bytes() == backward.report_bytes()
+
+
+class TestFileBackendParity:
+    @given(jobs=job_batches(), order=st.randoms(use_true_random=False))
+    @_SETTINGS
+    def test_disk_stores_converge_like_memory_stores(
+        self, jobs, order, tmp_path_factory
+    ):
+        """The same order-independence holds through the locked file
+        backend, including a reopen (journal replay) in the middle."""
+        base = tmp_path_factory.mktemp("fleet")
+        first = FleetStore.open(base / "a")
+        _absorb_all(first, jobs)
+
+        shuffled = list(jobs)
+        order.shuffle(shuffled)
+        half = len(shuffled) // 2
+        second = FleetStore.open(base / "b")
+        _absorb_all(second, shuffled[:half])
+        second.close()
+        second = FleetStore.open(base / "b")  # replay the journal
+        _absorb_all(second, shuffled[half:] + shuffled[:half])
+        assert _snapshot(first) == _snapshot(second)
+        assert first.report_bytes() == second.report_bytes()

@@ -237,6 +237,23 @@ class TestCliJobsValidation:
                     out=io.StringIO())
         assert code == 1
 
+    def test_jobs_and_stream_rejected_with_one_line_error(self, seg_log, capsys):
+        # Even --jobs 1 conflicts: naming both flags is a contradiction
+        # (serial streaming vs segment fan-out), not a degenerate no-op.
+        code = main(["detect", str(seg_log), "--jobs", "1", "--stream"],
+                    out=io.StringIO())
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--jobs and --stream are mutually exclusive" in err
+
+    def test_stream_alone_still_works(self, seg_log):
+        out = io.StringIO()
+        assert main(["detect", str(seg_log), "--stream"], out=out) == 0
+        serial = io.StringIO()
+        assert main(["detect", str(seg_log)], out=serial) == 0
+        assert out.getvalue() == serial.getvalue()
+
     def test_analyze_jobs_conflicts_with_stream(self, seg_log):
         code = main(["analyze", str(seg_log), "--jobs", "4", "--stream"],
                     out=io.StringIO())
